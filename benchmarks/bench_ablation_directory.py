@@ -1,0 +1,92 @@
+"""Ablation: the ABDM directory (descriptor search before record scan).
+
+MBDS executes requests in two phases — descriptor search, then record
+processing over the surviving clusters.  This ablation runs the same
+selection workload on a kernel whose backends use the plain full-scan
+store versus the directory-clustered store, reporting records examined
+per backend and simulated response time.  The thesis's keyword-predicate
+tuple carries a *directory* component precisely because this phase pays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abdl import parse_request
+from repro.abdm import ClusteredStore, Directory
+from repro.mbds import KernelDatabaseSystem
+
+from .conftest import print_series
+
+RECORDS = 4000
+QUERY = "RETRIEVE ((FILE = data) AND (x = 13)) (*)"
+
+
+def build(with_directory: bool) -> KernelDatabaseSystem:
+    factory = None
+    if with_directory:
+        def factory():
+            directory = Directory()
+            directory.add_ranges("x", 0, 97, 16)
+            return ClusteredStore(directory)
+
+    kds = KernelDatabaseSystem(backend_count=4, store_factory=factory)
+    for i in range(RECORDS):
+        kds.execute(
+            parse_request(f"INSERT (<FILE, data>, <data, d${i}>, <x, {i % 97}>)")
+        )
+    kds.reset_clock()
+    for backend in kds.controller.backends:
+        backend.store.stats.records_examined = 0
+    return kds
+
+
+@pytest.fixture(scope="module")
+def directory_series():
+    rows = []
+    results = {}
+    for label, with_directory in [("full scan", False), ("directory", True)]:
+        kds = build(with_directory)
+        trace = kds.execute(parse_request(QUERY))
+        examined = sum(
+            b.store.stats.records_examined for b in kds.controller.backends
+        )
+        rows.append(
+            (
+                label,
+                trace.result.count,
+                examined,
+                round(trace.response.total_ms, 1),
+            )
+        )
+        results[label] = (examined, trace.response.total_ms, trace.result.count)
+    print_series(
+        "ABLATION  descriptor search: full scan vs directory-clustered store",
+        ["store", "selected", "records examined", "sim response ms"],
+        rows,
+    )
+    return results
+
+
+class TestDirectoryValue:
+    def test_same_answers(self, directory_series):
+        assert (
+            directory_series["full scan"][2] == directory_series["directory"][2]
+        )
+
+    def test_directory_examines_fraction(self, directory_series):
+        full = directory_series["full scan"][0]
+        pruned = directory_series["directory"][0]
+        assert pruned < full / 5
+
+    def test_directory_cuts_simulated_response(self, directory_series):
+        assert directory_series["directory"][1] < directory_series["full scan"][1] / 2
+
+
+class TestDirectoryLatency:
+    @pytest.mark.parametrize("mode", ["full scan", "directory"])
+    def test_benchmark(self, benchmark, directory_series, mode):
+        kds = build(mode == "directory")
+        request = parse_request(QUERY)
+        benchmark(lambda: kds.execute(request))
+        benchmark.extra_info["store"] = mode

@@ -1,0 +1,53 @@
+"""FIG-1.3-b: MBDS response-time invariance under proportional growth.
+
+Paper claim (I.B.2): "by increasing the number of backends proportionally
+with an increase in the size of the database ... MBDS produces invariant
+response-times for the user transactions."
+
+The series grows the database 500 records per backend while growing the
+backend farm, and reports the simulated response time of the same
+selection at every scale: the reproduced figure is a flat line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abdl import parse_request
+
+from .conftest import populate_kds, print_series
+
+BACKEND_COUNTS = [1, 2, 4, 8]
+RECORDS_PER_BACKEND = 500
+QUERY = "RETRIEVE ((FILE = data) AND (x = 41)) (*)"
+
+
+@pytest.fixture(scope="module")
+def invariance_series():
+    rows = []
+    for backends in BACKEND_COUNTS:
+        kds = populate_kds(backends, RECORDS_PER_BACKEND * backends)
+        elapsed = kds.execute(parse_request(QUERY)).response.total_ms
+        rows.append((backends, RECORDS_PER_BACKEND * backends, round(elapsed, 2)))
+    print_series(
+        "FIG-1.3-b  response time under proportional growth",
+        ["backends", "records", "sim response ms"],
+        rows,
+    )
+    return rows
+
+
+@pytest.mark.parametrize("backends", BACKEND_COUNTS)
+def test_proportional_growth(benchmark, invariance_series, backends):
+    kds = populate_kds(backends, RECORDS_PER_BACKEND * backends)
+    request = parse_request(QUERY)
+    benchmark(lambda: kds.execute(request))
+    row = next(r for r in invariance_series if r[0] == backends)
+    benchmark.extra_info["backends"] = backends
+    benchmark.extra_info["records"] = row[1]
+    benchmark.extra_info["simulated_response_ms"] = row[2]
+
+
+def test_response_time_is_invariant(invariance_series):
+    times = [row[2] for row in invariance_series]
+    assert max(times) / min(times) < 1.10, times

@@ -1,0 +1,80 @@
+"""FIG-1.3-a: MBDS response time vs number of backends (fixed database).
+
+Paper claim (I.B.2): "by increasing the number of backends, while
+maintaining the size of the database ... MBDS yields a nearly reciprocal
+decrease in the response times of the user transactions."
+
+The series below sweeps backends over {1, 2, 4, 8, 16} at a fixed 2,000
+record database and reports the simulated response time of a broadcast
+selection, its speedup over one backend, and the ideal reciprocal.  The
+pytest-benchmark timing measures the real (single-process) execution of
+the same request, which naturally does *not* speed up — the parallelism
+is the thing being simulated — so the reproduced figure is the simulated
+column, attached to each benchmark record via extra_info.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abdl import parse_request
+
+from .conftest import populate_kds, print_series
+
+BACKEND_COUNTS = [1, 2, 4, 8, 16]
+DATABASE_SIZE = 2000
+QUERY = "RETRIEVE ((FILE = data) AND (x = 13)) (*)"
+
+
+def simulated_response_ms(backends: int) -> float:
+    kds = populate_kds(backends, DATABASE_SIZE)
+    return kds.execute(parse_request(QUERY)).response.total_ms
+
+
+@pytest.fixture(scope="module")
+def scaling_series():
+    rows = []
+    base = None
+    for backends in BACKEND_COUNTS:
+        elapsed = simulated_response_ms(backends)
+        if base is None:
+            base = elapsed
+        rows.append(
+            (
+                backends,
+                round(elapsed, 2),
+                round(base / elapsed, 2),
+                float(backends),
+            )
+        )
+    print_series(
+        "FIG-1.3-a  response time vs backends (2000 records)",
+        ["backends", "sim response ms", "speedup", "ideal"],
+        rows,
+    )
+    return rows
+
+
+@pytest.mark.parametrize("backends", BACKEND_COUNTS)
+def test_scaling_curve(benchmark, scaling_series, backends):
+    kds = populate_kds(backends, DATABASE_SIZE)
+    request = parse_request(QUERY)
+
+    def run():
+        return kds.execute(request)
+
+    trace = benchmark(run)
+    row = next(r for r in scaling_series if r[0] == backends)
+    benchmark.extra_info["backends"] = backends
+    benchmark.extra_info["simulated_response_ms"] = row[1]
+    benchmark.extra_info["speedup_vs_one_backend"] = row[2]
+    assert trace.result.count == DATABASE_SIZE // 97 + (1 if 13 < DATABASE_SIZE % 97 else 0)
+
+
+def test_speedup_is_nearly_reciprocal(scaling_series):
+    """The headline shape: speedup tracks the backend count."""
+    for backends, _, speedup, _ in scaling_series:
+        if backends == 1:
+            continue
+        assert speedup > backends * 0.55, (backends, speedup)
+        assert speedup <= backends, (backends, speedup)

@@ -1,0 +1,93 @@
+"""FIG-3.3: functional-to-ABDM mapping and load throughput.
+
+Figure 3.3 shows the AB(functional) University database the Chapter III
+mapping produces.  The tests below regenerate that structure for growing
+populations and measure the mapping/load rate — records built and
+inserted per second — along with the AB-record amplification caused by
+multi-valued functions (one AB record per value).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MLDS
+from repro.mapping import ABFunctionalMapping
+from repro.university import (
+    UNIVERSITY_DAPLEX,
+    generate_university,
+    load_university,
+    university_schema,
+)
+
+from .conftest import print_series
+
+
+@pytest.fixture(scope="module")
+def load_series():
+    rows = []
+    import time
+
+    for persons in (30, 60, 120):
+        mlds = MLDS(backend_count=4)
+        data = generate_university(persons=persons, courses=persons // 3, seed=persons)
+        start = time.perf_counter()
+        load_university(mlds, data)
+        elapsed = time.perf_counter() - start
+        logical = (
+            len(data.departments)
+            + len(data.persons)
+            + len(data.courses)
+            + sum(p.is_employee + p.is_student + p.is_faculty + p.is_support_staff for p in data.persons)
+        )
+        physical = mlds.kds.record_count()
+        rows.append(
+            (
+                persons,
+                logical,
+                physical,
+                round(physical / logical, 2),
+                int(physical / elapsed),
+            )
+        )
+    print_series(
+        "FIG-3.3  AB(functional) load: logical instances vs AB records",
+        ["persons", "instances", "AB records", "amplification", "records/s"],
+        rows,
+    )
+    return rows
+
+
+class TestAmplification:
+    def test_multivalued_amplification_bounded(self, load_series):
+        # Multi-valued functions duplicate records; the University schema
+        # tops out around 3 values per function, so amplification stays
+        # well under 2x.
+        for _, _, _, amplification, _ in load_series:
+            assert 1.0 <= amplification < 2.0
+
+    def test_every_type_has_a_file(self, load_series):
+        mapping = ABFunctionalMapping(university_schema())
+        assert len(mapping.file_names()) == 7
+
+
+class TestMappingThroughput:
+    def test_build_records_rate(self, benchmark, load_series):
+        mapping = ABFunctionalMapping(university_schema())
+        values = {
+            "rank": "professor",
+            "dept": "department$1",
+            "teaching": ["course$1", "course$2", "course$3"],
+        }
+        benchmark(lambda: mapping.build_records("faculty", "person$1", values))
+
+    def test_full_load_rate(self, benchmark):
+        data = generate_university(persons=30, courses=10, seed=3)
+
+        def load():
+            mlds = MLDS(backend_count=4)
+            load_university(mlds, data)
+            return mlds
+
+        mlds = benchmark(load)
+        benchmark.extra_info["ab_records"] = mlds.kds.record_count()

@@ -1,0 +1,91 @@
+"""TBL-3: the ABDL kernel operations, micro-benchmarked.
+
+The five ABDL operations (II.C.2) over a populated kernel: INSERT,
+RETRIEVE (exact and range), UPDATE, DELETE and RETRIEVE-COMMON, plus the
+aggregate path the MLDS formatting layer relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abdl import parse_request
+from repro.mbds import KernelDatabaseSystem
+
+from .conftest import populate_kds
+
+
+@pytest.fixture(scope="module")
+def kds():
+    kds = populate_kds(4, 2000)
+    for i in range(50):
+        kds.execute(
+            parse_request(f"INSERT (<FILE, lookup>, <lookup, l${i}>, <x, {i % 97}>)")
+        )
+    return kds
+
+
+def test_insert(benchmark, kds):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        kds.execute(
+            parse_request(f"INSERT (<FILE, extra>, <extra, e${counter[0]}>, <x, 1>)")
+        )
+
+    benchmark(run)
+    benchmark.extra_info["operation"] = "INSERT"
+
+
+def test_retrieve_exact(benchmark, kds):
+    request = parse_request("RETRIEVE ((FILE = data) AND (x = 13)) (*)")
+    benchmark(lambda: kds.execute(request))
+    benchmark.extra_info["operation"] = "RETRIEVE ="
+
+
+def test_retrieve_range(benchmark, kds):
+    request = parse_request("RETRIEVE ((FILE = data) AND (x >= 90)) (label)")
+    benchmark(lambda: kds.execute(request))
+    benchmark.extra_info["operation"] = "RETRIEVE range"
+
+
+def test_retrieve_aggregate(benchmark, kds):
+    request = parse_request("RETRIEVE (FILE = data) (COUNT(*), AVG(x))")
+    benchmark(lambda: kds.execute(request))
+    benchmark.extra_info["operation"] = "RETRIEVE aggregate"
+
+
+def test_update(benchmark, kds):
+    request = parse_request("UPDATE ((FILE = data) AND (x = 13)) (label = 'touched')")
+    benchmark(lambda: kds.execute(request))
+    benchmark.extra_info["operation"] = "UPDATE"
+
+
+def test_retrieve_common(benchmark, kds):
+    request = parse_request(
+        "RETRIEVE-COMMON ((FILE = data) AND (x < 40)) COMMON (x) (FILE = lookup) (label)"
+    )
+    benchmark(lambda: kds.execute(request))
+    benchmark.extra_info["operation"] = "RETRIEVE-COMMON"
+
+
+def test_delete_and_reinsert(benchmark, kds):
+    delete = parse_request("DELETE ((FILE = churn) AND (x = 1))")
+    insert = parse_request("INSERT (<FILE, churn>, <churn, c$1>, <x, 1>)")
+
+    def run():
+        kds.execute(insert)
+        kds.execute(delete)
+
+    benchmark(run)
+    benchmark.extra_info["operation"] = "INSERT+DELETE"
+
+
+def test_parse_request_rate(benchmark):
+    text = (
+        "RETRIEVE ((FILE = course) AND (title = 'Advanced Database') "
+        "AND (credits >= 3)) (title, dept, semester, credits) BY course"
+    )
+    benchmark(lambda: parse_request(text))
+    benchmark.extra_info["operation"] = "parse RETRIEVE"

@@ -1,0 +1,82 @@
+"""Sensitivity: the MBDS claims hold across timing-model parameters.
+
+The FIG-1.3 reproductions use one default parameterization.  A fair
+question is whether the shapes depend on those constants; this sweep
+varies the dominant ratios — scan cost per page, records per page, and
+the fixed access/broadcast overheads — and checks that the reciprocal
+speedup and the invariance claims survive every setting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abdl import parse_request
+from repro.mbds import KernelDatabaseSystem, TimingModel
+
+from .conftest import print_series
+
+VARIANTS = {
+    "default": TimingModel(),
+    "fast-disk": TimingModel(access_ms=5.0, page_scan_ms=2.0),
+    "slow-disk": TimingModel(access_ms=80.0, page_scan_ms=25.0),
+    "big-pages": TimingModel(records_per_page=100),
+    "chatty-bus": TimingModel(broadcast_ms=40.0, merge_record_ms=1.0),
+}
+
+QUERY = "RETRIEVE ((FILE = data) AND (x = 13)) (*)"
+
+
+def build(backends: int, timing: TimingModel, records: int) -> KernelDatabaseSystem:
+    kds = KernelDatabaseSystem(backend_count=backends, timing=timing)
+    for i in range(records):
+        kds.execute(
+            parse_request(f"INSERT (<FILE, data>, <data, d${i}>, <x, {i % 97}>)")
+        )
+    kds.reset_clock()
+    return kds
+
+
+def response_ms(kds: KernelDatabaseSystem) -> float:
+    return kds.execute(parse_request(QUERY)).response.total_ms
+
+
+@pytest.fixture(scope="module")
+def sensitivity_series():
+    rows = []
+    results = {}
+    for label, timing in VARIANTS.items():
+        one = response_ms(build(1, timing, 1600))
+        eight = response_ms(build(8, timing, 1600))
+        speedup = one / eight
+        grow_small = response_ms(build(1, timing, 400))
+        grow_large = response_ms(build(8, timing, 3200))
+        invariance = grow_large / grow_small
+        rows.append((label, round(speedup, 2), round(invariance, 3)))
+        results[label] = (speedup, invariance)
+    print_series(
+        "SENSITIVITY  speedup(8 backends) and invariance ratio per timing model",
+        ["timing model", "speedup 1->8", "invariance (8x/1x)"],
+        rows,
+    )
+    return results
+
+
+class TestClaimsSurviveParameters:
+    @pytest.mark.parametrize("label", list(VARIANTS))
+    def test_speedup_holds(self, sensitivity_series, label):
+        speedup, _ = sensitivity_series[label]
+        assert speedup > 2.0, (label, speedup)
+
+    @pytest.mark.parametrize("label", list(VARIANTS))
+    def test_invariance_holds(self, sensitivity_series, label):
+        _, invariance = sensitivity_series[label]
+        assert 0.9 < invariance < 1.35, (label, invariance)
+
+
+class TestSensitivityLatency:
+    def test_default_model(self, benchmark, sensitivity_series):
+        kds = build(8, VARIANTS["default"], 1600)
+        request = parse_request(QUERY)
+        benchmark(lambda: kds.execute(request))
+        benchmark.extra_info["timing_model"] = "default"

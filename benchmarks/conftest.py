@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure or claim of the paper (see
+DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+results).  Real wall-clock time is measured with pytest-benchmark; the
+MBDS *simulated* response times — the quantity the paper's Chapter I
+claims speak about — are printed as series and attached to the benchmark
+records via ``extra_info`` so they land in ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MLDS
+from repro.abdl import parse_request
+from repro.mbds import KernelDatabaseSystem
+from repro.university import generate_university, load_university
+
+
+def populate_kds(backend_count: int, records: int) -> KernelDatabaseSystem:
+    """A kernel holding *records* synthetic records on *backend_count* backends."""
+    kds = KernelDatabaseSystem(backend_count=backend_count)
+    for i in range(records):
+        kds.execute(
+            parse_request(
+                f"INSERT (<FILE, data>, <data, d${i}>, <x, {i % 97}>, "
+                f"<label, 'row {i}'>)"
+            )
+        )
+    kds.reset_clock()
+    return kds
+
+
+@pytest.fixture(scope="module")
+def university_mlds():
+    """A loaded University database shared by read-only benchmarks."""
+    mlds = MLDS(backend_count=4)
+    load_university(mlds, generate_university(persons=60, courses=20, seed=1987))
+    return mlds
+
+
+def print_series(title: str, columns: list[str], rows: list[tuple]) -> None:
+    """Print one reproduced figure/table series into the benchmark log."""
+    widths = [
+        max(len(columns[i]), *(len(f"{row[i]}") for row in rows))
+        for i in range(len(columns))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(f"{cell}".ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,100 @@
+"""The hierarchical interface — and SQL over it (the Zawis future work).
+
+A school database defined as segment trees (dept → course → offering) is
+loaded and navigated with classic DL/I calls, then queried through SQL:
+the Chapter VII roadmap item the thesis cites ("accessing a hierarchical
+database via SQL transactions") running against the same kernel records.
+
+Run:  python examples/hierarchical_school.py
+"""
+
+from repro import MLDS
+from repro.kfs import format_table
+
+DDL = """
+DATABASE school;
+SEGMENT dept ROOT (dname CHAR(20), budget INT);
+SEGMENT course UNDER dept (title CHAR(40), credits INT);
+SEGMENT offering UNDER course (semester CHAR(6), instructor CHAR(30));
+"""
+
+LOAD = [
+    ("FLD dname = 'computer_science'; FLD budget = 200", "ISRT dept"),
+    ("FLD dname = 'mathematics'; FLD budget = 120", "ISRT dept"),
+    ("FLD title = 'Databases'; FLD credits = 4",
+     "ISRT dept(dname = 'computer_science') course"),
+    ("FLD title = 'Compilers'; FLD credits = 3",
+     "ISRT dept(dname = 'computer_science') course"),
+    ("FLD title = 'Calculus'; FLD credits = 4",
+     "ISRT dept(dname = 'mathematics') course"),
+    ("FLD semester = 'fall'; FLD instructor = 'Hsiao'",
+     "ISRT dept(dname = 'computer_science') course(title = 'Databases') offering"),
+    ("FLD semester = 'spring'; FLD instructor = 'Lum'",
+     "ISRT dept(dname = 'computer_science') course(title = 'Databases') offering"),
+]
+
+
+def main() -> None:
+    mlds = MLDS(backend_count=3)
+    mlds.define_hierarchical_database(DDL)
+    dl1 = mlds.open_dli_session("school", user="ims_fan")
+
+    print("-- loading through DL/I ISRT calls")
+    for fields, isrt in LOAD:
+        dl1.run(fields)
+        status = dl1.execute(isrt).status
+        print(f"    {isrt:70s} -> {status!r}")
+
+    print("\n-- GU with a qualified three-level SSA path")
+    result = dl1.execute(
+        "GU dept(dname = 'computer_science') course(title = 'Databases') "
+        "offering(semester = 'spring')"
+    )
+    print(f"    {result.segment}[{result.dbkey}] = {result.fields}")
+    for request in result.requests:
+        print(f"    ABDL> {request}")
+
+    print("\n-- GNP: the courses of the current department")
+    dl1.execute("GU dept(dname = 'computer_science')")
+    while True:
+        course = dl1.execute("GNP course")
+        if not course.ok:
+            break
+        print(f"    {course.fields}")
+
+    print("\n-- unqualified GN walks the whole database in hierarchic order")
+    dl1.execute("GU dept")
+    walk = ["dept"]
+    while True:
+        step = dl1.execute("GN")
+        if not step.ok:
+            break
+        walk.append(step.segment)
+    print("    " + " -> ".join(walk))
+
+    print("\n-- REPL raises a budget")
+    dl1.execute("GU dept(dname = 'mathematics')")
+    dl1.execute("FLD budget = 150")
+    dl1.execute("REPL")
+    refreshed = dl1.execute("GU dept(dname = 'mathematics')")
+    print(f"    now: {refreshed.fields}")
+
+    print("\n-- the Zawis interface: SQL over the hierarchical database")
+    sql = mlds.open_sql_session("school", user="sql_fan")
+    rows = sql.execute(
+        "SELECT dname, title, credits FROM dept, course "
+        "WHERE dept.dept = course.parent"
+    )
+    for request in rows.requests:
+        print(f"    ABDL> {request}")
+    print(format_table(rows.columns, rows.rows))
+
+    print("\n-- DLET prunes the computer_science subtree")
+    dl1.execute("GU dept(dname = 'computer_science')")
+    dl1.execute("DLET")
+    left = sql.execute("SELECT title FROM course")
+    print(format_table(left.columns, left.rows, title="courses remaining"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The relational interface: SQL over the shared attribute-based kernel.
+
+A registrar's relational database lives in the same MBDS kernel as any
+functional or network database.  The example shows the SQL subset —
+projections, DNF WHERE clauses, aggregates with GROUP BY, the two-table
+equi-join (translated to ABDL's RETRIEVE-COMMON), and updates — together
+with the kernel requests each statement turns into.
+
+Run:  python examples/relational_registry.py
+"""
+
+from repro import MLDS
+from repro.kfs import format_table
+
+DDL = """
+DATABASE registrar;
+CREATE TABLE student (sid INT, sname CHAR(30), major CHAR(20), PRIMARY KEY (sid));
+CREATE TABLE course (cid INT, title CHAR(40), credits INT, PRIMARY KEY (cid));
+CREATE TABLE enrollment (sid INT, cid INT, grade CHAR(2), points FLOAT,
+                         PRIMARY KEY (sid, cid));
+"""
+
+SEED = """
+INSERT INTO student VALUES (1, 'Ann Adams', 'cs');
+INSERT INTO student VALUES (2, 'Bob Baker', 'math');
+INSERT INTO student VALUES (3, 'Cal Clark', 'cs');
+INSERT INTO course VALUES (7, 'Advanced Databases', 4);
+INSERT INTO course VALUES (8, 'Compilers', 3);
+INSERT INTO enrollment VALUES (1, 7, 'A', 4.0);
+INSERT INTO enrollment VALUES (2, 7, 'B', 3.0);
+INSERT INTO enrollment VALUES (3, 7, 'C', 2.0);
+INSERT INTO enrollment VALUES (1, 8, 'B', 3.0);
+INSERT INTO enrollment VALUES (3, 8, 'F', 0.0);
+"""
+
+
+def show(session, statement):
+    print(f"\nsql> {statement}")
+    result = session.execute(statement)
+    for request in result.requests:
+        print(f"    ABDL> {request}")
+    if result.rows or result.columns:
+        print(format_table(result.columns, result.rows))
+    if result.touched:
+        print(f"({result.touched} row(s) affected)")
+    return result
+
+
+def main() -> None:
+    mlds = MLDS(backend_count=4)
+    mlds.define_relational_database(DDL)
+    session = mlds.open_sql_session("registrar", user="registrar")
+    session.run(SEED)
+    print(f"seeded: {mlds.kds.record_count()} tuples across "
+          f"{len(mlds.relational_schema('registrar').relations)} relations")
+
+    show(session, "SELECT sname, major FROM student WHERE major = 'cs'")
+    show(session, "SELECT cid, COUNT(*), AVG(points) FROM enrollment GROUP BY cid")
+    show(
+        session,
+        "SELECT sname, grade FROM student, enrollment "
+        "WHERE student.sid = enrollment.sid AND cid = 7",
+    )
+    show(
+        session,
+        "SELECT title, grade FROM course, enrollment "
+        "WHERE course.cid = enrollment.cid AND grade = 'F'",
+    )
+    show(session, "UPDATE enrollment SET grade = 'D', points = 1.0 WHERE grade = 'F'")
+    show(session, "SELECT COUNT(*) FROM enrollment WHERE grade = 'F'")
+    show(session, "DELETE FROM enrollment WHERE cid = 8")
+    show(session, "SELECT cid, COUNT(*) FROM enrollment GROUP BY cid")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""The thesis's Chapter VI worked examples, executed live.
+
+Each section prints the CODASYL-DML transaction, the ABDL it translated
+into (the request log KC keeps), and the results formatted by KFS —
+mirroring how the thesis presents its FIND translations.
+
+Run:  python examples/university_queries.py
+"""
+
+from repro import MLDS
+from repro.kfs import format_table
+from repro.university import generate_university, load_university
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def show(result) -> None:
+    for request in result.requests:
+        print(f"    ABDL> {request}")
+
+
+def main() -> None:
+    mlds = MLDS(backend_count=4)
+    data = generate_university(persons=50, courses=16, departments=3, seed=77)
+    load_university(mlds, data)
+    session = mlds.open_codasyl_session("university", user="chapter6")
+
+    banner("VI.B.1  FIND ANY course USING title IN course")
+    target = data.courses[0].title
+    print(f"MOVE '{target}' TO title IN course")
+    session.execute(f"MOVE '{target}' TO title IN course")
+    print("FIND ANY course USING title IN course")
+    result = session.execute("FIND ANY course USING title IN course")
+    show(result)
+    got = session.execute("GET course")
+    print(format_table(["title", "dept", "semester", "credits"], [got.values]))
+
+    banner("VI.B.4  all students of a major (PERFORM UNTIL loop)")
+    print("MOVE 'computer science' TO major IN student")
+    session.execute("MOVE 'computer science' TO major IN student")
+    print("FIND ANY student USING major IN student, then FIND DUPLICATE ...")
+    rows = []
+    result = session.execute("FIND ANY student USING major IN student")
+    show(result)
+    while result.ok:
+        values = session.execute("GET student").values
+        person = session.execute("FIND OWNER WITHIN person_student")
+        values["name"] = session.execute("GET name IN person").values["name"]
+        rows.append(values)
+        # FIND DUPLICATE scans the student record-type buffer, whose cursor
+        # survives the owner navigation above.
+        result = session.execute(
+            "FIND DUPLICATE WITHIN student USING major IN student"
+        )
+    print(format_table(["name", "major", "gpa"], rows, title=f"{len(rows)} students"))
+
+    banner("VI.B.5  FIND OWNER WITHIN dept (a faculty member's department)")
+    session.execute("MOVE 'professor' TO rank IN faculty")
+    result = session.execute("FIND ANY faculty USING rank IN faculty")
+    if result.ok:
+        print("FIND OWNER WITHIN dept")
+        owner = session.execute("FIND OWNER WITHIN dept")
+        show(owner)
+        print(format_table(["dname", "budget"], [owner.values]))
+
+    banner("VI.B.4  many-to-many navigation through link_1 (teaching)")
+    session.execute("MOVE 'professor' TO rank IN faculty")
+    faculty = session.execute("FIND ANY faculty USING rank IN faculty")
+    print(f"faculty {faculty.dbkey} teaches:")
+    rows = []
+    link = session.execute("FIND FIRST link_1 WITHIN teaching")
+    show(link)
+    while link.ok:
+        course = session.execute("FIND OWNER WITHIN taught_by")
+        rows.append(course.values)
+        link = session.execute("FIND NEXT link_1 WITHIN teaching")
+    print(format_table(["title", "semester", "credits"], rows))
+
+    banner("aggregates through the kernel (ABDL RETRIEVE ... BY ...)")
+    from repro.abdl import parse_request
+
+    trace = mlds.kds.execute(
+        parse_request("RETRIEVE (FILE = student) (COUNT(*), AVG(gpa)) BY major")
+    )
+    print("    ABDL> RETRIEVE (FILE = student) (COUNT(*), AVG(gpa)) BY major")
+    print(
+        format_table(
+            ["major", "COUNT(*)", "AVG(gpa)"],
+            [
+                {k: (round(v, 3) if isinstance(v, float) else v) for k, v in r.pairs()}
+                for r in trace.result.records
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

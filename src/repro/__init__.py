@@ -1,0 +1,70 @@
+"""repro — The Multi-Lingual Database System (MLDS).
+
+A from-scratch reproduction of the MLDS design and of the thesis
+*Accessing a Functional Database via CODASYL-DML Transactions* (Coker,
+NPS, June 1987): a functional (DAPLEX-defined) database, stored in the
+attribute-based kernel of a simulated Multi-Backend Database System, is
+transparently accessed and manipulated through CODASYL-DML transactions.
+
+Quickstart::
+
+    from repro import MLDS
+    from repro.university import load_university
+
+    mlds = MLDS(backend_count=4)
+    schema, keys = load_university(mlds)
+    session = mlds.open_codasyl_session("university")
+    session.execute("MOVE 'computer science' TO major IN student")
+    result = session.execute("FIND ANY student USING major IN student")
+    print(session.execute("GET student").values)
+
+Package layout:
+
+* :mod:`repro.core` — the MLDS facade, LIL, sessions and loaders;
+* :mod:`repro.abdm` / :mod:`repro.abdl` — the attribute-based kernel
+  model and language;
+* :mod:`repro.mbds` — the multi-backend database system simulator;
+* :mod:`repro.functional` / :mod:`repro.network` — the two user data
+  models with their DAPLEX and CODASYL front-ends;
+* :mod:`repro.mapping` — the schema transformations of Chapters III & V;
+* :mod:`repro.kms` / :mod:`repro.kc` / :mod:`repro.kfs` — statement
+  translation and execution;
+* :mod:`repro.university` — the thesis's running example database.
+"""
+
+from repro.core import MLDS, CodasylSession, FunctionalLoader, NetworkLoader
+from repro.errors import (
+    ConstraintViolation,
+    CurrencyError,
+    ExecutionError,
+    LexError,
+    MLDSError,
+    ParseError,
+    SchemaError,
+    TransformError,
+    TranslationError,
+    UnsupportedStatement,
+)
+from repro.kms.results import StatementResult, Status
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodasylSession",
+    "ConstraintViolation",
+    "CurrencyError",
+    "ExecutionError",
+    "FunctionalLoader",
+    "LexError",
+    "MLDS",
+    "MLDSError",
+    "NetworkLoader",
+    "ParseError",
+    "SchemaError",
+    "StatementResult",
+    "Status",
+    "TransformError",
+    "TranslationError",
+    "UnsupportedStatement",
+    "__version__",
+]

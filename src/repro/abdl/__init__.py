@@ -1,0 +1,44 @@
+"""ABDL — the attribute-based data language, MLDS's kernel language.
+
+ABDL offers five operations: INSERT, DELETE, UPDATE, RETRIEVE and
+RETRIEVE-COMMON.  This package provides the request ASTs, a parser for the
+thesis's concrete syntax, and an executor over attribute-based stores.
+Requests render back to canonical ABDL text via ``request.render()``, which
+is what the translation tests assert against.
+"""
+
+from repro.abdl.ast import (
+    AGGREGATE_OPERATIONS,
+    ALL_ATTRIBUTES,
+    DeleteRequest,
+    InsertRequest,
+    Modifier,
+    Request,
+    RetrieveCommonRequest,
+    RetrieveRequest,
+    TargetItem,
+    Transaction,
+    UpdateRequest,
+)
+from repro.abdl.executor import Executor, RequestResult, project
+from repro.abdl.parser import parse_query, parse_request, parse_transaction
+
+__all__ = [
+    "AGGREGATE_OPERATIONS",
+    "ALL_ATTRIBUTES",
+    "DeleteRequest",
+    "Executor",
+    "InsertRequest",
+    "Modifier",
+    "Request",
+    "RequestResult",
+    "RetrieveCommonRequest",
+    "RetrieveRequest",
+    "TargetItem",
+    "Transaction",
+    "UpdateRequest",
+    "parse_query",
+    "parse_request",
+    "parse_transaction",
+    "project",
+]

@@ -1,0 +1,82 @@
+"""Aggregate evaluation for RETRIEVE target lists.
+
+A RETRIEVE may name aggregate operations (AVG, SUM, COUNT, MIN, MAX) in its
+target list; the optional BY clause groups records before aggregation
+(thesis II.C.2: "the by-clause may be used to group records when an
+aggregate operation is specified").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.abdm.record import Record
+from repro.abdm.values import Value
+
+
+def _numeric_values(records: Iterable[Record], attribute: str) -> list[float]:
+    values = []
+    for record in records:
+        value = record.get(attribute)
+        if isinstance(value, (int, float)):
+            values.append(value)
+    return values
+
+
+def _present_values(records: Iterable[Record], attribute: str) -> list[Value]:
+    return [r.get(attribute) for r in records if r.get(attribute) is not None]
+
+
+def evaluate_aggregate(
+    operation: str,
+    attribute: str,
+    records: Sequence[Record],
+) -> Value:
+    """Evaluate one aggregate over *records*.
+
+    COUNT counts non-null keywords (``COUNT(*)`` counts records); AVG and
+    SUM consider numeric keywords only; MIN and MAX order numerics
+    numerically and strings lexicographically (mixed sets compare within
+    the numeric subset first, falling back to strings when no numerics
+    exist).  Empty inputs yield ``None`` except COUNT, which yields 0.
+    """
+    if operation == "COUNT":
+        if attribute == "*":
+            return len(records)
+        return len(_present_values(records, attribute))
+    if operation == "SUM":
+        values = _numeric_values(records, attribute)
+        return sum(values) if values else None
+    if operation == "AVG":
+        values = _numeric_values(records, attribute)
+        return sum(values) / len(values) if values else None
+    if operation in ("MIN", "MAX"):
+        numerics = _numeric_values(records, attribute)
+        pool: Sequence[Value]
+        if numerics:
+            pool = numerics
+        else:
+            pool = [v for v in _present_values(records, attribute) if isinstance(v, str)]
+        if not pool:
+            return None
+        return min(pool) if operation == "MIN" else max(pool)
+    raise ValueError(f"unknown aggregate operation {operation!r}")
+
+
+def group_records(
+    records: Sequence[Record],
+    by: Optional[str],
+) -> list[tuple[Value, list[Record]]]:
+    """Group *records* by the value of attribute *by*, preserving first-seen
+    group order.  With ``by=None`` everything forms one anonymous group."""
+    if by is None:
+        return [(None, list(records))]
+    groups: dict[Value, list[Record]] = {}
+    order: list[Value] = []
+    for record in records:
+        key = record.get(by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(record)
+    return [(key, groups[key]) for key in order]

@@ -1,0 +1,188 @@
+"""Execution of ABDL requests against an attribute-based store.
+
+The executor is storage-engine-agnostic: it runs over any
+:class:`~repro.abdm.store.ABStore`, and MBDS backends embed one executor
+each.  Results are :class:`RequestResult` objects carrying either records
+(RETRIEVE / RETRIEVE-COMMON) or a touched-record count (INSERT / DELETE /
+UPDATE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.abdl.aggregates import evaluate_aggregate, group_records
+from repro.abdl.ast import (
+    DeleteRequest,
+    InsertRequest,
+    Request,
+    RetrieveCommonRequest,
+    RetrieveRequest,
+    Transaction,
+    UpdateRequest,
+)
+from repro.abdm.record import Record
+from repro.abdm.store import ABStore
+from repro.errors import ExecutionError
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one ABDL request.
+
+    *records* is populated for retrievals (already projected onto the
+    target list; the raw matching records are kept in *raw_records* for
+    callers, like the kernel controller, that fill request buffers).
+    *count* is the number of records inserted / deleted / updated.
+    """
+
+    operation: str
+    records: list[Record] = field(default_factory=list)
+    raw_records: list[Record] = field(default_factory=list)
+    count: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Executor:
+    """Evaluates ABDL requests over one :class:`ABStore`."""
+
+    def __init__(self, store: ABStore) -> None:
+        self.store = store
+
+    # -- public API -------------------------------------------------------
+
+    def execute(self, request: Request) -> RequestResult:
+        """Execute one request and return its result."""
+        if isinstance(request, InsertRequest):
+            return self._insert(request)
+        if isinstance(request, DeleteRequest):
+            return self._delete(request)
+        if isinstance(request, UpdateRequest):
+            return self._update(request)
+        if isinstance(request, RetrieveRequest):
+            return self._retrieve(request)
+        if isinstance(request, RetrieveCommonRequest):
+            return self._retrieve_common(request)
+        raise ExecutionError(f"unknown request type {type(request).__name__}")
+
+    def execute_transaction(self, transaction: Transaction) -> list[RequestResult]:
+        """Execute the requests of *transaction* sequentially."""
+        return [self.execute(request) for request in transaction]
+
+    # -- operations ---------------------------------------------------------
+
+    def _insert(self, request: InsertRequest) -> RequestResult:
+        self.store.insert(request.record.copy())
+        return RequestResult("INSERT", count=1)
+
+    def _delete(self, request: DeleteRequest) -> RequestResult:
+        deleted = self.store.delete(request.query)
+        return RequestResult("DELETE", count=deleted)
+
+    def _update(self, request: UpdateRequest) -> RequestResult:
+        updated = self.store.update(request.query, request.modifier.apply)
+        return RequestResult("UPDATE", count=updated)
+
+    def _retrieve(self, request: RetrieveRequest) -> RequestResult:
+        matching = self.store.find(request.query)
+        projected = project(matching, request)
+        return RequestResult(
+            "RETRIEVE",
+            records=projected,
+            raw_records=[r.copy() for r in matching],
+            count=len(matching),
+        )
+
+    def _retrieve_common(self, request: RetrieveCommonRequest) -> RequestResult:
+        left = self.store.find(request.left_query)
+        right = self.store.find(request.right_query)
+        merged = merge_common(left, right, request)
+        plain = RetrieveRequest(request.left_query, request.target)
+        projected = project(merged, plain)
+        return RequestResult(
+            "RETRIEVE-COMMON",
+            records=projected,
+            raw_records=merged,
+            count=len(merged),
+        )
+
+
+def merge_common(
+    left: Sequence[Record],
+    right: Sequence[Record],
+    request: RetrieveCommonRequest,
+) -> list[Record]:
+    """Hash-join two record sets on the request's common attribute pair.
+
+    Right-side keywords that collide with left-side attributes are kept
+    under a ``<right-file>.<attribute>`` name in the merged record.
+    Shared between the single-store executor and the kernel controller —
+    a partitioned RETRIEVE-COMMON must join at the controller, since
+    matching records may live on different backends.
+    """
+    index: dict[object, list[Record]] = {}
+    for record in right:
+        key = record.get(request.right_attribute)
+        if key is not None:
+            index.setdefault(key, []).append(record)
+    merged: list[Record] = []
+    for record in left:
+        key = record.get(request.left_attribute)
+        if key is None:
+            continue
+        for partner in index.get(key, ()):
+            combined = record.copy()
+            for attribute, value in partner.pairs():
+                if attribute in combined:
+                    combined.set(f"{partner.file_name}.{attribute}", value)
+                else:
+                    combined.set(attribute, value)
+            merged.append(combined)
+    return merged
+
+
+def project(records: Sequence[Record], request: RetrieveRequest) -> list[Record]:
+    """Project *records* onto the request's target list.
+
+    Without aggregates each matching record yields one output record with
+    the targeted attributes (all of them for the ``*`` target).  With
+    aggregates the records are grouped by the BY attribute (one anonymous
+    group without it) and each group yields one output record carrying the
+    group key plus the aggregate values; plain attributes mixed into an
+    aggregate target list take their value from the group's first record.
+    """
+    if not request.has_aggregates:
+        if request.wants_all:
+            output = [record.copy() for record in records]
+        else:
+            output = []
+            for record in records:
+                projected = Record()
+                for item in request.target:
+                    if item.attribute in record:
+                        projected.set(item.attribute, record.get(item.attribute))
+                output.append(projected)
+        if request.by is not None:
+            # A BY clause without aggregates orders the output by the
+            # grouping attribute, keeping groups contiguous.
+            groups = group_records(output, request.by)
+            output = [record for _, group in groups for record in group]
+        return output
+
+    results: list[Record] = []
+    for key, group in group_records(records, request.by):
+        row = Record()
+        if request.by is not None:
+            row.set(request.by, key)
+        for item in request.target:
+            if item.is_wildcard:
+                continue
+            if item.aggregate:
+                row.set(item.output_name, evaluate_aggregate(item.aggregate, item.attribute, group))
+            elif item.attribute != request.by:
+                row.set(item.attribute, group[0].get(item.attribute) if group else None)
+        results.append(row)
+    return results

@@ -1,0 +1,44 @@
+"""The attribute-based data model (ABDM) — MLDS's kernel data model.
+
+ABDM (Hsiao; extended by Wong, examined by Rothnie) represents every logical
+concept as a record of attribute-value pairs (*keywords*) plus an optional
+textual portion, grouped into files.  Records are selected by *queries*:
+disjunctive-normal-form combinations of keyword predicates.
+
+This package provides the model only; the kernel language over it lives in
+:mod:`repro.abdl` and the multi-backend storage engine in :mod:`repro.mbds`.
+"""
+
+from repro.abdm.directory import (
+    ClusteredStore,
+    Descriptor,
+    Directory,
+    DirectoryAttribute,
+)
+from repro.abdm.predicate import Conjunction, Predicate, Query, RELATIONAL_OPERATORS
+from repro.abdm.record import FILE_ATTRIBUTE, Keyword, Record
+from repro.abdm.store import ABFile, ABStore, ScanStats
+from repro.abdm.values import NULL_TOKEN, Value, compare, is_null, parse_literal, render
+
+__all__ = [
+    "ABFile",
+    "ABStore",
+    "ClusteredStore",
+    "Descriptor",
+    "Directory",
+    "DirectoryAttribute",
+    "Conjunction",
+    "FILE_ATTRIBUTE",
+    "Keyword",
+    "NULL_TOKEN",
+    "Predicate",
+    "Query",
+    "RELATIONAL_OPERATORS",
+    "Record",
+    "ScanStats",
+    "Value",
+    "compare",
+    "is_null",
+    "parse_literal",
+    "render",
+]

@@ -1,0 +1,179 @@
+"""Attribute-based files and the in-memory record store.
+
+The kernel groups records into *files* keyed by the value of the ``FILE``
+keyword.  :class:`ABStore` is the primitive record container used by each
+MBDS backend: it supports the four physical operations the kernel language
+needs — insert, delete-by-query, update-by-query, find-by-query — and a
+cost accounting hook (records examined) that feeds the MBDS timing model.
+
+The store deliberately knows nothing about data models or languages; the
+ABDL executor drives it, and MBDS partitions one logical database across
+many stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.abdm.predicate import Query
+from repro.abdm.record import FILE_ATTRIBUTE, Record
+from repro.abdm.values import Value
+from repro.errors import ExecutionError
+
+
+@dataclass
+class ScanStats:
+    """Accounting for one store operation, consumed by the timing model."""
+
+    records_examined: int = 0
+    records_touched: int = 0
+
+    def __iadd__(self, other: "ScanStats") -> "ScanStats":
+        self.records_examined += other.records_examined
+        self.records_touched += other.records_touched
+        return self
+
+
+class ABFile:
+    """One attribute-based file: an ordered bag of records."""
+
+    __slots__ = ("name", "_records")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._records: list[Record] = []
+
+    def insert(self, record: Record) -> None:
+        self._records.append(record)
+
+    def records(self) -> list[Record]:
+        """The live record list (mutations go through the store)."""
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return f"ABFile({self.name!r}, {len(self._records)} records)"
+
+
+class ABStore:
+    """An in-memory attribute-based record store (one backend's disk).
+
+    Records are bucketed by file name so that queries pinning ``FILE``
+    scan only the relevant buckets; queries that leave the file open scan
+    every bucket (and are charged for it).
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, ABFile] = {}
+        self.stats = ScanStats()
+
+    # -- file management ------------------------------------------------------
+
+    def file(self, name: str) -> ABFile:
+        """Return the file called *name*, creating it on first use."""
+        existing = self._files.get(name)
+        if existing is None:
+            existing = ABFile(name)
+            self._files[name] = existing
+        return existing
+
+    def has_file(self, name: str) -> bool:
+        return name in self._files
+
+    def file_names(self) -> list[str]:
+        return sorted(self._files)
+
+    def drop_file(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def clear(self) -> None:
+        self._files.clear()
+        self.stats = ScanStats()
+
+    # -- physical operations --------------------------------------------------
+
+    def insert(self, record: Record) -> None:
+        """Insert *record* into the file named by its FILE keyword."""
+        name = record.file_name
+        if name is None:
+            raise ExecutionError("record has no FILE keyword; cannot be stored")
+        self.file(name).insert(record)
+        self.stats.records_touched += 1
+
+    def _candidate_files(self, query: Query) -> Iterable[ABFile]:
+        pinned = query.file_names()
+        if pinned:
+            return [self._files[n] for n in sorted(pinned) if n in self._files]
+        return [self._files[n] for n in sorted(self._files)]
+
+    def find(self, query: Query) -> list[Record]:
+        """Return every record satisfying *query* (in file/insertion order)."""
+        found: list[Record] = []
+        for abfile in self._candidate_files(query):
+            for record in abfile:
+                self.stats.records_examined += 1
+                if query.matches(record):
+                    found.append(record)
+        self.stats.records_touched += len(found)
+        return found
+
+    def delete(self, query: Query) -> int:
+        """Delete every record satisfying *query*; return the count."""
+        deleted = 0
+        for abfile in self._candidate_files(query):
+            records = abfile.records()
+            kept = []
+            for record in records:
+                self.stats.records_examined += 1
+                if query.matches(record):
+                    deleted += 1
+                else:
+                    kept.append(record)
+            records[:] = kept
+        self.stats.records_touched += deleted
+        return deleted
+
+    def update(
+        self,
+        query: Query,
+        modify: Callable[[Record], None],
+    ) -> int:
+        """Apply *modify* in place to every record satisfying *query*."""
+        updated = 0
+        for abfile in self._candidate_files(query):
+            for record in abfile:
+                self.stats.records_examined += 1
+                if query.matches(record):
+                    modify(record)
+                    updated += 1
+        self.stats.records_touched += updated
+        return updated
+
+    # -- introspection ----------------------------------------------------------
+
+    def count(self, file_name: Optional[str] = None) -> int:
+        """Total records, or records in one file."""
+        if file_name is not None:
+            abfile = self._files.get(file_name)
+            return len(abfile) if abfile else 0
+        return sum(len(f) for f in self._files.values())
+
+    def all_records(self) -> Iterator[Record]:
+        for name in sorted(self._files):
+            yield from self._files[name]
+
+    def snapshot(self) -> dict[str, list[list[tuple[str, Value]]]]:
+        """A structural snapshot (for tests and debugging)."""
+        return {
+            name: [record.pairs() for record in abfile]
+            for name, abfile in sorted(self._files.items())
+        }
+
+    def __repr__(self) -> str:
+        return f"ABStore({len(self._files)} files, {self.count()} records)"

@@ -1,0 +1,122 @@
+"""Value domain of the attribute-based data model.
+
+ABDM keywords pair an attribute name with a value drawn from the attribute's
+domain.  The kernel understands three scalar domains — integers, floating
+points and character strings — plus the distinguished null marker used by
+the CODASYL translation when a set-membership attribute is disconnected
+(Chapter VI of the thesis nulls the attribute out rather than deleting it).
+
+Values are plain Python objects (``int``, ``float``, ``str`` and ``None``);
+this module centralizes comparison, parsing and rendering so that every
+layer agrees on the semantics:
+
+* comparisons between numbers are numeric (``int`` and ``float`` mix),
+* comparisons between strings are lexicographic,
+* the null marker satisfies only ``=`` / ``!=`` against another null,
+* cross-domain comparisons are *unsatisfied* rather than an error, matching
+  the keyword-predicate definition ("a keyword predicate is satisfied only
+  when ... the relation holds") — a predicate over the wrong domain simply
+  never selects a record.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: A kernel value: an integer, a float, a string, or the null marker.
+Value = Union[int, float, str, None]
+
+#: Textual spelling of the null marker in ABDL request text.
+NULL_TOKEN = "NULL"
+
+
+def is_null(value: Value) -> bool:
+    """Return True when *value* is the kernel null marker."""
+    return value is None
+
+
+def domain_of(value: Value) -> str:
+    """Return the domain name of *value*: 'integer', 'float', 'string', 'null'."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        raise TypeError("booleans are not kernel values")
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "string"
+    raise TypeError(f"{value!r} is not a kernel value")
+
+
+def comparable(left: Value, right: Value) -> bool:
+    """Return True when *left* and *right* can be ordered against each other."""
+    if left is None or right is None:
+        return False
+    left_numeric = isinstance(left, (int, float))
+    right_numeric = isinstance(right, (int, float))
+    return left_numeric == right_numeric
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """Equality across the kernel domains (null equals only null)."""
+    if left is None or right is None:
+        return left is None and right is None
+    if not comparable(left, right):
+        return False
+    return left == right
+
+
+def compare(left: Value, right: Value, operator: str) -> bool:
+    """Evaluate ``left operator right`` with kernel semantics.
+
+    *operator* is one of ``=  !=  <  <=  >  >=``.  Incomparable pairs
+    (mixed domains, or a null on either side of an ordering operator)
+    evaluate to False, never raise.
+    """
+    if operator == "=":
+        return values_equal(left, right)
+    if operator == "!=":
+        return not values_equal(left, right)
+    if not comparable(left, right):
+        return False
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    raise ValueError(f"unknown relational operator {operator!r}")
+
+
+def render(value: Value) -> str:
+    """Render *value* as it appears in ABDL request text.
+
+    Strings are single-quoted with embedded quotes doubled; numbers render
+    via ``repr``; the null marker renders as ``NULL``.
+    """
+    if value is None:
+        return NULL_TOKEN
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def parse_literal(text: str) -> Value:
+    """Parse the textual form produced by :func:`render` back to a value."""
+    if text == NULL_TOKEN:
+        return None
+    if len(text) >= 2 and text[0] == "'" and text[-1] == "'":
+        return text[1:-1].replace("''", "'")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ValueError(f"not a kernel literal: {text!r}") from exc

@@ -1,0 +1,270 @@
+"""An interactive MLDS shell.
+
+A small REPL for exploring MLDS databases through either language
+interface::
+
+    $ python -m repro.cli --demo
+    mlds> .databases
+    mlds> .open codasyl university
+    codasyl:university> MOVE 'fall' TO semester IN course
+    codasyl:university> FIND ANY course USING semester IN course
+    codasyl:university> GET
+    codasyl:university> .log 2
+    codasyl:university> .open daplex university
+    daplex:university> FOR EACH s IN student SUCH THAT gpa(s) >= 3.5 PRINT name(s);
+
+Dot-commands drive the shell; anything else is handed to the open
+session's language front-end.  The shell logic lives in
+:class:`MLDSShell` (one line in, text out) so it is fully testable
+without a terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.core.mlds import MLDS
+from repro.core.session import CodasylSession, DaplexSession, DliSession, SqlSession
+from repro.errors import MLDSError
+from repro.kfs import format_table
+from repro.kms.results import StatementResult
+
+_HELP = """\
+dot-commands:
+  .help                      this text
+  .databases                 list defined databases
+  .schema <db>               show a database's schema (network form if transformed)
+  .open codasyl <db>         open a CODASYL-DML session (network or functional db)
+  .open daplex <db>          open a DAPLEX session (functional db)
+  .open sql <db>             open a SQL session (relational or hierarchical db)
+  .open dli <db>             open a DL/I session (hierarchical db)
+  .close                     close the current session
+  .cit                       show the currency indicator table (CODASYL sessions)
+  .uwa                       show the user work area (CODASYL sessions)
+  .log [n]                   show the last n ABDL requests (default 5)
+  .exec <path>               run a statement file through the open session
+  .save <path>               snapshot the whole system to a JSON file
+  .load <path>               replace the system with a snapshot
+  .quit                      leave the shell
+anything else is executed as a statement of the open session's language."""
+
+
+class MLDSShell:
+    """Line-oriented shell over one MLDS instance."""
+
+    def __init__(self, mlds: Optional[MLDS] = None) -> None:
+        self.mlds = mlds or MLDS()
+        self.session: Optional[CodasylSession | DaplexSession | SqlSession | DliSession] = None
+        self.done = False
+
+    # -- prompt -----------------------------------------------------------------
+
+    @property
+    def prompt(self) -> str:
+        if isinstance(self.session, CodasylSession):
+            return f"codasyl:{self.session.database}> "
+        if isinstance(self.session, DaplexSession):
+            return f"daplex:{self.session.database}> "
+        if isinstance(self.session, SqlSession):
+            return f"sql:{self.session.database}> "
+        if isinstance(self.session, DliSession):
+            return f"dli:{self.session.database}> "
+        return "mlds> "
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """Process one input line and return the text to display."""
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return ""
+        try:
+            if line.startswith("."):
+                return self._command(line)
+            return self._statement(line)
+        except MLDSError as exc:
+            return f"error: {exc}"
+
+    def _command(self, line: str) -> str:
+        parts = line.split()
+        command, args = parts[0], parts[1:]
+        if command == ".help":
+            return _HELP
+        if command == ".quit":
+            self.done = True
+            return "bye"
+        if command == ".databases":
+            names = self.mlds.database_names()
+            return "\n".join(names) if names else "(no databases defined)"
+        if command == ".schema":
+            if len(args) != 1:
+                return "usage: .schema <db>"
+            return self._schema_text(args[0])
+        if command == ".open":
+            if len(args) != 2 or args[0] not in ("codasyl", "daplex", "sql", "dli"):
+                return "usage: .open codasyl|daplex|sql|dli <db>"
+            if args[0] == "codasyl":
+                self.session = self.mlds.open_codasyl_session(args[1])
+            elif args[0] == "daplex":
+                self.session = self.mlds.open_daplex_session(args[1])
+            elif args[0] == "dli":
+                self.session = self.mlds.open_dli_session(args[1])
+            else:
+                self.session = self.mlds.open_sql_session(args[1])
+            return f"opened {self.session!r}"
+        if command == ".close":
+            self.session = None
+            return "session closed"
+        if command == ".cit":
+            if not isinstance(self.session, CodasylSession):
+                return "no CODASYL session open"
+            return _render_cit(self.session)
+        if command == ".uwa":
+            if not isinstance(self.session, CodasylSession):
+                return "no CODASYL session open"
+            snapshot = self.session.uwa.snapshot()
+            if not snapshot:
+                return "(empty UWA)"
+            lines = []
+            for record_type, template in snapshot.items():
+                lines.append(f"{record_type}:")
+                for item, value in template.items():
+                    lines.append(f"    {item} = {value!r}")
+            return "\n".join(lines)
+        if command == ".exec":
+            if len(args) != 1:
+                return "usage: .exec <path>"
+            if self.session is None:
+                return "no session open"
+            results = self.session.run_file(args[0])
+            return f"executed {len(results)} statement(s) from {args[0]}"
+        if command == ".save":
+            if len(args) != 1:
+                return "usage: .save <path>"
+            from repro.persistence import save_mlds
+
+            save_mlds(self.mlds, args[0])
+            return f"saved to {args[0]}"
+        if command == ".load":
+            if len(args) != 1:
+                return "usage: .load <path>"
+            from repro.persistence import load_mlds
+
+            self.mlds = load_mlds(args[0])
+            self.session = None
+            return f"loaded {args[0]} ({len(self.mlds.database_names())} databases)"
+        if command == ".log":
+            if self.session is None:
+                return "no session open"
+            count = int(args[0]) if args else 5
+            log = self.session.request_log[-count:]
+            return "\n".join(log) if log else "(no requests yet)"
+        return f"unknown command {command!r} (try .help)"
+
+    def _schema_text(self, name: str) -> str:
+        if name not in self.mlds.database_names():
+            return f"no database named {name!r}"
+        try:
+            return self.mlds.network_schema(name).render()
+        except MLDSError:
+            pass
+        try:
+            return self.mlds.relational_schema(name).render()
+        except MLDSError:
+            pass
+        try:
+            return self.mlds.hierarchical_schema(name).render()
+        except MLDSError:
+            pass
+        transformation = self.mlds.transformation(name)
+        return (
+            f"-- functional database {name!r}, transformed network view:\n"
+            + transformation.schema.render()
+        )
+
+    def _statement(self, line: str) -> str:
+        if self.session is None:
+            return "no session open (use .open codasyl|daplex <db>)"
+        if isinstance(self.session, CodasylSession):
+            result = self.session.execute(line)
+            return _render_codasyl_result(result)
+        if isinstance(self.session, SqlSession):
+            result = self.session.execute(line)
+            chunks = []
+            if result.rows or result.columns:
+                chunks.append(format_table(result.columns, result.rows))
+            if result.touched:
+                chunks.append(f"{result.touched} row(s) affected")
+            return "\n".join(chunks) if chunks else "(no output)"
+        if isinstance(self.session, DliSession):
+            result = self.session.execute(line)
+            header = f"status {result.status!r}"
+            if result.dbkey:
+                header += f"  {result.segment}[{result.dbkey}]"
+            if result.fields:
+                return header + "\n" + format_table(list(result.fields), [result.fields])
+            return header
+        result = self.session.execute(line)
+        chunks = []
+        if result.rows:
+            columns = list(result.rows[0])
+            chunks.append(format_table(columns, result.rows))
+        if result.touched:
+            chunks.append(f"{result.touched} entity(ies) affected")
+        if not chunks:
+            chunks.append("(no output)")
+        return "\n".join(chunks)
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, stdin=None, stdout=None) -> None:  # pragma: no cover - wiring
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        stdout.write("MLDS shell — .help for commands\n")
+        while not self.done:
+            stdout.write(self.prompt)
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            output = self.handle_line(line)
+            if output:
+                stdout.write(output + "\n")
+
+
+def _render_codasyl_result(result: StatementResult) -> str:
+    lines = [f"{result.status.value}"]
+    if result.dbkey:
+        lines[0] += f"  {result.record_type}[{result.dbkey}]"
+    if result.values:
+        lines.append(format_table(list(result.values), [result.values]))
+    return "\n".join(lines)
+
+
+def _render_cit(session: CodasylSession) -> str:
+    snapshot = session.cit.snapshot()
+    lines = [f"run-unit: {snapshot['run_unit']}"]
+    for record_type, dbkey in snapshot["records"].items():
+        lines.append(f"record {record_type}: {dbkey}")
+    for set_name, state in snapshot["sets"].items():
+        lines.append(
+            f"set {set_name}: occurrence={state['owner']} current={state['current']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
+    argv = argv if argv is not None else sys.argv[1:]
+    mlds = MLDS(backend_count=4)
+    if "--demo" in argv:
+        from repro.university import load_university
+
+        load_university(mlds)
+        print("loaded the University demo database")
+    MLDSShell(mlds).run()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

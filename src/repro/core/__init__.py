@@ -1,0 +1,14 @@
+"""The MLDS core: system facade, language interface layer, sessions."""
+
+from repro.core.loader import FunctionalLoader, NetworkLoader
+from repro.core.mlds import MLDS
+from repro.core.session import CodasylSession, DaplexSession, SqlSession
+
+__all__ = [
+    "CodasylSession",
+    "DaplexSession",
+    "FunctionalLoader",
+    "MLDS",
+    "NetworkLoader",
+    "SqlSession",
+]

@@ -1,0 +1,252 @@
+"""User sessions: one language interface bound to one database.
+
+A session corresponds to the thesis's per-user data (Figure 4.18's
+user_info and the dml_info / dap_info unions): the user id, the database
+being processed, the run-unit state, and the kernel-controller handle
+whose request log records the ABDL every statement translated into.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.functional import daplex_dml
+from repro.hierarchical import dli
+from repro.hierarchical.model import HierarchicalSchema
+from repro.kms.dli_engine import DliEngine, DliResult
+from repro.functional.model import FunctionalSchema
+from repro.kc.controller import KernelController
+from repro.kms.adapter import TargetAdapter
+from repro.kms.daplex_engine import DaplexEngine, DaplexResult
+from repro.kms.engine import DMLEngine
+from repro.kms.sql_engine import SqlEngine, SqlResult
+from repro.kms.results import StatementResult
+from repro.network import dml
+from repro.network.model import NetworkSchema
+
+
+class CodasylSession:
+    """A CODASYL-DML run-unit over a network or functional database.
+
+    The session is the user-facing object: feed it DML text (or parsed
+    statements) and read back :class:`StatementResult` objects.  Whether
+    the underlying database is native network or a transformed functional
+    one is decided by the LIL when the session is opened; the DML surface
+    is identical — that is the point of the thesis.
+    """
+
+    def __init__(
+        self,
+        user: str,
+        database: str,
+        adapter: TargetAdapter,
+        source_model: str,
+    ) -> None:
+        self.user = user
+        self.database = database
+        #: 'network' or 'functional' — the origin of the database.
+        self.source_model = source_model
+        self.engine = DMLEngine(adapter)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, statement: Union[str, dml.Statement]) -> StatementResult:
+        """Execute one DML statement."""
+        return self.engine.execute(statement)
+
+    def run(self, text: str) -> list[StatementResult]:
+        """Execute a multi-statement transaction."""
+        return self.engine.run(text)
+
+    def run_file(self, path) -> list[StatementResult]:
+        """Execute a transaction file (the thesis's dml_info file path)."""
+        from pathlib import Path
+
+        return self.run(Path(path).read_text())
+
+    # -- state access ------------------------------------------------------------
+
+    @property
+    def schema(self) -> NetworkSchema:
+        """The network schema the session navigates (transformed when the
+        database is functional)."""
+        return self.engine.adapter.schema
+
+    @property
+    def cit(self):
+        """The session's currency indicator table."""
+        return self.engine.cit
+
+    @property
+    def uwa(self):
+        """The session's user work area."""
+        return self.engine.uwa
+
+    @property
+    def kc(self) -> KernelController:
+        return self.engine.adapter.kc
+
+    @property
+    def request_log(self) -> list[str]:
+        """ABDL texts executed on this session's behalf, oldest first."""
+        return self.kc.request_log
+
+    def __repr__(self) -> str:
+        return (
+            f"CodasylSession(user={self.user!r}, database={self.database!r}, "
+            f"source={self.source_model})"
+        )
+
+
+class DaplexSession:
+    """A DAPLEX run-unit over a functional database.
+
+    The native functional interface of MLDS (the dap_info side of the
+    thesis's Figure 4.19 union): DAPLEX DML statements execute against
+    the same AB(functional) database the CODASYL-DML interface reaches
+    through the schema transformer, so the two languages observe each
+    other's updates.
+    """
+
+    def __init__(
+        self,
+        user: str,
+        database: str,
+        schema: FunctionalSchema,
+        kc: KernelController,
+    ) -> None:
+        self.user = user
+        self.database = database
+        self.engine = DaplexEngine(schema, kc)
+
+    def execute(self, statement: Union[str, daplex_dml.DaplexStatement]) -> DaplexResult:
+        """Execute one DAPLEX DML statement."""
+        return self.engine.execute(statement)
+
+    def run(self, text: str) -> list[DaplexResult]:
+        """Execute a multi-statement DAPLEX program."""
+        return self.engine.run(text)
+
+    def run_file(self, path) -> list[DaplexResult]:
+        """Execute a DAPLEX program file."""
+        from pathlib import Path
+
+        return self.run(Path(path).read_text())
+
+    @property
+    def schema(self) -> FunctionalSchema:
+        return self.engine.schema
+
+    @property
+    def kc(self) -> KernelController:
+        return self.engine.kc
+
+    @property
+    def request_log(self) -> list[str]:
+        """ABDL texts executed on this session's behalf, oldest first."""
+        return self.engine.kc.request_log
+
+    def __repr__(self) -> str:
+        return f"DaplexSession(user={self.user!r}, database={self.database!r})"
+
+
+class SqlSession:
+    """A SQL run-unit over a relational database.
+
+    The relational language interface of MLDS: SQL statements translate
+    to ABDL against the AB(relational) database, sharing the kernel with
+    every other interface.
+    """
+
+    def __init__(
+        self,
+        user: str,
+        database: str,
+        engine: SqlEngine,
+    ) -> None:
+        self.user = user
+        self.database = database
+        self.engine = engine
+
+    def execute(self, statement) -> SqlResult:
+        """Execute one SQL statement (text or parsed)."""
+        return self.engine.execute(statement)
+
+    def run(self, text: str) -> list[SqlResult]:
+        """Execute a multi-statement SQL script."""
+        return self.engine.run(text)
+
+    def run_file(self, path) -> list[SqlResult]:
+        """Execute a SQL script file."""
+        from pathlib import Path
+
+        return self.run(Path(path).read_text())
+
+    @property
+    def schema(self):
+        return self.engine.schema
+
+    @property
+    def kc(self) -> KernelController:
+        return self.engine.kc
+
+    @property
+    def request_log(self) -> list[str]:
+        return self.engine.kc.request_log
+
+    def __repr__(self) -> str:
+        return f"SqlSession(user={self.user!r}, database={self.database!r})"
+
+
+
+class DliSession:
+    """A DL/I run-unit over a hierarchical database.
+
+    The hierarchical language interface of MLDS: DL/I calls position a
+    cursor over the segment trees stored as AB(hierarchical) files in
+    the shared kernel.
+    """
+
+    def __init__(
+        self,
+        user: str,
+        database: str,
+        engine: DliEngine,
+    ) -> None:
+        self.user = user
+        self.database = database
+        self.engine = engine
+
+    def execute(self, call: Union[str, dli.DliCall]) -> DliResult:
+        """Execute one DL/I call."""
+        return self.engine.execute(call)
+
+    def run(self, text: str) -> list[DliResult]:
+        """Execute a sequence of DL/I calls."""
+        return self.engine.run(text)
+
+    def run_file(self, path) -> list[DliResult]:
+        """Execute a DL/I call file."""
+        from pathlib import Path
+
+        return self.run(Path(path).read_text())
+
+    @property
+    def schema(self) -> HierarchicalSchema:
+        return self.engine.schema
+
+    @property
+    def io_area(self) -> dict:
+        """The I/O area (fields of the current segment / pending FLDs)."""
+        return self.engine.io_area
+
+    @property
+    def kc(self) -> KernelController:
+        return self.engine.kc
+
+    @property
+    def request_log(self) -> list[str]:
+        return self.engine.kc.request_log
+
+    def __repr__(self) -> str:
+        return f"DliSession(user={self.user!r}, database={self.database!r})"

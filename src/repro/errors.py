@@ -1,0 +1,79 @@
+"""Exception hierarchy for the MLDS reproduction.
+
+Every error raised by the library derives from :class:`MLDSError`, so
+applications can catch one type at the top of a transaction loop.  The
+subclasses mirror the layers of the system: lexing/parsing errors from the
+three language front-ends, semantic errors from schema processing, and
+run-time errors from statement execution (currency violations, constraint
+violations, aborted transactions).
+"""
+
+from __future__ import annotations
+
+
+class MLDSError(Exception):
+    """Base class for every error raised by the MLDS library."""
+
+
+class LexError(MLDSError):
+    """A language front-end met a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ParseError(MLDSError):
+    """A statement or schema is syntactically malformed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SchemaError(MLDSError):
+    """A schema is semantically inconsistent (unknown types, duplicates...)."""
+
+
+class TransformError(MLDSError):
+    """A data-model transformation cannot represent a source construct."""
+
+
+class TranslationError(MLDSError):
+    """A data-language statement cannot be translated to ABDL."""
+
+
+class ExecutionError(MLDSError):
+    """The kernel rejected or failed to execute a request."""
+
+
+class CurrencyError(ExecutionError):
+    """A DML statement needs a currency indicator that is null."""
+
+
+class ConstraintViolation(ExecutionError):
+    """A statement would violate a schema constraint.
+
+    Raised for DUPLICATES-NOT-ALLOWED violations, overlap-constraint
+    violations, and the CODASYL/DAPLEX deletion constraints checked by
+    ERASE.
+    """
+
+
+class TransactionAborted(ExecutionError):
+    """A multi-request translation was aborted mid-way (e.g. ERASE checks)."""
+
+
+class UnsupportedStatement(TranslationError):
+    """The statement is parsed but deliberately not translated.
+
+    The thesis rejects ERASE ALL because the CODASYL and DAPLEX deletion
+    constraints clash (Section VI.H.2); the statement parses but the
+    translator refuses it with this error.
+    """

@@ -1,0 +1,38 @@
+"""The functional data model and its DAPLEX data language front-end.
+
+The functional model (thesis II.A) views the world as *entities* grouped
+into types and subtypes, with *functions* relating entities to scalar
+values, other entities, or sets of either.  DAPLEX is its definition and
+manipulation language; this package provides the model classes mirroring
+the thesis's shared data structures and a DAPLEX DDL parser.
+"""
+
+from repro.functional import daplex_dml
+from repro.functional.daplex import parse_schema
+from repro.functional.model import (
+    EntitySubtype,
+    EntityType,
+    Function,
+    FunctionalSchema,
+    NonEntityType,
+    NonEntityVariant,
+    OverlapConstraint,
+    ScalarKind,
+    ScalarType,
+    UniquenessConstraint,
+)
+
+__all__ = [
+    "EntitySubtype",
+    "EntityType",
+    "Function",
+    "FunctionalSchema",
+    "NonEntityType",
+    "NonEntityVariant",
+    "OverlapConstraint",
+    "ScalarKind",
+    "ScalarType",
+    "UniquenessConstraint",
+    "daplex_dml",
+    "parse_schema",
+]

@@ -1,0 +1,281 @@
+"""DAPLEX data definition language front-end.
+
+DAPLEX (Shipman) is both the DDL and DML of the functional data model; the
+thesis needs the DDL to define functional schemas (Figure 2.1's University
+database) that the schema transformer then maps to network form.  The
+grammar below follows the thesis's declaration figures (5.2 and 5.4) with
+the conventional Shipman-style type syntax:
+
+.. code-block:: text
+
+    DATABASE university;
+
+    TYPE rank_type IS (instructor, assistant, associate, professor);
+    TYPE credit_value IS INTEGER RANGE 1..5;
+    SUBTYPE dept_name IS name_string;
+    DERIVED percentage IS FLOAT RANGE 0.0..100.0;
+    CONSTANT max_load IS 3;
+
+    TYPE person IS
+    ENTITY
+        name : STRING(30);
+        age  : INTEGER;
+    END ENTITY;
+
+    TYPE student IS person            -- subtype of person
+    ENTITY
+        major      : STRING(20);
+        advisor    : faculty;         -- single-valued entity function
+        enrollment : SET OF course;   -- multi-valued entity function
+    END ENTITY;
+
+    UNIQUE title, semester WITHIN course;
+    OVERLAP student WITH faculty, support_staff;
+
+Comments run from ``--`` to end of line.  Every declaration ends with a
+semicolon; ``END ENTITY`` closes an entity body.  A function result is a
+scalar type expression (``STRING(30)``, ``INTEGER``, ``FLOAT``,
+``BOOLEAN``, an inline enumeration, optionally ``RANGE lo..hi``), the name
+of a declared non-entity type, the name of an entity type or subtype, or
+``SET OF`` any of these.  ``NONNULL`` after the result marks a mandatory
+function.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ParseError
+from repro.functional.model import (
+    EntitySubtype,
+    EntityType,
+    Function,
+    FunctionalSchema,
+    NonEntityType,
+    NonEntityVariant,
+    OverlapConstraint,
+    ScalarKind,
+    ScalarType,
+    UniquenessConstraint,
+)
+from repro.lang.lexer import Lexer, TokenStream, TokenType
+
+_KEYWORDS = (
+    "DATABASE",
+    "TYPE",
+    "SUBTYPE",
+    "DERIVED",
+    "CONSTANT",
+    "IS",
+    "ENTITY",
+    "END",
+    "STRING",
+    "INTEGER",
+    "FLOAT",
+    "BOOLEAN",
+    "RANGE",
+    "SET",
+    "OF",
+    "UNIQUE",
+    "WITHIN",
+    "OVERLAP",
+    "WITH",
+    "NONNULL",
+)
+
+_SYMBOLS = ("..", "(", ")", ",", ";", ":", ".", "-")
+
+_lexer = Lexer(_KEYWORDS, _SYMBOLS)
+
+
+def parse_schema(text: str) -> FunctionalSchema:
+    """Parse DAPLEX DDL *text* into a validated :class:`FunctionalSchema`."""
+    stream = TokenStream(_lexer.tokenize(text))
+    stream.expect_keyword("DATABASE")
+    name = stream.expect_ident("database name").text
+    stream.expect_symbol(";")
+    schema = FunctionalSchema(name)
+    while not stream.at_end():
+        _parse_declaration(stream, schema)
+    return schema.validate()
+
+
+def _parse_declaration(stream: TokenStream, schema: FunctionalSchema) -> None:
+    if stream.accept_keyword("TYPE"):
+        _parse_type(stream, schema)
+    elif stream.accept_keyword("SUBTYPE"):
+        _parse_nonentity_variant(stream, schema, NonEntityVariant.SUBTYPE)
+    elif stream.accept_keyword("DERIVED"):
+        _parse_nonentity_variant(stream, schema, NonEntityVariant.DERIVED)
+    elif stream.accept_keyword("CONSTANT"):
+        _parse_constant(stream, schema)
+    elif stream.accept_keyword("UNIQUE"):
+        _parse_unique(stream, schema)
+    elif stream.accept_keyword("OVERLAP"):
+        _parse_overlap(stream, schema)
+    else:
+        raise stream.error("expected a DAPLEX declaration")
+
+
+def _parse_type(stream: TokenStream, schema: FunctionalSchema) -> None:
+    name = stream.expect_ident("type name").text
+    stream.expect_keyword("IS")
+    # TYPE x IS ENTITY ...                  -> entity type
+    # TYPE x IS super[, super...] ENTITY .. -> entity subtype
+    # TYPE x IS <scalar-type> ;             -> non-entity base type
+    if stream.at_keyword("ENTITY"):
+        stream.advance()
+        functions = _parse_entity_body(stream)
+        schema.add_entity_type(EntityType(name, functions))
+        return
+    if _at_scalar_type(stream):
+        scalar = _parse_scalar_type(stream)
+        stream.expect_symbol(";")
+        schema.add_nonentity_type(NonEntityType(name, scalar))
+        return
+    supertypes = [stream.expect_ident("supertype name").text]
+    while stream.accept_symbol(","):
+        supertypes.append(stream.expect_ident("supertype name").text)
+    stream.expect_keyword("ENTITY")
+    functions = _parse_entity_body(stream)
+    schema.add_subtype(EntitySubtype(name, supertypes, functions))
+
+
+def _parse_entity_body(stream: TokenStream) -> list[Function]:
+    functions: list[Function] = []
+    while not stream.at_keyword("END"):
+        fn_name = stream.expect_ident("function name").text
+        stream.expect_symbol(":")
+        set_valued = False
+        if stream.accept_keyword("SET"):
+            stream.expect_keyword("OF")
+            set_valued = True
+        result: Union[ScalarType, str]
+        if _at_scalar_type(stream):
+            result = _parse_scalar_type(stream)
+        else:
+            result = stream.expect_ident("result type name").text
+        nonnull = stream.accept_keyword("NONNULL") is not None
+        stream.expect_symbol(";")
+        functions.append(Function(fn_name, result, set_valued=set_valued, nonnull=nonnull))
+    stream.expect_keyword("END")
+    stream.expect_keyword("ENTITY")
+    stream.expect_symbol(";")
+    return functions
+
+
+def _at_scalar_type(stream: TokenStream) -> bool:
+    return stream.at_keyword("STRING", "INTEGER", "FLOAT", "BOOLEAN") or stream.at_symbol("(")
+
+
+def _parse_scalar_type(stream: TokenStream) -> ScalarType:
+    if stream.accept_symbol("("):
+        values = [stream.expect_ident("enumeration literal").text]
+        while stream.accept_symbol(","):
+            values.append(stream.expect_ident("enumeration literal").text)
+        stream.expect_symbol(")")
+        return ScalarType(ScalarKind.ENUMERATION, values=tuple(values))
+    token = stream.expect_keyword("STRING", "INTEGER", "FLOAT", "BOOLEAN")
+    if token.text == "STRING":
+        length = 0
+        if stream.accept_symbol("("):
+            number = stream.current
+            if number.type is not TokenType.NUMBER or not isinstance(number.value, int):
+                raise stream.error("expected an integer string length")
+            stream.advance()
+            length = number.value
+            stream.expect_symbol(")")
+        return ScalarType(ScalarKind.STRING, length=length)
+    if token.text == "BOOLEAN":
+        return ScalarType(ScalarKind.BOOLEAN)
+    kind = ScalarKind.INTEGER if token.text == "INTEGER" else ScalarKind.FLOAT
+    low: Optional[float] = None
+    high: Optional[float] = None
+    if stream.accept_keyword("RANGE"):
+        low = _parse_signed_number(stream)
+        stream.expect_symbol("..")
+        high = _parse_signed_number(stream)
+    return ScalarType(kind, low=low, high=high)
+
+
+def _parse_signed_number(stream: TokenStream) -> float:
+    negative = stream.accept_symbol("-") is not None
+    token = stream.current
+    if token.type is not TokenType.NUMBER:
+        raise stream.error("expected a number")
+    stream.advance()
+    value = token.value
+    return -value if negative else value  # type: ignore[operator,return-value]
+
+
+def _parse_nonentity_variant(
+    stream: TokenStream,
+    schema: FunctionalSchema,
+    variant: NonEntityVariant,
+) -> None:
+    name = stream.expect_ident("type name").text
+    stream.expect_keyword("IS")
+    if _at_scalar_type(stream):
+        scalar = _parse_scalar_type(stream)
+        parent: Optional[str] = None
+    else:
+        parent = stream.expect_ident("parent type name").text
+        parent_type = schema.nonentity_types.get(parent)
+        if parent_type is None:
+            raise ParseError(
+                f"non-entity {variant.name.lower()} {name!r} names unknown parent {parent!r}"
+            )
+        scalar = parent_type.scalar
+    stream.expect_symbol(";")
+    schema.add_nonentity_type(NonEntityType(name, scalar, variant=variant, parent=parent))
+
+
+def _parse_constant(stream: TokenStream, schema: FunctionalSchema) -> None:
+    name = stream.expect_ident("constant name").text
+    stream.expect_keyword("IS")
+    token = stream.current
+    value: Union[int, float, str]
+    if token.type is TokenType.NUMBER:
+        stream.advance()
+        value = token.value  # type: ignore[assignment]
+        kind = ScalarKind.INTEGER if isinstance(value, int) else ScalarKind.FLOAT
+    elif token.type is TokenType.STRING:
+        stream.advance()
+        value = token.value  # type: ignore[assignment]
+        kind = ScalarKind.STRING
+    elif stream.at_symbol("-"):
+        value = _parse_signed_number(stream)
+        kind = ScalarKind.INTEGER if isinstance(value, int) else ScalarKind.FLOAT
+    else:
+        raise stream.error("expected a constant value")
+    stream.expect_symbol(";")
+    schema.add_nonentity_type(
+        NonEntityType(
+            name,
+            ScalarType(kind, length=len(value) if isinstance(value, str) else 0),
+            constant=True,
+            constant_value=value,
+        )
+    )
+
+
+def _parse_unique(stream: TokenStream, schema: FunctionalSchema) -> None:
+    functions = [stream.expect_ident("function name").text]
+    while stream.accept_symbol(","):
+        functions.append(stream.expect_ident("function name").text)
+    stream.expect_keyword("WITHIN")
+    within = stream.expect_ident("type name").text
+    stream.expect_symbol(";")
+    schema.add_uniqueness(UniquenessConstraint(functions, within))
+
+
+def _parse_overlap(stream: TokenStream, schema: FunctionalSchema) -> None:
+    left = [stream.expect_ident("subtype name").text]
+    while stream.accept_symbol(","):
+        left.append(stream.expect_ident("subtype name").text)
+    stream.expect_keyword("WITH")
+    right = [stream.expect_ident("subtype name").text]
+    while stream.accept_symbol(","):
+        right.append(stream.expect_ident("subtype name").text)
+    stream.expect_symbol(";")
+    schema.add_overlap(OverlapConstraint(left, right))

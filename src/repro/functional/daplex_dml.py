@@ -1,0 +1,400 @@
+"""DAPLEX data manipulation language: statement ASTs and parser.
+
+MLDS's functional interface lets DAPLEX users process functional
+databases natively (thesis Figure 1.2 — the Daplex/functional language
+interface implemented by Emdi's counterpart work).  This module provides
+the Shipman-style DML subset the University examples need:
+
+.. code-block:: text
+
+    FOR EACH s IN student SUCH THAT major(s) = 'computer science'
+        PRINT name(s), gpa(s);
+
+    FOR EACH s IN student SUCH THAT gpa(s) >= 3.9 BEGIN
+        LET major(s) = 'honors computing';
+        PRINT name(s);
+    END;
+
+    FOR A NEW p IN person BEGIN
+        LET name(p) = 'Ada Lovelace';
+        LET age(p) = 28;
+    END;
+
+    FOR A NEW s IN student OF person SUCH THAT name(person) = 'Ada Lovelace' BEGIN
+        LET major(s) = 'mathematics';
+    END;
+
+    FOR EACH s IN student SUCH THAT name(s) = 'Ada Lovelace'
+        DESTROY s;
+
+Semantics notes:
+
+* function application may be nested — ``dname(dept(f))`` dereferences
+  the entity-valued ``dept`` and reads ``dname`` from the department —
+  and may name *inherited* functions (``name(s)`` on a student reads the
+  person file through the shared database key: value inheritance);
+* ``FOR A NEW <var> IN <subtype> OF <supertype> SUCH THAT ...`` extends
+  an existing supertype entity (it must match exactly one);
+* ``DESTROY`` removes the entity from the named type *and every subtype
+  below it* (the hierarchy rule of VI.H) and is aborted when the entity
+  is referenced by a database function — the DAPLEX constraint the
+  thesis's ERASE translation honours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.abdm.values import Value
+from repro.errors import ParseError
+from repro.lang.lexer import Lexer, TokenStream, TokenType
+
+
+@dataclass(frozen=True)
+class FunctionPath:
+    """A (possibly nested) function application over the loop variable.
+
+    ``functions`` is outermost-first: ``dname(dept(f))`` is
+    ``FunctionPath(("dname", "dept"), "f")``.
+    """
+
+    functions: tuple[str, ...]
+    variable: str
+
+    def __init__(self, functions: Sequence[str], variable: str) -> None:
+        object.__setattr__(self, "functions", tuple(functions))
+        object.__setattr__(self, "variable", variable)
+
+    def render(self) -> str:
+        text = self.variable
+        for name in reversed(self.functions):
+            text = f"{name}({text})"
+        return text
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``path op literal`` — one predicate of a SUCH THAT clause."""
+
+    path: FunctionPath
+    operator: str
+    value: Value
+
+    def render(self) -> str:
+        from repro.abdm.values import render
+
+        return f"{self.path.render()} {self.operator} {render(self.value)}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A SUCH THAT clause in disjunctive normal form."""
+
+    clauses: tuple[tuple[Comparison, ...], ...]
+
+    def __init__(self, clauses: Sequence[Sequence[Comparison]]) -> None:
+        object.__setattr__(self, "clauses", tuple(tuple(c) for c in clauses))
+
+    def render(self) -> str:
+        return " OR ".join(
+            " AND ".join(c.render() for c in clause) for clause in self.clauses
+        )
+
+
+#: Aggregate operators over multi-valued function applications
+#: (Shipman's set operators: COUNT of any set, the rest over scalars).
+AGGREGATE_OPS = ("COUNT", "TOTAL", "AVERAGE", "MAXIMUM", "MINIMUM")
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """``COUNT(teaching(f))`` — an aggregate over a multi-valued path."""
+
+    operator: str
+    path: FunctionPath
+
+    def render(self) -> str:
+        return f"{self.operator}({self.path.render()})"
+
+
+PrintExpr = Union[FunctionPath, "AggregateExpr"]
+
+
+class Action:
+    """Base class for loop-body actions."""
+
+
+@dataclass(frozen=True)
+class PrintAction(Action):
+    """``PRINT expr, expr, ...`` — emit one output row per iteration."""
+
+    expressions: tuple[PrintExpr, ...]
+
+    def __init__(self, expressions: Sequence[PrintExpr]) -> None:
+        object.__setattr__(self, "expressions", tuple(expressions))
+
+
+@dataclass(frozen=True)
+class LetAction(Action):
+    """``LET fn(var) = literal`` — update one function value."""
+
+    path: FunctionPath
+    value: Value
+
+
+@dataclass(frozen=True)
+class DestroyAction(Action):
+    """``DESTROY var`` — remove the entity (and its subtype extensions)."""
+
+    variable: str
+
+
+@dataclass(frozen=True)
+class ForEach:
+    """``FOR EACH var IN type [SUCH THAT cond] <action | BEGIN ... END>``."""
+
+    variable: str
+    type_name: str
+    condition: Optional[Condition]
+    actions: tuple[Action, ...]
+
+    def __init__(
+        self,
+        variable: str,
+        type_name: str,
+        condition: Optional[Condition],
+        actions: Sequence[Action],
+    ) -> None:
+        object.__setattr__(self, "variable", variable)
+        object.__setattr__(self, "type_name", type_name)
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "actions", tuple(actions))
+
+
+@dataclass(frozen=True)
+class SuperSelector:
+    """The OF clause of FOR A NEW: which supertype entity to extend."""
+
+    type_name: str
+    condition: Condition
+
+
+@dataclass(frozen=True)
+class ForNew:
+    """``FOR A NEW var IN type [OF super SUCH THAT cond] BEGIN LET... END``."""
+
+    variable: str
+    type_name: str
+    selector: Optional[SuperSelector]
+    lets: tuple[LetAction, ...]
+
+    def __init__(
+        self,
+        variable: str,
+        type_name: str,
+        selector: Optional[SuperSelector],
+        lets: Sequence[LetAction],
+    ) -> None:
+        object.__setattr__(self, "variable", variable)
+        object.__setattr__(self, "type_name", type_name)
+        object.__setattr__(self, "selector", selector)
+        object.__setattr__(self, "lets", tuple(lets))
+
+
+DaplexStatement = Union[ForEach, ForNew]
+
+_KEYWORDS = (
+    "FOR",
+    "EACH",
+    "A",
+    "NEW",
+    "IN",
+    "OF",
+    "SUCH",
+    "THAT",
+    "AND",
+    "OR",
+    "PRINT",
+    "LET",
+    "DESTROY",
+    "BEGIN",
+    "END",
+    "NULL",
+    *AGGREGATE_OPS,
+)
+
+_SYMBOLS = ("<=", ">=", "!=", "(", ")", ",", ";", "=", "<", ">", "-")
+
+_lexer = Lexer(_KEYWORDS, _SYMBOLS)
+
+
+def parse_statement(text: str) -> DaplexStatement:
+    """Parse one DAPLEX DML statement."""
+    stream = TokenStream(_lexer.tokenize(text))
+    statement = _parse_statement(stream)
+    stream.expect_eof()
+    return statement
+
+
+def parse_program(text: str) -> list[DaplexStatement]:
+    """Parse a sequence of DAPLEX DML statements."""
+    stream = TokenStream(_lexer.tokenize(text))
+    statements = []
+    while not stream.at_end():
+        statements.append(_parse_statement(stream))
+    return statements
+
+
+def _parse_statement(stream: TokenStream) -> DaplexStatement:
+    stream.expect_keyword("FOR")
+    if stream.accept_keyword("EACH"):
+        return _parse_for_each(stream)
+    stream.expect_keyword("A")
+    stream.expect_keyword("NEW")
+    return _parse_for_new(stream)
+
+
+def _parse_for_each(stream: TokenStream) -> ForEach:
+    variable = stream.expect_ident("loop variable").text
+    stream.expect_keyword("IN")
+    type_name = stream.expect_ident("type name").text
+    condition = None
+    if stream.accept_keyword("SUCH"):
+        stream.expect_keyword("THAT")
+        condition = _parse_condition(stream, variable)
+    actions: list[Action] = []
+    if stream.accept_keyword("BEGIN"):
+        while not stream.accept_keyword("END"):
+            actions.append(_parse_action(stream, variable))
+        stream.expect_symbol(";")
+    else:
+        actions.append(_parse_action(stream, variable))
+    return ForEach(variable, type_name, condition, actions)
+
+
+def _parse_for_new(stream: TokenStream) -> ForNew:
+    variable = stream.expect_ident("loop variable").text
+    stream.expect_keyword("IN")
+    type_name = stream.expect_ident("type name").text
+    selector = None
+    if stream.accept_keyword("OF"):
+        super_name = stream.expect_ident("supertype name").text
+        stream.expect_keyword("SUCH")
+        stream.expect_keyword("THAT")
+        selector = SuperSelector(super_name, _parse_condition(stream, super_name))
+    stream.expect_keyword("BEGIN")
+    lets: list[LetAction] = []
+    while not stream.accept_keyword("END"):
+        action = _parse_action(stream, variable)
+        if not isinstance(action, LetAction):
+            raise ParseError("FOR A NEW bodies may contain only LET actions")
+        lets.append(action)
+    stream.expect_symbol(";")
+    return ForNew(variable, type_name, selector, lets)
+
+
+def _parse_action(stream: TokenStream, variable: str) -> Action:
+    if stream.accept_keyword("PRINT"):
+        expressions = [_parse_print_expr(stream, variable)]
+        while stream.accept_symbol(","):
+            expressions.append(_parse_print_expr(stream, variable))
+        stream.expect_symbol(";")
+        return PrintAction(expressions)
+    if stream.accept_keyword("LET"):
+        path = _parse_path(stream, variable)
+        stream.expect_symbol("=")
+        value = _parse_literal(stream)
+        stream.expect_symbol(";")
+        return LetAction(path, value)
+    if stream.accept_keyword("DESTROY"):
+        name = stream.expect_ident("loop variable").text
+        if name != variable:
+            raise ParseError(f"DESTROY names {name!r}, not the loop variable {variable!r}")
+        stream.expect_symbol(";")
+        return DestroyAction(name)
+    raise stream.error("expected PRINT, LET or DESTROY")
+
+
+def _parse_print_expr(stream: TokenStream, variable: str) -> PrintExpr:
+    if stream.at_keyword(*AGGREGATE_OPS):
+        operator = stream.advance().text
+        stream.expect_symbol("(")
+        path = _parse_path(stream, variable)
+        stream.expect_symbol(")")
+        return AggregateExpr(operator, path)
+    return _parse_path(stream, variable)
+
+
+def _parse_condition(stream: TokenStream, variable: str) -> Condition:
+    clauses = [[_parse_comparison(stream, variable)]]
+    while True:
+        if stream.accept_keyword("AND"):
+            clauses[-1].append(_parse_comparison(stream, variable))
+        elif stream.accept_keyword("OR"):
+            clauses.append([_parse_comparison(stream, variable)])
+        else:
+            break
+    return Condition(clauses)
+
+
+def _parse_comparison(stream: TokenStream, variable: str) -> Comparison:
+    path = _parse_path(stream, variable)
+    token = stream.current
+    if token.type is not TokenType.SYMBOL or token.text not in (
+        "=",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+    ):
+        raise stream.error("expected a relational operator")
+    operator = stream.advance().text
+    value = _parse_literal(stream)
+    return Comparison(path, operator, value)
+
+
+def _parse_path(stream: TokenStream, variable: str) -> FunctionPath:
+    """Parse ``f(g(...(var)...))`` into an outermost-first path."""
+    names: list[str] = []
+    first = stream.expect_ident("function name or variable").text
+    if not stream.at_symbol("("):
+        if first != variable:
+            raise ParseError(
+                f"expected the loop variable {variable!r}, found {first!r}"
+            )
+        return FunctionPath([], variable)
+    names.append(first)
+    depth = 0
+    while stream.accept_symbol("("):
+        depth += 1
+        inner = stream.expect_ident("function name or variable").text
+        if stream.at_symbol("("):
+            names.append(inner)
+            continue
+        if inner != variable:
+            raise ParseError(
+                f"function applications must bottom out at the loop variable "
+                f"{variable!r}, found {inner!r}"
+            )
+        break
+    for _ in range(depth):
+        stream.expect_symbol(")")
+    return FunctionPath(names, variable)
+
+
+def _parse_literal(stream: TokenStream) -> Value:
+    token = stream.current
+    if token.type in (TokenType.STRING, TokenType.NUMBER):
+        stream.advance()
+        return token.value  # type: ignore[return-value]
+    if stream.accept_symbol("-"):
+        number = stream.current
+        if number.type is not TokenType.NUMBER:
+            raise stream.error("expected a number after unary minus")
+        stream.advance()
+        return -number.value  # type: ignore[operator]
+    if stream.accept_keyword("NULL"):
+        return None
+    raise stream.error("expected a literal value")

@@ -1,0 +1,553 @@
+"""The functional data model (Sibley/Kershberg, Shipman).
+
+The model mirrors the thesis's shared data structures (Figures 4.7-4.17):
+
+==================  =========================================
+Thesis structure    Class here
+==================  =========================================
+fun_dbid_node       :class:`FunctionalSchema`
+ent_node            :class:`EntityType`
+gen_sub_node        :class:`EntitySubtype`
+ent_non_node        :class:`NonEntityType` (variant BASE)
+sub_non_node        :class:`NonEntityType` (variant SUBTYPE)
+der_non_node        :class:`NonEntityType` (variant DERIVED)
+overlap_node        :class:`OverlapConstraint`
+function_node       :class:`Function`
+==================  =========================================
+
+Entities of similar structure form entity *types*; a *subtype* is an
+entity type in an ISA relationship with one or more supertypes, with value
+inheritance.  A *function* maps an entity to a scalar value, an entity or
+a set of either.  Uniqueness constraints name function collections whose
+combined value is unique within a type; subtypes are disjoint unless an
+overlap constraint says otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.errors import SchemaError
+
+
+class ScalarKind(enum.Enum):
+    """Scalar (non-entity) value kinds; values are the thesis's type codes."""
+
+    INTEGER = "i"
+    FLOAT = "f"
+    STRING = "s"
+    BOOLEAN = "b"
+    ENUMERATION = "e"
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A scalar type expression: kind plus length / range / value metadata."""
+
+    kind: ScalarKind
+    length: int = 0  # max length for strings; 0 means unconstrained
+    low: Optional[float] = None  # numeric RANGE bounds
+    high: Optional[float] = None
+    values: tuple[str, ...] = ()  # enumeration literals
+
+    @property
+    def total_length(self) -> int:
+        """Length stored in the node's total_length field.
+
+        Strings report their declared length; enumerations the length of
+        the longest literal (the thesis maps enumerations into character
+        strings of that length).
+        """
+        if self.kind is ScalarKind.STRING:
+            return self.length
+        if self.kind is ScalarKind.ENUMERATION:
+            return max((len(v) for v in self.values), default=0)
+        if self.kind is ScalarKind.BOOLEAN:
+            return 5  # len('false')
+        return 0
+
+    def contains(self, value: object) -> bool:
+        """Best-effort domain membership test used by loaders."""
+        if self.kind is ScalarKind.INTEGER:
+            if not isinstance(value, int):
+                return False
+        elif self.kind is ScalarKind.FLOAT:
+            if not isinstance(value, (int, float)):
+                return False
+        elif self.kind is ScalarKind.STRING:
+            if not isinstance(value, str):
+                return False
+            if self.length and len(value) > self.length:
+                return False
+        elif self.kind is ScalarKind.BOOLEAN:
+            return value in ("true", "false", 0, 1)
+        elif self.kind is ScalarKind.ENUMERATION:
+            return value in self.values
+        if self.low is not None and isinstance(value, (int, float)) and value < self.low:
+            return False
+        if self.high is not None and isinstance(value, (int, float)) and value > self.high:
+            return False
+        return True
+
+    def render(self) -> str:
+        if self.kind is ScalarKind.STRING:
+            return f"STRING({self.length})" if self.length else "STRING"
+        if self.kind is ScalarKind.ENUMERATION:
+            return "(" + ", ".join(self.values) + ")"
+        base = self.kind.name
+        if self.low is not None or self.high is not None:
+            return f"{base} RANGE {self.low}..{self.high}"
+        return base
+
+
+class NonEntityVariant(enum.Enum):
+    """Which thesis node a non-entity type corresponds to."""
+
+    BASE = "ent_non_node"
+    SUBTYPE = "sub_non_node"
+    DERIVED = "der_non_node"
+
+
+@dataclass
+class NonEntityType:
+    """A named non-entity type: string, scalar, enumeration or constant."""
+
+    name: str
+    scalar: ScalarType
+    variant: NonEntityVariant = NonEntityVariant.BASE
+    parent: Optional[str] = None  # for SUBTYPE / DERIVED variants
+    constant: bool = False
+    constant_value: Union[int, float, str, None] = None
+
+    @property
+    def has_range(self) -> bool:
+        return self.scalar.low is not None or self.scalar.high is not None
+
+
+@dataclass
+class Function:
+    """A function declared over an entity type or subtype (function_node).
+
+    *result* is either a :class:`ScalarType`, the name of a non-entity
+    type, or the name of an entity type/subtype; resolution happens in
+    :meth:`FunctionalSchema.validate`.  ``set_valued`` marks multi-valued
+    functions (``SET OF ...``); ``unique`` is set by UNIQUE constraints;
+    ``nonnull`` by a NONNULL marker.
+    """
+
+    name: str
+    result: Union[ScalarType, str]
+    set_valued: bool = False
+    unique: bool = False
+    nonnull: bool = False
+    #: Name of the entity type/subtype this function is declared on
+    #: (fn_entptr / fn_subptr); filled by the owning type.
+    owner: Optional[str] = None
+    #: Resolved result category, one of 'scalar', 'nonentity', 'entity',
+    #: 'subtype'; filled by validate().
+    result_category: Optional[str] = None
+    #: Resolved scalar type of the result when scalar/nonentity.
+    result_scalar: Optional[ScalarType] = None
+    #: Cached by validate(): True when the result is an entity type or
+    #: subtype (the transformer consults this on every function, so it is
+    #: precomputed rather than derived from result_category each time).
+    entity_valued: bool = False
+
+    @property
+    def is_entity_valued(self) -> bool:
+        if self.result_category is None:
+            return False
+        return self.entity_valued or self.result_category in ("entity", "subtype")
+
+    @property
+    def is_scalar(self) -> bool:
+        """Scalar single-valued function (maps to a network attribute)."""
+        return not self.is_entity_valued and not self.set_valued
+
+    @property
+    def is_scalar_multivalued(self) -> bool:
+        """Scalar multi-valued function (SET OF a scalar)."""
+        return not self.is_entity_valued and self.set_valued
+
+    @property
+    def is_single_valued_entity(self) -> bool:
+        return self.is_entity_valued and not self.set_valued
+
+    @property
+    def is_multivalued_entity(self) -> bool:
+        return self.is_entity_valued and self.set_valued
+
+    @property
+    def range_type_name(self) -> Optional[str]:
+        """Name of the range entity type for entity-valued functions."""
+        if self.is_entity_valued and isinstance(self.result, str):
+            return self.result
+        return None
+
+    def type_code(self) -> str:
+        """The thesis fn_type code: f/i/s/b/e ('e' for entity-valued)."""
+        if self.is_entity_valued:
+            return "e"
+        scalar = self.result_scalar
+        if scalar is None:
+            return "?"
+        if scalar.kind is ScalarKind.ENUMERATION:
+            return "s"  # enumerations behave as bounded strings downstream
+        return scalar.kind.value
+
+    def render(self) -> str:
+        result = self.result.render() if isinstance(self.result, ScalarType) else self.result
+        if self.set_valued:
+            result = f"SET OF {result}"
+        suffix = " NONNULL" if self.nonnull else ""
+        return f"{self.name} : {result}{suffix}"
+
+
+@dataclass
+class EntityType:
+    """An entity type (ent_node) and the functions applied to it."""
+
+    name: str
+    functions: list[Function] = field(default_factory=list)
+    #: Last unique number assigned (en_last_ent); advanced by loaders/STORE.
+    last_key: int = 0
+
+    def __post_init__(self) -> None:
+        for function in self.functions:
+            function.owner = self.name
+
+    def function(self, name: str) -> Optional[Function]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None
+
+    def next_key(self) -> str:
+        """Mint the next artificial unique key (database key)."""
+        self.last_key += 1
+        return f"{self.name}${self.last_key}"
+
+
+@dataclass
+class EntitySubtype:
+    """An entity subtype (gen_sub_node): ISA child of one or more supertypes."""
+
+    name: str
+    supertypes: list[str]
+    functions: list[Function] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.supertypes:
+            raise SchemaError(f"subtype {self.name!r} declares no supertype")
+        for function in self.functions:
+            function.owner = self.name
+
+    def function(self, name: str) -> Optional[Function]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None
+
+
+@dataclass(frozen=True)
+class OverlapConstraint:
+    """``OVERLAP E,F WITH G,H`` — members of E/F may also belong to G/H."""
+
+    left: tuple[str, ...]
+    right: tuple[str, ...]
+
+    def __init__(self, left: Sequence[str], right: Sequence[str]) -> None:
+        object.__setattr__(self, "left", tuple(left))
+        object.__setattr__(self, "right", tuple(right))
+
+    def allows(self, first: str, second: str) -> bool:
+        """True when this constraint permits co-membership of the pair."""
+        return (first in self.left and second in self.right) or (
+            first in self.right and second in self.left
+        )
+
+    def render(self) -> str:
+        return f"OVERLAP {', '.join(self.left)} WITH {', '.join(self.right)};"
+
+
+@dataclass(frozen=True)
+class UniquenessConstraint:
+    """``UNIQUE A,B,C WITHIN D`` — the function tuple is unique within D."""
+
+    functions: tuple[str, ...]
+    within: str
+
+    def __init__(self, functions: Sequence[str], within: str) -> None:
+        object.__setattr__(self, "functions", tuple(functions))
+        object.__setattr__(self, "within", within)
+
+    def render(self) -> str:
+        return f"UNIQUE {', '.join(self.functions)} WITHIN {self.within};"
+
+
+class FunctionalSchema:
+    """A functional database schema (fun_dbid_node)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.entity_types: dict[str, EntityType] = {}
+        self.subtypes: dict[str, EntitySubtype] = {}
+        self.nonentity_types: dict[str, NonEntityType] = {}
+        self.overlaps: list[OverlapConstraint] = []
+        self.uniqueness: list[UniquenessConstraint] = []
+        self._validated = False
+
+    # -- construction -----------------------------------------------------------
+
+    def add_entity_type(self, entity: EntityType) -> EntityType:
+        self._check_fresh_name(entity.name)
+        self.entity_types[entity.name] = entity
+        self._validated = False
+        return entity
+
+    def add_subtype(self, subtype: EntitySubtype) -> EntitySubtype:
+        self._check_fresh_name(subtype.name)
+        self.subtypes[subtype.name] = subtype
+        self._validated = False
+        return subtype
+
+    def add_nonentity_type(self, nonentity: NonEntityType) -> NonEntityType:
+        self._check_fresh_name(nonentity.name)
+        self.nonentity_types[nonentity.name] = nonentity
+        self._validated = False
+        return nonentity
+
+    def add_overlap(self, overlap: OverlapConstraint) -> None:
+        self.overlaps.append(overlap)
+        self._validated = False
+
+    def add_uniqueness(self, constraint: UniquenessConstraint) -> None:
+        self.uniqueness.append(constraint)
+        self._validated = False
+
+    def _check_fresh_name(self, name: str) -> None:
+        if (
+            name in self.entity_types
+            or name in self.subtypes
+            or name in self.nonentity_types
+        ):
+            raise SchemaError(f"type name {name!r} already declared in {self.name!r}")
+
+    # -- lookups ------------------------------------------------------------------
+
+    def type_names(self) -> list[str]:
+        """Entity types then subtypes, in declaration order."""
+        return list(self.entity_types) + list(self.subtypes)
+
+    def entity_or_subtype(self, name: str) -> Union[EntityType, EntitySubtype]:
+        found = self.entity_types.get(name) or self.subtypes.get(name)
+        if found is None:
+            raise SchemaError(f"{name!r} is not an entity type or subtype of {self.name!r}")
+        return found
+
+    def is_entity_name(self, name: str) -> bool:
+        return name in self.entity_types or name in self.subtypes
+
+    def functions_of(self, type_name: str) -> list[Function]:
+        """The functions declared directly on *type_name* (not inherited)."""
+        return list(self.entity_or_subtype(type_name).functions)
+
+    def function(self, type_name: str, function_name: str) -> Optional[Function]:
+        """Find *function_name* on *type_name* or any of its supertypes."""
+        node = self.entity_or_subtype(type_name)
+        found = node.function(function_name)
+        if found is not None:
+            return found
+        if isinstance(node, EntitySubtype):
+            for supertype in node.supertypes:
+                found = self.function(supertype, function_name)
+                if found is not None:
+                    return found
+        return None
+
+    def supertype_chain(self, name: str) -> list[str]:
+        """All ancestors of *name*, nearest first (first-supertype order)."""
+        node = self.entity_or_subtype(name)
+        if isinstance(node, EntityType):
+            return []
+        chain: list[str] = []
+        for supertype in node.supertypes:
+            if supertype not in chain:
+                chain.append(supertype)
+            for ancestor in self.supertype_chain(supertype):
+                if ancestor not in chain:
+                    chain.append(ancestor)
+        return chain
+
+    def root_entity(self, name: str) -> EntityType:
+        """The base entity type at the top of *name*'s first-supertype chain.
+
+        Database keys are minted by the root type: a student's key is its
+        person's key, which is how ISA set occurrences stay implicit in the
+        AB(functional) database.
+        """
+        node = self.entity_or_subtype(name)
+        while isinstance(node, EntitySubtype):
+            node = self.entity_or_subtype(node.supertypes[0])
+        return node
+
+    def subtypes_of(self, name: str) -> list[EntitySubtype]:
+        """Direct subtypes of the entity type or subtype *name*."""
+        return [s for s in self.subtypes.values() if name in s.supertypes]
+
+    def is_terminal(self, name: str) -> bool:
+        """A type is terminal when it is not a supertype of any subtype
+        (thesis en_terminal / gsn_terminal flags)."""
+        return not self.subtypes_of(name)
+
+    def terminal_subtypes(self) -> list[EntitySubtype]:
+        return [s for s in self.subtypes.values() if self.is_terminal(s.name)]
+
+    def hierarchy_below(self, name: str) -> list[str]:
+        """*name* plus every descendant subtype (for ERASE ALL semantics)."""
+        names = [name]
+        for subtype in self.subtypes_of(name):
+            for descendant in self.hierarchy_below(subtype.name):
+                if descendant not in names:
+                    names.append(descendant)
+        return names
+
+    def overlap_allowed(self, first: str, second: str) -> bool:
+        """Whether instances may belong to both terminal types at once."""
+        if first == second:
+            return True
+        return any(o.allows(first, second) for o in self.overlaps)
+
+    def unique_functions_of(self, type_name: str) -> list[str]:
+        """Function names made unique within *type_name* by constraints."""
+        names: list[str] = []
+        for constraint in self.uniqueness:
+            if constraint.within == type_name:
+                for fn in constraint.functions:
+                    if fn not in names:
+                        names.append(fn)
+        return names
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> "FunctionalSchema":
+        """Resolve every reference and mark the schema consistent.
+
+        Raises :class:`SchemaError` on dangling type names, cyclic ISA
+        chains, unknown functions in constraints, or a subtype whose
+        supertype does not exist.  Returns self for chaining.
+        """
+        for subtype in self.subtypes.values():
+            for supertype in subtype.supertypes:
+                if not self.is_entity_name(supertype):
+                    raise SchemaError(
+                        f"subtype {subtype.name!r} names unknown supertype {supertype!r}"
+                    )
+        self._check_acyclic()
+        for type_name in self.type_names():
+            for function in self.functions_of(type_name):
+                self._resolve_function(function)
+        for constraint in self.uniqueness:
+            if not self.is_entity_name(constraint.within):
+                raise SchemaError(
+                    f"UNIQUE WITHIN names unknown type {constraint.within!r}"
+                )
+            for fn in constraint.functions:
+                target = self.function(constraint.within, fn)
+                if target is None:
+                    raise SchemaError(
+                        f"UNIQUE names unknown function {fn!r} of {constraint.within!r}"
+                    )
+                target.unique = True
+        for overlap in self.overlaps:
+            for name in (*overlap.left, *overlap.right):
+                if not self.is_entity_name(name):
+                    raise SchemaError(f"OVERLAP names unknown type {name!r}")
+        self._validated = True
+        return self
+
+    def _check_acyclic(self) -> None:
+        for name in self.subtypes:
+            seen = {name}
+            frontier = list(self.subtypes[name].supertypes)
+            while frontier:
+                current = frontier.pop()
+                if current == name:
+                    raise SchemaError(f"cyclic ISA relationship through {name!r}")
+                if current in seen:
+                    continue
+                seen.add(current)
+                node = self.entity_or_subtype(current)
+                if isinstance(node, EntitySubtype):
+                    frontier.extend(node.supertypes)
+
+    def _resolve_function(self, function: Function) -> None:
+        if isinstance(function.result, ScalarType):
+            function.result_category = "scalar"
+            function.result_scalar = function.result
+            return
+        name = function.result
+        if name in self.entity_types:
+            function.result_category = "entity"
+            function.entity_valued = True
+            return
+        if name in self.subtypes:
+            function.result_category = "subtype"
+            function.entity_valued = True
+            return
+        nonentity = self.nonentity_types.get(name)
+        if nonentity is not None:
+            function.result_category = "nonentity"
+            function.result_scalar = nonentity.scalar
+            return
+        raise SchemaError(
+            f"function {function.owner}.{function.name} names unknown type {name!r}"
+        )
+
+    # -- rendering -------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Render the schema back to DAPLEX DDL text."""
+        chunks: list[str] = [f"DATABASE {self.name};", ""]
+        for nonentity in self.nonentity_types.values():
+            if nonentity.constant:
+                chunks.append(
+                    f"CONSTANT {nonentity.name} IS {nonentity.constant_value};"
+                )
+            elif nonentity.variant is NonEntityVariant.SUBTYPE:
+                chunks.append(f"SUBTYPE {nonentity.name} IS {nonentity.parent};")
+            elif nonentity.variant is NonEntityVariant.DERIVED:
+                chunks.append(
+                    f"DERIVED {nonentity.name} IS {nonentity.scalar.render()};"
+                )
+            else:
+                chunks.append(f"TYPE {nonentity.name} IS {nonentity.scalar.render()};")
+        if self.nonentity_types:
+            chunks.append("")
+        for entity in self.entity_types.values():
+            chunks.append(f"TYPE {entity.name} IS")
+            chunks.append("ENTITY")
+            for function in entity.functions:
+                chunks.append(f"    {function.render()};")
+            chunks.append("END ENTITY;")
+            chunks.append("")
+        for subtype in self.subtypes.values():
+            chunks.append(f"TYPE {subtype.name} IS {', '.join(subtype.supertypes)}")
+            chunks.append("ENTITY")
+            for function in subtype.functions:
+                chunks.append(f"    {function.render()};")
+            chunks.append("END ENTITY;")
+            chunks.append("")
+        for constraint in self.uniqueness:
+            chunks.append(constraint.render())
+        for overlap in self.overlaps:
+            chunks.append(overlap.render())
+        return "\n".join(chunks).rstrip() + "\n"
+
+    def __repr__(self) -> str:
+        return (
+            f"FunctionalSchema({self.name!r}, {len(self.entity_types)} entities, "
+            f"{len(self.subtypes)} subtypes, {len(self.nonentity_types)} non-entities)"
+        )

@@ -1,0 +1,30 @@
+"""The hierarchical data model and its DL/I front-end.
+
+The fourth user model of MLDS (Figure 1.2): segment forests manipulated
+through the classic DL/I calls (GU, GN, GNP, ISRT, REPL, DLET) with
+segment search arguments.  The Chapter VII future-work interface —
+accessing a hierarchical database via SQL transactions (Zawis) — is
+realized by :meth:`repro.core.MLDS.open_sql_session` over a hierarchical
+database, through the relational view of
+:mod:`repro.mapping.hie_to_rel`.
+"""
+
+from repro.hierarchical import dli
+from repro.hierarchical.dli import parse_call, parse_calls, parse_hierarchical_schema
+from repro.hierarchical.model import (
+    FieldType,
+    HierarchicalSchema,
+    SegmentField,
+    SegmentType,
+)
+
+__all__ = [
+    "FieldType",
+    "HierarchicalSchema",
+    "SegmentField",
+    "SegmentType",
+    "dli",
+    "parse_call",
+    "parse_calls",
+    "parse_hierarchical_schema",
+]

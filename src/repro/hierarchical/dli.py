@@ -1,0 +1,299 @@
+"""DL/I: the hierarchical DDL and DML front-ends.
+
+The DDL declares segment forests:
+
+.. code-block:: text
+
+    DATABASE school;
+    SEGMENT dept ROOT (dname CHAR(20), budget INT);
+    SEGMENT course UNDER dept (title CHAR(40), credits INT);
+    SEGMENT offering UNDER course (semester CHAR(6), instructor CHAR(30));
+
+The DML is the classic DL/I call subset, written with segment search
+arguments (SSAs) — a path of segment names, each optionally qualified by
+one field comparison:
+
+.. code-block:: text
+
+    GU dept(dname = 'cs') course(credits = 4)     -- get unique
+    GN course                                      -- get next (hierarchic scan)
+    GNP offering                                   -- get next within parent
+    ISRT dept(dname = 'cs') course                 -- insert under the SSA path
+    REPL                                           -- replace the current segment
+    DLET                                           -- delete current + its subtree
+
+ISRT and REPL read field values from the I/O area (set with
+``FLD name = value`` statements, DL/I's equivalent of priming the UWA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.abdm.values import Value
+from repro.errors import ParseError
+from repro.hierarchical.model import (
+    FieldType,
+    HierarchicalSchema,
+    SegmentField,
+    SegmentType,
+)
+from repro.lang.lexer import Lexer, TokenStream, TokenType
+
+# -- DDL --------------------------------------------------------------------------
+
+_DDL_KEYWORDS = (
+    "DATABASE",
+    "SEGMENT",
+    "ROOT",
+    "UNDER",
+    "INT",
+    "INTEGER",
+    "FLOAT",
+    "CHAR",
+)
+
+_ddl_lexer = Lexer(_DDL_KEYWORDS, ("(", ")", ",", ";"))
+
+
+def parse_hierarchical_schema(text: str) -> HierarchicalSchema:
+    """Parse hierarchical DDL into a validated schema."""
+    stream = TokenStream(_ddl_lexer.tokenize(text))
+    stream.expect_keyword("DATABASE")
+    schema = HierarchicalSchema(stream.expect_ident("database name").text)
+    stream.expect_symbol(";")
+    while not stream.at_end():
+        stream.expect_keyword("SEGMENT")
+        name = stream.expect_ident("segment name").text
+        parent: Optional[str] = None
+        if not stream.accept_keyword("ROOT"):
+            stream.expect_keyword("UNDER")
+            parent = stream.expect_ident("parent segment").text
+        segment = SegmentType(name, parent=parent)
+        stream.expect_symbol("(")
+        while True:
+            field_name = stream.expect_ident("field name").text
+            if stream.accept_keyword("INT") or stream.accept_keyword("INTEGER"):
+                segment.fields.append(SegmentField(field_name, FieldType.INT))
+            elif stream.accept_keyword("FLOAT"):
+                segment.fields.append(SegmentField(field_name, FieldType.FLOAT))
+            else:
+                stream.expect_keyword("CHAR")
+                length = 0
+                if stream.accept_symbol("("):
+                    token = stream.current
+                    if token.type is not TokenType.NUMBER:
+                        raise stream.error("expected a CHAR length")
+                    stream.advance()
+                    length = int(token.value)  # type: ignore[arg-type]
+                    stream.expect_symbol(")")
+                segment.fields.append(SegmentField(field_name, FieldType.CHAR, length))
+            if not stream.accept_symbol(","):
+                break
+        stream.expect_symbol(")")
+        stream.expect_symbol(";")
+        schema.add_segment(segment)
+    return schema.validate()
+
+
+# -- DML --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SSA:
+    """One segment search argument: a segment name, optionally qualified."""
+
+    segment: str
+    field: Optional[str] = None
+    operator: str = "="
+    value: Value = None
+
+    @property
+    def qualified(self) -> bool:
+        return self.field is not None
+
+    def render(self) -> str:
+        if not self.qualified:
+            return self.segment
+        from repro.abdm.values import render
+
+        return f"{self.segment}({self.field} {self.operator} {render(self.value)})"
+
+
+class DliCall:
+    """Base class for DL/I calls."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GetUnique(DliCall):
+    """``GU ssa...`` — position on the first occurrence matching the path."""
+
+    ssas: tuple[SSA, ...]
+
+    def __init__(self, ssas: Sequence[SSA]) -> None:
+        object.__setattr__(self, "ssas", tuple(ssas))
+
+    def render(self) -> str:
+        return "GU " + " ".join(s.render() for s in self.ssas)
+
+
+@dataclass(frozen=True)
+class GetNext(DliCall):
+    """``GN [ssa]`` — next occurrence in hierarchic order (of a type)."""
+
+    ssa: Optional[SSA] = None
+
+    def render(self) -> str:
+        return f"GN {self.ssa.render()}" if self.ssa else "GN"
+
+
+@dataclass(frozen=True)
+class GetNextWithinParent(DliCall):
+    """``GNP [ssa]`` — next child of the current parent."""
+
+    ssa: Optional[SSA] = None
+
+    def render(self) -> str:
+        return f"GNP {self.ssa.render()}" if self.ssa else "GNP"
+
+
+@dataclass(frozen=True)
+class Insert(DliCall):
+    """``ISRT ssa... segment`` — insert a segment under the SSA path."""
+
+    ssas: tuple[SSA, ...]
+
+    def __init__(self, ssas: Sequence[SSA]) -> None:
+        object.__setattr__(self, "ssas", tuple(ssas))
+
+    def render(self) -> str:
+        return "ISRT " + " ".join(s.render() for s in self.ssas)
+
+
+@dataclass(frozen=True)
+class Replace(DliCall):
+    """``REPL`` — rewrite the current segment from the I/O area."""
+
+    def render(self) -> str:
+        return "REPL"
+
+
+@dataclass(frozen=True)
+class Delete(DliCall):
+    """``DLET`` — delete the current segment and its whole subtree."""
+
+    def render(self) -> str:
+        return "DLET"
+
+
+@dataclass(frozen=True)
+class SetField(DliCall):
+    """``FLD name = value`` — prime one I/O-area field."""
+
+    name: str
+    value: Value
+
+    def render(self) -> str:
+        from repro.abdm.values import render
+
+        return f"FLD {self.name} = {render(self.value)}"
+
+
+AnyCall = Union[GetUnique, GetNext, GetNextWithinParent, Insert, Replace, Delete, SetField]
+
+_DML_KEYWORDS = ("GU", "GN", "GNP", "ISRT", "REPL", "DLET", "FLD", "NULL")
+
+_dml_lexer = Lexer(_DML_KEYWORDS, ("<=", ">=", "!=", "(", ")", "=", "<", ">", ";", "-", ","))
+
+
+def parse_call(text: str) -> DliCall:
+    """Parse one DL/I call."""
+    stream = TokenStream(_dml_lexer.tokenize(text))
+    call = _parse_call(stream)
+    stream.accept_symbol(";")
+    stream.expect_eof()
+    return call
+
+
+def parse_calls(text: str) -> list[DliCall]:
+    """Parse a sequence of DL/I calls (newline or ; separated)."""
+    stream = TokenStream(_dml_lexer.tokenize(text))
+    calls = []
+    while not stream.at_end():
+        calls.append(_parse_call(stream))
+        stream.accept_symbol(";")
+    return calls
+
+
+def _parse_call(stream: TokenStream) -> DliCall:
+    if stream.accept_keyword("GU"):
+        ssas = _parse_ssas(stream, at_least_one=True)
+        return GetUnique(ssas)
+    if stream.accept_keyword("GNP"):
+        ssas = _parse_ssas(stream)
+        if len(ssas) > 1:
+            raise ParseError("GNP takes at most one SSA")
+        return GetNextWithinParent(ssas[0] if ssas else None)
+    if stream.accept_keyword("GN"):
+        ssas = _parse_ssas(stream)
+        if len(ssas) > 1:
+            raise ParseError("GN takes at most one SSA")
+        return GetNext(ssas[0] if ssas else None)
+    if stream.accept_keyword("ISRT"):
+        return Insert(_parse_ssas(stream, at_least_one=True))
+    if stream.accept_keyword("REPL"):
+        return Replace()
+    if stream.accept_keyword("DLET"):
+        return Delete()
+    if stream.accept_keyword("FLD"):
+        name = stream.expect_ident("field name").text
+        stream.expect_symbol("=")
+        return SetField(name, _parse_literal(stream))
+    raise stream.error("expected a DL/I call (GU, GN, GNP, ISRT, REPL, DLET, FLD)")
+
+
+def _parse_ssas(stream: TokenStream, at_least_one: bool = False) -> list[SSA]:
+    ssas: list[SSA] = []
+    while stream.current.type is TokenType.IDENT:
+        segment = stream.advance().text
+        if stream.accept_symbol("("):
+            field_name = stream.expect_ident("field name").text
+            token = stream.current
+            if token.type is not TokenType.SYMBOL or token.text not in (
+                "=",
+                "!=",
+                "<",
+                "<=",
+                ">",
+                ">=",
+            ):
+                raise stream.error("expected a comparison operator")
+            operator = stream.advance().text
+            value = _parse_literal(stream)
+            stream.expect_symbol(")")
+            ssas.append(SSA(segment, field_name, operator, value))
+        else:
+            ssas.append(SSA(segment))
+    if at_least_one and not ssas:
+        raise stream.error("expected at least one segment search argument")
+    return ssas
+
+
+def _parse_literal(stream: TokenStream) -> Value:
+    token = stream.current
+    if token.type in (TokenType.STRING, TokenType.NUMBER):
+        stream.advance()
+        return token.value  # type: ignore[return-value]
+    if stream.accept_symbol("-"):
+        number = stream.current
+        if number.type is not TokenType.NUMBER:
+            raise stream.error("expected a number after unary minus")
+        stream.advance()
+        return -number.value  # type: ignore[operator]
+    if stream.accept_keyword("NULL"):
+        return None
+    raise stream.error("expected a literal value")

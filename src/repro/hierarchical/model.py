@@ -1,0 +1,158 @@
+"""The hierarchical data model (MLDS's DL/I-side schemas).
+
+The hierarchical model is the fourth of MLDS's user models (thesis
+Figure 1.2's DL/I interface; the hie_dbid_node arm of the Figure 4.1
+union).  A hierarchical database is a forest of *segment types*: each
+segment type has typed fields and at most one parent; segment
+*occurrences* form trees, and DL/I traverses them in hierarchical order
+(parent before children, siblings in insertion order).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchemaError
+
+
+class FieldType(enum.Enum):
+    """Segment field types over the kernel domains."""
+
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+
+    def accepts(self, value: object) -> bool:
+        if value is None:
+            return True
+        if self is FieldType.INT:
+            return isinstance(value, int)
+        if self is FieldType.FLOAT:
+            return isinstance(value, (int, float))
+        return isinstance(value, str)
+
+
+@dataclass
+class SegmentField:
+    """One field of a segment type."""
+
+    name: str
+    type: FieldType
+    length: int = 0
+
+    def render(self) -> str:
+        if self.type is FieldType.CHAR and self.length:
+            return f"{self.name} CHAR({self.length})"
+        return f"{self.name} {self.type.name}"
+
+
+@dataclass
+class SegmentType:
+    """A segment type: name, fields, optional parent."""
+
+    name: str
+    fields: list[SegmentField] = field(default_factory=list)
+    parent: Optional[str] = None  # None = root segment
+
+    def field_named(self, name: str) -> Optional[SegmentField]:
+        for segment_field in self.fields:
+            if segment_field.name == name:
+                return segment_field
+        return None
+
+    def require_field(self, name: str) -> SegmentField:
+        segment_field = self.field_named(name)
+        if segment_field is None:
+            raise SchemaError(f"segment {self.name!r} has no field {name!r}")
+        return segment_field
+
+    @property
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def render(self) -> str:
+        where = "ROOT" if self.is_root else f"UNDER {self.parent}"
+        fields = ", ".join(f.render() for f in self.fields)
+        return f"SEGMENT {self.name} {where} ({fields});"
+
+
+class HierarchicalSchema:
+    """A hierarchical database schema (hie_dbid_node)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.segments: dict[str, SegmentType] = {}
+
+    def add_segment(self, segment: SegmentType) -> SegmentType:
+        if segment.name in self.segments:
+            raise SchemaError(f"segment type {segment.name!r} already declared")
+        if segment.parent is not None and segment.parent not in self.segments:
+            raise SchemaError(
+                f"segment {segment.name!r} names unknown parent {segment.parent!r} "
+                f"(declare parents first)"
+            )
+        seen = set()
+        for segment_field in segment.fields:
+            if segment_field.name in seen:
+                raise SchemaError(
+                    f"segment {segment.name!r} declares field "
+                    f"{segment_field.name!r} twice"
+                )
+            seen.add(segment_field.name)
+        self.segments[segment.name] = segment
+        return segment
+
+    def segment(self, name: str) -> SegmentType:
+        try:
+            return self.segments[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown segment type {name!r} in {self.name!r}") from exc
+
+    def has_segment(self, name: str) -> bool:
+        return name in self.segments
+
+    def roots(self) -> list[SegmentType]:
+        return [s for s in self.segments.values() if s.is_root]
+
+    def children_of(self, name: str) -> list[SegmentType]:
+        return [s for s in self.segments.values() if s.parent == name]
+
+    def descendants_of(self, name: str) -> list[str]:
+        """*name*'s subtree in declaration (hierarchical) order, inclusive."""
+        names = [name]
+        for child in self.children_of(name):
+            names.extend(self.descendants_of(child.name))
+        return names
+
+    def ancestry(self, name: str) -> list[str]:
+        """Path from the root down to *name*, inclusive."""
+        segment = self.segment(name)
+        if segment.parent is None:
+            return [name]
+        return [*self.ancestry(segment.parent), name]
+
+    def hierarchical_order(self) -> list[str]:
+        """Every segment type in hierarchical (pre-order) sequence."""
+        order: list[str] = []
+        for root in self.roots():
+            order.extend(self.descendants_of(root.name))
+        return order
+
+    def validate(self) -> "HierarchicalSchema":
+        if not self.roots():
+            raise SchemaError(f"hierarchical schema {self.name!r} has no root segment")
+        return self
+
+    def render(self) -> str:
+        chunks = [f"DATABASE {self.name};"]
+        chunks.extend(self.segments[n].render() for n in self.hierarchical_order())
+        return "\n".join(chunks) + "\n"
+
+    def __repr__(self) -> str:
+        return f"HierarchicalSchema({self.name!r}, {len(self.segments)} segments)"

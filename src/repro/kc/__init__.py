@@ -1,0 +1,5 @@
+"""KC — the Kernel Controller subsystem."""
+
+from repro.kc.controller import KernelController
+
+__all__ = ["KernelController"]

@@ -1,0 +1,54 @@
+"""The Kernel Controller (KC).
+
+KC sits between the kernel mapping subsystem and the kernel database
+system: every ABDL request the translation produces passes through KC for
+execution (thesis I.B.1).  This implementation additionally keeps a
+*request log* — the rendered text of every request executed on behalf of
+the run-unit — which is how the test suite asserts that a CODASYL-DML
+statement translated into exactly the ABDL the thesis's chapters show.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.abdl.ast import (
+    ALL_ATTRIBUTES,
+    Request,
+    RetrieveRequest,
+    TargetItem,
+)
+from repro.abdl.executor import RequestResult
+from repro.abdm.predicate import Query
+from repro.abdm.record import Record
+from repro.mbds.kds import KernelDatabaseSystem
+
+
+class KernelController:
+    """Executes ABDL requests on the shared KDS for one run-unit."""
+
+    def __init__(self, kds: KernelDatabaseSystem) -> None:
+        self.kds = kds
+        #: Rendered text of every request executed (oldest first).
+        self.request_log: list[str] = []
+
+    def execute(self, request: Request) -> RequestResult:
+        """Execute one request, logging its ABDL text."""
+        self.request_log.append(request.render())
+        return self.kds.execute(request).result
+
+    def retrieve(
+        self,
+        query: Query,
+        target: Sequence[TargetItem] = (ALL_ATTRIBUTES,),
+        by: Optional[str] = None,
+    ) -> list[Record]:
+        """Convenience retrieval returning the projected records."""
+        return self.execute(RetrieveRequest(query, target, by)).records
+
+    def last_requests(self, count: int) -> list[str]:
+        """The most recent *count* logged request texts."""
+        return self.request_log[-count:]
+
+    def clear_log(self) -> None:
+        self.request_log.clear()

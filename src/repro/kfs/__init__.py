@@ -1,0 +1,5 @@
+"""KFS — the Kernel Formatting Subsystem."""
+
+from repro.kfs.formatter import format_record, format_records, format_table
+
+__all__ = ["format_record", "format_records", "format_table"]

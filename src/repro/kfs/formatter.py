@@ -1,0 +1,72 @@
+"""The Kernel Formatting Subsystem (KFS).
+
+KFS reformats kernel (attribute-based) results into the user's data model
+for display (thesis I.B.1): for a CODASYL-DML user that means network
+record occurrences — data items in schema order — rendered as rows.  The
+functions here produce the plain-text tables the examples print; the
+UWA-filling path of GET lives in the engine (the two consumers of KFS in
+the thesis's architecture).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.abdm.record import Record
+from repro.abdm.values import Value
+from repro.network.model import NetRecordType
+
+
+def _display(value: Value) -> str:
+    if value is None:
+        return "<null>"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_record(
+    record_def: NetRecordType,
+    values: Mapping[str, Value],
+) -> str:
+    """One record occurrence as ``item: value`` lines in schema order."""
+    lines = [f"{record_def.name}:"]
+    for attribute in record_def.attributes:
+        lines.append(f"    {attribute.name} = {_display(values.get(attribute.name))}")
+    return "\n".join(lines)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Mapping[str, Value]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width text table over the given columns."""
+    materialized = [{c: _display(row.get(c)) for c in columns} for row in rows]
+    widths = {c: len(c) for c in columns}
+    for row in materialized:
+        for column in columns:
+            widths[column] = max(widths[column], len(row[column]))
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    rule = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(row[c].ljust(widths[c]) for c in columns) for row in materialized
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, rule, *body])
+    if not body:
+        lines.append("(no records)")
+    return "\n".join(lines)
+
+
+def format_records(
+    record_def: NetRecordType,
+    records: Iterable[Record],
+    items: Optional[Sequence[str]] = None,
+) -> str:
+    """AB records of one record type as a table over its data items."""
+    columns = list(items) if items else [a.name for a in record_def.attributes]
+    rows = [{c: record.get(c) for c in columns} for record in records]
+    return format_table(columns, rows, title=f"{record_def.name} records")

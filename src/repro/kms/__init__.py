@@ -1,0 +1,28 @@
+"""KMS — the Kernel Mapping Subsystem (CODASYL-DML → ABDL translation).
+
+The package splits Chapter VI's translation in two: the
+statement-semantics engine (:class:`~repro.kms.engine.DMLEngine`) that
+owns the currency table, user work area and request buffers, and a
+:class:`~repro.kms.adapter.TargetAdapter` per kernel-database layout —
+:class:`~repro.kms.network_adapter.NetworkTargetAdapter` for AB(network)
+databases (the original Emdi translation) and
+:class:`~repro.kms.functional_adapter.FunctionalTargetAdapter` for
+AB(functional) databases (the thesis's modified translation).
+"""
+
+from repro.kms.adapter import TargetAdapter, dedupe_by_dbkey
+from repro.kms.engine import DMLEngine
+from repro.kms.functional_adapter import FunctionalTargetAdapter, LINK_KEY_SEPARATOR
+from repro.kms.network_adapter import NetworkTargetAdapter
+from repro.kms.results import StatementResult, Status
+
+__all__ = [
+    "DMLEngine",
+    "FunctionalTargetAdapter",
+    "LINK_KEY_SEPARATOR",
+    "NetworkTargetAdapter",
+    "StatementResult",
+    "Status",
+    "TargetAdapter",
+    "dedupe_by_dbkey",
+]

@@ -1,0 +1,47 @@
+"""Statement outcomes returned by the DML engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.abdm.values import Value
+
+
+class Status(enum.Enum):
+    """Outcome classes of one CODASYL-DML statement."""
+
+    OK = "ok"
+    NOT_FOUND = "not found"  # FIND matched no record
+    END_OF_SET = "end of set"  # FIND NEXT/PRIOR/DUPLICATE exhausted the set
+
+
+@dataclass
+class StatementResult:
+    """What one DML statement produced.
+
+    *record_type* / *dbkey* identify the record the statement located or
+    created; *values* carries the data items a GET (or a locating FIND)
+    exposes; *requests* lists the ABDL texts the statement translated
+    into, in execution order (empty for pure-currency statements such as
+    FIND CURRENT, which the thesis notes map to no ABDL at all).
+    """
+
+    statement: str
+    status: Status = Status.OK
+    record_type: Optional[str] = None
+    dbkey: Optional[str] = None
+    values: dict[str, Value] = field(default_factory=dict)
+    requests: list[str] = field(default_factory=list)
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.OK
+
+    def __repr__(self) -> str:
+        core = f"{self.statement!r} -> {self.status.value}"
+        if self.dbkey:
+            core += f" {self.record_type}[{self.dbkey}]"
+        return f"StatementResult({core})"

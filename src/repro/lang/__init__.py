@@ -1,0 +1,10 @@
+"""Shared lexing infrastructure for the three MLDS language front-ends.
+
+ABDL, DAPLEX and CODASYL (schema DDL and DML) share token shapes — keywords,
+identifiers, numbers, quoted strings and punctuation — so one configurable
+lexer plus one cursor-style token stream serves all of them.
+"""
+
+from repro.lang.lexer import Lexer, Token, TokenStream, TokenType
+
+__all__ = ["Lexer", "Token", "TokenStream", "TokenType"]

@@ -1,0 +1,260 @@
+"""A configurable lexer and token stream shared by the language front-ends.
+
+The lexer recognizes:
+
+* identifiers / keywords: ``[A-Za-z_][A-Za-z0-9_$]*`` (``$`` appears inside
+  database keys such as ``person$3``); words found in the configured keyword
+  set are case-insensitively normalized to upper case and typed KEYWORD,
+* numbers: integer and floating literals (typed NUMBER, value is ``int`` or
+  ``float``),
+* strings: single-quoted, with ``''`` as the escape for an embedded quote,
+* punctuation: the longest match from the configured symbol list.
+
+Comments run from ``--`` to end of line (the DAPLEX/Ada convention; harmless
+to the other languages because none of them uses ``--`` as an operator).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.errors import LexError, ParseError
+
+
+class TokenType(enum.Enum):
+    """Lexical classes produced by :class:`Lexer`."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    value: Union[int, float, str, None]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r})"
+
+
+_DEFAULT_SYMBOLS = (
+    "<=", ">=", "!=", "..",
+    "(", ")", "<", ">", "=", ",", ";", ":", ".", "*", "-", "+", "/",
+)
+
+
+class Lexer:
+    """Tokenizer configured with a keyword vocabulary and symbol list."""
+
+    def __init__(
+        self,
+        keywords: Iterable[str],
+        symbols: Sequence[str] = _DEFAULT_SYMBOLS,
+    ) -> None:
+        self._keywords = {k.upper() for k in keywords}
+        # Longest-first so that multi-character symbols win.
+        self._symbols = sorted(symbols, key=len, reverse=True)
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Tokenize *text*, returning the token list terminated by EOF."""
+        tokens: list[Token] = []
+        pos = 0
+        line = 1
+        line_start = 0
+        length = len(text)
+        while pos < length:
+            ch = text[pos]
+            if ch == "\n":
+                line += 1
+                pos += 1
+                line_start = pos
+                continue
+            if ch in " \t\r":
+                pos += 1
+                continue
+            if text.startswith("--", pos):
+                end = text.find("\n", pos)
+                pos = length if end < 0 else end
+                continue
+            column = pos - line_start + 1
+            if ch == "'":
+                token, pos = self._lex_string(text, pos, line, column)
+            elif ch.isdigit() or (
+                ch == "." and pos + 1 < length and text[pos + 1].isdigit()
+            ):
+                token, pos = self._lex_number(text, pos, line, column)
+            elif ch.isalpha() or ch == "_":
+                token, pos = self._lex_word(text, pos, line, column)
+            else:
+                token, pos = self._lex_symbol(text, pos, line, column)
+            tokens.append(token)
+        tokens.append(Token(TokenType.EOF, "", None, line, length - line_start + 1))
+        return tokens
+
+    def _lex_string(self, text: str, pos: int, line: int, column: int) -> tuple[Token, int]:
+        start = pos
+        pos += 1
+        chunks: list[str] = []
+        while pos < len(text):
+            ch = text[pos]
+            if ch == "'":
+                if text.startswith("''", pos):
+                    chunks.append("'")
+                    pos += 2
+                    continue
+                pos += 1
+                return (
+                    Token(TokenType.STRING, text[start:pos], "".join(chunks), line, column),
+                    pos,
+                )
+            if ch == "\n":
+                break
+            chunks.append(ch)
+            pos += 1
+        raise LexError("unterminated string literal", line, column)
+
+    def _lex_number(self, text: str, pos: int, line: int, column: int) -> tuple[Token, int]:
+        start = pos
+        length = len(text)
+        while pos < length and text[pos].isdigit():
+            pos += 1
+        is_float = False
+        # A '..' range operator must not be eaten as a float's decimal point.
+        if pos < length and text[pos] == "." and not text.startswith("..", pos):
+            nxt = text[pos + 1] if pos + 1 < length else ""
+            if nxt.isdigit():
+                is_float = True
+                pos += 1
+                while pos < length and text[pos].isdigit():
+                    pos += 1
+        # Scientific notation: digits [.digits] (e|E) [+|-] digits.  The
+        # exponent marker is only consumed when a digit follows, so an
+        # identifier starting with 'e' after a number still lexes apart.
+        if pos < length and text[pos] in "eE":
+            exp_end = pos + 1
+            if exp_end < length and text[exp_end] in "+-":
+                exp_end += 1
+            if exp_end < length and text[exp_end].isdigit():
+                pos = exp_end
+                while pos < length and text[pos].isdigit():
+                    pos += 1
+                is_float = True
+        raw = text[start:pos]
+        value: Union[int, float] = float(raw) if is_float else int(raw)
+        return Token(TokenType.NUMBER, raw, value, line, column), pos
+
+    def _lex_word(self, text: str, pos: int, line: int, column: int) -> tuple[Token, int]:
+        start = pos
+        length = len(text)
+        while pos < length and (text[pos].isalnum() or text[pos] in "_$"):
+            pos += 1
+        raw = text[start:pos]
+        upper = raw.upper()
+        if upper in self._keywords:
+            # text carries the normalized keyword; value keeps the raw
+            # spelling so a keyword used as a name round-trips faithfully.
+            return Token(TokenType.KEYWORD, upper, raw, line, column), pos
+        return Token(TokenType.IDENT, raw, raw, line, column), pos
+
+    def _lex_symbol(self, text: str, pos: int, line: int, column: int) -> tuple[Token, int]:
+        for symbol in self._symbols:
+            if text.startswith(symbol, pos):
+                return (
+                    Token(TokenType.SYMBOL, symbol, symbol, line, column),
+                    pos + len(symbol),
+                )
+        raise LexError(f"unexpected character {text[pos]!r}", line, column)
+
+
+class TokenStream:
+    """A cursor over a token list with the usual recursive-descent helpers."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    # -- inspection -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    @property
+    def current(self) -> Token:
+        return self.peek()
+
+    def at_end(self) -> bool:
+        return self.current.type is TokenType.EOF
+
+    def at_keyword(self, *names: str) -> bool:
+        token = self.current
+        return token.type is TokenType.KEYWORD and token.text in names
+
+    def at_symbol(self, *symbols: str) -> bool:
+        token = self.current
+        return token.type is TokenType.SYMBOL and token.text in symbols
+
+    # -- consumption ----------------------------------------------------------
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.at_keyword(*names):
+            return self.advance()
+        return None
+
+    def accept_symbol(self, *symbols: str) -> Optional[Token]:
+        if self.at_symbol(*symbols):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.accept_keyword(*names)
+        if token is None:
+            raise self.error(f"expected {' or '.join(names)}")
+        return token
+
+    def expect_symbol(self, *symbols: str) -> Token:
+        token = self.accept_symbol(*symbols)
+        if token is None:
+            raise self.error(f"expected {' or '.join(repr(s) for s in symbols)}")
+        return token
+
+    def expect_ident(self, what: str = "identifier") -> Token:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            return self.advance()
+        # Unreserved keywords may still serve as names (e.g. an attribute
+        # called 'name' under a DDL that reserves NAME); hand back an
+        # IDENT token carrying the raw spelling so rendering round-trips.
+        if token.type is TokenType.KEYWORD:
+            self.advance()
+            raw = token.value if isinstance(token.value, str) else token.text
+            return Token(TokenType.IDENT, raw, raw, token.line, token.column)
+        raise self.error(f"expected {what}")
+
+    def expect_eof(self) -> None:
+        if not self.at_end():
+            raise self.error("unexpected trailing input")
+
+    # -- errors ---------------------------------------------------------------
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        found = token.text or "end of input"
+        return ParseError(f"{message}, found {found!r}", token.line, token.column)

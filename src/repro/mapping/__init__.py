@@ -1,0 +1,65 @@
+"""Data-model transformations (thesis Chapters III and V).
+
+* :mod:`repro.mapping.fun_to_net` — the direct functional-to-network
+  schema transformer (the thesis's selected strategy);
+* :mod:`repro.mapping.fun_to_abdm` — the functional-to-ABDM mapping
+  defining the AB(functional) database layout;
+* :mod:`repro.mapping.net_to_abdm` — the network-to-ABDM mapping defining
+  the AB(network) layout (the Emdi baseline target);
+* :mod:`repro.mapping.rel_to_abdm` / :mod:`repro.mapping.hie_to_abdm` —
+  the AB(relational) and AB(hierarchical) layouts for the other two
+  language interfaces;
+* :mod:`repro.mapping.hie_to_rel` — the hierarchical-to-relational view
+  behind SQL-over-hierarchical sessions (the Chapter VII Zawis pair);
+* :mod:`repro.mapping.two_step` — the two-step transformation baseline
+  used to benchmark the direct strategy against the alternatives;
+* :mod:`repro.mapping.overlap` — the overlap table consulted by STORE.
+"""
+
+from repro.mapping.fun_to_abdm import ABFileLayout, ABFunctionalMapping, FunctionValue
+from repro.mapping.fun_to_net import (
+    Carrier,
+    FunctionalToNetworkTransformer,
+    LinkInfo,
+    NetworkTransformation,
+    SetKind,
+    SetOrigin,
+    transform_schema,
+)
+from repro.mapping.hie_to_abdm import ABHierarchicalMapping, PARENT_ATTRIBUTE, SEQUENCE_ATTRIBUTE
+from repro.mapping.hie_to_rel import HierarchicalSqlEngine, relational_view
+from repro.mapping.net_to_abdm import ABNetworkLayout, ABNetworkMapping
+from repro.mapping.rel_to_abdm import ABRelationalMapping
+from repro.mapping.overlap import OverlapTable
+from repro.mapping.two_step import (
+    IntermediateForm,
+    lower_to_intermediate,
+    raise_to_network,
+    transform_schema_two_step,
+)
+
+__all__ = [
+    "ABFileLayout",
+    "ABFunctionalMapping",
+    "ABHierarchicalMapping",
+    "ABNetworkLayout",
+    "ABNetworkMapping",
+    "ABRelationalMapping",
+    "HierarchicalSqlEngine",
+    "PARENT_ATTRIBUTE",
+    "SEQUENCE_ATTRIBUTE",
+    "Carrier",
+    "FunctionValue",
+    "FunctionalToNetworkTransformer",
+    "IntermediateForm",
+    "LinkInfo",
+    "NetworkTransformation",
+    "OverlapTable",
+    "SetKind",
+    "SetOrigin",
+    "lower_to_intermediate",
+    "raise_to_network",
+    "relational_view",
+    "transform_schema",
+    "transform_schema_two_step",
+]

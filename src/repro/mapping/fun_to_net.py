@@ -1,0 +1,424 @@
+"""Functional-to-network schema transformation (thesis Chapter V).
+
+The transformer turns a :class:`~repro.functional.FunctionalSchema` into a
+:class:`~repro.network.NetworkSchema` plus a :class:`NetworkTransformation`
+— the bookkeeping the modified KMS needs to translate CODASYL-DML against
+the AB(functional) database.  The six functional constructs map as follows:
+
+* **Entity types** become record types of the same name, each made the
+  member of a set owned by SYSTEM (``system_<name>``, AUTOMATIC/FIXED).
+* **Entity subtypes** become record types plus one ISA set per supertype,
+  named ``<supertype>_<subtype>``, owned by the supertype's record type
+  (AUTOMATIC/FIXED).
+* **Non-entity types** map onto network attribute types: strings to
+  CHARACTER of the declared length, integers to INTEGER, floating points
+  to FLOAT, enumerations (and booleans) to CHARACTER of the longest
+  literal.
+* **Scalar functions** become attributes of the record type; **scalar
+  multi-valued functions** become attributes whose duplicates flag is
+  cleared (only one occurrence may be stored per record — the
+  AB(functional) database realizes the multiple values as duplicated
+  records).
+* **Single-valued entity functions** become sets named after the function,
+  owned by the *range* type's record and membered by the *domain* type's
+  record (MANUAL/OPTIONAL, selection BY APPLICATION).
+* **Multi-valued entity functions** become either one-to-many sets (owner
+  = domain, member = range) or — when the range type declares an inverse
+  multi-valued function back to the domain — a ``link_X`` record type with
+  two sets, one owned by each side, as in Figure 5.1's ``teaching`` /
+  ``taught_by`` / ``link_1`` trio.
+* **Uniqueness constraints** clear the duplicates flag of the constrained
+  attributes (rendered as ``DUPLICATES ARE NOT ALLOWED FOR ...``).
+* **Overlap constraints** populate the overlap table consulted by STORE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import TransformError
+from repro.functional.model import (
+    EntitySubtype,
+    EntityType,
+    Function,
+    FunctionalSchema,
+    ScalarKind,
+    ScalarType,
+)
+from repro.network.model import (
+    AttributeType,
+    InsertionMode,
+    NetAttribute,
+    NetRecordType,
+    NetSetType,
+    NetworkSchema,
+    RetentionMode,
+    SelectionMode,
+    SetSelect,
+    SYSTEM_OWNER,
+)
+
+
+class SetKind(enum.Enum):
+    """Why a set type exists in the transformed schema."""
+
+    SYSTEM = "system"  # entity type membership under SYSTEM
+    ISA = "isa"  # subtype under its supertype
+    SINGLE_VALUED = "single_valued"  # single-valued entity function
+    ONE_TO_MANY = "one_to_many"  # multi-valued function without inverse
+    MANY_TO_MANY = "many_to_many"  # one side of a link_X pair
+
+
+class Carrier(enum.Enum):
+    """Which AB(functional) file holds the set-membership keyword.
+
+    Single-valued functions store ``(set-name, owner-dbkey)`` in the
+    *member* (domain) file; one-to-many and many-to-many functions store
+    ``(set-name, member-dbkey)`` in the *owner* (domain) file; ISA and
+    SYSTEM memberships are implicit in the shared database key.
+    """
+
+    MEMBER = "member"
+    OWNER = "owner"
+    IMPLICIT = "implicit"
+
+
+@dataclass
+class SetOrigin:
+    """Provenance of one transformed set type."""
+
+    set_name: str
+    kind: SetKind
+    carrier: Carrier
+    #: Function that produced the set (None for SYSTEM/ISA sets).
+    function_name: Optional[str] = None
+    #: Type the function is declared on (its domain).
+    domain_type: Optional[str] = None
+    #: The function's range type (or the subtype for ISA sets).
+    range_type: Optional[str] = None
+    #: The partner set of a many-to-many pair (the other link side).
+    partner_set: Optional[str] = None
+    #: The link record joining a many-to-many pair.
+    link_record: Optional[str] = None
+
+
+@dataclass
+class LinkInfo:
+    """One ``link_X`` record type realizing a many-to-many function pair."""
+
+    name: str
+    first_set: str  # set owned by the first side's record type
+    second_set: str
+    first_type: str  # record/entity type of the first side
+    second_type: str
+
+
+@dataclass
+class NetworkTransformation:
+    """The transformer's full output.
+
+    *schema* is the user-visible network schema; the remaining fields give
+    the KMS the provenance information Chapter VI's translation rules
+    dispatch on.
+    """
+
+    source: FunctionalSchema
+    schema: NetworkSchema
+    set_origins: dict[str, SetOrigin] = field(default_factory=dict)
+    links: dict[str, LinkInfo] = field(default_factory=dict)
+
+    def origin(self, set_name: str) -> SetOrigin:
+        try:
+            return self.set_origins[set_name]
+        except KeyError as exc:
+            raise TransformError(f"set {set_name!r} has no transformation origin") from exc
+
+    def dbkey_attribute(self, record_name: str) -> str:
+        """The attribute carrying a record's database key.
+
+        By the AB(functional) conventions this is the record type's own
+        name: the second keyword of every record is ``(type, dbkey)``.
+        """
+        return record_name
+
+    def is_link_record(self, record_name: str) -> bool:
+        return record_name in self.links
+
+
+def scalar_to_attribute(name: str, scalar: ScalarType) -> NetAttribute:
+    """Map one non-entity (scalar) type onto a network attribute (V.C)."""
+    if scalar.kind is ScalarKind.STRING:
+        return NetAttribute(name, AttributeType.CHARACTER, length=scalar.length)
+    if scalar.kind is ScalarKind.INTEGER:
+        return NetAttribute(name, AttributeType.INTEGER)
+    if scalar.kind is ScalarKind.FLOAT:
+        return NetAttribute(name, AttributeType.FLOAT)
+    if scalar.kind in (ScalarKind.ENUMERATION, ScalarKind.BOOLEAN):
+        return NetAttribute(name, AttributeType.CHARACTER, length=scalar.total_length)
+    raise TransformError(f"cannot map scalar kind {scalar.kind!r}")
+
+
+class FunctionalToNetworkTransformer:
+    """Implements the Chapter V transformation algorithms."""
+
+    def __init__(self, source: FunctionalSchema) -> None:
+        self.source = source
+        self.result = NetworkTransformation(source, NetworkSchema(f"{source.name}_net"))
+        self._link_counter = 0
+        self._linked_functions: set[tuple[str, str]] = set()
+
+    # -- public entry point ----------------------------------------------------
+
+    def transform(self) -> NetworkTransformation:
+        """Run the whole transformation and return its output."""
+        # Pass 1: record types for every entity type and subtype, with their
+        # scalar attributes, plus SYSTEM / ISA sets (V.A, V.B, V.C).
+        for entity in self.source.entity_types.values():
+            self._transform_entity_type(entity)
+        for subtype in self.source.subtypes.values():
+            self._transform_subtype(subtype)
+        # Pass 2: function sets.  Done after every record type exists so the
+        # owner/member references always resolve (V.A's function rules).
+        for type_name in self.source.type_names():
+            node = self.source.entity_or_subtype(type_name)
+            for function in node.functions:
+                if not function.entity_valued:
+                    continue
+                if function.set_valued:
+                    self._transform_multivalued(type_name, function)
+                else:
+                    self._transform_single_valued(type_name, function)
+        # Pass 3: uniqueness constraints (V.D) as a loop following the type
+        # transformations, exactly as the thesis implements it.
+        self._apply_uniqueness()
+        return self.result
+
+    # -- entity types (V.A) -------------------------------------------------------
+
+    def _transform_entity_type(self, entity: EntityType) -> None:
+        record = NetRecordType(entity.name)
+        self._add_scalar_attributes(record, entity.functions)
+        self.result.schema.add_record(record)
+        set_name = f"system_{entity.name}"
+        self.result.schema.add_set(
+            NetSetType(
+                set_name,
+                SYSTEM_OWNER,
+                entity.name,
+                insertion=InsertionMode.AUTOMATIC,
+                retention=RetentionMode.FIXED,
+                select=SetSelect(SelectionMode.BY_APPLICATION),
+            )
+        )
+        self.result.set_origins[set_name] = SetOrigin(
+            set_name, SetKind.SYSTEM, Carrier.IMPLICIT, range_type=entity.name
+        )
+
+    # -- entity subtypes (V.B) -------------------------------------------------------
+
+    def _transform_subtype(self, subtype: EntitySubtype) -> None:
+        record = NetRecordType(subtype.name)
+        self._add_scalar_attributes(record, subtype.functions)
+        self.result.schema.add_record(record)
+        for supertype in subtype.supertypes:
+            set_name = f"{supertype}_{subtype.name}"
+            self.result.schema.add_set(
+                NetSetType(
+                    set_name,
+                    supertype,
+                    subtype.name,
+                    insertion=InsertionMode.AUTOMATIC,
+                    retention=RetentionMode.FIXED,
+                    select=SetSelect(SelectionMode.BY_APPLICATION),
+                )
+            )
+            self.result.set_origins[set_name] = SetOrigin(
+                set_name,
+                SetKind.ISA,
+                Carrier.IMPLICIT,
+                domain_type=supertype,
+                range_type=subtype.name,
+            )
+
+    # -- scalar attributes (V.A / V.C) --------------------------------------------------
+
+    def _add_scalar_attributes(self, record: NetRecordType, functions: list[Function]) -> None:
+        # The database-key attribute comes first, mirroring the AB record
+        # layout ``(FILE, type) (type, dbkey) ...``.
+        record.attributes.append(
+            NetAttribute(record.name, AttributeType.CHARACTER, length=0)
+        )
+        for function in functions:
+            if function.entity_valued:
+                continue
+            scalar = function.result_scalar
+            if scalar is None:
+                raise TransformError(
+                    f"function {record.name}.{function.name} has no resolved scalar type"
+                )
+            attribute = scalar_to_attribute(function.name, scalar)
+            if function.is_scalar_multivalued:
+                # Only one occurrence of a scalar multi-valued value may be
+                # stored per record (V.A): the duplicates flag is cleared.
+                attribute.duplicates_allowed = False
+            record.attributes.append(attribute)
+
+    # -- single-valued entity functions (V.A) ----------------------------------------------
+
+    def _transform_single_valued(self, domain: str, function: Function) -> None:
+        range_type = function.range_type_name
+        assert range_type is not None
+        set_name = function.name
+        if self.result.schema.has_set(set_name):
+            raise TransformError(
+                f"function set name {set_name!r} collides with an existing set; "
+                f"rename the function on {domain!r}"
+            )
+        self.result.schema.add_set(
+            NetSetType(
+                set_name,
+                range_type,  # owner (and ancestor) is the range record type
+                domain,  # member is the domain record type
+                insertion=InsertionMode.MANUAL,
+                retention=RetentionMode.OPTIONAL,
+                select=SetSelect(SelectionMode.BY_APPLICATION),
+            )
+        )
+        self.result.set_origins[set_name] = SetOrigin(
+            set_name,
+            SetKind.SINGLE_VALUED,
+            Carrier.MEMBER,
+            function_name=function.name,
+            domain_type=domain,
+            range_type=range_type,
+        )
+
+    # -- multi-valued entity functions (V.A) ------------------------------------------------
+
+    def _transform_multivalued(self, domain: str, function: Function) -> None:
+        if (domain, function.name) in self._linked_functions:
+            return  # already consumed as the inverse of a many-to-many pair
+        range_type = function.range_type_name
+        assert range_type is not None
+        inverse = self._find_inverse(domain, function)
+        if inverse is not None:
+            self._transform_many_to_many(domain, function, range_type, inverse)
+        else:
+            self._transform_one_to_many(domain, function, range_type)
+
+    def _find_inverse(self, domain: str, function: Function) -> Optional[Function]:
+        """Find an unconsumed multi-valued function on the range type whose
+        own range is *domain* (the many-to-many test of V.A)."""
+        range_type = function.range_type_name
+        if range_type is None or not self.source.is_entity_name(range_type):
+            return None
+        for candidate in self.source.entity_or_subtype(range_type).functions:
+            if candidate.is_multivalued_entity and candidate.range_type_name == domain:
+                if range_type == domain and candidate.name == function.name:
+                    continue  # a self-referential function is not its own inverse
+                if (range_type, candidate.name) in self._linked_functions:
+                    continue
+                return candidate
+        return None
+
+    def _transform_many_to_many(
+        self,
+        domain: str,
+        function: Function,
+        range_type: str,
+        inverse: Function,
+    ) -> None:
+        self._link_counter += 1
+        link_name = f"link_{self._link_counter}"
+        link_record = NetRecordType(
+            link_name,
+            [NetAttribute(link_name, AttributeType.CHARACTER, length=0)],
+        )
+        self.result.schema.add_record(link_record)
+        for set_name, owner in ((function.name, domain), (inverse.name, range_type)):
+            if self.result.schema.has_set(set_name):
+                raise TransformError(
+                    f"function set name {set_name!r} collides with an existing set"
+                )
+            self.result.schema.add_set(
+                NetSetType(
+                    set_name,
+                    owner,
+                    link_name,
+                    insertion=InsertionMode.MANUAL,
+                    retention=RetentionMode.OPTIONAL,
+                    select=SetSelect(SelectionMode.BY_APPLICATION),
+                )
+            )
+        self.result.set_origins[function.name] = SetOrigin(
+            function.name,
+            SetKind.MANY_TO_MANY,
+            Carrier.OWNER,
+            function_name=function.name,
+            domain_type=domain,
+            range_type=range_type,
+            partner_set=inverse.name,
+            link_record=link_name,
+        )
+        self.result.set_origins[inverse.name] = SetOrigin(
+            inverse.name,
+            SetKind.MANY_TO_MANY,
+            Carrier.OWNER,
+            function_name=inverse.name,
+            domain_type=range_type,
+            range_type=domain,
+            partner_set=function.name,
+            link_record=link_name,
+        )
+        self.result.links[link_name] = LinkInfo(
+            link_name, function.name, inverse.name, domain, range_type
+        )
+        self._linked_functions.add((domain, function.name))
+        self._linked_functions.add((range_type, inverse.name))
+
+    def _transform_one_to_many(self, domain: str, function: Function, range_type: str) -> None:
+        set_name = function.name
+        if self.result.schema.has_set(set_name):
+            raise TransformError(
+                f"function set name {set_name!r} collides with an existing set"
+            )
+        self.result.schema.add_set(
+            NetSetType(
+                set_name,
+                domain,  # owner is the domain record type
+                range_type,  # member is the range record type
+                insertion=InsertionMode.MANUAL,
+                retention=RetentionMode.OPTIONAL,
+                select=SetSelect(SelectionMode.BY_APPLICATION),
+            )
+        )
+        self.result.set_origins[set_name] = SetOrigin(
+            set_name,
+            SetKind.ONE_TO_MANY,
+            Carrier.OWNER,
+            function_name=function.name,
+            domain_type=domain,
+            range_type=range_type,
+        )
+
+    # -- uniqueness constraints (V.D) ----------------------------------------------------
+
+    def _apply_uniqueness(self) -> None:
+        for constraint in self.source.uniqueness:
+            record = self.result.schema.record(constraint.within)
+            for function_name in constraint.functions:
+                attribute = record.attribute(function_name)
+                if attribute is None:
+                    raise TransformError(
+                        f"UNIQUE names {function_name!r}, which did not map to an "
+                        f"attribute of record {constraint.within!r} (entity-valued "
+                        f"functions cannot carry uniqueness here)"
+                    )
+                attribute.duplicates_allowed = False
+
+
+def transform_schema(source: FunctionalSchema) -> NetworkTransformation:
+    """Transform *source* into a network schema (the LIL's mapping step)."""
+    return FunctionalToNetworkTransformer(source).transform()

@@ -1,0 +1,101 @@
+"""Hierarchical-to-ABDM mapping: the AB(hierarchical) database.
+
+One AB file per segment type.  Each segment occurrence's record carries
+``(FILE, segment)``, ``(segment, dbkey)``, ``(parent, parent-dbkey)``
+(NULL for roots), ``(hseq, n)`` — a monotonically increasing insertion
+sequence number that realizes DL/I's *hierarchic order* deterministically
+across MBDS backends — and one keyword per field.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.abdm.record import FILE_ATTRIBUTE, Record
+from repro.abdm.values import Value
+from repro.errors import SchemaError
+from repro.hierarchical.model import HierarchicalSchema
+
+#: Keyword holding the parent occurrence's database key.
+PARENT_ATTRIBUTE = "parent"
+#: Keyword holding the hierarchic insertion sequence number.
+SEQUENCE_ATTRIBUTE = "hseq"
+
+
+class ABHierarchicalMapping:
+    """The hierarchical-to-ABDM mapping for one schema."""
+
+    def __init__(self, schema: HierarchicalSchema) -> None:
+        self.schema = schema
+        self._key_counters: dict[str, int] = {}
+        self._sequence = 0
+
+    def file_names(self) -> list[str]:
+        return list(self.schema.segments)
+
+    def dbkey_attribute(self, segment: str) -> str:
+        return segment
+
+    def mint_key(self, segment: str) -> str:
+        count = self._key_counters.get(segment, 0) + 1
+        self._key_counters[segment] = count
+        return f"{segment}${count}"
+
+    def next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def build_record(
+        self,
+        segment_name: str,
+        dbkey: str,
+        values: Mapping[str, Value],
+        parent_dbkey: Optional[str],
+        sequence: Optional[int] = None,
+    ) -> Record:
+        """Build one AB(hierarchical) segment record, type-checking fields."""
+        segment = self.schema.segment(segment_name)
+        known = {f.name for f in segment.fields}
+        reserved = {PARENT_ATTRIBUTE, SEQUENCE_ATTRIBUTE, segment_name, FILE_ATTRIBUTE}
+        for name in values:
+            if name not in known:
+                raise SchemaError(
+                    f"segment {segment_name!r} has no field {name!r}"
+                )
+        if known & reserved:
+            raise SchemaError(
+                f"segment {segment_name!r} uses a reserved field name "
+                f"({', '.join(sorted(known & reserved))})"
+            )
+        if segment.is_root and parent_dbkey is not None:
+            raise SchemaError(f"root segment {segment_name!r} takes no parent")
+        if not segment.is_root and parent_dbkey is None:
+            raise SchemaError(f"segment {segment_name!r} requires a parent key")
+        pairs: list[tuple[str, Value]] = [
+            (FILE_ATTRIBUTE, segment_name),
+            (segment_name, dbkey),
+            (PARENT_ATTRIBUTE, parent_dbkey),
+            (SEQUENCE_ATTRIBUTE, sequence if sequence is not None else self.next_sequence()),
+        ]
+        for segment_field in segment.fields:
+            value = values.get(segment_field.name)
+            if not segment_field.type.accepts(value):
+                raise SchemaError(
+                    f"field {segment_name}.{segment_field.name} "
+                    f"({segment_field.type.name}) rejects {value!r}"
+                )
+            if (
+                segment_field.length
+                and isinstance(value, str)
+                and len(value) > segment_field.length
+            ):
+                raise SchemaError(
+                    f"field {segment_name}.{segment_field.name} "
+                    f"CHAR({segment_field.length}) rejects {value!r}"
+                )
+            pairs.append((segment_field.name, value))
+        return Record.from_pairs(pairs)
+
+    def extract_values(self, segment_name: str, record: Record) -> dict[str, Value]:
+        segment = self.schema.segment(segment_name)
+        return {f.name: record.get(f.name) for f in segment.fields}

@@ -1,0 +1,104 @@
+"""Hierarchical-to-relational schema transformation (the Zawis interface).
+
+The thesis's Chapter VII names the companion work: "that of Zawis, which
+implements a means for accessing a hierarchical database via SQL
+transactions" — the second cross-model pair on the road to MMDS.  The
+transformation is the classic one: every segment type becomes a relation
+whose columns are
+
+* the segment's own database key (named after the segment, like every
+  AB dbkey attribute),
+* ``parent`` — the parent occurrence's key (omitted for roots),
+* the segment's fields.
+
+Because the AB(hierarchical) records already carry exactly these
+keywords, the relational view needs **no data conversion**: the SQL
+engine's retrievals run directly against the hierarchical files, and
+parent-child joins are equi-joins between a segment's ``parent`` column
+and its parent's key column — handed to ABDL's RETRIEVE-COMMON.
+
+SQL over a hierarchical database is *read-mostly*: SELECT and field
+UPDATEs translate cleanly, but INSERT and DELETE must go through DL/I
+(ISRT needs a parent position; DLET deletes subtrees), so the engine
+subclass rejects them with a pointer to the right interface.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.hierarchical.model import FieldType, HierarchicalSchema
+from repro.kc.controller import KernelController
+from repro.kms.sql_engine import SqlEngine, SqlResult
+from repro.mapping.rel_to_abdm import ABRelationalMapping
+from repro.relational import sql
+from repro.relational.model import Column, ColumnType, Relation, RelationalSchema
+
+_TYPE_MAP = {
+    FieldType.INT: ColumnType.INT,
+    FieldType.FLOAT: ColumnType.FLOAT,
+    FieldType.CHAR: ColumnType.CHAR,
+}
+
+
+def relational_view(schema: HierarchicalSchema) -> RelationalSchema:
+    """Build the relational view of a hierarchical schema."""
+    view = RelationalSchema(schema.name)
+    for segment_name in schema.hierarchical_order():
+        segment = schema.segment(segment_name)
+        columns = [Column(segment_name, ColumnType.CHAR)]
+        if not segment.is_root:
+            columns.append(Column("parent", ColumnType.CHAR))
+        for segment_field in segment.fields:
+            columns.append(
+                Column(
+                    segment_field.name,
+                    _TYPE_MAP[segment_field.type],
+                    segment_field.length,
+                )
+            )
+        view.add_relation(Relation(segment_name, columns, primary_key=[segment_name]))
+    return view
+
+
+class HierarchicalSqlEngine(SqlEngine):
+    """SQL over a hierarchical database: SELECT and UPDATE only.
+
+    The relational view exposes the key and ``parent`` columns for joins,
+    but they are navigation structure, not data — updating them would
+    corrupt the trees, and inserts/deletes need DL/I's positional
+    semantics — so those paths are rejected with explicit guidance.
+    """
+
+    def __init__(
+        self,
+        hierarchical: HierarchicalSchema,
+        kc: KernelController,
+    ) -> None:
+        view = relational_view(hierarchical)
+        super().__init__(view, kc, ABRelationalMapping(view))
+        self.hierarchical = hierarchical
+
+    def _insert(self, statement: sql.Insert) -> SqlResult:
+        raise TranslationError(
+            "INSERT is not available through the SQL view of a hierarchical "
+            "database; use the DL/I interface's ISRT call"
+        )
+
+    def _delete(self, statement: sql.Delete) -> SqlResult:
+        raise TranslationError(
+            "DELETE is not available through the SQL view of a hierarchical "
+            "database (it would orphan subtrees); use the DL/I interface's "
+            "DLET call"
+        )
+
+    def _update(self, statement: sql.Update) -> SqlResult:
+        segment = self.hierarchical.segment(statement.table)
+        protected = {statement.table, "parent"}
+        for column, _ in statement.assignments:
+            if column in protected:
+                raise TranslationError(
+                    f"column {column!r} is hierarchy structure and cannot be "
+                    f"updated through SQL"
+                )
+            segment.require_field(column)
+        return super()._update(statement)

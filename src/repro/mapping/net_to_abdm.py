@@ -1,0 +1,115 @@
+"""Network-to-ABDM mapping: the AB(network) database (thesis III.A).
+
+The Banerjee/Wortherly mapping retains the network's records and sets in
+attribute-based constructs: each record type becomes an AB file whose
+records carry ``(FILE, record-type)``, ``(record-type, dbkey)``, one
+keyword per data-item, and one keyword per set type in which the record
+type is a *member* — the keyword's attribute is the set name and its value
+is the owning record's database key (NULL while disconnected).
+
+This is the target layout of the original Emdi CODASYL-DML translation,
+kept here both because MLDS supports native network databases alongside
+transformed functional ones, and because it is the baseline the thesis's
+modified translation is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.abdm.record import FILE_ATTRIBUTE, Record
+from repro.abdm.values import Value
+from repro.errors import SchemaError
+from repro.network.model import NetworkSchema
+
+
+@dataclass
+class ABNetworkLayout:
+    """Keyword layout of one AB(network) file."""
+
+    record_type: str
+    attributes: list[str] = field(default_factory=list)
+    member_sets: list[str] = field(default_factory=list)
+
+
+class ABNetworkMapping:
+    """The network-to-ABDM mapping for one schema."""
+
+    def __init__(self, schema: NetworkSchema) -> None:
+        self.schema = schema
+        self._key_counters: dict[str, int] = {}
+
+    # -- structure ---------------------------------------------------------------
+
+    def file_names(self) -> list[str]:
+        return list(self.schema.records)
+
+    def layout(self, record_type: str) -> ABNetworkLayout:
+        record = self.schema.record(record_type)
+        layout = ABNetworkLayout(record_type)
+        layout.attributes = [FILE_ATTRIBUTE, record_type] + [
+            a.name for a in record.attributes if a.name != record_type
+        ]
+        layout.member_sets = [s.name for s in self.schema.sets_with_member(record_type)]
+        return layout
+
+    def dbkey_attribute(self, record_type: str) -> str:
+        return record_type
+
+    # -- keys ---------------------------------------------------------------------
+
+    def mint_key(self, record_type: str) -> str:
+        """Mint the next database key for *record_type*."""
+        count = self._key_counters.get(record_type, 0) + 1
+        self._key_counters[record_type] = count
+        return f"{record_type}${count}"
+
+    # -- records -------------------------------------------------------------------
+
+    def build_record(
+        self,
+        record_type: str,
+        dbkey: str,
+        values: Mapping[str, Value],
+        memberships: Optional[Mapping[str, Optional[str]]] = None,
+    ) -> Record:
+        """Build one AB(network) record.
+
+        *values* maps data-item names to values; *memberships* maps set
+        names to owner database keys (missing sets default to NULL, i.e.
+        disconnected).
+        """
+        record_def = self.schema.record(record_type)
+        item_names = {a.name for a in record_def.attributes}
+        for name in values:
+            if name not in item_names:
+                raise SchemaError(
+                    f"record type {record_type!r} has no data item {name!r}"
+                )
+        memberships = memberships or {}
+        member_sets = [s.name for s in self.schema.sets_with_member(record_type)]
+        for set_name in memberships:
+            if set_name not in member_sets:
+                raise SchemaError(
+                    f"record type {record_type!r} is not a member of set {set_name!r}"
+                )
+        pairs: list[tuple[str, Value]] = [
+            (FILE_ATTRIBUTE, record_type),
+            (record_type, dbkey),
+        ]
+        for attribute in record_def.attributes:
+            if attribute.name == record_type:
+                continue
+            pairs.append((attribute.name, values.get(attribute.name)))
+        for set_name in member_sets:
+            pairs.append((set_name, memberships.get(set_name)))
+        return Record.from_pairs(pairs)
+
+    def extract_values(self, record_type: str, record: Record) -> dict[str, Value]:
+        """Project an AB record onto the record type's data items."""
+        record_def = self.schema.record(record_type)
+        return {
+            attribute.name: record.get(attribute.name)
+            for attribute in record_def.attributes
+        }

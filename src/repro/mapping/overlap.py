@@ -1,0 +1,61 @@
+"""The Overlap Table (thesis V.E and VI.G).
+
+Functional subtypes are disjoint unless an overlap constraint declares
+otherwise.  The transformation realizes the constraints as a table that
+STORE consults before adding a record: an entity may join a terminal
+subtype only if every terminal subtype it already belongs to overlaps
+with the target.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ConstraintViolation
+from repro.functional.model import FunctionalSchema
+
+
+class OverlapTable:
+    """Pairwise co-membership permissions between terminal subtypes."""
+
+    def __init__(self, schema: FunctionalSchema) -> None:
+        self.schema = schema
+        self._allowed: set[frozenset[str]] = set()
+        for overlap in schema.overlaps:
+            for left in overlap.left:
+                for right in overlap.right:
+                    if left != right:
+                        self._allowed.add(frozenset((left, right)))
+
+    def allowed(self, first: str, second: str) -> bool:
+        """True when an entity may belong to both terminal types at once.
+
+        Types on the same ISA chain always co-exist (a faculty *is* an
+        employee); disjoint terminal subtypes need an explicit constraint.
+        """
+        if first == second:
+            return True
+        if first in self.schema.supertype_chain(second):
+            return True
+        if second in self.schema.supertype_chain(first):
+            return True
+        return frozenset((first, second)) in self._allowed
+
+    def check_store(self, target_type: str, existing_types: Iterable[str]) -> None:
+        """Verify that storing into *target_type* respects the table.
+
+        *existing_types* are the terminal types the entity (by database
+        key) already belongs to.  Raises :class:`ConstraintViolation` on
+        the first disallowed pair — the STORE must then be aborted, as
+        Chapter VI.G requires.
+        """
+        for existing in existing_types:
+            if not self.allowed(target_type, existing):
+                raise ConstraintViolation(
+                    f"overlap constraint violation: an entity of {existing!r} "
+                    f"may not also join {target_type!r} (no OVERLAP declared)"
+                )
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """The explicitly allowed pairs (for display/tests)."""
+        return sorted(tuple(sorted(pair)) for pair in self._allowed)

@@ -1,0 +1,78 @@
+"""Relational-to-ABDM mapping: the AB(relational) database.
+
+One AB file per relation; one record per tuple, carrying ``(FILE,
+relation)``, ``(relation, dbkey)`` and one keyword per column.  This is
+the simplest of MLDS's data-model transformations — the relational model
+is already attribute-shaped — and it completes the mapping family of
+Figure 4.1's dbid_node union (relational, hierarchical, network,
+functional).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.abdm.record import FILE_ATTRIBUTE, Record
+from repro.abdm.values import Value
+from repro.errors import SchemaError
+from repro.relational.model import RelationalSchema
+
+
+class ABRelationalMapping:
+    """The relational-to-ABDM mapping for one schema."""
+
+    def __init__(self, schema: RelationalSchema) -> None:
+        self.schema = schema
+        self._key_counters: dict[str, int] = {}
+
+    def file_names(self) -> list[str]:
+        return list(self.schema.relations)
+
+    def dbkey_attribute(self, relation: str) -> str:
+        return relation
+
+    def mint_key(self, relation: str) -> str:
+        count = self._key_counters.get(relation, 0) + 1
+        self._key_counters[relation] = count
+        return f"{relation}${count}"
+
+    def build_record(
+        self,
+        relation_name: str,
+        dbkey: str,
+        values: Mapping[str, Value],
+    ) -> Record:
+        """Build one AB(relational) tuple record, type-checking columns."""
+        relation = self.schema.relation(relation_name)
+        known = {c.name for c in relation.columns}
+        for name in values:
+            if name not in known:
+                raise SchemaError(
+                    f"relation {relation_name!r} has no column {name!r}"
+                )
+        pairs: list[tuple[str, Value]] = [
+            (FILE_ATTRIBUTE, relation_name),
+            (relation_name, dbkey),
+        ]
+        for column in relation.columns:
+            value = values.get(column.name)
+            if not column.type.accepts(value):
+                raise SchemaError(
+                    f"column {relation_name}.{column.name} ({column.type.name}) "
+                    f"rejects {value!r}"
+                )
+            if (
+                column.length
+                and isinstance(value, str)
+                and len(value) > column.length
+            ):
+                raise SchemaError(
+                    f"column {relation_name}.{column.name} CHAR({column.length}) "
+                    f"rejects {value!r}"
+                )
+            pairs.append((column.name, value))
+        return Record.from_pairs(pairs)
+
+    def extract_values(self, relation_name: str, record: Record) -> dict[str, Value]:
+        relation = self.schema.relation(relation_name)
+        return {c.name: record.get(c.name) for c in relation.columns}

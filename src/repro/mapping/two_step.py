@@ -1,0 +1,261 @@
+"""The two-step transformation baseline (thesis III.B.1 alternatives).
+
+Rodeck weighed three strategies for letting CODASYL-DML reach a functional
+database: the **direct language interface** (one-step functional-to-network
+schema transformation, the one the thesis implements), **AB-AB
+postprocessing** and **high-level preprocessing** — both of which route
+through an intermediate representation and therefore pay a second pass.
+
+To turn the thesis's qualitative argument ("a one-step schema
+transformation, a faster schema transformation") into a measurable claim,
+this module implements an honest two-step pipeline: step one lowers the
+functional schema into the AB(functional) intermediate description (file
+layouts plus a relationship catalog, exactly what an AB-AB interface would
+receive), and step two reconstructs a network schema from that
+intermediate form alone, re-deriving what the direct transformer reads
+straight off the functional schema.  The outputs are equivalent — the
+benchmark compares the cost, not the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.functional.model import FunctionalSchema
+from repro.mapping.fun_to_abdm import ABFunctionalMapping
+from repro.mapping.fun_to_net import (
+    Carrier,
+    LinkInfo,
+    NetworkTransformation,
+    SetKind,
+    SetOrigin,
+    scalar_to_attribute,
+)
+from repro.network.model import (
+    AttributeType,
+    InsertionMode,
+    NetAttribute,
+    NetRecordType,
+    NetSetType,
+    NetworkSchema,
+    RetentionMode,
+    SelectionMode,
+    SetSelect,
+    SYSTEM_OWNER,
+)
+
+
+@dataclass
+class IntermediateFile:
+    """Step-one output: one AB(functional) file description."""
+
+    type_name: str
+    is_subtype: bool
+    supertypes: list[str] = field(default_factory=list)
+    #: (attribute, scalar-type, multivalued) triples for scalar functions.
+    scalar_items: list[tuple[str, object, bool]] = field(default_factory=list)
+    #: (function, range-type, multivalued) triples for entity functions.
+    entity_items: list[tuple[str, str, bool]] = field(default_factory=list)
+    unique_items: list[str] = field(default_factory=list)
+
+
+@dataclass
+class IntermediateForm:
+    """The full step-one intermediate description."""
+
+    name: str
+    files: list[IntermediateFile] = field(default_factory=list)
+
+
+def lower_to_intermediate(schema: FunctionalSchema) -> IntermediateForm:
+    """Step one: lower the functional schema to the AB-level description."""
+    mapping = ABFunctionalMapping(schema)
+    form = IntermediateForm(schema.name)
+    for type_name in mapping.file_names():
+        node = schema.entity_or_subtype(type_name)
+        is_subtype = type_name in schema.subtypes
+        entry = IntermediateFile(
+            type_name,
+            is_subtype,
+            supertypes=list(getattr(node, "supertypes", [])),
+            unique_items=schema.unique_functions_of(type_name),
+        )
+        for function in node.functions:
+            if function.is_entity_valued:
+                entry.entity_items.append(
+                    (function.name, function.range_type_name or "", function.set_valued)
+                )
+            else:
+                entry.scalar_items.append(
+                    (function.name, function.result_scalar, function.set_valued)
+                )
+        form.files.append(entry)
+    return form
+
+
+def raise_to_network(form: IntermediateForm) -> NetworkTransformation:
+    """Step two: reconstruct a network schema from the intermediate form."""
+    schema = NetworkSchema(f"{form.name}_net")
+    # Rebuild a throw-away functional shell so NetworkTransformation's
+    # source link stays usable for provenance queries.
+    result = NetworkTransformation(FunctionalSchema(form.name), schema)
+    by_name = {entry.type_name: entry for entry in form.files}
+    link_counter = 0
+    consumed: set[tuple[str, str]] = set()
+    for entry in form.files:
+        record = NetRecordType(entry.type_name)
+        record.attributes.append(
+            NetAttribute(entry.type_name, AttributeType.CHARACTER, length=0)
+        )
+        for name, scalar, multivalued in entry.scalar_items:
+            attribute = scalar_to_attribute(name, scalar)  # type: ignore[arg-type]
+            if multivalued or name in entry.unique_items:
+                attribute.duplicates_allowed = False
+            record.attributes.append(attribute)
+        schema.add_record(record)
+        if entry.is_subtype:
+            for supertype in entry.supertypes:
+                set_name = f"{supertype}_{entry.type_name}"
+                schema.add_set(
+                    NetSetType(
+                        set_name,
+                        supertype,
+                        entry.type_name,
+                        insertion=InsertionMode.AUTOMATIC,
+                        retention=RetentionMode.FIXED,
+                        select=SetSelect(SelectionMode.BY_APPLICATION),
+                    )
+                )
+                result.set_origins[set_name] = SetOrigin(
+                    set_name,
+                    SetKind.ISA,
+                    Carrier.IMPLICIT,
+                    domain_type=supertype,
+                    range_type=entry.type_name,
+                )
+        else:
+            set_name = f"system_{entry.type_name}"
+            schema.add_set(
+                NetSetType(
+                    set_name,
+                    SYSTEM_OWNER,
+                    entry.type_name,
+                    insertion=InsertionMode.AUTOMATIC,
+                    retention=RetentionMode.FIXED,
+                    select=SetSelect(SelectionMode.BY_APPLICATION),
+                )
+            )
+            result.set_origins[set_name] = SetOrigin(
+                set_name, SetKind.SYSTEM, Carrier.IMPLICIT, range_type=entry.type_name
+            )
+    # Second sweep for relationship items, mirroring the direct
+    # transformer's pass 2 but reading the intermediate catalog.
+    for entry in form.files:
+        for name, range_type, multivalued in entry.entity_items:
+            if (entry.type_name, name) in consumed:
+                continue
+            if not multivalued:
+                schema.add_set(
+                    NetSetType(
+                        name,
+                        range_type,
+                        entry.type_name,
+                        insertion=InsertionMode.MANUAL,
+                        retention=RetentionMode.OPTIONAL,
+                        select=SetSelect(SelectionMode.BY_APPLICATION),
+                    )
+                )
+                result.set_origins[name] = SetOrigin(
+                    name,
+                    SetKind.SINGLE_VALUED,
+                    Carrier.MEMBER,
+                    function_name=name,
+                    domain_type=entry.type_name,
+                    range_type=range_type,
+                )
+                continue
+            inverse: Optional[tuple[str, str, bool]] = None
+            partner = by_name.get(range_type)
+            if partner is not None:
+                for candidate in partner.entity_items:
+                    cand_name, cand_range, cand_multi = candidate
+                    if not cand_multi or cand_range != entry.type_name:
+                        continue
+                    if range_type == entry.type_name and cand_name == name:
+                        continue
+                    if (range_type, cand_name) in consumed:
+                        continue
+                    inverse = candidate
+                    break
+            if inverse is None:
+                schema.add_set(
+                    NetSetType(
+                        name,
+                        entry.type_name,
+                        range_type,
+                        insertion=InsertionMode.MANUAL,
+                        retention=RetentionMode.OPTIONAL,
+                        select=SetSelect(SelectionMode.BY_APPLICATION),
+                    )
+                )
+                result.set_origins[name] = SetOrigin(
+                    name,
+                    SetKind.ONE_TO_MANY,
+                    Carrier.OWNER,
+                    function_name=name,
+                    domain_type=entry.type_name,
+                    range_type=range_type,
+                )
+                continue
+            link_counter += 1
+            link_name = f"link_{link_counter}"
+            schema.add_record(
+                NetRecordType(
+                    link_name,
+                    [NetAttribute(link_name, AttributeType.CHARACTER, length=0)],
+                )
+            )
+            inverse_name = inverse[0]
+            for set_name, owner in ((name, entry.type_name), (inverse_name, range_type)):
+                schema.add_set(
+                    NetSetType(
+                        set_name,
+                        owner,
+                        link_name,
+                        insertion=InsertionMode.MANUAL,
+                        retention=RetentionMode.OPTIONAL,
+                        select=SetSelect(SelectionMode.BY_APPLICATION),
+                    )
+                )
+            result.set_origins[name] = SetOrigin(
+                name,
+                SetKind.MANY_TO_MANY,
+                Carrier.OWNER,
+                function_name=name,
+                domain_type=entry.type_name,
+                range_type=range_type,
+                partner_set=inverse_name,
+                link_record=link_name,
+            )
+            result.set_origins[inverse_name] = SetOrigin(
+                inverse_name,
+                SetKind.MANY_TO_MANY,
+                Carrier.OWNER,
+                function_name=inverse_name,
+                domain_type=range_type,
+                range_type=entry.type_name,
+                partner_set=name,
+                link_record=link_name,
+            )
+            result.links[link_name] = LinkInfo(
+                link_name, name, inverse_name, entry.type_name, range_type
+            )
+            consumed.add((entry.type_name, name))
+            consumed.add((range_type, inverse_name))
+    return result
+
+
+def transform_schema_two_step(schema: FunctionalSchema) -> NetworkTransformation:
+    """The full two-step pipeline (the benchmark baseline)."""
+    return raise_to_network(lower_to_intermediate(schema))

@@ -1,0 +1,68 @@
+"""An MBDS backend (slave): one store, one executor, one simulated disk.
+
+Backends have identical software and their own disks (thesis I.B.2).  Each
+backend owns an :class:`~repro.abdm.store.ABStore` holding its slice of
+every file and executes each broadcast request against that slice,
+reporting both the result and the simulated time spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import Callable, Optional
+
+from repro.abdl.ast import InsertRequest, Request
+from repro.abdl.executor import Executor, RequestResult
+from repro.abdm.store import ABStore
+from repro.mbds.timing import TimingModel
+
+#: Builds the record store of one backend; lets callers swap the plain
+#: scan store for a directory-clustered one (see repro.abdm.directory).
+StoreFactory = Callable[[], ABStore]
+
+
+@dataclass
+class BackendResult:
+    """One backend's contribution to a request: records plus elapsed time."""
+
+    backend_id: int
+    result: RequestResult
+    elapsed_ms: float
+
+
+class Backend:
+    """A single database backend with a dedicated (simulated) disk."""
+
+    def __init__(
+        self,
+        backend_id: int,
+        timing: TimingModel,
+        store_factory: Optional[StoreFactory] = None,
+    ) -> None:
+        self.backend_id = backend_id
+        self.timing = timing
+        self.store = store_factory() if store_factory else ABStore()
+        self.executor = Executor(self.store)
+        #: Cumulative simulated busy time, for utilization reporting.
+        self.busy_ms = 0.0
+
+    def execute(self, request: Request) -> BackendResult:
+        """Execute *request* on this backend's slice, charging scan time."""
+        before = self.store.stats.records_examined
+        result = self.executor.execute(request)
+        examined = self.store.stats.records_examined - before
+        if isinstance(request, InsertRequest):
+            elapsed = self.timing.backend_insert_ms()
+        else:
+            selected = result.count
+            elapsed = self.timing.backend_scan_ms(examined, selected)
+        self.busy_ms += elapsed
+        return BackendResult(self.backend_id, result, elapsed)
+
+    def record_count(self) -> int:
+        """Records resident on this backend."""
+        return self.store.count()
+
+    def __repr__(self) -> str:
+        return f"Backend({self.backend_id}, {self.record_count()} records)"

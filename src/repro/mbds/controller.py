@@ -1,0 +1,134 @@
+"""The MBDS backend controller (master).
+
+The controller supervises transaction execution and user interfacing
+(thesis I.B.2): it broadcasts each request over the communication bus to
+every backend, collects their partial results, merges them, and accounts
+for simulated response time.  Because the backends work in parallel, the
+backend contribution to response time is the *maximum* of their individual
+times, not the sum — this is the mechanism behind both MBDS performance
+claims.
+
+INSERT requests are not broadcast: the placement policy routes each new
+record to exactly one backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.abdl.ast import InsertRequest, Request, Transaction
+from repro.abdl.executor import RequestResult
+from repro.abdm.record import Record
+from repro.errors import ExecutionError
+from repro.mbds.backend import Backend, BackendResult, StoreFactory
+from repro.mbds.placement import PlacementPolicy, RoundRobinPlacement
+from repro.mbds.timing import ResponseTime, TimingModel
+
+
+@dataclass
+class ExecutionTrace:
+    """Merged outcome of one request across all backends."""
+
+    request: Request
+    result: RequestResult
+    response: ResponseTime
+    per_backend_ms: list[float] = field(default_factory=list)
+
+
+class BackendController:
+    """Master node: broadcast, merge, and time a farm of backends."""
+
+    def __init__(
+        self,
+        backend_count: int,
+        timing: Optional[TimingModel] = None,
+        placement: Optional[PlacementPolicy] = None,
+        store_factory: Optional[StoreFactory] = None,
+    ) -> None:
+        if backend_count < 1:
+            raise ValueError("MBDS needs at least one backend")
+        self.timing = timing or TimingModel()
+        self.placement = placement or RoundRobinPlacement()
+        self.backends = [
+            Backend(i, self.timing, store_factory) for i in range(backend_count)
+        ]
+
+    @property
+    def backend_count(self) -> int:
+        return len(self.backends)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, request: Request) -> ExecutionTrace:
+        """Execute one request: route inserts, broadcast everything else."""
+        if isinstance(request, InsertRequest):
+            return self._execute_insert(request)
+        return self._execute_broadcast(request)
+
+    def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
+        """Execute requests sequentially, as ABDL transactions require."""
+        return [self.execute(request) for request in transaction]
+
+    def _execute_insert(self, request: InsertRequest) -> ExecutionTrace:
+        index = self.placement.place(request.record, self.backend_count)
+        backend_result = self.backends[index].execute(request)
+        response = ResponseTime()
+        response.add(backend_result.elapsed_ms, self.timing.controller_ms(0))
+        return ExecutionTrace(
+            request,
+            backend_result.result,
+            response,
+            per_backend_ms=[backend_result.elapsed_ms],
+        )
+
+    def _execute_broadcast(self, request: Request) -> ExecutionTrace:
+        partials: list[BackendResult] = [b.execute(request) for b in self.backends]
+        merged = _merge(request, partials)
+        slowest = max(p.elapsed_ms for p in partials)
+        response = ResponseTime()
+        response.add(slowest, self.timing.controller_ms(len(merged.records)))
+        return ExecutionTrace(
+            request,
+            merged,
+            response,
+            per_backend_ms=[p.elapsed_ms for p in partials],
+        )
+
+    # -- inspection -------------------------------------------------------------
+
+    def record_count(self) -> int:
+        """Total records across all backends."""
+        return sum(b.record_count() for b in self.backends)
+
+    def distribution(self) -> list[int]:
+        """Records per backend (for placement-balance tests)."""
+        return [b.record_count() for b in self.backends]
+
+    def all_records(self) -> list[Record]:
+        """Every record in the database, backend by backend."""
+        records: list[Record] = []
+        for backend in self.backends:
+            records.extend(backend.store.all_records())
+        return records
+
+
+def _merge(request: Request, partials: Sequence[BackendResult]) -> RequestResult:
+    """Merge per-backend partial results into one logical result.
+
+    Record lists concatenate in backend order (deterministic given the
+    deterministic placement); counts add.  Aggregate RETRIEVEs cannot be
+    merged by concatenation in general (AVG of AVGs is wrong), so the
+    controller is expected to receive aggregate queries only through
+    :class:`~repro.mbds.kds.KernelDatabaseSystem`, which evaluates
+    aggregates at the controller from raw records.
+    """
+    if not partials:
+        raise ExecutionError("no backend results to merge")
+    operation = partials[0].result.operation
+    merged = RequestResult(operation)
+    for partial in partials:
+        merged.records.extend(partial.result.records)
+        merged.raw_records.extend(partial.result.raw_records)
+        merged.count += partial.result.count
+    return merged

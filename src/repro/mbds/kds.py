@@ -1,0 +1,169 @@
+"""The Kernel Database System: MBDS behind a single execution interface.
+
+Every MLDS language interface submits ABDL to one shared KDS (thesis
+Figure 1.2).  :class:`KernelDatabaseSystem` wraps the backend controller
+and papers over the one merge subtlety: aggregate RETRIEVEs cannot be
+combined by concatenating per-backend partials (an average of averages is
+wrong), so the KDS broadcasts the *query* portion, gathers the raw
+matching records, and evaluates the target list at the controller.
+
+The KDS also keeps the database catalog: which database (template) each
+file belongs to, so several user databases — AB(network) and
+AB(functional) alike — can coexist in one kernel, as MLDS requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.abdl.ast import (
+    ALL_ATTRIBUTES,
+    Request,
+    RetrieveCommonRequest,
+    RetrieveRequest,
+    Transaction,
+)
+from repro.abdl.executor import RequestResult, merge_common, project
+from repro.abdm.record import Record
+from repro.errors import ExecutionError
+from repro.mbds.controller import BackendController, ExecutionTrace
+from repro.mbds.placement import PlacementPolicy
+from repro.mbds.timing import ResponseTime, TimingModel
+
+
+@dataclass
+class DatabaseTemplate:
+    """Catalog entry: a user database and the AB files realizing it."""
+
+    name: str
+    model: str  # 'network' or 'functional' (origin of the AB database)
+    files: list[str] = field(default_factory=list)
+
+
+class KernelDatabaseSystem:
+    """MBDS plus catalog: the single kernel shared by all interfaces."""
+
+    def __init__(
+        self,
+        backend_count: int = 4,
+        timing: Optional[TimingModel] = None,
+        placement: Optional[PlacementPolicy] = None,
+        store_factory=None,
+    ) -> None:
+        self.controller = BackendController(
+            backend_count, timing, placement, store_factory
+        )
+        self._catalog: dict[str, DatabaseTemplate] = {}
+        #: Simulated time accumulated across every request executed.
+        self.clock = ResponseTime()
+        #: Count of requests executed (for the benchmark harnesses).
+        self.requests_executed = 0
+
+    # -- catalog ---------------------------------------------------------------
+
+    def define_database(self, name: str, model: str, files: Sequence[str]) -> DatabaseTemplate:
+        """Register a database template (the KDM database definition)."""
+        if name in self._catalog:
+            raise ExecutionError(f"database {name!r} already defined in the kernel")
+        template = DatabaseTemplate(name, model, list(files))
+        self._catalog[name] = template
+        return template
+
+    def database(self, name: str) -> DatabaseTemplate:
+        try:
+            return self._catalog[name]
+        except KeyError as exc:
+            raise ExecutionError(f"database {name!r} is not defined in the kernel") from exc
+
+    def databases(self) -> list[DatabaseTemplate]:
+        return list(self._catalog.values())
+
+    def drop_database(self, name: str) -> None:
+        """Remove a database and delete its files from every backend."""
+        template = self.database(name)
+        for backend in self.controller.backends:
+            for file_name in template.files:
+                backend.store.drop_file(file_name)
+        del self._catalog[name]
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, request: Request) -> ExecutionTrace:
+        """Execute one ABDL request.
+
+        Aggregate RETRIEVEs and RETRIEVE-COMMON cannot be answered by
+        concatenating per-backend partials (an average of averages is
+        wrong; join partners may live on different backends), so both are
+        evaluated at the controller from broadcast raw retrievals.
+        """
+        if isinstance(request, RetrieveRequest) and request.has_aggregates:
+            trace = self._execute_aggregate(request)
+        elif isinstance(request, RetrieveCommonRequest):
+            trace = self._execute_common(request)
+        else:
+            trace = self.controller.execute(request)
+        self.clock = self.clock + trace.response
+        self.requests_executed += 1
+        return trace
+
+    def _execute_common(self, request: RetrieveCommonRequest) -> ExecutionTrace:
+        left = self.controller.execute(RetrieveRequest(request.left_query))
+        right = self.controller.execute(RetrieveRequest(request.right_query))
+        merged = merge_common(
+            left.result.raw_records, right.result.raw_records, request
+        )
+        plain = RetrieveRequest(request.left_query, request.target)
+        projected = project(merged, plain)
+        result = RequestResult(
+            "RETRIEVE-COMMON",
+            records=projected,
+            raw_records=merged,
+            count=len(merged),
+        )
+        join_ms = (
+            len(left.result.raw_records) + len(right.result.raw_records)
+        ) * self.controller.timing.merge_record_ms
+        response = ResponseTime(
+            left.response.total_ms + right.response.total_ms + join_ms,
+            left.response.backend_ms + right.response.backend_ms,
+            left.response.controller_ms + right.response.controller_ms + join_ms,
+        )
+        return ExecutionTrace(
+            request, result, response, left.per_backend_ms + right.per_backend_ms
+        )
+
+    def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
+        return [self.execute(request) for request in transaction]
+
+    def _execute_aggregate(self, request: RetrieveRequest) -> ExecutionTrace:
+        raw = RetrieveRequest(request.query, (ALL_ATTRIBUTES,))
+        trace = self.controller.execute(raw)
+        projected = project(trace.result.raw_records, request)
+        merged = RequestResult(
+            "RETRIEVE",
+            records=projected,
+            raw_records=trace.result.raw_records,
+            count=trace.result.count,
+        )
+        # Charge extra controller time for the aggregate evaluation pass.
+        extra = len(trace.result.raw_records) * self.controller.timing.merge_record_ms
+        response = ResponseTime(
+            trace.response.total_ms + extra,
+            trace.response.backend_ms,
+            trace.response.controller_ms + extra,
+        )
+        return ExecutionTrace(request, merged, response, trace.per_backend_ms)
+
+    # -- convenience -------------------------------------------------------------
+
+    def retrieve_records(self, request: RetrieveRequest) -> list[Record]:
+        """Execute a retrieval and return the projected records."""
+        return self.execute(request).result.records
+
+    def record_count(self) -> int:
+        return self.controller.record_count()
+
+    def reset_clock(self) -> None:
+        self.clock = ResponseTime()
+        self.requests_executed = 0

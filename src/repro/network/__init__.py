@@ -1,0 +1,47 @@
+"""The network (CODASYL-DBTG) data model and CODASYL-DML front-end.
+
+This package provides the network schema model (records, attributes, set
+types with insertion/retention/selection modes), a CODASYL schema DDL
+parser, the CODASYL-DML statement ASTs and parser, and the run-unit state
+the DML semantics depend on: the Currency Indicator Table, the User Work
+Area and the request-buffer pool.
+"""
+
+from repro.network import dml
+from repro.network.buffers import BufferPool, RequestBuffer
+from repro.network.currency import CurrencyIndicatorTable, RecordPointer, SetCurrency
+from repro.network.ddl import parse_network_schema
+from repro.network.model import (
+    AttributeType,
+    InsertionMode,
+    NetAttribute,
+    NetRecordType,
+    NetSetType,
+    NetworkSchema,
+    RetentionMode,
+    SelectionMode,
+    SetSelect,
+    SYSTEM_OWNER,
+)
+from repro.network.uwa import UserWorkArea
+
+__all__ = [
+    "AttributeType",
+    "BufferPool",
+    "CurrencyIndicatorTable",
+    "InsertionMode",
+    "NetAttribute",
+    "NetRecordType",
+    "NetSetType",
+    "NetworkSchema",
+    "RecordPointer",
+    "RequestBuffer",
+    "RetentionMode",
+    "SYSTEM_OWNER",
+    "SelectionMode",
+    "SetCurrency",
+    "SetSelect",
+    "UserWorkArea",
+    "dml",
+    "parse_network_schema",
+]

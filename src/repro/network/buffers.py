@@ -1,0 +1,128 @@
+"""Request buffers (RB).
+
+A single CODASYL-DML statement can translate into several ABDL requests;
+the *request buffer* stores the records returned by auxiliary retrieve
+requests so that later statements — FIND NEXT / PRIOR / DUPLICATE, GET —
+walk the buffered results instead of re-querying the kernel (thesis
+III.A).  MLDS keeps one buffer per set type plus one per record type (for
+FIND ANY result sets); each buffer carries a cursor marking the current
+position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.abdm.record import Record
+from repro.errors import ExecutionError
+
+
+@dataclass
+class RequestBuffer:
+    """One buffered result set with a cursor.
+
+    The cursor is -1 before the first record; :meth:`advance` and
+    :meth:`retreat` move it and return the record, or None at either end
+    (the DML layer converts that into an end-of-set status).
+    """
+
+    key: str
+    records: list[Record] = field(default_factory=list)
+    cursor: int = -1
+    #: Database key of the set occurrence the buffer caches (if any).
+    owner_dbkey: Optional[str] = None
+
+    def load(self, records: Sequence[Record], owner_dbkey: Optional[str] = None) -> None:
+        """Replace the contents and reset the cursor."""
+        self.records = list(records)
+        self.cursor = -1
+        self.owner_dbkey = owner_dbkey
+
+    @property
+    def current(self) -> Optional[Record]:
+        if 0 <= self.cursor < len(self.records):
+            return self.records[self.cursor]
+        return None
+
+    def first(self) -> Optional[Record]:
+        if not self.records:
+            return None
+        self.cursor = 0
+        return self.records[0]
+
+    def last(self) -> Optional[Record]:
+        if not self.records:
+            return None
+        self.cursor = len(self.records) - 1
+        return self.records[self.cursor]
+
+    def advance(self) -> Optional[Record]:
+        if self.cursor + 1 >= len(self.records):
+            return None
+        self.cursor += 1
+        return self.records[self.cursor]
+
+    def retreat(self) -> Optional[Record]:
+        if self.cursor - 1 < 0:
+            return None
+        self.cursor -= 1
+        return self.records[self.cursor]
+
+    def seek(self, dbkey_attribute: str, dbkey: str) -> Optional[Record]:
+        """Position the cursor on the record whose *dbkey_attribute* equals
+        *dbkey*; returns it, or None (cursor untouched) when absent."""
+        for index, record in enumerate(self.records):
+            if record.get(dbkey_attribute) == dbkey:
+                self.cursor = index
+                return record
+        return None
+
+    def remove_matching(self, dbkey_attribute: str, dbkey: str) -> int:
+        """Drop buffered records for an erased database key."""
+        before = len(self.records)
+        kept = [r for r in self.records if r.get(dbkey_attribute) != dbkey]
+        if len(kept) != before and self.cursor >= len(kept):
+            self.cursor = len(kept) - 1
+        self.records = kept
+        return before - len(kept)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class BufferPool:
+    """All request buffers of one run-unit, keyed by set or record type."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, RequestBuffer] = {}
+
+    def buffer(self, key: str) -> RequestBuffer:
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = RequestBuffer(key)
+            self._buffers[key] = buffer
+        return buffer
+
+    def require(self, key: str) -> RequestBuffer:
+        buffer = self._buffers.get(key)
+        if buffer is None or not buffer.records:
+            raise ExecutionError(
+                f"no buffered result set for {key!r}; issue a FIND first"
+            )
+        return buffer
+
+    def has_records(self, key: str) -> bool:
+        buffer = self._buffers.get(key)
+        return buffer is not None and bool(buffer.records)
+
+    def invalidate(self, key: str) -> None:
+        self._buffers.pop(key, None)
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    @property
+    def count(self) -> int:
+        """Number of live buffers (the thesis's buff_count)."""
+        return len(self._buffers)

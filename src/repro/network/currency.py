@@ -1,0 +1,194 @@
+"""The Currency Indicator Table (CIT).
+
+CODASYL-DML is built on *currency* (thesis II.B.2): a run-unit carries
+indicators identifying the current record of the run-unit, the current
+record of each record type, and the current record of each set type.
+FIND statements update the indicators; the other statements consume them.
+
+Because the attribute-based kernel has no physical addresses, a currency
+indicator holds the record's *database key* — the artificial unique key
+minted by the functional-to-ABDM mapping (e.g. ``person$7``) or by the
+network loader.  Set currencies track both the *occurrence* (the owner's
+database key) and the current record within it, which is what the
+Chapter VI translations dereference as ``CIT.set_type.owner.dbkey`` and
+``CIT.run_unit.dbkey``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import CurrencyError
+
+
+@dataclass
+class RecordPointer:
+    """A (record type, database key) pair — one currency indicator value."""
+
+    record_type: str
+    dbkey: str
+
+    def __repr__(self) -> str:
+        return f"{self.record_type}[{self.dbkey}]"
+
+
+@dataclass
+class SetCurrency:
+    """Currency state of one set type.
+
+    *owner_dbkey* identifies the current set occurrence; *current* is the
+    current record of the set (the owner itself right after a FIND that
+    located the owner, or a member record while iterating the set).
+    """
+
+    owner_dbkey: Optional[str] = None
+    current: Optional[RecordPointer] = None
+
+    @property
+    def is_null(self) -> bool:
+        return self.owner_dbkey is None and self.current is None
+
+
+class CurrencyIndicatorTable:
+    """The per-run-unit CIT (thesis II.B.2 and Chapter VI)."""
+
+    def __init__(self) -> None:
+        self._run_unit: Optional[RecordPointer] = None
+        self._records: dict[str, RecordPointer] = {}
+        self._sets: dict[str, SetCurrency] = {}
+
+    # -- run unit ----------------------------------------------------------------
+
+    @property
+    def run_unit(self) -> Optional[RecordPointer]:
+        """Current of the run-unit, or None."""
+        return self._run_unit
+
+    def require_run_unit(self) -> RecordPointer:
+        if self._run_unit is None:
+            raise CurrencyError("the current of the run-unit is null")
+        return self._run_unit
+
+    def set_run_unit(self, record_type: str, dbkey: str) -> None:
+        self._run_unit = RecordPointer(record_type, dbkey)
+
+    # -- record types -------------------------------------------------------------
+
+    def record(self, record_type: str) -> Optional[RecordPointer]:
+        """Current of *record_type*, or None."""
+        return self._records.get(record_type)
+
+    def require_record(self, record_type: str) -> RecordPointer:
+        pointer = self._records.get(record_type)
+        if pointer is None:
+            raise CurrencyError(f"the current of record type {record_type!r} is null")
+        return pointer
+
+    def set_record(self, record_type: str, dbkey: str) -> None:
+        self._records[record_type] = RecordPointer(record_type, dbkey)
+
+    # -- set types -----------------------------------------------------------------
+
+    def set_currency(self, set_name: str) -> SetCurrency:
+        """Currency of *set_name* (a null SetCurrency when never touched)."""
+        currency = self._sets.get(set_name)
+        if currency is None:
+            currency = SetCurrency()
+            self._sets[set_name] = currency
+        return currency
+
+    def require_set(self, set_name: str) -> SetCurrency:
+        currency = self._sets.get(set_name)
+        if currency is None or currency.is_null:
+            raise CurrencyError(f"the current of set type {set_name!r} is null")
+        return currency
+
+    def require_set_owner(self, set_name: str) -> str:
+        """The owner database key of the current occurrence of *set_name*."""
+        currency = self.require_set(set_name)
+        if currency.owner_dbkey is None:
+            raise CurrencyError(
+                f"set type {set_name!r} has a current record but no current occurrence"
+            )
+        return currency.owner_dbkey
+
+    def set_set_currency(
+        self,
+        set_name: str,
+        owner_dbkey: Optional[str],
+        record_type: Optional[str] = None,
+        dbkey: Optional[str] = None,
+    ) -> None:
+        """Update the currency of *set_name*.
+
+        *owner_dbkey* selects the occurrence; when *record_type*/*dbkey*
+        are given they become the current record of the set.
+        """
+        current = None
+        if record_type is not None and dbkey is not None:
+            current = RecordPointer(record_type, dbkey)
+        self._sets[set_name] = SetCurrency(owner_dbkey, current)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def clear(self) -> None:
+        self._run_unit = None
+        self._records.clear()
+        self._sets.clear()
+
+    def forget_record(self, dbkey: str) -> None:
+        """Null out every indicator pointing at *dbkey* (after ERASE)."""
+        if self._run_unit is not None and self._run_unit.dbkey == dbkey:
+            self._run_unit = None
+        for record_type in [t for t, p in self._records.items() if p.dbkey == dbkey]:
+            del self._records[record_type]
+        for currency in self._sets.values():
+            if currency.current is not None and currency.current.dbkey == dbkey:
+                currency.current = None
+            if currency.owner_dbkey == dbkey:
+                currency.owner_dbkey = None
+
+    def forget_pointer(self, record_type: str, dbkey: str, owned_sets: Iterable[str] = ()) -> None:
+        """Null out the indicators for one specific erased record.
+
+        Unlike :meth:`forget_record`, this is type-aware: under the
+        AB(functional) mapping a subtype shares its supertype's database
+        key, so erasing the student record must not forget the person
+        currencies.  *owned_sets* names the set types the erased record
+        type owns — their occurrences are nulled when owned by *dbkey*.
+        """
+        if (
+            self._run_unit is not None
+            and self._run_unit.record_type == record_type
+            and self._run_unit.dbkey == dbkey
+        ):
+            self._run_unit = None
+        pointer = self._records.get(record_type)
+        if pointer is not None and pointer.dbkey == dbkey:
+            del self._records[record_type]
+        owned = set(owned_sets)
+        for set_name, currency in self._sets.items():
+            if (
+                currency.current is not None
+                and currency.current.record_type == record_type
+                and currency.current.dbkey == dbkey
+            ):
+                currency.current = None
+            if set_name in owned and currency.owner_dbkey == dbkey:
+                currency.owner_dbkey = None
+
+    def snapshot(self) -> dict[str, object]:
+        """A readable dump of the table (for tests and the examples)."""
+        return {
+            "run_unit": repr(self._run_unit) if self._run_unit else None,
+            "records": {t: p.dbkey for t, p in self._records.items()},
+            "sets": {
+                s: {
+                    "owner": c.owner_dbkey,
+                    "current": repr(c.current) if c.current else None,
+                }
+                for s, c in self._sets.items()
+                if not c.is_null
+            },
+        }

@@ -1,0 +1,210 @@
+"""CODASYL schema DDL: parser for network database definitions.
+
+Native network databases (the Emdi path of MLDS) are defined in a DDL
+whose concrete syntax matches the thesis's Figure 5.1 listings:
+
+.. code-block:: text
+
+    SCHEMA NAME IS university_net;
+
+    RECORD NAME IS course;
+    DUPLICATES ARE NOT ALLOWED FOR title, semester;
+        title    TYPE IS CHARACTER 40;
+        semester TYPE IS CHARACTER 6;
+        credits  TYPE IS INTEGER;
+
+    SET NAME IS dept;
+        OWNER IS department;
+        MEMBER IS faculty;
+        INSERTION IS MANUAL;
+        RETENTION IS OPTIONAL;
+        SET SELECTION IS BY APPLICATION;
+
+The renderer lives on the model classes (``NetworkSchema.render``); this
+module provides the inverse, so schemas round-trip.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.lexer import Lexer, TokenStream, TokenType
+from repro.network.model import (
+    AttributeType,
+    InsertionMode,
+    NetAttribute,
+    NetRecordType,
+    NetSetType,
+    NetworkSchema,
+    RetentionMode,
+    SelectionMode,
+    SetSelect,
+)
+
+_KEYWORDS = (
+    "SCHEMA",
+    "RECORD",
+    "SET",
+    "NAME",
+    "IS",
+    "OWNER",
+    "MEMBER",
+    "INSERTION",
+    "RETENTION",
+    "SELECTION",
+    "AUTOMATIC",
+    "MANUAL",
+    "FIXED",
+    "MANDATORY",
+    "OPTIONAL",
+    "BY",
+    "VALUE",
+    "STRUCTURAL",
+    "APPLICATION",
+    "NOT",
+    "SPECIFIED",
+    "TYPE",
+    "CHARACTER",
+    "INTEGER",
+    "FLOAT",
+    "DUPLICATES",
+    "ARE",
+    "ALLOWED",
+    "FOR",
+    "SYSTEM",
+)
+
+_SYMBOLS = ("(", ")", ",", ";", ".")
+
+_lexer = Lexer(_KEYWORDS, _SYMBOLS)
+
+
+def parse_network_schema(text: str) -> NetworkSchema:
+    """Parse CODASYL schema DDL into a validated :class:`NetworkSchema`."""
+    stream = TokenStream(_lexer.tokenize(text))
+    stream.expect_keyword("SCHEMA")
+    stream.expect_keyword("NAME")
+    stream.expect_keyword("IS")
+    schema = NetworkSchema(stream.expect_ident("schema name").text)
+    stream.expect_symbol(";")
+    while not stream.at_end():
+        if stream.accept_keyword("RECORD"):
+            _parse_record(stream, schema)
+        elif stream.accept_keyword("SET"):
+            _parse_set(stream, schema)
+        else:
+            raise stream.error("expected a RECORD or SET declaration")
+    return schema.validate()
+
+
+def _parse_record(stream: TokenStream, schema: NetworkSchema) -> None:
+    stream.expect_keyword("NAME")
+    stream.expect_keyword("IS")
+    record = NetRecordType(stream.expect_ident("record name").text)
+    stream.expect_symbol(";")
+    no_duplicates: list[str] = []
+    if stream.accept_keyword("DUPLICATES"):
+        stream.expect_keyword("ARE")
+        stream.expect_keyword("NOT")
+        stream.expect_keyword("ALLOWED")
+        stream.expect_keyword("FOR")
+        no_duplicates.append(stream.expect_ident("data item name").text)
+        while stream.accept_symbol(","):
+            no_duplicates.append(stream.expect_ident("data item name").text)
+        stream.expect_symbol(";")
+    while not stream.at_end() and not stream.at_keyword("RECORD", "SET", "DUPLICATES"):
+        record.attributes.append(_parse_attribute(stream))
+    for name in no_duplicates:
+        record.require_attribute(name).duplicates_allowed = False
+    schema.add_record(record)
+
+
+def _parse_attribute(stream: TokenStream) -> NetAttribute:
+    name = stream.expect_ident("data item name").text
+    stream.expect_keyword("TYPE")
+    stream.expect_keyword("IS")
+    if stream.accept_keyword("INTEGER"):
+        attribute = NetAttribute(name, AttributeType.INTEGER)
+    elif stream.accept_keyword("FLOAT"):
+        decimals = 0
+        if stream.current.type is TokenType.NUMBER:
+            decimals = int(stream.advance().value)  # type: ignore[arg-type]
+        attribute = NetAttribute(name, AttributeType.FLOAT, decimals=decimals)
+    else:
+        stream.expect_keyword("CHARACTER")
+        length = 0
+        if stream.current.type is TokenType.NUMBER:
+            length = int(stream.advance().value)  # type: ignore[arg-type]
+        attribute = NetAttribute(name, AttributeType.CHARACTER, length=length)
+    stream.expect_symbol(";")
+    return attribute
+
+
+_INSERTIONS = {"AUTOMATIC": InsertionMode.AUTOMATIC, "MANUAL": InsertionMode.MANUAL}
+_RETENTIONS = {
+    "FIXED": RetentionMode.FIXED,
+    "MANDATORY": RetentionMode.MANDATORY,
+    "OPTIONAL": RetentionMode.OPTIONAL,
+}
+
+
+def _parse_set(stream: TokenStream, schema: NetworkSchema) -> None:
+    stream.expect_keyword("NAME")
+    stream.expect_keyword("IS")
+    name = stream.expect_ident("set name").text
+    stream.expect_symbol(";")
+    owner = member = ""
+    insertion = InsertionMode.AUTOMATIC
+    retention = RetentionMode.FIXED
+    select = SetSelect()
+    while True:
+        if stream.accept_keyword("OWNER"):
+            stream.expect_keyword("IS")
+            owner = stream.expect_ident("owner record name").text
+            stream.expect_symbol(";")
+        elif stream.accept_keyword("MEMBER"):
+            stream.expect_keyword("IS")
+            member = stream.expect_ident("member record name").text
+            stream.expect_symbol(";")
+        elif stream.accept_keyword("INSERTION"):
+            stream.expect_keyword("IS")
+            insertion = _INSERTIONS[stream.expect_keyword(*_INSERTIONS).text]
+            stream.expect_symbol(";")
+        elif stream.accept_keyword("RETENTION"):
+            stream.expect_keyword("IS")
+            retention = _RETENTIONS[stream.expect_keyword(*_RETENTIONS).text]
+            stream.expect_symbol(";")
+        elif stream.at_keyword("SET") and stream.peek(1).text == "SELECTION":
+            stream.advance()
+            stream.advance()
+            stream.expect_keyword("IS")
+            select = _parse_selection(stream)
+            stream.expect_symbol(";")
+        else:
+            break
+    if not owner or not member:
+        raise ParseError(f"set {name!r} is missing its OWNER or MEMBER clause")
+    schema.add_set(
+        NetSetType(name, owner, member, insertion=insertion, retention=retention, select=select)
+    )
+
+
+def _parse_selection(stream: TokenStream) -> SetSelect:
+    if stream.accept_keyword("NOT"):
+        stream.expect_keyword("SPECIFIED")
+        return SetSelect(SelectionMode.NOT_SPECIFIED)
+    stream.expect_keyword("BY")
+    if stream.accept_keyword("APPLICATION"):
+        return SetSelect(SelectionMode.BY_APPLICATION)
+    if stream.accept_keyword("VALUE"):
+        select = SetSelect(SelectionMode.BY_VALUE)
+    else:
+        stream.expect_keyword("STRUCTURAL")
+        select = SetSelect(SelectionMode.BY_STRUCTURAL)
+    # Optional item/record qualification: OF item IN record [, record2]
+    if stream.current.type is TokenType.IDENT:
+        select.item_name = stream.advance().text
+        if stream.current.type is TokenType.IDENT:
+            select.record1_name = stream.advance().text
+        if stream.accept_symbol(","):
+            select.record2_name = stream.expect_ident("record name").text
+    return select

@@ -1,0 +1,269 @@
+"""The network (CODASYL-DBTG) data model.
+
+A network schema is a collection of *record types* and *set types*
+(thesis II.B).  A record type groups data-items (attributes); a set type
+is a one-to-many relationship with exactly one owner record type and one
+or more member record types (MLDS restricts sets to one member type, as
+its data structures in Figure 4.3 do).  Sets carry insertion, retention
+and set-selection modes.
+
+The classes mirror the thesis's shared network data structures:
+
+==================  =========================
+Thesis structure    Class here
+==================  =========================
+net_dbid_node       :class:`NetworkSchema`
+nrec_node           :class:`NetRecordType`
+nattr_node          :class:`NetAttribute`
+nset_node           :class:`NetSetType`
+set_select_node     :class:`SetSelect`
+==================  =========================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import SchemaError
+
+#: The distinguished owner name for system-owned (singular) sets.
+SYSTEM_OWNER = "SYSTEM"
+
+
+class AttributeType(enum.Enum):
+    """Network data-item types; values are the thesis nan_type codes."""
+
+    CHARACTER = "c"
+    INTEGER = "i"
+    FLOAT = "F"
+
+
+class InsertionMode(enum.Enum):
+    """Set insertion clause (nsn_insert_mode)."""
+
+    AUTOMATIC = "a"
+    MANUAL = "m"
+
+    def render(self) -> str:
+        return self.name
+
+
+class RetentionMode(enum.Enum):
+    """Set retention clause (nsn_retent_mode)."""
+
+    FIXED = "f"
+    MANDATORY = "m"
+    OPTIONAL = "o"
+
+    def render(self) -> str:
+        return self.name
+
+
+class SelectionMode(enum.Enum):
+    """Set selection clause (set_select_node select_mode)."""
+
+    BY_VALUE = "v"
+    BY_STRUCTURAL = "s"
+    BY_APPLICATION = "a"
+    NOT_SPECIFIED = "o"
+
+    def render(self) -> str:
+        return {
+            SelectionMode.BY_VALUE: "BY VALUE",
+            SelectionMode.BY_STRUCTURAL: "BY STRUCTURAL",
+            SelectionMode.BY_APPLICATION: "BY APPLICATION",
+            SelectionMode.NOT_SPECIFIED: "NOT SPECIFIED",
+        }[self]
+
+
+@dataclass
+class SetSelect:
+    """Set-selection details (set_select_node).
+
+    BY VALUE and BY STRUCTURAL selections name the item and record(s)
+    involved; BY APPLICATION — the only mode the functional transformation
+    emits — needs none.
+    """
+
+    mode: SelectionMode = SelectionMode.BY_APPLICATION
+    item_name: str = ""
+    record1_name: str = ""
+    record2_name: str = ""
+
+
+@dataclass
+class NetAttribute:
+    """A data-item of a record type (nattr_node)."""
+
+    name: str
+    type: AttributeType = AttributeType.CHARACTER
+    length: int = 0  # maximum value length (nan_length)
+    decimals: int = 0  # decimal digits for floats (nan_dec)
+    level: int = 1  # COBOL-style level number
+    #: True when duplicates are allowed (nan_dup_flag, initialized to 1);
+    #: cleared by uniqueness constraints and scalar multi-valued functions.
+    duplicates_allowed: bool = True
+
+    def render(self) -> str:
+        picture = {
+            AttributeType.CHARACTER: f"CHARACTER {self.length}" if self.length else "CHARACTER",
+            AttributeType.INTEGER: "INTEGER",
+            AttributeType.FLOAT: "FLOAT",
+        }[self.type]
+        return f"{self.name} TYPE IS {picture}"
+
+
+@dataclass
+class NetRecordType:
+    """A record type (nrec_node): name plus ordered attributes."""
+
+    name: str
+    attributes: list[NetAttribute] = field(default_factory=list)
+
+    def attribute(self, name: str) -> Optional[NetAttribute]:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        return None
+
+    def require_attribute(self, name: str) -> NetAttribute:
+        attribute = self.attribute(name)
+        if attribute is None:
+            raise SchemaError(f"record {self.name!r} has no data item {name!r}")
+        return attribute
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    def render(self) -> str:
+        lines = [f"RECORD NAME IS {self.name};"]
+        no_dups = [a.name for a in self.attributes if not a.duplicates_allowed]
+        if no_dups:
+            lines.append(f"DUPLICATES ARE NOT ALLOWED FOR {', '.join(no_dups)};")
+        for attribute in self.attributes:
+            lines.append(f"    {attribute.render()};")
+        return "\n".join(lines)
+
+
+@dataclass
+class NetSetType:
+    """A set type (nset_node): owner, member, and the three mode clauses."""
+
+    name: str
+    owner_name: str
+    member_name: str
+    insertion: InsertionMode = InsertionMode.AUTOMATIC
+    retention: RetentionMode = RetentionMode.FIXED
+    select: SetSelect = field(default_factory=SetSelect)
+
+    @property
+    def system_owned(self) -> bool:
+        return self.owner_name == SYSTEM_OWNER
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"SET NAME IS {self.name};",
+                f"    OWNER IS {self.owner_name};",
+                f"    MEMBER IS {self.member_name};",
+                f"    INSERTION IS {self.insertion.render()};",
+                f"    RETENTION IS {self.retention.render()};",
+                f"    SET SELECTION IS {self.select.mode.render()};",
+            ]
+        )
+
+
+class NetworkSchema:
+    """A network database schema (net_dbid_node)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: dict[str, NetRecordType] = {}
+        self.sets: dict[str, NetSetType] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_record(self, record: NetRecordType) -> NetRecordType:
+        if record.name in self.records:
+            raise SchemaError(f"record type {record.name!r} already declared")
+        self.records[record.name] = record
+        return record
+
+    def add_set(self, set_type: NetSetType) -> NetSetType:
+        if set_type.name in self.sets:
+            raise SchemaError(f"set type {set_type.name!r} already declared")
+        self.sets[set_type.name] = set_type
+        return set_type
+
+    # -- lookups ------------------------------------------------------------------
+
+    def record(self, name: str) -> NetRecordType:
+        try:
+            return self.records[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown record type {name!r} in schema {self.name!r}") from exc
+
+    def set_type(self, name: str) -> NetSetType:
+        try:
+            return self.sets[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown set type {name!r} in schema {self.name!r}") from exc
+
+    def has_record(self, name: str) -> bool:
+        return name in self.records
+
+    def has_set(self, name: str) -> bool:
+        return name in self.sets
+
+    def sets_with_member(self, record_name: str) -> list[NetSetType]:
+        """Every set type in which *record_name* is the member."""
+        return [s for s in self.sets.values() if s.member_name == record_name]
+
+    def sets_with_owner(self, record_name: str) -> list[NetSetType]:
+        """Every set type owned by *record_name*."""
+        return [s for s in self.sets.values() if s.owner_name == record_name]
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_sets(self) -> int:
+        return len(self.sets)
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> "NetworkSchema":
+        """Check owner/member references; returns self for chaining."""
+        for set_type in self.sets.values():
+            if not set_type.system_owned and set_type.owner_name not in self.records:
+                raise SchemaError(
+                    f"set {set_type.name!r} names unknown owner {set_type.owner_name!r}"
+                )
+            if set_type.member_name not in self.records:
+                raise SchemaError(
+                    f"set {set_type.name!r} names unknown member {set_type.member_name!r}"
+                )
+        return self
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self) -> str:
+        """Render to CODASYL schema DDL (Figure 5.1 style)."""
+        chunks = [f"SCHEMA NAME IS {self.name};", ""]
+        for record in self.records.values():
+            chunks.append(record.render())
+            chunks.append("")
+        for set_type in self.sets.values():
+            chunks.append(set_type.render())
+            chunks.append("")
+        return "\n".join(chunks).rstrip() + "\n"
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkSchema({self.name!r}, {self.num_records} records, "
+            f"{self.num_sets} sets)"
+        )

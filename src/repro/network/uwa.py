@@ -1,0 +1,60 @@
+"""The User Work Area (UWA).
+
+The UWA holds one *template* per record type: the host program MOVEs
+values into template fields before FIND ANY / STORE / MODIFY, and GET
+places retrieved data items back into the template for the program to
+read (thesis VI.B.1's MOVE example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.abdm.values import Value
+from repro.errors import ExecutionError
+
+
+class UserWorkArea:
+    """Record templates addressed as ``(record type, item)`` pairs."""
+
+    def __init__(self) -> None:
+        self._templates: dict[str, dict[str, Value]] = {}
+
+    def template(self, record_type: str) -> dict[str, Value]:
+        """The live template dict for *record_type* (created on first use)."""
+        template = self._templates.get(record_type)
+        if template is None:
+            template = {}
+            self._templates[record_type] = template
+        return template
+
+    def move(self, value: Value, item: str, record_type: str) -> None:
+        """``MOVE value TO item IN record_type``."""
+        self.template(record_type)[item] = value
+
+    def get(self, record_type: str, item: str) -> Value:
+        """Read one template field (None when never set)."""
+        return self.template(record_type).get(item)
+
+    def require(self, record_type: str, item: str) -> Value:
+        """Read a template field that a statement requires to be present."""
+        template = self._templates.get(record_type)
+        if template is None or item not in template:
+            raise ExecutionError(
+                f"the UWA template for {record_type!r} has no value for {item!r}"
+            )
+        return template[item]
+
+    def fill(self, record_type: str, values: dict[str, Value]) -> None:
+        """Place retrieved values into the template (GET's output path)."""
+        self.template(record_type).update(values)
+
+    def clear(self, record_type: Optional[str] = None) -> None:
+        """Clear one template, or all of them."""
+        if record_type is None:
+            self._templates.clear()
+        else:
+            self._templates.pop(record_type, None)
+
+    def snapshot(self) -> dict[str, dict[str, Value]]:
+        return {t: dict(v) for t, v in self._templates.items()}

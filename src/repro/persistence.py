@@ -1,0 +1,131 @@
+"""Saving and loading an MLDS instance.
+
+The thesis's MLDS keeps descriptor and template files on disk (the
+ddl_info structures of Figure 4.20); this module provides the modern
+equivalent: a JSON snapshot of the whole system — every schema in its
+own DDL text, the database-key counters, and the exact per-backend
+record contents — restorable into an identical :class:`~repro.core.MLDS`.
+
+.. code-block:: python
+
+    from repro.persistence import save_mlds, load_mlds
+
+    save_mlds(mlds, "university.mlds.json")
+    restored = load_mlds("university.mlds.json")
+
+The snapshot restores the *exact* backend partitioning (records are
+placed back on their original backend), so simulated response times and
+set-iteration orders are reproducible across save/load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.abdm.record import Record
+from repro.core.mlds import MLDS
+from repro.errors import MLDSError
+from repro.mbds.timing import TimingModel
+
+#: Snapshot format version, bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+def _dump_records(mlds: MLDS) -> list[list[dict]]:
+    """Per-backend record dumps (pairs + textual portion)."""
+    dumps: list[list[dict]] = []
+    for backend in mlds.kds.controller.backends:
+        rows = []
+        for record in backend.store.all_records():
+            rows.append({"pairs": record.pairs(), "text": record.text})
+        dumps.append(rows)
+    return dumps
+
+
+def save_mlds(mlds: MLDS, path: Union[str, Path]) -> None:
+    """Write a complete JSON snapshot of *mlds* to *path*."""
+    timing = mlds.kds.controller.timing
+    snapshot = {
+        "format": FORMAT_VERSION,
+        "backend_count": mlds.kds.controller.backend_count,
+        "timing": {
+            "broadcast_ms": timing.broadcast_ms,
+            "access_ms": timing.access_ms,
+            "page_scan_ms": timing.page_scan_ms,
+            "records_per_page": timing.records_per_page,
+            "select_record_ms": timing.select_record_ms,
+            "merge_record_ms": timing.merge_record_ms,
+            "insert_ms": timing.insert_ms,
+        },
+        "functional": {
+            name: {
+                "ddl": schema.render(),
+                "key_counters": {
+                    entity.name: entity.last_key
+                    for entity in schema.entity_types.values()
+                },
+            }
+            for name, schema in mlds._functional.items()
+        },
+        "network": {
+            name: {
+                "ddl": schema.render(),
+                "key_counters": dict(mlds._network_mappings[name]._key_counters),
+            }
+            for name, schema in mlds._network.items()
+        },
+        "relational": {
+            name: {
+                "ddl": schema.render(),
+                "key_counters": dict(mlds._relational_mappings[name]._key_counters),
+            }
+            for name, schema in mlds._relational.items()
+        },
+        "hierarchical": {
+            name: {
+                "ddl": schema.render(),
+                "key_counters": dict(mlds._hierarchical_mappings[name]._key_counters),
+                "sequence": mlds._hierarchical_mappings[name]._sequence,
+            }
+            for name, schema in mlds._hierarchical.items()
+        },
+        "backends": _dump_records(mlds),
+    }
+    Path(path).write_text(json.dumps(snapshot, indent=1))
+
+
+def load_mlds(path: Union[str, Path]) -> MLDS:
+    """Restore an :class:`MLDS` from a snapshot written by :func:`save_mlds`."""
+    snapshot = json.loads(Path(path).read_text())
+    if snapshot.get("format") != FORMAT_VERSION:
+        raise MLDSError(
+            f"snapshot format {snapshot.get('format')!r} is not supported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    timing = TimingModel(**snapshot["timing"])
+    mlds = MLDS(backend_count=snapshot["backend_count"], timing=timing)
+    for name, entry in snapshot["functional"].items():
+        schema = mlds.define_functional_database(entry["ddl"])
+        for entity_name, last_key in entry["key_counters"].items():
+            schema.entity_types[entity_name].last_key = last_key
+    for name, entry in snapshot["network"].items():
+        mlds.define_network_database(entry["ddl"])
+        mlds._network_mappings[name]._key_counters.update(entry["key_counters"])
+    for name, entry in snapshot["relational"].items():
+        mlds.define_relational_database(entry["ddl"])
+        mlds._relational_mappings[name]._key_counters.update(entry["key_counters"])
+    for name, entry in snapshot.get("hierarchical", {}).items():
+        mlds.define_hierarchical_database(entry["ddl"])
+        mapping = mlds._hierarchical_mappings[name]
+        mapping._key_counters.update(entry["key_counters"])
+        mapping._sequence = entry["sequence"]
+    backends = mlds.kds.controller.backends
+    if len(snapshot["backends"]) != len(backends):
+        raise MLDSError("snapshot backend count does not match")
+    for backend, rows in zip(backends, snapshot["backends"]):
+        for row in rows:
+            pairs = [(attribute, value) for attribute, value in row["pairs"]]
+            backend.store.insert(Record.from_pairs(pairs, text=row.get("text", "")))
+    return mlds

@@ -1,0 +1,23 @@
+"""The relational data model and its SQL front-end.
+
+MLDS's relational interface (one of the four language interfaces of
+Figure 1.2): classic relations over the kernel's value domains, defined
+with ``CREATE TABLE`` DDL and manipulated with a SQL subset covering
+SELECT (projections, WHERE in DNF, aggregates, GROUP BY, and two-table
+equi-joins via the kernel's RETRIEVE-COMMON), INSERT, UPDATE and DELETE.
+"""
+
+from repro.relational import sql
+from repro.relational.model import Column, ColumnType, Relation, RelationalSchema
+from repro.relational.sql import parse_relational_schema, parse_script, parse_statement
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Relation",
+    "RelationalSchema",
+    "parse_relational_schema",
+    "parse_script",
+    "parse_statement",
+    "sql",
+]

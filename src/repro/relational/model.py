@@ -1,0 +1,125 @@
+"""The relational data model (MLDS's SQL-side schemas).
+
+MLDS supports a relational/SQL language interface alongside the network
+and functional ones (thesis Figure 1.2; the rel_dbid_node arm of the
+dbid_node union in Figure 4.1).  The model here is deliberately classic:
+a schema is a set of relations; a relation is a named heading of typed
+columns, optionally with a PRIMARY KEY column list whose combined value
+must be unique.
+
+The relational-to-ABDM mapping is the simplest of the three: one AB file
+per relation, one record per tuple, ``(FILE, relation)`` then
+``(relation, dbkey)`` then one keyword per column.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Relational column types, mapped onto the three kernel domains."""
+
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+
+    def accepts(self, value: object) -> bool:
+        if value is None:
+            return True
+        if self is ColumnType.INT:
+            return isinstance(value, int)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float))
+        return isinstance(value, str)
+
+
+@dataclass
+class Column:
+    """One column of a relation heading."""
+
+    name: str
+    type: ColumnType
+    length: int = 0  # CHAR(n) limit; 0 = unbounded
+
+    def render(self) -> str:
+        if self.type is ColumnType.CHAR and self.length:
+            return f"{self.name} CHAR({self.length})"
+        return f"{self.name} {self.type.name}"
+
+
+@dataclass
+class Relation:
+    """A relation: name, heading, optional primary key."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    primary_key: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> Optional[Column]:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        return None
+
+    def require_column(self, name: str) -> Column:
+        column = self.column(name)
+        if column is None:
+            raise SchemaError(f"relation {self.name!r} has no column {name!r}")
+        return column
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def render(self) -> str:
+        parts = [c.render() for c in self.columns]
+        if self.primary_key:
+            parts.append(f"PRIMARY KEY ({', '.join(self.primary_key)})")
+        return f"CREATE TABLE {self.name} ({', '.join(parts)});"
+
+
+class RelationalSchema:
+    """A relational database schema (rel_dbid_node)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.relations: dict[str, Relation] = {}
+
+    def add_relation(self, relation: Relation) -> Relation:
+        if relation.name in self.relations:
+            raise SchemaError(f"relation {relation.name!r} already declared")
+        seen = set()
+        for column in relation.columns:
+            if column.name in seen:
+                raise SchemaError(
+                    f"relation {relation.name!r} declares column "
+                    f"{column.name!r} twice"
+                )
+            seen.add(column.name)
+        for key_column in relation.primary_key:
+            relation.require_column(key_column)
+        self.relations[relation.name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {name!r} in schema {self.name!r}") from exc
+
+    def has_relation(self, name: str) -> bool:
+        return name in self.relations
+
+    def render(self) -> str:
+        """Render as parseable DDL (round-trips through the SQL parser)."""
+        chunks = [f"DATABASE {self.name};"]
+        chunks.extend(r.render() for r in self.relations.values())
+        return "\n".join(chunks) + "\n"
+
+    def __repr__(self) -> str:
+        return f"RelationalSchema({self.name!r}, {len(self.relations)} relations)"

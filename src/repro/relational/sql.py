@@ -1,0 +1,397 @@
+"""SQL front-end: DDL and DML parsers for the relational interface.
+
+The subset MLDS's relational interface needs:
+
+.. code-block:: sql
+
+    -- DDL
+    DATABASE registrar;
+    CREATE TABLE enrollment (sid INT, cid INT, grade CHAR(2),
+                             PRIMARY KEY (sid, cid));
+
+    -- DML
+    INSERT INTO enrollment VALUES (1, 7, 'A');
+    INSERT INTO enrollment (sid, cid) VALUES (2, 7);
+    SELECT sid, grade FROM enrollment WHERE cid = 7 AND grade <> 'F';
+    SELECT cid, COUNT(*), AVG(points) FROM results GROUP BY cid;
+    SELECT name, grade FROM student, enrollment WHERE student.sid = enrollment.sid;
+    UPDATE enrollment SET grade = 'B' WHERE sid = 1;
+    DELETE FROM enrollment WHERE grade = 'F';
+
+WHERE clauses are conjunctions optionally OR-ed together (the DNF the
+kernel wants); ``<>`` and ``!=`` are both accepted.  A two-table FROM
+clause requires exactly one cross-table equality in the WHERE — the
+equi-join MLDS hands to ABDL's RETRIEVE-COMMON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.abdm.values import Value
+from repro.errors import ParseError
+from repro.lang.lexer import Lexer, TokenStream, TokenType
+from repro.relational.model import Column, ColumnType, Relation, RelationalSchema
+
+# -- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    column: str
+    table: Optional[str] = None
+
+    def render(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class SqlComparison:
+    """``ref op literal`` or — for join conditions — ``ref op ref``."""
+
+    left: ColumnRef
+    operator: str
+    value: Value = None
+    right: Optional[ColumnRef] = None
+
+    @property
+    def is_join(self) -> bool:
+        return self.right is not None
+
+
+@dataclass(frozen=True)
+class Where:
+    """A WHERE clause in disjunctive normal form."""
+
+    clauses: tuple[tuple[SqlComparison, ...], ...]
+
+    def __init__(self, clauses: Sequence[Sequence[SqlComparison]]) -> None:
+        object.__setattr__(self, "clauses", tuple(tuple(c) for c in clauses))
+
+    def comparisons(self):
+        for clause in self.clauses:
+            yield from clause
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: column, ``*`` or an aggregate."""
+
+    ref: Optional[ColumnRef] = None
+    aggregate: Optional[str] = None  # COUNT/AVG/SUM/MIN/MAX
+    star: bool = False
+
+    def render(self) -> str:
+        if self.star and self.aggregate:
+            return f"{self.aggregate}(*)"
+        if self.star:
+            return "*"
+        if self.aggregate:
+            return f"{self.aggregate}({self.ref.render()})"
+        return self.ref.render()
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    tables: tuple[str, ...]
+    where: Optional[Where] = None
+    group_by: Optional[ColumnRef] = None
+
+    def __init__(self, items, tables, where=None, group_by=None) -> None:
+        object.__setattr__(self, "items", tuple(items))
+        object.__setattr__(self, "tables", tuple(tables))
+        object.__setattr__(self, "where", where)
+        object.__setattr__(self, "group_by", group_by)
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty = positional over the full heading
+    values: tuple[Value, ...]
+
+    def __init__(self, table, columns, values) -> None:
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "values", tuple(values))
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Value], ...]
+    where: Optional[Where] = None
+
+    def __init__(self, table, assignments, where=None) -> None:
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "assignments", tuple(assignments))
+        object.__setattr__(self, "where", where)
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Where] = None
+
+
+SqlStatement = Union[Select, Insert, Update, Delete]
+
+# -- lexing -----------------------------------------------------------------------
+
+_KEYWORDS = (
+    "DATABASE",
+    "CREATE",
+    "TABLE",
+    "PRIMARY",
+    "KEY",
+    "INT",
+    "INTEGER",
+    "FLOAT",
+    "CHAR",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "NULL",
+    "COUNT",
+    "AVG",
+    "SUM",
+    "MIN",
+    "MAX",
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "(", ")", ",", ";", ".", "*", "=", "<", ">", "-")
+
+_lexer = Lexer(_KEYWORDS, _SYMBOLS)
+
+# -- DDL ---------------------------------------------------------------------------
+
+
+def parse_relational_schema(text: str) -> RelationalSchema:
+    """Parse ``DATABASE name; CREATE TABLE ...`` DDL text."""
+    stream = TokenStream(_lexer.tokenize(text))
+    stream.expect_keyword("DATABASE")
+    schema = RelationalSchema(stream.expect_ident("database name").text)
+    stream.expect_symbol(";")
+    while not stream.at_end():
+        stream.expect_keyword("CREATE")
+        stream.expect_keyword("TABLE")
+        schema.add_relation(_parse_table(stream))
+    return schema
+
+
+def _parse_table(stream: TokenStream) -> Relation:
+    relation = Relation(stream.expect_ident("table name").text)
+    stream.expect_symbol("(")
+    while True:
+        if stream.accept_keyword("PRIMARY"):
+            stream.expect_keyword("KEY")
+            stream.expect_symbol("(")
+            relation.primary_key.append(stream.expect_ident("key column").text)
+            while stream.accept_symbol(","):
+                relation.primary_key.append(stream.expect_ident("key column").text)
+            stream.expect_symbol(")")
+        else:
+            name = stream.expect_ident("column name").text
+            if stream.accept_keyword("INT") or stream.accept_keyword("INTEGER"):
+                relation.columns.append(Column(name, ColumnType.INT))
+            elif stream.accept_keyword("FLOAT"):
+                relation.columns.append(Column(name, ColumnType.FLOAT))
+            else:
+                stream.expect_keyword("CHAR")
+                length = 0
+                if stream.accept_symbol("("):
+                    token = stream.current
+                    if token.type is not TokenType.NUMBER:
+                        raise stream.error("expected a CHAR length")
+                    stream.advance()
+                    length = int(token.value)  # type: ignore[arg-type]
+                    stream.expect_symbol(")")
+                relation.columns.append(Column(name, ColumnType.CHAR, length))
+        if not stream.accept_symbol(","):
+            break
+    stream.expect_symbol(")")
+    stream.expect_symbol(";")
+    if not relation.columns:
+        raise ParseError(f"table {relation.name!r} declares no columns")
+    return relation
+
+
+# -- DML ---------------------------------------------------------------------------
+
+
+def parse_statement(text: str) -> SqlStatement:
+    """Parse one SQL DML statement."""
+    stream = TokenStream(_lexer.tokenize(text))
+    statement = _parse_statement(stream)
+    stream.accept_symbol(";")
+    stream.expect_eof()
+    return statement
+
+
+def parse_script(text: str) -> list[SqlStatement]:
+    """Parse a sequence of SQL DML statements."""
+    stream = TokenStream(_lexer.tokenize(text))
+    statements = []
+    while not stream.at_end():
+        statements.append(_parse_statement(stream))
+        stream.accept_symbol(";")
+    return statements
+
+
+def _parse_statement(stream: TokenStream) -> SqlStatement:
+    if stream.accept_keyword("SELECT"):
+        return _parse_select(stream)
+    if stream.accept_keyword("INSERT"):
+        return _parse_insert(stream)
+    if stream.accept_keyword("UPDATE"):
+        return _parse_update(stream)
+    if stream.accept_keyword("DELETE"):
+        stream.expect_keyword("FROM")
+        table = stream.expect_ident("table name").text
+        where = _parse_where(stream) if stream.accept_keyword("WHERE") else None
+        return Delete(table, where)
+    raise stream.error("expected SELECT, INSERT, UPDATE or DELETE")
+
+
+_AGGREGATES = ("COUNT", "AVG", "SUM", "MIN", "MAX")
+
+
+def _parse_select(stream: TokenStream) -> Select:
+    items = [_parse_select_item(stream)]
+    while stream.accept_symbol(","):
+        items.append(_parse_select_item(stream))
+    stream.expect_keyword("FROM")
+    tables = [stream.expect_ident("table name").text]
+    while stream.accept_symbol(","):
+        tables.append(stream.expect_ident("table name").text)
+    if len(tables) > 2:
+        raise ParseError("this SQL subset joins at most two tables")
+    where = _parse_where(stream) if stream.accept_keyword("WHERE") else None
+    group_by = None
+    if stream.accept_keyword("GROUP"):
+        stream.expect_keyword("BY")
+        group_by = _parse_column_ref(stream)
+    return Select(items, tables, where, group_by)
+
+
+def _parse_select_item(stream: TokenStream) -> SelectItem:
+    if stream.accept_symbol("*"):
+        return SelectItem(star=True)
+    if stream.at_keyword(*_AGGREGATES):
+        aggregate = stream.advance().text
+        stream.expect_symbol("(")
+        if stream.accept_symbol("*"):
+            stream.expect_symbol(")")
+            return SelectItem(aggregate=aggregate, star=True)
+        ref = _parse_column_ref(stream)
+        stream.expect_symbol(")")
+        return SelectItem(ref, aggregate)
+    return SelectItem(_parse_column_ref(stream))
+
+
+def _parse_column_ref(stream: TokenStream) -> ColumnRef:
+    first = stream.expect_ident("column name").text
+    if stream.accept_symbol("."):
+        return ColumnRef(stream.expect_ident("column name").text, table=first)
+    return ColumnRef(first)
+
+
+def _parse_where(stream: TokenStream) -> Where:
+    clauses = [[_parse_comparison(stream)]]
+    while True:
+        if stream.accept_keyword("AND"):
+            clauses[-1].append(_parse_comparison(stream))
+        elif stream.accept_keyword("OR"):
+            clauses.append([_parse_comparison(stream)])
+        else:
+            break
+    return Where(clauses)
+
+
+def _parse_comparison(stream: TokenStream) -> SqlComparison:
+    left = _parse_column_ref(stream)
+    token = stream.current
+    if token.type is not TokenType.SYMBOL or token.text not in (
+        "=",
+        "<>",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+    ):
+        raise stream.error("expected a comparison operator")
+    operator = stream.advance().text
+    if operator == "<>":
+        operator = "!="
+    token = stream.current
+    if token.type in (TokenType.IDENT,) or (
+        token.type is TokenType.KEYWORD and stream.peek(1).text == "."
+    ):
+        right = _parse_column_ref(stream)
+        return SqlComparison(left, operator, right=right)
+    return SqlComparison(left, operator, value=_parse_literal(stream))
+
+
+def _parse_literal(stream: TokenStream) -> Value:
+    token = stream.current
+    if token.type in (TokenType.STRING, TokenType.NUMBER):
+        stream.advance()
+        return token.value  # type: ignore[return-value]
+    if stream.accept_symbol("-"):
+        number = stream.current
+        if number.type is not TokenType.NUMBER:
+            raise stream.error("expected a number after unary minus")
+        stream.advance()
+        return -number.value  # type: ignore[operator]
+    if stream.accept_keyword("NULL"):
+        return None
+    raise stream.error("expected a literal value")
+
+
+def _parse_insert(stream: TokenStream) -> Insert:
+    stream.expect_keyword("INTO")
+    table = stream.expect_ident("table name").text
+    columns: list[str] = []
+    if stream.accept_symbol("("):
+        columns.append(stream.expect_ident("column name").text)
+        while stream.accept_symbol(","):
+            columns.append(stream.expect_ident("column name").text)
+        stream.expect_symbol(")")
+    stream.expect_keyword("VALUES")
+    stream.expect_symbol("(")
+    values = [_parse_literal(stream)]
+    while stream.accept_symbol(","):
+        values.append(_parse_literal(stream))
+    stream.expect_symbol(")")
+    return Insert(table, columns, values)
+
+
+def _parse_update(stream: TokenStream) -> Update:
+    table = stream.expect_ident("table name").text
+    stream.expect_keyword("SET")
+    assignments = [_parse_assignment(stream)]
+    while stream.accept_symbol(","):
+        assignments.append(_parse_assignment(stream))
+    where = _parse_where(stream) if stream.accept_keyword("WHERE") else None
+    return Update(table, assignments, where)
+
+
+def _parse_assignment(stream: TokenStream) -> tuple[str, Value]:
+    column = stream.expect_ident("column name").text
+    stream.expect_symbol("=")
+    return column, _parse_literal(stream)

@@ -1,0 +1,23 @@
+"""The University database: the thesis's running example, ready to load."""
+
+from repro.university.generator import (
+    CourseSpec,
+    DepartmentSpec,
+    PersonSpec,
+    UniversityData,
+    generate_university,
+)
+from repro.university.loader import UniversityKeys, load_university
+from repro.university.schema import UNIVERSITY_DAPLEX, university_schema
+
+__all__ = [
+    "CourseSpec",
+    "DepartmentSpec",
+    "PersonSpec",
+    "UNIVERSITY_DAPLEX",
+    "UniversityData",
+    "UniversityKeys",
+    "generate_university",
+    "load_university",
+    "university_schema",
+]

@@ -1,0 +1,205 @@
+"""Deterministic synthetic population for the University database.
+
+The thesis never lists the University database's contents, only its
+schema, so the examples, tests and benchmarks need a population.  The
+generator below produces one deterministically from a seed and a size
+parameter, honouring every schema constraint:
+
+* unique ``name`` within ``person`` and unique ``(title, semester)``
+  within ``course``;
+* every faculty member belongs to a department (the ``dept`` set) and
+  teaches courses, with the inverse ``taught_by`` kept consistent;
+* students have advisors and enrollments; support staff have supervisors;
+* the ``student``/``faculty`` and ``student``/``support_staff`` overlap
+  constraints are exercised: a fraction of employees are also students;
+* employees carry multi-valued ``phones`` (the scalar multi-valued case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.abdm.values import Value
+
+_FIRST_NAMES = (
+    "Alice", "Brian", "Carla", "David", "Elena", "Frank", "Grace", "Hugo",
+    "Irene", "James", "Karen", "Louis", "Maria", "Nathan", "Olive", "Peter",
+    "Quinn", "Rosa", "Simon", "Tanya", "Ulric", "Vera", "Walter", "Xenia",
+    "Yusuf", "Zelda",
+)
+_LAST_NAMES = (
+    "Adams", "Baker", "Clark", "Davis", "Evans", "Foster", "Garcia", "Hughes",
+    "Ingram", "Jones", "Keller", "Lewis", "Morris", "Nolan", "Owens", "Price",
+    "Quincy", "Reyes", "Stone", "Turner", "Unger", "Vargas", "Wells", "Xu",
+    "Young", "Zhang",
+)
+_DEPT_NAMES = (
+    "computer_science", "mathematics", "physics", "oceanography",
+    "operations_research", "electrical_eng", "national_security", "meteorology",
+)
+_COURSE_TOPICS = (
+    "Databases", "Operating Systems", "Compilers", "Networks", "Algorithms",
+    "Calculus", "Mechanics", "Thermodynamics", "Acoustics", "Optimization",
+    "Cryptology", "Statistics", "Signal Processing", "Avionics", "Logistics",
+)
+_SEMESTERS = ("fall", "winter", "spring", "summer")
+_RANKS = ("instructor", "assistant", "associate", "professor")
+_MAJORS = ("computer science", "mathematics", "physics", "engineering")
+_SKILLS = ("admin", "lab tech", "librarian", "registrar")
+
+
+@dataclass
+class PersonSpec:
+    """One generated person and the roles they play."""
+
+    name: str
+    age: int
+    is_employee: bool = False
+    is_student: bool = False
+    is_faculty: bool = False
+    is_support_staff: bool = False
+    salary: float = 0.0
+    phones: list[int] = field(default_factory=list)
+    rank: str = ""
+    dept_index: int = -1  # department a faculty member belongs to
+    teaching: list[int] = field(default_factory=list)  # course indices
+    skill: str = ""
+    supervisor_index: int = -1  # person index of a support-staff supervisor
+    major: str = ""
+    gpa: float = 0.0
+    advisor_index: int = -1  # person index of the student's advisor
+    enrollment: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CourseSpec:
+    """One generated course."""
+
+    title: str
+    dept: str
+    semester: str
+    credits: int
+    taught_by: list[int] = field(default_factory=list)  # person indices
+
+
+@dataclass
+class DepartmentSpec:
+    dname: str
+    budget: int
+
+
+@dataclass
+class UniversityData:
+    """The full generated population."""
+
+    departments: list[DepartmentSpec]
+    persons: list[PersonSpec]
+    courses: list[CourseSpec]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {
+            "departments": len(self.departments),
+            "persons": len(self.persons),
+            "students": sum(1 for p in self.persons if p.is_student),
+            "employees": sum(1 for p in self.persons if p.is_employee),
+            "faculty": sum(1 for p in self.persons if p.is_faculty),
+            "support_staff": sum(1 for p in self.persons if p.is_support_staff),
+            "courses": len(self.courses),
+        }
+
+
+def generate_university(
+    persons: int = 60,
+    courses: int = 20,
+    departments: int = 4,
+    seed: int = 1987,
+) -> UniversityData:
+    """Generate a deterministic University population.
+
+    Roughly 30% of persons are faculty, 15% support staff and 60%
+    students (overlapping: some employees are also students, which the
+    OVERLAP constraint permits for faculty and support staff).
+    """
+    rng = random.Random(seed)
+    departments = max(1, min(departments, len(_DEPT_NAMES)))
+    dept_specs = [
+        DepartmentSpec(_DEPT_NAMES[i], budget=100_000 + 25_000 * i)
+        for i in range(departments)
+    ]
+
+    person_specs: list[PersonSpec] = []
+    used_names: set[str] = set()
+    while len(person_specs) < persons:
+        name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+        if name in used_names:
+            name = f"{name} {len(person_specs)}"
+        used_names.add(name)
+        person_specs.append(PersonSpec(name=name, age=rng.randint(18, 70)))
+
+    count = len(person_specs)
+    faculty_count = max(1, count * 3 // 10)
+    staff_count = max(1, count * 3 // 20)
+    student_count = max(1, count * 6 // 10)
+
+    faculty_indices = list(range(faculty_count))
+    staff_indices = list(range(faculty_count, faculty_count + staff_count))
+    remaining = list(range(faculty_count + staff_count, count))
+    student_indices = remaining[:student_count]
+    # Exercise the overlap constraint: a few employees are also students.
+    overlap_students = faculty_indices[: max(1, faculty_count // 10)]
+    student_indices = student_indices + overlap_students
+
+    course_specs: list[CourseSpec] = []
+    used_titles: set[tuple[str, str]] = set()
+    while len(course_specs) < courses:
+        topic = rng.choice(_COURSE_TOPICS)
+        level = rng.choice(("Introductory", "Intermediate", "Advanced"))
+        title = f"{level} {topic}"
+        semester = rng.choice(_SEMESTERS)
+        if (title, semester) in used_titles:
+            title = f"{title} {len(course_specs) + 1}"
+        used_titles.add((title, semester))
+        course_specs.append(
+            CourseSpec(
+                title=title,
+                dept=rng.choice(dept_specs).dname,
+                semester=semester,
+                credits=rng.randint(1, 5),
+            )
+        )
+
+    for index in faculty_indices:
+        person = person_specs[index]
+        person.is_employee = True
+        person.is_faculty = True
+        person.salary = float(rng.randint(30, 90) * 1000)
+        person.phones = [rng.randint(2000000, 9999999) for _ in range(rng.randint(1, 3))]
+        person.rank = rng.choice(_RANKS)
+        person.dept_index = rng.randrange(len(dept_specs))
+        taught = rng.sample(range(len(course_specs)), k=min(3, len(course_specs)))
+        person.teaching = taught
+        for course_index in taught:
+            course_specs[course_index].taught_by.append(index)
+
+    for index in staff_indices:
+        person = person_specs[index]
+        person.is_employee = True
+        person.is_support_staff = True
+        person.salary = float(rng.randint(18, 45) * 1000)
+        person.phones = [rng.randint(2000000, 9999999)]
+        person.skill = rng.choice(_SKILLS)
+        person.supervisor_index = rng.choice(faculty_indices)
+
+    for index in student_indices:
+        person = person_specs[index]
+        person.is_student = True
+        person.major = rng.choice(_MAJORS)
+        person.gpa = round(rng.uniform(2.0, 4.0), 2)
+        person.advisor_index = rng.choice(faculty_indices)
+        person.enrollment = rng.sample(
+            range(len(course_specs)), k=min(rng.randint(1, 4), len(course_specs))
+        )
+
+    return UniversityData(dept_specs, person_specs, course_specs)

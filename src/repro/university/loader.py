@@ -1,0 +1,129 @@
+"""Loading a generated University population into MLDS.
+
+The loader drives the native (DAPLEX-side) load path: it creates every
+entity through :class:`~repro.core.loader.FunctionalLoader`, wiring the
+entity-valued functions with database keys so the transformed network
+sets come out populated — faculty in their ``dept`` occurrences, students
+under their ``advisor``, the ``teaching``/``taught_by`` pair consistent
+on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mlds import MLDS
+from repro.functional.model import FunctionalSchema
+from repro.university.generator import UniversityData, generate_university
+from repro.university.schema import UNIVERSITY_DAPLEX
+
+
+@dataclass
+class UniversityKeys:
+    """Database keys of every loaded instance, by generator index."""
+
+    departments: list[str] = field(default_factory=list)
+    persons: list[str] = field(default_factory=list)
+    courses: list[str] = field(default_factory=list)
+
+
+def load_university(
+    mlds: MLDS,
+    data: UniversityData | None = None,
+    name_override: str | None = None,
+) -> tuple[FunctionalSchema, UniversityKeys]:
+    """Define and populate the University database in *mlds*.
+
+    Returns the functional schema and the key book-keeping.  Pass a
+    pre-generated *data* population for custom sizes; the default is the
+    standard 60-person population.
+    """
+    daplex = UNIVERSITY_DAPLEX
+    if name_override:
+        daplex = daplex.replace("DATABASE university;", f"DATABASE {name_override};", 1)
+    schema = mlds.define_functional_database(daplex)
+    data = data or generate_university()
+    loader = mlds.functional_loader(schema.name)
+    keys = UniversityKeys()
+
+    for dept in data.departments:
+        keys.departments.append(
+            loader.create("department", dname=dept.dname, budget=dept.budget)
+        )
+
+    # Pass 1: person (and course) instances so every key exists before the
+    # entity-valued functions reference them.
+    for person in data.persons:
+        keys.persons.append(loader.create("person", name=person.name, age=person.age))
+    for course in data.courses:
+        keys.courses.append(
+            loader.create(
+                "course",
+                title=course.title,
+                dept=course.dept,
+                semester=course.semester,
+                credits=course.credits,
+            )
+        )
+
+    # Pass 2: subtype extensions, wiring relationships by database key.
+    for index, person in enumerate(data.persons):
+        dbkey = keys.persons[index]
+        if person.is_employee:
+            loader.create(
+                "employee",
+                dbkey=dbkey,
+                salary=person.salary,
+                phones=list(person.phones),
+            )
+        if person.is_faculty:
+            loader.create(
+                "faculty",
+                dbkey=dbkey,
+                rank=person.rank,
+                dept=keys.departments[person.dept_index],
+                teaching=[keys.courses[i] for i in person.teaching],
+            )
+        if person.is_support_staff:
+            loader.create(
+                "support_staff",
+                dbkey=dbkey,
+                skill=person.skill,
+                supervisor=keys.persons[person.supervisor_index],
+            )
+        if person.is_student:
+            loader.create(
+                "student",
+                dbkey=dbkey,
+                major=person.major,
+                gpa=person.gpa,
+                advisor=keys.persons[person.advisor_index],
+                enrollment=[keys.courses[i] for i in person.enrollment],
+            )
+
+    # Pass 3: the inverse side of the many-to-many pair.  Both functions of
+    # the pair exist in the functional schema, so both files carry the
+    # relationship (Figure 3.3's asterisked values).
+    # taught_by values were accumulated per course during generation but the
+    # course instances were created before faculty existed; update them now.
+    from repro.abdl.ast import InsertRequest, UpdateRequest, Modifier
+    from repro.abdm.predicate import Predicate, Query
+
+    kc = loader.kc
+    for index, course in enumerate(data.courses):
+        teachers = [keys.persons[i] for i in course.taught_by]
+        if not teachers:
+            continue
+        course_key = keys.courses[index]
+        query = Query.conjunction(
+            [Predicate("FILE", "=", "course"), Predicate("course", "=", course_key)]
+        )
+        kc.execute(UpdateRequest(query, Modifier("taught_by", value=teachers[0])))
+        if len(teachers) > 1:
+            base = kc.retrieve(query)[0]
+            for teacher in teachers[1:]:
+                copy = base.copy()
+                copy.set("taught_by", teacher)
+                kc.execute(InsertRequest(copy))
+
+    return schema, keys

@@ -1,0 +1,96 @@
+"""The University database schema (thesis Figures 2.1 / 2.2).
+
+Shipman's University database is the running example of the thesis; its
+functional schema exercises every construct the transformer handles:
+
+* entity types: ``person``, ``department``, ``course``;
+* entity subtypes: ``employee`` and ``student`` under ``person``;
+  ``faculty`` and ``support_staff`` under ``employee`` (so ``person`` and
+  ``employee`` are non-terminal, the rest terminal);
+* non-entity types: a string type, enumerations (``rank_type``,
+  ``semester_type``), a ranged integer, a non-entity subtype, a derived
+  non-entity and a numeric constant;
+* scalar functions (``name``, ``title``, ...), a scalar multi-valued
+  function (``phones``), single-valued entity functions (``advisor``,
+  ``dept``, ``supervisor``), a one-to-many multi-valued function
+  (``enrollment``) and the many-to-many pair ``teaching`` / ``taught_by``
+  that the transformer turns into the ``LINK_1`` record with the
+  ``teaching`` and ``taught_by`` sets of Figure 5.1;
+* the uniqueness constraint on ``title, semester`` within ``course``
+  (Figure 5.3) and an overlap constraint letting a person be both a
+  student and an employee.
+"""
+
+from __future__ import annotations
+
+from repro.functional import FunctionalSchema, parse_schema
+
+#: DAPLEX DDL for the University database.
+UNIVERSITY_DAPLEX = """\
+DATABASE university;
+
+TYPE name_string IS STRING(30);
+TYPE rank_type IS (instructor, assistant, associate, professor);
+TYPE semester_type IS (fall, winter, spring, summer);
+TYPE credit_value IS INTEGER RANGE 1..5;
+SUBTYPE dept_string IS name_string;
+DERIVED gpa_value IS FLOAT RANGE 0.0..4.0;
+CONSTANT max_course_load IS 5;
+
+TYPE person IS
+ENTITY
+    name : name_string;
+    age  : INTEGER;
+END ENTITY;
+
+TYPE department IS
+ENTITY
+    dname  : STRING(20);
+    budget : INTEGER;
+END ENTITY;
+
+TYPE course IS
+ENTITY
+    title     : STRING(40);
+    dept      : dept_string;
+    semester  : semester_type;
+    credits   : credit_value;
+    taught_by : SET OF faculty;
+END ENTITY;
+
+TYPE employee IS person
+ENTITY
+    salary : FLOAT;
+    phones : SET OF INTEGER;
+END ENTITY;
+
+TYPE student IS person
+ENTITY
+    major      : STRING(20);
+    gpa        : gpa_value;
+    advisor    : faculty;
+    enrollment : SET OF course;
+END ENTITY;
+
+TYPE faculty IS employee
+ENTITY
+    rank     : rank_type;
+    dept     : department;
+    teaching : SET OF course;
+END ENTITY;
+
+TYPE support_staff IS employee
+ENTITY
+    skill      : STRING(20);
+    supervisor : employee;
+END ENTITY;
+
+UNIQUE title, semester WITHIN course;
+UNIQUE name WITHIN person;
+OVERLAP student WITH faculty, support_staff;
+"""
+
+
+def university_schema() -> FunctionalSchema:
+    """Parse and return a fresh validated University schema."""
+    return parse_schema(UNIVERSITY_DAPLEX)

@@ -1,0 +1,79 @@
+"""Aggregate evaluation and grouping semantics."""
+
+import pytest
+
+from repro.abdl.aggregates import evaluate_aggregate, group_records
+from repro.abdm import Record
+
+
+def records_from(values, attribute="x"):
+    return [Record.from_pairs([("FILE", "f"), (attribute, v)]) for v in values]
+
+
+class TestCount:
+    def test_count_star_counts_records(self):
+        assert evaluate_aggregate("COUNT", "*", records_from([1, None, 3])) == 3
+
+    def test_count_attribute_skips_nulls(self):
+        assert evaluate_aggregate("COUNT", "x", records_from([1, None, 3])) == 2
+
+    def test_count_empty(self):
+        assert evaluate_aggregate("COUNT", "x", []) == 0
+
+
+class TestNumericAggregates:
+    def test_sum(self):
+        assert evaluate_aggregate("SUM", "x", records_from([1, 2, 3.5])) == 6.5
+
+    def test_avg(self):
+        assert evaluate_aggregate("AVG", "x", records_from([2, 4])) == 3
+
+    def test_sum_ignores_strings(self):
+        assert evaluate_aggregate("SUM", "x", records_from([1, "two", 3])) == 4
+
+    def test_empty_numeric_is_null(self):
+        assert evaluate_aggregate("SUM", "x", []) is None
+        assert evaluate_aggregate("AVG", "x", records_from(["a"])) is None
+
+
+class TestMinMax:
+    def test_numeric_min_max(self):
+        records = records_from([3, 1, 2])
+        assert evaluate_aggregate("MIN", "x", records) == 1
+        assert evaluate_aggregate("MAX", "x", records) == 3
+
+    def test_string_fallback(self):
+        records = records_from(["pear", "apple"])
+        assert evaluate_aggregate("MIN", "x", records) == "apple"
+
+    def test_numerics_win_over_strings(self):
+        records = records_from([5, "apple"])
+        assert evaluate_aggregate("MIN", "x", records) == 5
+
+    def test_empty_is_null(self):
+        assert evaluate_aggregate("MIN", "x", []) is None
+
+
+class TestUnknown:
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError):
+            evaluate_aggregate("MEDIAN", "x", [])
+
+
+class TestGrouping:
+    def test_group_order_is_first_seen(self):
+        records = records_from(["b", "a", "b", "c"], attribute="g")
+        groups = group_records(records, "g")
+        assert [key for key, _ in groups] == ["b", "a", "c"]
+        assert len(groups[0][1]) == 2
+
+    def test_no_by_single_group(self):
+        records = records_from([1, 2])
+        groups = group_records(records, None)
+        assert len(groups) == 1 and groups[0][0] is None
+
+    def test_null_key_groups_together(self):
+        records = records_from([None, 1, None], attribute="g")
+        groups = group_records(records, "g")
+        assert len(groups) == 2
+        assert len(dict(groups)[None]) == 2

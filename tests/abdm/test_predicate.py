@@ -1,0 +1,124 @@
+"""Keyword predicates and DNF queries."""
+
+import pytest
+
+from repro.abdm import Conjunction, Predicate, Query, Record
+
+
+@pytest.fixture()
+def record():
+    return Record.from_pairs(
+        [("FILE", "course"), ("course", "course$1"), ("credits", 4), ("title", "DB")]
+    )
+
+
+class TestPredicate:
+    def test_equality_match(self, record):
+        assert Predicate("credits", "=", 4).matches(record)
+
+    def test_inequality(self, record):
+        assert Predicate("credits", "!=", 3).matches(record)
+        assert not Predicate("credits", "!=", 4).matches(record)
+
+    def test_ordering(self, record):
+        assert Predicate("credits", ">=", 4).matches(record)
+        assert not Predicate("credits", ">", 4).matches(record)
+
+    def test_missing_attribute_never_matches(self, record):
+        assert not Predicate("ghost", "=", 4).matches(record)
+        assert not Predicate("ghost", "!=", 4).matches(record)
+
+    def test_null_test_matches_null_keyword(self):
+        record = Record.from_pairs([("FILE", "f"), ("advisor", None)])
+        assert Predicate("advisor", "=", None).matches(record)
+        assert not Predicate("advisor", "!=", None).matches(record)
+
+    def test_not_null_test(self):
+        record = Record.from_pairs([("FILE", "f"), ("advisor", "person$1")])
+        assert Predicate("advisor", "!=", None).matches(record)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "~", 1)
+
+    def test_render(self):
+        assert Predicate("title", "=", "DB").render() == "(title = 'DB')"
+        assert Predicate("credits", ">=", 3).render() == "(credits >= 3)"
+
+
+class TestConjunction:
+    def test_all_must_match(self, record):
+        clause = Conjunction(
+            [Predicate("FILE", "=", "course"), Predicate("credits", "=", 4)]
+        )
+        assert clause.matches(record)
+
+    def test_one_failure_fails(self, record):
+        clause = Conjunction(
+            [Predicate("FILE", "=", "course"), Predicate("credits", "=", 99)]
+        )
+        assert not clause.matches(record)
+
+    def test_empty_conjunction_matches_everything(self, record):
+        assert Conjunction([]).matches(record)
+
+    def test_file_names(self):
+        clause = Conjunction([Predicate("FILE", "=", "x"), Predicate("a", "=", 1)])
+        assert clause.file_names() == {"x"}
+
+    def test_render_single(self):
+        assert Conjunction([Predicate("a", "=", 1)]).render() == "(a = 1)"
+
+    def test_render_multi(self):
+        clause = Conjunction([Predicate("a", "=", 1), Predicate("b", "<", 2)])
+        assert clause.render() == "((a = 1) AND (b < 2))"
+
+
+class TestQuery:
+    def test_disjunction(self, record):
+        query = Query(
+            [
+                Conjunction([Predicate("credits", "=", 99)]),
+                Conjunction([Predicate("title", "=", "DB")]),
+            ]
+        )
+        assert query.matches(record)
+
+    def test_no_clause_matches(self, record):
+        query = Query([Conjunction([Predicate("credits", "=", 99)])])
+        assert not query.matches(record)
+
+    def test_single_helper(self, record):
+        assert Query.single("credits", "=", 4).matches(record)
+
+    def test_file_names_all_pinned(self):
+        query = Query(
+            [
+                Conjunction([Predicate("FILE", "=", "a")]),
+                Conjunction([Predicate("FILE", "=", "b")]),
+            ]
+        )
+        assert query.file_names() == {"a", "b"}
+
+    def test_file_names_open_clause_clears(self):
+        query = Query(
+            [
+                Conjunction([Predicate("FILE", "=", "a")]),
+                Conjunction([Predicate("x", "=", 1)]),
+            ]
+        )
+        assert query.file_names() == set()
+
+    def test_render_dnf(self):
+        query = Query(
+            [
+                Conjunction([Predicate("a", "=", 1), Predicate("b", "=", 2)]),
+                Conjunction([Predicate("c", "=", 3)]),
+            ]
+        )
+        assert query.render() == "(((a = 1) AND (b = 2)) OR (c = 3))"
+
+    def test_iteration(self):
+        query = Query.conjunction([Predicate("a", "=", 1)])
+        assert len(query) == 1
+        assert len(list(query)[0]) == 1

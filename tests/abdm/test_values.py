@@ -1,0 +1,110 @@
+"""Kernel value semantics: comparison, rendering, parsing."""
+
+import pytest
+
+from repro.abdm import values
+
+
+class TestDomains:
+    def test_integer_domain(self):
+        assert values.domain_of(3) == "integer"
+
+    def test_float_domain(self):
+        assert values.domain_of(3.5) == "float"
+
+    def test_string_domain(self):
+        assert values.domain_of("x") == "string"
+
+    def test_null_domain(self):
+        assert values.domain_of(None) == "null"
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TypeError):
+            values.domain_of(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            values.domain_of([1])
+
+
+class TestComparability:
+    def test_numbers_mix(self):
+        assert values.comparable(1, 2.5)
+
+    def test_strings_compare(self):
+        assert values.comparable("a", "b")
+
+    def test_cross_domain_incomparable(self):
+        assert not values.comparable(1, "1")
+
+    def test_null_incomparable(self):
+        assert not values.comparable(None, 1)
+        assert not values.comparable("x", None)
+
+
+class TestEquality:
+    def test_null_equals_null(self):
+        assert values.values_equal(None, None)
+
+    def test_null_not_equal_value(self):
+        assert not values.values_equal(None, 0)
+        assert not values.values_equal("", None)
+
+    def test_int_float_equality(self):
+        assert values.values_equal(3, 3.0)
+
+    def test_cross_domain_never_equal(self):
+        assert not values.values_equal(1, "1")
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "left,op,right,expected",
+        [
+            (1, "=", 1, True),
+            (1, "!=", 2, True),
+            (1, "<", 2, True),
+            (2, "<=", 2, True),
+            (3, ">", 2, True),
+            (3, ">=", 4, False),
+            ("apple", "<", "banana", True),
+            ("b", ">=", "b", True),
+        ],
+    )
+    def test_basic_relations(self, left, op, right, expected):
+        assert values.compare(left, right, op) is expected
+
+    def test_null_ordering_is_false(self):
+        for op in ("<", "<=", ">", ">="):
+            assert not values.compare(None, 1, op)
+            assert not values.compare(1, None, op)
+
+    def test_null_equality_operators(self):
+        assert values.compare(None, None, "=")
+        assert not values.compare(None, None, "!=")
+        assert values.compare(1, None, "!=")
+
+    def test_cross_domain_ordering_is_false(self):
+        assert not values.compare(1, "x", "<")
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            values.compare(1, 2, "<>")
+
+
+class TestRenderParse:
+    @pytest.mark.parametrize("value", [0, -5, 42, 3.25, "hello", "", None])
+    def test_roundtrip(self, value):
+        assert values.parse_literal(values.render(value)) == value
+
+    def test_string_quoting(self):
+        assert values.render("it's") == "'it''s'"
+        assert values.parse_literal("'it''s'") == "it's"
+
+    def test_null_token(self):
+        assert values.render(None) == "NULL"
+        assert values.parse_literal("NULL") is None
+
+    def test_bad_literal(self):
+        with pytest.raises(ValueError):
+            values.parse_literal("not a literal at all!")

@@ -1,0 +1,42 @@
+"""Shared fixtures: loaded University databases and open sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MLDS
+from repro.university import generate_university, load_university
+
+
+@pytest.fixture(scope="session")
+def university_data():
+    """One deterministic 30-person population shared by read-only tests."""
+    return generate_university(persons=30, courses=10, departments=3, seed=42)
+
+
+@pytest.fixture()
+def mlds(university_data):
+    """A fresh MLDS with the University database loaded (mutable tests)."""
+    system = MLDS(backend_count=4)
+    load_university(system, university_data)
+    return system
+
+
+@pytest.fixture()
+def session(mlds):
+    """A CODASYL-DML session over the functional University database."""
+    return mlds.open_codasyl_session("university")
+
+
+@pytest.fixture(scope="module")
+def shared_mlds(university_data):
+    """A module-scoped loaded MLDS for read-only test modules."""
+    system = MLDS(backend_count=4)
+    load_university(system, university_data)
+    return system
+
+
+@pytest.fixture()
+def shared_session(shared_mlds):
+    """A fresh session (fresh currency/UWA) over the shared database."""
+    return shared_mlds.open_codasyl_session("university")

@@ -1,0 +1,203 @@
+"""The interactive MLDS shell (line-in / text-out, no terminal needed)."""
+
+import pytest
+
+from repro import MLDS
+from repro.cli import MLDSShell
+from repro.university import generate_university, load_university
+
+
+@pytest.fixture()
+def shell():
+    mlds = MLDS(backend_count=2)
+    load_university(mlds, generate_university(persons=20, courses=8, seed=3))
+    return MLDSShell(mlds)
+
+
+class TestCommands:
+    def test_help(self, shell):
+        assert ".open codasyl" in shell.handle_line(".help")
+
+    def test_databases(self, shell):
+        assert shell.handle_line(".databases") == "university"
+
+    def test_databases_empty(self):
+        assert "no databases" in MLDSShell(MLDS(backend_count=1)).handle_line(".databases")
+
+    def test_schema_functional_shows_transformed(self, shell):
+        output = shell.handle_line(".schema university")
+        assert "transformed network view" in output
+        assert "SET NAME IS person_student;" in output
+
+    def test_schema_unknown(self, shell):
+        assert "no database" in shell.handle_line(".schema ghost")
+
+    def test_quit(self, shell):
+        assert shell.handle_line(".quit") == "bye"
+        assert shell.done
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.handle_line(".frob")
+
+    def test_blank_and_comment_lines(self, shell):
+        assert shell.handle_line("") == ""
+        assert shell.handle_line("-- a comment") == ""
+
+
+class TestSessions:
+    def test_prompt_follows_session(self, shell):
+        assert shell.prompt == "mlds> "
+        shell.handle_line(".open codasyl university")
+        assert shell.prompt == "codasyl:university> "
+        shell.handle_line(".open daplex university")
+        assert shell.prompt == "daplex:university> "
+        shell.handle_line(".close")
+        assert shell.prompt == "mlds> "
+
+    def test_statement_without_session(self, shell):
+        assert "no session open" in shell.handle_line("GET")
+
+    def test_open_usage_errors(self, shell):
+        assert "usage" in shell.handle_line(".open codasyl")
+        assert "usage" in shell.handle_line(".open cobol university")
+        # SQL sessions only open on relational databases.
+        assert "error:" in shell.handle_line(".open sql university")
+
+    def test_open_unknown_database_reports_error(self, shell):
+        assert "error:" in shell.handle_line(".open codasyl ghost")
+
+
+class TestCodasylFlow:
+    def test_find_and_get(self, shell):
+        shell.handle_line(".open codasyl university")
+        shell.handle_line("MOVE 'fall' TO semester IN course")
+        output = shell.handle_line("FIND ANY course USING semester IN course")
+        assert output.startswith("ok")
+        output = shell.handle_line("GET")
+        assert "title" in output
+
+    def test_error_rendered_not_raised(self, shell):
+        shell.handle_line(".open codasyl university")
+        assert shell.handle_line("ERASE course").startswith("error:")
+
+    def test_cit_and_uwa(self, shell):
+        shell.handle_line(".open codasyl university")
+        shell.handle_line("MOVE 'fall' TO semester IN course")
+        shell.handle_line("FIND ANY course USING semester IN course")
+        cit = shell.handle_line(".cit")
+        assert "run-unit" in cit and "course" in cit
+        uwa = shell.handle_line(".uwa")
+        assert "semester = 'fall'" in uwa
+
+    def test_cit_without_session(self, shell):
+        assert "no CODASYL session" in shell.handle_line(".cit")
+        shell.handle_line(".open daplex university")
+        assert "no CODASYL session" in shell.handle_line(".cit")
+
+    def test_log(self, shell):
+        shell.handle_line(".open codasyl university")
+        assert "(no requests yet)" in shell.handle_line(".log")
+        shell.handle_line("MOVE 'fall' TO semester IN course")
+        shell.handle_line("FIND ANY course USING semester IN course")
+        assert "RETRIEVE" in shell.handle_line(".log 1")
+
+    def test_log_without_session(self, shell):
+        assert "no session" in shell.handle_line(".log")
+
+
+class TestDaplexFlow:
+    def test_query_renders_table(self, shell):
+        shell.handle_line(".open daplex university")
+        output = shell.handle_line("FOR EACH p IN person PRINT name(p);")
+        assert "name(p)" in output
+
+    def test_update_reports_touched(self, shell):
+        shell.handle_line(".open daplex university")
+        output = shell.handle_line(
+            "FOR A NEW p IN person BEGIN LET name(p) = 'Cli User'; END;"
+        )
+        assert "1 entity(ies) affected" in output
+
+    def test_empty_result(self, shell):
+        shell.handle_line(".open daplex university")
+        output = shell.handle_line(
+            "FOR EACH p IN person SUCH THAT name(p) = 'Nobody At All' PRINT p;"
+        )
+        assert output == "(no output)"
+
+    def test_parse_error_rendered(self, shell):
+        shell.handle_line(".open daplex university")
+        assert shell.handle_line("FOR EACH broken").startswith("error:")
+
+
+class TestDliFlow:
+    @pytest.fixture()
+    def hier_shell(self):
+        mlds = MLDS(backend_count=2)
+        mlds.define_hierarchical_database(
+            "DATABASE depot;\nSEGMENT bin ROOT (tag CHAR(5));\n"
+            "SEGMENT part UNDER bin (pname CHAR(10));"
+        )
+        return MLDSShell(mlds)
+
+    def test_open_and_prompt(self, hier_shell):
+        hier_shell.handle_line(".open dli depot")
+        assert hier_shell.prompt == "dli:depot> "
+
+    def test_calls_render_status(self, hier_shell):
+        hier_shell.handle_line(".open dli depot")
+        hier_shell.handle_line("FLD tag = 'b1'")
+        assert "status" in hier_shell.handle_line("ISRT bin")
+        output = hier_shell.handle_line("GU bin(tag = 'b1')")
+        assert "bin[" in output and "b1" in output
+
+    def test_not_found_status(self, hier_shell):
+        hier_shell.handle_line(".open dli depot")
+        assert "'GE'" in hier_shell.handle_line("GU bin(tag = 'zz')")
+
+    def test_schema_renders_segments(self, hier_shell):
+        output = hier_shell.handle_line(".schema depot")
+        assert "SEGMENT part UNDER bin" in output
+
+    def test_sql_over_hierarchical_via_shell(self, hier_shell):
+        hier_shell.handle_line(".open dli depot")
+        hier_shell.handle_line("FLD tag = 'b1'")
+        hier_shell.handle_line("ISRT bin")
+        hier_shell.handle_line(".open sql depot")
+        assert hier_shell.prompt == "sql:depot> "
+        output = hier_shell.handle_line("SELECT tag FROM bin")
+        assert "b1" in output
+
+
+class TestPersistenceCommands:
+    def test_save_and_load(self, shell, tmp_path):
+        path = tmp_path / "snap.json"
+        assert "saved" in shell.handle_line(f".save {path}")
+        shell.handle_line(".open codasyl university")
+        assert "loaded" in shell.handle_line(f".load {path}")
+        # The session was closed and the system replaced.
+        assert shell.prompt == "mlds> "
+        assert shell.handle_line(".databases") == "university"
+
+    def test_usage_errors(self, shell):
+        assert "usage" in shell.handle_line(".save")
+        assert "usage" in shell.handle_line(".load")
+
+
+class TestExecCommand:
+    def test_exec_transaction_file(self, shell, tmp_path):
+        path = tmp_path / "txn.dml"
+        path.write_text(
+            "MOVE 'fall' TO semester IN course\n"
+            "FIND ANY course USING semester IN course\nGET\n"
+        )
+        shell.handle_line(".open codasyl university")
+        assert "executed 3 statement(s)" in shell.handle_line(f".exec {path}")
+
+    def test_exec_without_session(self, shell, tmp_path):
+        path = tmp_path / "txn.dml"
+        path.write_text("GET")
+        assert "no session" in shell.handle_line(f".exec {path}")
+
+    def test_exec_usage(self, shell):
+        assert "usage" in shell.handle_line(".exec")

@@ -1,0 +1,97 @@
+"""The functional and network database loaders."""
+
+import pytest
+
+from repro import MLDS
+from repro.errors import SchemaError
+from repro.university import UNIVERSITY_DAPLEX
+
+
+@pytest.fixture()
+def system():
+    mlds = MLDS(backend_count=2)
+    mlds.define_functional_database(UNIVERSITY_DAPLEX)
+    return mlds
+
+
+class TestFunctionalLoader:
+    def test_base_entity_mints_keys(self, system):
+        loader = system.functional_loader("university")
+        first = loader.create("person", name="A", age=1)
+        second = loader.create("person", name="B", age=2)
+        assert first == "person$1" and second == "person$2"
+
+    def test_subtype_requires_dbkey(self, system):
+        loader = system.functional_loader("university")
+        with pytest.raises(SchemaError):
+            loader.create("student", major="cs")
+
+    def test_base_entity_rejects_dbkey(self, system):
+        loader = system.functional_loader("university")
+        with pytest.raises(SchemaError):
+            loader.create("person", dbkey="person$9", name="A")
+
+    def test_unknown_type_rejected(self, system):
+        with pytest.raises(SchemaError):
+            system.functional_loader("university").create("ghost")
+
+    def test_values_mapping_and_kwargs_merge(self, system):
+        loader = system.functional_loader("university")
+        key = loader.create("person", values={"name": "A"}, age=3)
+        session = system.open_codasyl_session("university")
+        session.execute("MOVE 'A' TO name IN person")
+        found = session.execute("FIND ANY person USING name IN person")
+        assert found.dbkey == key and found.values["age"] == 3
+
+    def test_multivalued_load_creates_duplicate_records(self, system):
+        loader = system.functional_loader("university")
+        key = loader.create("person", name="E", age=9)
+        loader.create("employee", dbkey=key, salary=1.0, phones=[111, 222])
+        assert system.kds.controller.record_count() == 3  # 1 person + 2 employee
+
+    def test_loader_and_store_share_key_counters(self, system):
+        loader = system.functional_loader("university")
+        loader.create("person", name="A", age=1)
+        session = system.open_codasyl_session("university")
+        session.execute("MOVE 'B' TO name IN person")
+        session.execute("MOVE 2 TO age IN person")
+        stored = session.execute("STORE person")
+        assert stored.dbkey == "person$2"  # no collision with the loader
+
+
+class TestNetworkLoader:
+    NET = """
+SCHEMA NAME IS shop;
+RECORD NAME IS bin;
+    tag TYPE IS CHARACTER 5;
+RECORD NAME IS part;
+    pname TYPE IS CHARACTER 10;
+SET NAME IS holds;
+    OWNER IS bin;
+    MEMBER IS part;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+    SET SELECTION IS BY APPLICATION;
+"""
+
+    def test_memberships_wired(self):
+        mlds = MLDS(backend_count=2)
+        mlds.define_network_database(self.NET)
+        loader = mlds.network_loader("shop")
+        bin_key = loader.create("bin", tag="b1")
+        loader.create("part", pname="bolt", memberships={"holds": bin_key})
+        session = mlds.open_codasyl_session("shop")
+        session.execute("MOVE 'b1' TO tag IN bin")
+        session.execute("FIND ANY bin USING tag IN bin")
+        part = session.execute("FIND FIRST part WITHIN holds")
+        assert part.values["pname"] == "bolt"
+
+    def test_loader_store_share_counters(self):
+        mlds = MLDS(backend_count=2)
+        mlds.define_network_database(self.NET)
+        loader = mlds.network_loader("shop")
+        loader.create("bin", tag="b1")
+        session = mlds.open_codasyl_session("shop")
+        session.execute("MOVE 'b2' TO tag IN bin")
+        stored = session.execute("STORE bin")
+        assert stored.dbkey == "bin$2"

@@ -1,0 +1,131 @@
+"""The MLDS facade and the LIL's schema-search behaviour."""
+
+import pytest
+
+from repro import MLDS
+from repro.errors import SchemaError
+from repro.university import UNIVERSITY_DAPLEX
+
+NET_SCHEMA = """
+SCHEMA NAME IS tiny;
+RECORD NAME IS item;
+    label TYPE IS CHARACTER 10;
+SET NAME IS system_item;
+    OWNER IS SYSTEM;
+    MEMBER IS item;
+    INSERTION IS AUTOMATIC;
+    RETENTION IS FIXED;
+    SET SELECTION IS BY APPLICATION;
+"""
+
+
+@pytest.fixture()
+def system():
+    return MLDS(backend_count=2)
+
+
+class TestDatabaseDefinition:
+    def test_define_functional_from_text(self, system):
+        schema = system.define_functional_database(UNIVERSITY_DAPLEX)
+        assert schema.name == "university"
+        assert system.kds.database("university").model == "functional"
+
+    def test_define_network_from_text(self, system):
+        schema = system.define_network_database(NET_SCHEMA)
+        assert schema.name == "tiny"
+        assert system.kds.database("tiny").model == "network"
+
+    def test_duplicate_names_rejected_across_models(self, system):
+        system.define_network_database(NET_SCHEMA)
+        with pytest.raises(SchemaError):
+            system.define_network_database(NET_SCHEMA)
+
+    def test_database_names(self, system):
+        system.define_network_database(NET_SCHEMA)
+        system.define_functional_database(UNIVERSITY_DAPLEX)
+        assert system.database_names() == ["tiny", "university"]
+
+    def test_schema_lookup_errors(self, system):
+        with pytest.raises(SchemaError):
+            system.functional_schema("ghost")
+        with pytest.raises(SchemaError):
+            system.network_schema("ghost")
+
+
+class TestLILRouting:
+    def test_network_database_gets_network_adapter(self, system):
+        system.define_network_database(NET_SCHEMA)
+        session = system.open_codasyl_session("tiny")
+        assert session.source_model == "network"
+        assert session.schema.name == "tiny"
+
+    def test_functional_database_gets_transformed_adapter(self, system):
+        system.define_functional_database(UNIVERSITY_DAPLEX)
+        session = system.open_codasyl_session("university")
+        assert session.source_model == "functional"
+        assert session.schema.name == "university_net"
+        assert session.schema.has_set("person_student")
+
+    def test_network_searched_before_functional(self, system):
+        # A network DB and a functional DB: each name routes to its model.
+        system.define_network_database(NET_SCHEMA)
+        system.define_functional_database(UNIVERSITY_DAPLEX)
+        assert system.open_codasyl_session("tiny").source_model == "network"
+        assert system.open_codasyl_session("university").source_model == "functional"
+
+    def test_unknown_database_rejected(self, system):
+        with pytest.raises(SchemaError):
+            system.open_codasyl_session("ghost")
+
+    def test_transformation_cached(self, system):
+        system.define_functional_database(UNIVERSITY_DAPLEX)
+        first = system.transformation("university")
+        assert system.transformation("university") is first
+
+    def test_sessions_are_independent(self, system):
+        system.define_functional_database(UNIVERSITY_DAPLEX)
+        loader = system.functional_loader("university")
+        loader.create("person", name="Solo", age=50)
+        a = system.open_codasyl_session("university", user="a")
+        b = system.open_codasyl_session("university", user="b")
+        a.execute("MOVE 'Solo' TO name IN person")
+        a.execute("FIND ANY person USING name IN person")
+        assert a.cit.run_unit is not None
+        assert b.cit.run_unit is None  # independent currency
+        assert b.uwa.get("person", "name") is None  # independent UWA
+
+
+class TestSharedKernel:
+    def test_two_databases_share_one_kernel(self, system):
+        system.define_network_database(NET_SCHEMA)
+        system.define_functional_database(UNIVERSITY_DAPLEX)
+        system.network_loader("tiny").create("item", label="x")
+        system.functional_loader("university").create("person", name="Ann", age=1)
+        assert system.kds.record_count() == 2
+
+    def test_repr(self, system):
+        system.define_network_database(NET_SCHEMA)
+        assert "1 network" in repr(system)
+
+
+class TestDirectoryBackedKernel:
+    def test_mlds_with_clustered_store(self):
+        from repro.abdm import ClusteredStore, Directory
+        from repro.university import UNIVERSITY_DAPLEX
+
+        def factory():
+            directory = Directory()
+            directory.add_values(
+                "major",
+                ["computer science", "mathematics", "physics", "engineering"],
+            )
+            return ClusteredStore(directory)
+
+        system = MLDS(backend_count=2, store_factory=factory)
+        system.define_functional_database(UNIVERSITY_DAPLEX)
+        loader = system.functional_loader("university")
+        p = loader.create("person", name="A", age=1)
+        loader.create("student", dbkey=p, major="physics", gpa=3.0)
+        session = system.open_codasyl_session("university")
+        session.execute("MOVE 'physics' TO major IN student")
+        assert session.execute("FIND ANY student USING major IN student").ok

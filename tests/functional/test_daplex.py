@@ -1,0 +1,141 @@
+"""The DAPLEX DDL parser."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.functional import NonEntityVariant, ScalarKind, parse_schema
+
+
+class TestEntityDeclarations:
+    def test_minimal_entity(self):
+        schema = parse_schema(
+            "DATABASE d;\nTYPE a IS\nENTITY\n  x : INTEGER;\nEND ENTITY;"
+        )
+        assert list(schema.entity_types) == ["a"]
+        assert schema.function("a", "x").result_scalar.kind is ScalarKind.INTEGER
+
+    def test_subtype_with_multiple_supertypes(self):
+        schema = parse_schema(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY x : INTEGER; END ENTITY;\n"
+            "TYPE b IS ENTITY y : INTEGER; END ENTITY;\n"
+            "TYPE c IS a, b ENTITY z : INTEGER; END ENTITY;"
+        )
+        assert schema.subtypes["c"].supertypes == ["a", "b"]
+
+    def test_entity_valued_functions(self):
+        schema = parse_schema(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY x : INTEGER; END ENTITY;\n"
+            "TYPE b IS ENTITY single : a; multi : SET OF a; END ENTITY;"
+        )
+        assert schema.function("b", "single").is_single_valued_entity
+        assert schema.function("b", "multi").is_multivalued_entity
+
+    def test_nonnull_marker(self):
+        schema = parse_schema(
+            "DATABASE d;\nTYPE a IS ENTITY x : INTEGER NONNULL; END ENTITY;"
+        )
+        assert schema.function("a", "x").nonnull
+
+    def test_comments_ignored(self):
+        schema = parse_schema(
+            "DATABASE d; -- the database\n"
+            "TYPE a IS -- an entity\nENTITY\n  x : INTEGER; -- a function\nEND ENTITY;"
+        )
+        assert "a" in schema.entity_types
+
+
+class TestNonEntityDeclarations:
+    def test_string_type(self):
+        schema = parse_schema("DATABASE d;\nTYPE s IS STRING(12);")
+        nonentity = schema.nonentity_types["s"]
+        assert nonentity.scalar.kind is ScalarKind.STRING
+        assert nonentity.scalar.length == 12
+
+    def test_enumeration(self):
+        schema = parse_schema("DATABASE d;\nTYPE e IS (red, green, blue);")
+        assert schema.nonentity_types["e"].scalar.values == ("red", "green", "blue")
+
+    def test_integer_range(self):
+        schema = parse_schema("DATABASE d;\nTYPE r IS INTEGER RANGE 1..5;")
+        scalar = schema.nonentity_types["r"].scalar
+        assert (scalar.low, scalar.high) == (1, 5)
+
+    def test_float_range_with_negatives(self):
+        schema = parse_schema("DATABASE d;\nTYPE r IS FLOAT RANGE -1.5..2.5;")
+        scalar = schema.nonentity_types["r"].scalar
+        assert (scalar.low, scalar.high) == (-1.5, 2.5)
+
+    def test_boolean(self):
+        schema = parse_schema("DATABASE d;\nTYPE b IS BOOLEAN;")
+        assert schema.nonentity_types["b"].scalar.kind is ScalarKind.BOOLEAN
+
+    def test_nonentity_subtype_inherits_scalar(self):
+        schema = parse_schema(
+            "DATABASE d;\nTYPE s IS STRING(9);\nSUBTYPE t IS s;"
+        )
+        nonentity = schema.nonentity_types["t"]
+        assert nonentity.variant is NonEntityVariant.SUBTYPE
+        assert nonentity.parent == "s"
+        assert nonentity.scalar.length == 9
+
+    def test_derived_type(self):
+        schema = parse_schema("DATABASE d;\nDERIVED p IS FLOAT RANGE 0.0..1.0;")
+        assert schema.nonentity_types["p"].variant is NonEntityVariant.DERIVED
+
+    def test_constant(self):
+        schema = parse_schema("DATABASE d;\nCONSTANT max IS 42;")
+        nonentity = schema.nonentity_types["max"]
+        assert nonentity.constant and nonentity.constant_value == 42
+
+    def test_negative_constant(self):
+        schema = parse_schema("DATABASE d;\nCONSTANT low IS -3;")
+        assert schema.nonentity_types["low"].constant_value == -3
+
+    def test_string_constant(self):
+        schema = parse_schema("DATABASE d;\nCONSTANT tag IS 'v1';")
+        assert schema.nonentity_types["tag"].constant_value == "v1"
+
+    def test_subtype_of_unknown_parent(self):
+        with pytest.raises(ParseError):
+            parse_schema("DATABASE d;\nSUBTYPE t IS ghost;")
+
+
+class TestConstraints:
+    def test_unique(self):
+        schema = parse_schema(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY x : INTEGER; y : INTEGER; END ENTITY;\n"
+            "UNIQUE x, y WITHIN a;"
+        )
+        assert schema.uniqueness[0].functions == ("x", "y")
+        assert schema.function("a", "x").unique
+
+    def test_overlap(self):
+        schema = parse_schema(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY x : INTEGER; END ENTITY;\n"
+            "TYPE b IS a ENTITY y : INTEGER; END ENTITY;\n"
+            "TYPE c IS a ENTITY z : INTEGER; END ENTITY;\n"
+            "OVERLAP b WITH c;"
+        )
+        assert schema.overlap_allowed("b", "c")
+
+
+class TestErrors:
+    def test_missing_database_header(self):
+        with pytest.raises(ParseError):
+            parse_schema("TYPE a IS ENTITY x : INTEGER; END ENTITY;")
+
+    def test_unterminated_entity(self):
+        with pytest.raises(ParseError):
+            parse_schema("DATABASE d;\nTYPE a IS ENTITY x : INTEGER;")
+
+    def test_bad_declaration(self):
+        with pytest.raises(ParseError):
+            parse_schema("DATABASE d;\nFROB x;")
+
+    def test_unknown_result_type_fails_validation(self):
+        with pytest.raises(SchemaError):
+            parse_schema("DATABASE d;\nTYPE a IS ENTITY f : ghost; END ENTITY;")

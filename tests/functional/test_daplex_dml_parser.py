@@ -1,0 +1,130 @@
+"""The DAPLEX DML parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.functional import daplex_dml as dml
+
+
+class TestForEach:
+    def test_print_statement(self):
+        statement = dml.parse_statement(
+            "FOR EACH s IN student SUCH THAT major(s) = 'cs' PRINT name(s), gpa(s);"
+        )
+        assert isinstance(statement, dml.ForEach)
+        assert statement.variable == "s"
+        assert statement.type_name == "student"
+        action = statement.actions[0]
+        assert isinstance(action, dml.PrintAction)
+        assert [p.render() for p in action.expressions] == ["name(s)", "gpa(s)"]
+
+    def test_no_condition(self):
+        statement = dml.parse_statement("FOR EACH p IN person PRINT name(p);")
+        assert statement.condition is None
+
+    def test_condition_dnf(self):
+        statement = dml.parse_statement(
+            "FOR EACH s IN student SUCH THAT gpa(s) >= 3.5 AND major(s) = 'cs' "
+            "OR gpa(s) = 4.0 PRINT name(s);"
+        )
+        assert len(statement.condition.clauses) == 2
+        assert len(statement.condition.clauses[0]) == 2
+
+    def test_nested_path(self):
+        statement = dml.parse_statement(
+            "FOR EACH s IN student PRINT dname(dept(advisor(s)));"
+        )
+        path = statement.actions[0].expressions[0]
+        assert path.functions == ("dname", "dept", "advisor")
+        assert path.render() == "dname(dept(advisor(s)))"
+
+    def test_bare_variable_path(self):
+        statement = dml.parse_statement("FOR EACH s IN student PRINT s;")
+        assert statement.actions[0].expressions[0].functions == ()
+
+    def test_begin_end_block(self):
+        statement = dml.parse_statement(
+            "FOR EACH s IN student SUCH THAT gpa(s) < 2.0 BEGIN "
+            "LET major(s) = 'probation'; PRINT name(s); END;"
+        )
+        assert len(statement.actions) == 2
+        assert isinstance(statement.actions[0], dml.LetAction)
+
+    def test_destroy(self):
+        statement = dml.parse_statement(
+            "FOR EACH s IN student SUCH THAT name(s) = 'X' DESTROY s;"
+        )
+        assert isinstance(statement.actions[0], dml.DestroyAction)
+
+    def test_destroy_wrong_variable(self):
+        with pytest.raises(ParseError):
+            dml.parse_statement("FOR EACH s IN student DESTROY t;")
+
+    def test_path_must_bottom_out_at_variable(self):
+        with pytest.raises(ParseError):
+            dml.parse_statement("FOR EACH s IN student PRINT name(t);")
+
+
+class TestForNew:
+    def test_base_entity(self):
+        statement = dml.parse_statement(
+            "FOR A NEW p IN person BEGIN LET name(p) = 'Ada'; LET age(p) = 28; END;"
+        )
+        assert isinstance(statement, dml.ForNew)
+        assert statement.selector is None
+        assert [l.path.functions[0] for l in statement.lets] == ["name", "age"]
+
+    def test_subtype_with_selector(self):
+        statement = dml.parse_statement(
+            "FOR A NEW s IN student OF person SUCH THAT name(person) = 'Ada' "
+            "BEGIN LET major(s) = 'math'; END;"
+        )
+        assert statement.selector.type_name == "person"
+        assert statement.selector.condition.clauses[0][0].value == "Ada"
+
+    def test_only_lets_allowed(self):
+        with pytest.raises(ParseError):
+            dml.parse_statement("FOR A NEW p IN person BEGIN PRINT name(p); END;")
+
+    def test_null_value(self):
+        statement = dml.parse_statement(
+            "FOR A NEW p IN person BEGIN LET name(p) = NULL; END;"
+        )
+        assert statement.lets[0].value is None
+
+    def test_negative_literal(self):
+        statement = dml.parse_statement(
+            "FOR A NEW p IN person BEGIN LET age(p) = -1; END;"
+        )
+        assert statement.lets[0].value == -1
+
+
+class TestPrograms:
+    def test_multiple_statements(self):
+        program = dml.parse_program(
+            "FOR EACH p IN person PRINT name(p);\n"
+            "FOR A NEW p IN person BEGIN LET name(p) = 'X'; END;"
+        )
+        assert len(program) == 2
+
+    def test_comments(self):
+        program = dml.parse_program(
+            "-- list everyone\nFOR EACH p IN person PRINT name(p);"
+        )
+        assert len(program) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FOR SOME s IN student PRINT s;",
+            "FOR EACH s student PRINT s;",
+            "FOR EACH s IN student FROB s;",
+            "FOR EACH s IN student SUCH name(s) = 'x' PRINT s;",
+            "FOR A NEW s IN student BEGIN LET major(s) = 'x';",  # missing END
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            dml.parse_statement(text)

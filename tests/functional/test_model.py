@@ -1,0 +1,236 @@
+"""The functional data model classes (fun_dbid_node and friends)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.functional import (
+    EntitySubtype,
+    EntityType,
+    Function,
+    FunctionalSchema,
+    NonEntityType,
+    NonEntityVariant,
+    OverlapConstraint,
+    ScalarKind,
+    ScalarType,
+    UniquenessConstraint,
+)
+
+
+def build_schema():
+    schema = FunctionalSchema("demo")
+    schema.add_nonentity_type(
+        NonEntityType("rank_type", ScalarType(ScalarKind.ENUMERATION, values=("a", "bb")))
+    )
+    schema.add_entity_type(
+        EntityType(
+            "person",
+            [
+                Function("name", ScalarType(ScalarKind.STRING, length=30)),
+                Function("age", ScalarType(ScalarKind.INTEGER)),
+            ],
+        )
+    )
+    schema.add_entity_type(
+        EntityType("department", [Function("dname", ScalarType(ScalarKind.STRING, length=20))])
+    )
+    schema.add_subtype(
+        EntitySubtype(
+            "employee",
+            ["person"],
+            [
+                Function("salary", ScalarType(ScalarKind.FLOAT)),
+                Function("dept", "department"),
+                Function("rank", "rank_type"),
+            ],
+        )
+    )
+    schema.add_subtype(
+        EntitySubtype("manager", ["employee"], [Function("bonus", ScalarType(ScalarKind.INTEGER))])
+    )
+    schema.add_uniqueness(UniquenessConstraint(["name"], "person"))
+    schema.add_overlap(OverlapConstraint(["manager"], ["consultant"]))
+    return schema
+
+
+@pytest.fixture()
+def schema():
+    schema = build_schema()
+    schema.overlaps.clear()  # drop the dangling overlap for the happy path
+    return schema.validate()
+
+
+class TestScalarType:
+    def test_string_total_length(self):
+        assert ScalarType(ScalarKind.STRING, length=12).total_length == 12
+
+    def test_enumeration_total_length_is_longest_literal(self):
+        scalar = ScalarType(ScalarKind.ENUMERATION, values=("a", "ccc", "bb"))
+        assert scalar.total_length == 3
+
+    def test_boolean_total_length(self):
+        assert ScalarType(ScalarKind.BOOLEAN).total_length == 5
+
+    def test_contains_range(self):
+        scalar = ScalarType(ScalarKind.INTEGER, low=1, high=5)
+        assert scalar.contains(3)
+        assert not scalar.contains(9)
+        assert not scalar.contains("x")
+
+    def test_contains_string_length(self):
+        scalar = ScalarType(ScalarKind.STRING, length=3)
+        assert scalar.contains("abc")
+        assert not scalar.contains("abcd")
+
+    def test_contains_enumeration(self):
+        scalar = ScalarType(ScalarKind.ENUMERATION, values=("x", "y"))
+        assert scalar.contains("x")
+        assert not scalar.contains("z")
+
+    def test_render(self):
+        assert ScalarType(ScalarKind.STRING, length=5).render() == "STRING(5)"
+        assert "RANGE" in ScalarType(ScalarKind.INTEGER, low=0, high=9).render()
+
+
+class TestFunctionClassification:
+    def test_scalar_function(self, schema):
+        fn = schema.function("person", "name")
+        assert fn.is_scalar and not fn.is_entity_valued
+        assert fn.type_code() == "s"
+
+    def test_entity_function(self, schema):
+        fn = schema.function("employee", "dept")
+        assert fn.is_single_valued_entity
+        assert fn.range_type_name == "department"
+        assert fn.type_code() == "e"
+
+    def test_nonentity_function_resolves_scalar(self, schema):
+        fn = schema.function("employee", "rank")
+        assert fn.result_category == "nonentity"
+        assert fn.result_scalar.kind is ScalarKind.ENUMERATION
+        assert fn.type_code() == "s"  # enumerations behave as strings
+
+    def test_multivalued_classification(self):
+        fn = Function("teaching", "course", set_valued=True)
+        fn.result_category = "entity"
+        assert fn.is_multivalued_entity
+
+    def test_scalar_multivalued(self):
+        fn = Function("phones", ScalarType(ScalarKind.INTEGER), set_valued=True)
+        fn.result_category = "scalar"
+        fn.result_scalar = fn.result
+        assert fn.is_scalar_multivalued
+
+    def test_render(self):
+        fn = Function("phones", ScalarType(ScalarKind.INTEGER), set_valued=True)
+        assert fn.render() == "phones : SET OF INTEGER"
+
+
+class TestHierarchy:
+    def test_supertype_chain(self, schema):
+        assert schema.supertype_chain("manager") == ["employee", "person"]
+
+    def test_root_entity(self, schema):
+        assert schema.root_entity("manager").name == "person"
+        assert schema.root_entity("person").name == "person"
+
+    def test_terminal_flags(self, schema):
+        assert not schema.is_terminal("person")
+        assert not schema.is_terminal("employee")
+        assert schema.is_terminal("manager")
+        assert schema.is_terminal("department")
+
+    def test_terminal_subtypes(self, schema):
+        assert [s.name for s in schema.terminal_subtypes()] == ["manager"]
+
+    def test_hierarchy_below(self, schema):
+        assert schema.hierarchy_below("person") == ["person", "employee", "manager"]
+
+    def test_inherited_function_lookup(self, schema):
+        assert schema.function("manager", "name") is not None
+        assert schema.function("manager", "ghost") is None
+
+
+class TestKeys:
+    def test_next_key_sequence(self, schema):
+        person = schema.entity_types["person"]
+        assert person.next_key() == "person$1"
+        assert person.next_key() == "person$2"
+        assert person.last_key == 2
+
+
+class TestValidation:
+    def test_unknown_supertype(self):
+        schema = FunctionalSchema("bad")
+        schema.add_subtype(EntitySubtype("x", ["ghost"]))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_unknown_function_result(self):
+        schema = FunctionalSchema("bad")
+        schema.add_entity_type(EntityType("a", [Function("f", "ghost")]))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_cyclic_isa_detected(self):
+        schema = FunctionalSchema("bad")
+        schema.add_entity_type(EntityType("root"))
+        schema.add_subtype(EntitySubtype("a", ["b"]))
+        schema.add_subtype(EntitySubtype("b", ["a"]))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_duplicate_name_rejected(self):
+        schema = FunctionalSchema("bad")
+        schema.add_entity_type(EntityType("a"))
+        with pytest.raises(SchemaError):
+            schema.add_subtype(EntitySubtype("a", ["a"]))
+
+    def test_unique_constraint_unknown_function(self):
+        schema = FunctionalSchema("bad")
+        schema.add_entity_type(EntityType("a"))
+        schema.add_uniqueness(UniquenessConstraint(["ghost"], "a"))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_unique_constraint_marks_function(self, schema):
+        assert schema.function("person", "name").unique
+
+    def test_overlap_unknown_type(self):
+        schema = build_schema()
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_subtype_needs_supertype(self):
+        with pytest.raises(SchemaError):
+            EntitySubtype("x", [])
+
+
+class TestOverlapQueries:
+    def test_overlap_allowed_with_constraint(self):
+        schema = build_schema()
+        schema.add_subtype(EntitySubtype("consultant", ["person"]))
+        schema.validate()
+        assert schema.overlap_allowed("manager", "consultant")
+        assert schema.overlap_allowed("consultant", "manager")
+
+    def test_disjoint_by_default(self, schema):
+        assert not schema.overlap_allowed("manager", "department")
+
+    def test_same_type_always_allowed(self, schema):
+        assert schema.overlap_allowed("manager", "manager")
+
+
+class TestRendering:
+    def test_render_contains_declarations(self, schema):
+        text = schema.render()
+        assert "DATABASE demo;" in text
+        assert "TYPE person IS" in text
+        assert "TYPE manager IS employee" in text
+        assert "UNIQUE name WITHIN person;" in text
+
+    def test_render_parses_back(self, schema):
+        from repro.functional import parse_schema
+
+        reparsed = parse_schema(schema.render())
+        assert reparsed.type_names() == schema.type_names()

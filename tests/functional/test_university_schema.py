@@ -1,0 +1,88 @@
+"""FIG-2.1/2.2: the University DAPLEX schema parses to the paper's inventory."""
+
+import pytest
+
+from repro.functional import ScalarKind
+from repro.university import university_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return university_schema()
+
+
+class TestInventory:
+    def test_entity_types(self, schema):
+        assert set(schema.entity_types) == {"person", "department", "course"}
+
+    def test_subtypes_and_supertypes(self, schema):
+        supertypes = {name: tuple(s.supertypes) for name, s in schema.subtypes.items()}
+        assert supertypes == {
+            "employee": ("person",),
+            "student": ("person",),
+            "faculty": ("employee",),
+            "support_staff": ("employee",),
+        }
+
+    def test_nonentity_types(self, schema):
+        assert {
+            "name_string",
+            "rank_type",
+            "semester_type",
+            "credit_value",
+            "dept_string",
+            "gpa_value",
+            "max_course_load",
+        } <= set(schema.nonentity_types)
+
+    def test_terminal_types(self, schema):
+        assert not schema.is_terminal("person")
+        assert not schema.is_terminal("employee")
+        for terminal in ("student", "faculty", "support_staff", "course", "department"):
+            assert schema.is_terminal(terminal)
+
+
+class TestFunctions:
+    def test_course_scalar_functions(self, schema):
+        for name in ("title", "dept", "semester", "credits"):
+            assert schema.function("course", name).is_scalar
+
+    def test_semester_is_enumeration(self, schema):
+        fn = schema.function("course", "semester")
+        assert fn.result_scalar.kind is ScalarKind.ENUMERATION
+        assert set(fn.result_scalar.values) == {"fall", "winter", "spring", "summer"}
+
+    def test_phones_scalar_multivalued(self, schema):
+        assert schema.function("employee", "phones").is_scalar_multivalued
+
+    def test_single_valued_entity_functions(self, schema):
+        assert schema.function("student", "advisor").range_type_name == "faculty"
+        assert schema.function("faculty", "dept").range_type_name == "department"
+        assert schema.function("support_staff", "supervisor").range_type_name == "employee"
+
+    def test_many_to_many_pair(self, schema):
+        teaching = schema.function("faculty", "teaching")
+        taught_by = schema.function("course", "taught_by")
+        assert teaching.is_multivalued_entity and teaching.range_type_name == "course"
+        assert taught_by.is_multivalued_entity and taught_by.range_type_name == "faculty"
+
+    def test_one_to_many_without_inverse(self, schema):
+        assert schema.function("student", "enrollment").is_multivalued_entity
+
+    def test_value_inheritance(self, schema):
+        # name is declared on person and visible from every subtype.
+        for subtype in ("employee", "student", "faculty", "support_staff"):
+            assert schema.function(subtype, "name") is not None
+
+
+class TestConstraints:
+    def test_course_uniqueness(self, schema):
+        assert schema.unique_functions_of("course") == ["title", "semester"]
+
+    def test_person_name_unique(self, schema):
+        assert schema.function("person", "name").unique
+
+    def test_overlap_student_with_employees(self, schema):
+        assert schema.overlap_allowed("student", "faculty")
+        assert schema.overlap_allowed("student", "support_staff")
+        assert not schema.overlap_allowed("faculty", "support_staff")

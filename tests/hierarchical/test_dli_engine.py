@@ -1,0 +1,271 @@
+"""The DL/I language interface engine over AB(hierarchical)."""
+
+import pytest
+
+from repro import MLDS
+from repro.errors import ExecutionError, SchemaError, TranslationError
+from repro.kms.dli_engine import STATUS_END, STATUS_NOT_FOUND, STATUS_OK
+
+DDL = """
+DATABASE school;
+SEGMENT dept ROOT (dname CHAR(20), budget INT);
+SEGMENT course UNDER dept (title CHAR(40), credits INT);
+SEGMENT offering UNDER course (semester CHAR(6), instructor CHAR(30));
+"""
+
+
+def load(session):
+    """Two departments, three courses, two offerings, via ISRT."""
+    script = [
+        ("FLD dname = 'cs'; FLD budget = 100", "ISRT dept"),
+        ("FLD dname = 'math'; FLD budget = 50", "ISRT dept"),
+        ("FLD title = 'Databases'; FLD credits = 4", "ISRT dept(dname = 'cs') course"),
+        ("FLD title = 'Compilers'; FLD credits = 3", "ISRT dept(dname = 'cs') course"),
+        ("FLD title = 'Calculus'; FLD credits = 4", "ISRT dept(dname = 'math') course"),
+        (
+            "FLD semester = 'fall'; FLD instructor = 'Hsiao'",
+            "ISRT dept(dname = 'cs') course(title = 'Databases') offering",
+        ),
+        (
+            "FLD semester = 'spring'; FLD instructor = 'Demurjian'",
+            "ISRT dept(dname = 'cs') course(title = 'Databases') offering",
+        ),
+    ]
+    for flds, isrt in script:
+        session.run(flds)
+        assert session.execute(isrt).status == STATUS_OK
+
+
+@pytest.fixture()
+def session():
+    mlds = MLDS(backend_count=3)
+    mlds.define_hierarchical_database(DDL)
+    session = mlds.open_dli_session("school")
+    load(session)
+    return session
+
+
+class TestGetUnique:
+    def test_qualified_root(self, session):
+        result = session.execute("GU dept(dname = 'math')")
+        assert result.ok and result.fields["budget"] == 50
+
+    def test_path_navigation(self, session):
+        result = session.execute(
+            "GU dept(dname = 'cs') course(title = 'Compilers')"
+        )
+        assert result.ok and result.fields["credits"] == 3
+
+    def test_three_level_path(self, session):
+        result = session.execute(
+            "GU dept(dname = 'cs') course(title = 'Databases') "
+            "offering(semester = 'spring')"
+        )
+        assert result.fields["instructor"] == "Demurjian"
+
+    def test_unqualified_takes_first_in_hierarchic_order(self, session):
+        result = session.execute("GU dept")
+        assert result.fields["dname"] == "cs"  # inserted first
+
+    def test_not_found(self, session):
+        assert session.execute("GU dept(dname = 'physics')").status == STATUS_NOT_FOUND
+
+    def test_path_respects_parentage(self, session):
+        # Calculus exists, but not under cs.
+        result = session.execute("GU dept(dname = 'cs') course(title = 'Calculus')")
+        assert result.status == STATUS_NOT_FOUND
+
+    def test_broken_path_rejected(self, session):
+        with pytest.raises(TranslationError):
+            session.execute("GU dept offering")
+
+    def test_fills_io_area(self, session):
+        session.execute("GU dept(dname = 'cs')")
+        assert session.io_area == {"dname": "cs", "budget": 100}
+
+
+class TestGetNext:
+    def test_typed_scan(self, session):
+        session.execute("GU course")
+        titles = ["Databases"]
+        while True:
+            result = session.execute("GN course")
+            if not result.ok:
+                break
+            titles.append(result.fields["title"])
+        assert titles == ["Databases", "Compilers", "Calculus"]
+
+    def test_typed_scan_with_qualification(self, session):
+        session.execute("GU dept")
+        found = []
+        while True:
+            result = session.execute("GN course(credits = 4)")
+            if not result.ok:
+                break
+            found.append(result.fields["title"])
+        assert found == ["Databases", "Calculus"]
+
+    def test_unqualified_gn_walks_preorder(self, session):
+        sequence = []
+        result = session.execute("GU dept")
+        sequence.append((result.segment, result.fields.get("dname") or result.fields.get("title")))
+        while True:
+            result = session.execute("GN")
+            if not result.ok:
+                break
+            sequence.append(result.segment)
+        # Pre-order: cs, its courses (Databases + its offerings, Compilers),
+        # then math and Calculus.
+        assert sequence[1:] == [
+            "course",
+            "offering",
+            "offering",
+            "course",
+            "dept",
+            "course",
+        ]
+
+    def test_end_status(self, session):
+        session.execute("GU dept(dname = 'math') course")
+        assert session.execute("GN course").status == STATUS_END
+
+
+class TestGetNextWithinParent:
+    def test_children_of_current_parent(self, session):
+        session.execute("GU dept(dname = 'cs')")
+        titles = []
+        while True:
+            result = session.execute("GNP course")
+            if not result.ok:
+                break
+            titles.append(result.fields["title"])
+        assert titles == ["Databases", "Compilers"]
+
+    def test_parentage_survives_gnp(self, session):
+        session.execute("GU dept(dname = 'cs')")
+        session.execute("GNP course")
+        second = session.execute("GNP course")
+        assert second.fields["title"] == "Compilers"
+
+    def test_qualified_gnp(self, session):
+        session.execute("GU dept(dname = 'cs')")
+        result = session.execute("GNP course(credits = 3)")
+        assert result.fields["title"] == "Compilers"
+
+    def test_wrong_child_type_rejected(self, session):
+        session.execute("GU dept(dname = 'cs')")
+        with pytest.raises(TranslationError):
+            session.execute("GNP offering")
+
+    def test_needs_parentage(self):
+        mlds = MLDS(backend_count=2)
+        mlds.define_hierarchical_database(DDL)
+        fresh = mlds.open_dli_session("school")
+        with pytest.raises(ExecutionError):
+            fresh.execute("GNP course")
+
+
+class TestInsert:
+    def test_isrt_preserves_pending_io_area(self, session):
+        session.run("FLD title = 'Networks'; FLD credits = 3")
+        result = session.execute("ISRT dept(dname = 'math') course")
+        assert result.ok
+        check = session.execute("GU dept(dname = 'math') course(title = 'Networks')")
+        assert check.ok and check.fields["credits"] == 3
+
+    def test_isrt_missing_parent(self, session):
+        session.run("FLD title = 'X'; FLD credits = 1")
+        result = session.execute("ISRT dept(dname = 'ghost') course")
+        assert result.status == STATUS_NOT_FOUND
+
+    def test_isrt_nonroot_without_path_rejected(self, session):
+        with pytest.raises(TranslationError):
+            session.execute("ISRT course")
+
+    def test_isrt_becomes_current(self, session):
+        session.run("FLD dname = 'physics'; FLD budget = 10")
+        result = session.execute("ISRT dept")
+        assert result.ok
+        repl = session.execute("REPL")  # operates on the new segment
+        assert repl.dbkey == result.dbkey
+
+
+class TestReplaceDelete:
+    def test_repl_updates_fields(self, session):
+        session.execute("GU dept(dname = 'math')")
+        session.execute("FLD budget = 75")
+        result = session.execute("REPL")
+        assert result.ok
+        assert session.execute("GU dept(dname = 'math')").fields["budget"] == 75
+
+    def test_repl_type_checked(self, session):
+        session.execute("GU dept(dname = 'math')")
+        session.execute("FLD budget = 'lots'")
+        with pytest.raises(SchemaError):
+            session.execute("REPL")
+
+    def test_repl_needs_position(self):
+        mlds = MLDS(backend_count=2)
+        mlds.define_hierarchical_database(DDL)
+        fresh = mlds.open_dli_session("school")
+        with pytest.raises(ExecutionError):
+            fresh.execute("REPL")
+
+    def test_dlet_removes_subtree(self, session):
+        session.execute("GU dept(dname = 'cs')")
+        result = session.execute("DLET")
+        assert result.ok
+        # cs, its 2 courses and 2 offerings are gone; math + Calculus stay.
+        assert session.execute("GU dept(dname = 'cs')").status == STATUS_NOT_FOUND
+        assert session.execute("GU course(title = 'Databases')").status == STATUS_NOT_FOUND
+        assert session.execute("GU offering").status == STATUS_NOT_FOUND
+        assert session.execute("GU dept(dname = 'math')").ok
+        assert session.execute("GU course(title = 'Calculus')").ok
+
+    def test_dlet_clears_position(self, session):
+        session.execute("GU dept(dname = 'cs')")
+        session.execute("DLET")
+        with pytest.raises(ExecutionError):
+            session.execute("REPL")
+
+
+class TestZawisSqlInterface:
+    """Chapter VII.B: accessing a hierarchical database via SQL."""
+
+    def test_select_over_segments(self, session):
+        mlds_session = session  # the DL/I session shares the kernel
+        # Reach the same MLDS through a SQL session.
+        mlds = None
+        # Rebuild: open SQL on the same system via the engine's kc.kds.
+        from repro.core.mlds import MLDS as _M
+
+        # The fixture's MLDS is reachable through the kds catalog.
+        # Simpler: create a fresh system for SQL-specific assertions.
+        system = _M(backend_count=3)
+        system.define_hierarchical_database(DDL)
+        dli_session = system.open_dli_session("school")
+        load(dli_session)
+        sql_session = system.open_sql_session("school")
+        rows = sql_session.execute("SELECT title, credits FROM course").rows
+        assert {r["title"] for r in rows} == {"Databases", "Compilers", "Calculus"}
+        joined = sql_session.execute(
+            "SELECT dname, title FROM dept, course WHERE dept.dept = course.parent"
+        ).rows
+        assert {(r["dname"], r["title"]) for r in joined} == {
+            ("cs", "Databases"),
+            ("cs", "Compilers"),
+            ("math", "Calculus"),
+        }
+        # Updates to data fields pass; structure and inserts/deletes do not.
+        assert sql_session.execute(
+            "UPDATE course SET credits = 5 WHERE title = 'Compilers'"
+        ).touched == 1
+        assert dli_session.execute(
+            "GU dept(dname = 'cs') course(title = 'Compilers')"
+        ).fields["credits"] == 5
+        with pytest.raises(TranslationError):
+            sql_session.execute("INSERT INTO course VALUES ('x', 'y', 'z', 1)")
+        with pytest.raises(TranslationError):
+            sql_session.execute("DELETE FROM offering")
+        with pytest.raises(TranslationError):
+            sql_session.execute("UPDATE course SET parent = 'dept$1'")

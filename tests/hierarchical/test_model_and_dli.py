@@ -1,0 +1,145 @@
+"""The hierarchical model and the DL/I parsers."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.hierarchical import (
+    FieldType,
+    HierarchicalSchema,
+    SegmentField,
+    SegmentType,
+    dli,
+    parse_call,
+    parse_calls,
+    parse_hierarchical_schema,
+)
+
+DDL = """
+DATABASE school;
+SEGMENT dept ROOT (dname CHAR(20), budget INT);
+SEGMENT course UNDER dept (title CHAR(40), credits INT);
+SEGMENT offering UNDER course (semester CHAR(6), fee FLOAT);
+SEGMENT staff UNDER dept (sname CHAR(30));
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_hierarchical_schema(DDL)
+
+
+class TestModel:
+    def test_segments_and_parents(self, schema):
+        assert set(schema.segments) == {"dept", "course", "offering", "staff"}
+        assert schema.segment("dept").is_root
+        assert schema.segment("offering").parent == "course"
+
+    def test_roots_and_children(self, schema):
+        assert [s.name for s in schema.roots()] == ["dept"]
+        assert [s.name for s in schema.children_of("dept")] == ["course", "staff"]
+
+    def test_descendants_preorder(self, schema):
+        assert schema.descendants_of("dept") == ["dept", "course", "offering", "staff"]
+
+    def test_ancestry(self, schema):
+        assert schema.ancestry("offering") == ["dept", "course", "offering"]
+        assert schema.ancestry("dept") == ["dept"]
+
+    def test_hierarchical_order(self, schema):
+        assert schema.hierarchical_order() == ["dept", "course", "offering", "staff"]
+
+    def test_field_types(self, schema):
+        assert schema.segment("offering").field_named("fee").type is FieldType.FLOAT
+        assert schema.segment("dept").field_named("dname").length == 20
+
+    def test_unknown_parent_rejected(self):
+        schema = HierarchicalSchema("bad")
+        with pytest.raises(SchemaError):
+            schema.add_segment(SegmentType("child", parent="ghost"))
+
+    def test_duplicate_segment_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_segment(SegmentType("dept"))
+
+    def test_rootless_schema_rejected(self):
+        schema = HierarchicalSchema("bad")
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_render_roundtrip(self, schema):
+        rendered = schema.render()
+        assert parse_hierarchical_schema(rendered).render() == rendered
+
+
+class TestDDLErrors:
+    def test_missing_header(self):
+        with pytest.raises(ParseError):
+            parse_hierarchical_schema("SEGMENT a ROOT (x INT);")
+
+    def test_child_before_parent(self):
+        with pytest.raises(SchemaError):
+            parse_hierarchical_schema(
+                "DATABASE d;\nSEGMENT b UNDER a (x INT);\nSEGMENT a ROOT (y INT);"
+            )
+
+
+class TestDMLParser:
+    def test_gu_with_qualified_path(self):
+        call = parse_call("GU dept(dname = 'cs') course(credits >= 3)")
+        assert isinstance(call, dli.GetUnique)
+        assert call.ssas[0].value == "cs"
+        assert call.ssas[1].operator == ">="
+
+    def test_gn_forms(self):
+        assert parse_call("GN").ssa is None
+        assert parse_call("GN course").ssa.segment == "course"
+        assert parse_call("GN course(credits = 4)").ssa.qualified
+
+    def test_gnp(self):
+        call = parse_call("GNP offering")
+        assert isinstance(call, dli.GetNextWithinParent)
+
+    def test_isrt(self):
+        call = parse_call("ISRT dept(dname = 'cs') course")
+        assert isinstance(call, dli.Insert)
+        assert not call.ssas[-1].qualified
+
+    def test_repl_dlet(self):
+        assert isinstance(parse_call("REPL"), dli.Replace)
+        assert isinstance(parse_call("DLET"), dli.Delete)
+
+    def test_fld(self):
+        call = parse_call("FLD credits = 4")
+        assert call.name == "credits" and call.value == 4
+        assert parse_call("FLD x = NULL").value is None
+        assert parse_call("FLD x = -2").value == -2
+
+    def test_sequence(self):
+        calls = parse_calls("FLD a = 1; ISRT root; GU root(a = 1)")
+        assert len(calls) == 3
+
+    def test_render_roundtrip(self):
+        for text in (
+            "GU dept(dname = 'cs') course",
+            "GN course(credits = 4)",
+            "GNP",
+            "ISRT dept(dname = 'cs') course",
+            "REPL",
+            "DLET",
+            "FLD credits = 4",
+        ):
+            call = parse_call(text)
+            assert parse_call(call.render()).render() == call.render()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "GU",  # needs an SSA
+            "GN a b",  # too many SSAs
+            "FROB x",
+            "GU dept(dname 'cs')",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_call(text)

@@ -1,0 +1,82 @@
+"""FIG-1.1 / FIG-1.2: the full MLDS pipeline over one shared kernel.
+
+LIL -> KMS -> KC -> KDS -> KFS, with two language-interface paths (native
+network and transformed functional) serving different users from the same
+multi-backend kernel.
+"""
+
+import pytest
+
+from repro import MLDS
+from repro.university import generate_university, load_university
+
+NET_SCHEMA = """
+SCHEMA NAME IS registry;
+RECORD NAME IS vehicle;
+    plate TYPE IS CHARACTER 8;
+    wheels TYPE IS INTEGER;
+SET NAME IS system_vehicle;
+    OWNER IS SYSTEM;
+    MEMBER IS vehicle;
+    INSERTION IS AUTOMATIC;
+    RETENTION IS FIXED;
+    SET SELECTION IS BY APPLICATION;
+"""
+
+
+@pytest.fixture(scope="module")
+def system():
+    mlds = MLDS(backend_count=4)
+    load_university(mlds, generate_university(persons=20, courses=8, seed=7))
+    mlds.define_network_database(NET_SCHEMA)
+    loader = mlds.network_loader("registry")
+    for i in range(6):
+        loader.create("vehicle", plate=f"NPS-{i:03d}", wheels=4 if i % 2 else 2)
+    return mlds
+
+
+class TestSharedKernel:
+    def test_both_databases_resident(self, system):
+        names = {t.name for t in system.kds.databases()}
+        assert names == {"university", "registry"}
+
+    def test_records_partitioned_across_backends(self, system):
+        distribution = system.kds.controller.distribution()
+        assert len(distribution) == 4
+        assert min(distribution) > 0
+        assert max(distribution) - min(distribution) <= 10
+
+    def test_every_user_file_present(self, system):
+        files = set()
+        for backend in system.kds.controller.backends:
+            files |= set(backend.store.file_names())
+        assert {"person", "student", "course", "vehicle"} <= files
+
+
+class TestTwoInterfaces:
+    def test_network_user_unaffected_by_functional_load(self, system):
+        session = system.open_codasyl_session("registry")
+        session.execute("MOVE 'NPS-003' TO plate IN vehicle")
+        result = session.execute("FIND ANY vehicle USING plate IN vehicle")
+        assert result.ok and result.values["wheels"] == 4
+
+    def test_functional_user_sees_transformed_schema(self, system):
+        session = system.open_codasyl_session("university")
+        assert session.schema.has_record("link_1")
+        result = session.execute("FIND FIRST person WITHIN system_person")
+        assert result.ok
+
+    def test_request_logs_are_per_session(self, system):
+        a = system.open_codasyl_session("registry")
+        b = system.open_codasyl_session("university")
+        a.execute("MOVE 'NPS-001' TO plate IN vehicle")
+        a.execute("FIND ANY vehicle USING plate IN vehicle")
+        assert a.request_log and not b.request_log
+
+
+class TestKernelClock:
+    def test_simulated_time_advances(self, system):
+        before = system.kds.clock.total_ms
+        session = system.open_codasyl_session("university")
+        session.execute("FIND FIRST person WITHIN system_person")
+        assert system.kds.clock.total_ms > before

@@ -1,0 +1,122 @@
+"""Multiple concurrent run-units over one shared kernel.
+
+MLDS's language interfaces were designed single-user with multi-user in
+view (thesis IV.A); here, several sessions interleave over the same
+database: run-unit state (CIT, UWA, buffers) is private, data is shared.
+"""
+
+import pytest
+
+from repro import MLDS
+from repro.kms import Status
+from repro.university import generate_university, load_university
+
+
+@pytest.fixture()
+def world():
+    mlds = MLDS(backend_count=4)
+    data = generate_university(persons=30, courses=10, seed=55)
+    _, keys = load_university(mlds, data)
+    return mlds, data, keys
+
+
+class TestPrivateState:
+    def test_interleaved_currency(self, world):
+        mlds, data, keys = world
+        a = mlds.open_codasyl_session("university", user="a")
+        b = mlds.open_codasyl_session("university", user="b")
+        a.execute(f"MOVE '{data.courses[0].title}' TO title IN course")
+        b.execute(f"MOVE '{data.courses[1].title}' TO title IN course")
+        ra = a.execute("FIND ANY course USING title IN course")
+        rb = b.execute("FIND ANY course USING title IN course")
+        assert ra.dbkey == keys.courses[0]
+        assert rb.dbkey == keys.courses[1]
+        # Each session GETs its own current record.
+        assert a.execute("GET").values["title"] == data.courses[0].title
+        assert b.execute("GET").values["title"] == data.courses[1].title
+
+    def test_private_buffers(self, world):
+        mlds, _, _ = world
+        a = mlds.open_codasyl_session("university", user="a")
+        b = mlds.open_codasyl_session("university", user="b")
+        a.execute("FIND FIRST person WITHIN system_person")
+        assert a.engine.buffers.has_records("system_person")
+        assert not b.engine.buffers.has_records("system_person")
+
+    def test_private_uwa(self, world):
+        mlds, _, _ = world
+        a = mlds.open_codasyl_session("university", user="a")
+        b = mlds.open_codasyl_session("university", user="b")
+        a.execute("MOVE 'private' TO major IN student")
+        assert b.uwa.get("student", "major") is None
+
+
+class TestSharedData:
+    def test_update_by_one_seen_by_other(self, world):
+        mlds, data, _ = world
+        writer = mlds.open_codasyl_session("university", user="writer")
+        reader = mlds.open_codasyl_session("university", user="reader")
+        writer.execute(f"MOVE '{data.courses[2].title}' TO title IN course")
+        writer.execute("FIND ANY course USING title IN course")
+        writer.execute("MOVE 1 TO credits IN course")
+        writer.execute("MODIFY credits IN course")
+        reader.execute(f"MOVE '{data.courses[2].title}' TO title IN course")
+        reader.execute("FIND ANY course USING title IN course")
+        assert reader.execute("GET credits IN course").values["credits"] == 1
+
+    def test_store_by_one_found_by_other(self, world):
+        mlds, _, _ = world
+        writer = mlds.open_codasyl_session("university", user="writer")
+        reader = mlds.open_daplex_session("university", user="reader")
+        writer.execute("MOVE 'Multi User' TO name IN person")
+        writer.execute("MOVE 66 TO age IN person")
+        writer.execute("STORE person")
+        rows = reader.execute(
+            "FOR EACH p IN person SUCH THAT name(p) = 'Multi User' PRINT age(p);"
+        ).rows
+        assert rows == [{"age(p)": 66}]
+
+    def test_erase_by_one_invisible_to_other(self, world):
+        mlds, data, _ = world
+        eraser = mlds.open_codasyl_session("university", user="eraser")
+        reader = mlds.open_codasyl_session("university", user="reader")
+        eraser.execute("MOVE 'Victim V' TO name IN person")
+        eraser.execute("MOVE 1 TO age IN person")
+        eraser.execute("STORE person")
+        eraser.execute("ERASE person")
+        reader.execute("MOVE 'Victim V' TO name IN person")
+        assert (
+            reader.execute("FIND ANY person USING name IN person").status
+            is Status.NOT_FOUND
+        )
+
+    def test_stale_buffer_semantics(self, world):
+        """A buffered iteration does not see concurrent inserts — request
+        buffers are snapshots, as the thesis's RB design implies."""
+        mlds, _, _ = world
+        reader = mlds.open_codasyl_session("university", user="reader")
+        writer = mlds.open_codasyl_session("university", user="writer")
+        reader.execute("FIND FIRST person WITHIN system_person")
+        snapshot_size = len(reader.engine.buffers.buffer("system_person"))
+        writer.execute("MOVE 'Late Arrival' TO name IN person")
+        writer.execute("MOVE 20 TO age IN person")
+        writer.execute("STORE person")
+        count = 1
+        while reader.execute("FIND NEXT person WITHIN system_person").ok:
+            count += 1
+        assert count == snapshot_size  # the snapshot, not the new state
+        # Re-running FIND FIRST refreshes the buffer.
+        reader.execute("FIND FIRST person WITHIN system_person")
+        assert len(reader.engine.buffers.buffer("system_person")) == snapshot_size + 1
+
+
+class TestKeyMintingIsShared:
+    def test_two_sessions_never_collide(self, world):
+        mlds, _, _ = world
+        a = mlds.open_codasyl_session("university", user="a")
+        b = mlds.open_codasyl_session("university", user="b")
+        a.execute("MOVE 'Key A' TO name IN person")
+        b.execute("MOVE 'Key B' TO name IN person")
+        key_a = a.execute("STORE person").dbkey
+        key_b = b.execute("STORE person").dbkey
+        assert key_a != key_b

@@ -1,0 +1,171 @@
+"""CH-VI examples: the thesis's transactions, end to end.
+
+The scenarios follow Chapter VI's worked examples — locating a course by
+title, looping over the students of a major, navigating from a student to
+its advisor and department — plus longer lifecycle stories exercising
+every statement in one narrative.
+"""
+
+import pytest
+
+from repro import MLDS
+from repro.kms import Status
+from repro.university import generate_university, load_university
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    mlds = MLDS(backend_count=4)
+    data = generate_university(persons=40, courses=15, departments=3, seed=11)
+    schema, keys = load_university(mlds, data)
+    return mlds, data, keys
+
+
+@pytest.fixture()
+def session(loaded):
+    mlds, _, _ = loaded
+    return mlds.open_codasyl_session("university")
+
+
+class TestFindAnyCourseExample:
+    """VI.B.1: MOVE ... / FIND ANY course USING title IN course."""
+
+    def test_course_located_by_title(self, loaded, session):
+        _, data, keys = loaded
+        target = data.courses[0]
+        session.execute(f"MOVE '{target.title}' TO title IN course")
+        result = session.execute("FIND ANY course USING title IN course")
+        assert result.ok
+        assert result.dbkey == keys.courses[0]
+        got = session.execute("GET course")
+        assert got.values["title"] == target.title
+        assert got.values["credits"] == target.credits
+
+
+class TestStudentsOfAMajorLoop:
+    """VI.B.4's PERFORM UNTIL loop: all students with a given major."""
+
+    def test_loop_until_end_of_set(self, loaded, session):
+        _, data, keys = loaded
+        major = "computer science"
+        expected = {
+            keys.persons[i]
+            for i, p in enumerate(data.persons)
+            if p.is_student and p.major == major
+        }
+        if not expected:
+            pytest.skip("population has no CS students")
+        session.execute(f"MOVE '{major}' TO major IN student")
+        found = set()
+        result = session.execute("FIND ANY student USING major IN student")
+        # Walk the FIND ANY answer via the record-type buffer using
+        # FIND DUPLICATE over the constant major value.
+        while result.ok:
+            found.add(result.dbkey)
+            result = session.execute(
+                "FIND DUPLICATE WITHIN student USING major IN student"
+            )
+        assert result.status is Status.END_OF_SET
+        assert found == expected
+
+
+class TestNavigationChains:
+    def test_student_advisor_department_chain(self, loaded, session):
+        mlds, data, keys = loaded
+        student_index = next(
+            i for i, p in enumerate(data.persons) if p.is_student
+        )
+        spec = data.persons[student_index]
+        session.execute(f"MOVE '{spec.major}' TO major IN student")
+        session.execute(f"MOVE {spec.gpa} TO gpa IN student")
+        found = session.execute("FIND ANY student USING major, gpa IN student")
+        assert found.ok
+        advisor = session.execute("FIND OWNER WITHIN advisor")
+        assert advisor.record_type == "faculty"
+        dept = session.execute("FIND OWNER WITHIN dept")
+        assert dept.record_type == "department"
+        got = session.execute("GET dname IN department")
+        assert got.values["dname"] in {d.dname for d in data.departments}
+
+    def test_person_name_via_isa_navigation(self, loaded, session):
+        """Value inheritance by navigation: student -> person -> name."""
+        _, data, keys = loaded
+        student_index = next(i for i, p in enumerate(data.persons) if p.is_student)
+        spec = data.persons[student_index]
+        session.execute(f"MOVE '{spec.name}' TO name IN person")
+        session.execute("FIND ANY person USING name IN person")
+        student = session.execute("FIND FIRST student WITHIN person_student")
+        assert student.ok
+        person = session.execute("FIND OWNER WITHIN person_student")
+        got = session.execute("GET name, age IN person")
+        assert got.values["name"] == spec.name
+        assert got.values["age"] == spec.age
+
+    def test_teaching_pair_is_consistent(self, loaded, session):
+        """Walking teaching from a faculty member and taught_by back."""
+        _, data, keys = loaded
+        fac_index = next(i for i, p in enumerate(data.persons) if p.is_faculty and p.teaching)
+        spec = data.persons[fac_index]
+        session.execute(f"MOVE '{spec.name}' TO name IN person")
+        session.execute("FIND ANY person USING name IN person")
+        # Reach the faculty record through the ISA chain.
+        session.execute("FIND FIRST employee WITHIN person_employee")
+        session.execute("FIND FIRST faculty WITHIN employee_faculty")
+        courses = set()
+        link = session.execute("FIND FIRST link_1 WITHIN teaching")
+        while link.ok:
+            owner = session.execute("FIND OWNER WITHIN taught_by")
+            courses.add(owner.dbkey)
+            link = session.execute("FIND NEXT link_1 WITHIN teaching")
+        assert courses == {keys.courses[i] for i in spec.teaching}
+
+
+class TestFullLifecycle:
+    """One narrative: STORE, CONNECT, MODIFY, navigate, DISCONNECT, ERASE."""
+
+    def test_story(self, loaded):
+        mlds, data, keys = loaded
+        s = mlds.open_codasyl_session("university", user="story")
+        # A new person enrolls as a student.
+        s.execute("MOVE 'Story Person' TO name IN person")
+        s.execute("MOVE 27 TO age IN person")
+        person = s.execute("STORE person")
+        s.execute("MOVE 'databases' TO major IN student")
+        s.execute("MOVE 3.0 TO gpa IN student")
+        student = s.execute("STORE student")
+        assert student.dbkey == person.dbkey
+        # They enroll in the first two courses.
+        for index in (0, 1):
+            title = data.courses[index].title
+            s.execute(f"MOVE '{title}' TO title IN course")
+            s.execute("FIND ANY course USING title IN course")
+            s.execute("FIND CURRENT student WITHIN person_student")
+            s.execute("FIND CURRENT course WITHIN system_course")
+            s.execute("CONNECT course TO enrollment")
+        # Their GPA improves.
+        s.execute("FIND CURRENT student WITHIN person_student")
+        s.execute("MOVE 3.8 TO gpa IN student")
+        s.execute("MODIFY gpa IN student")
+        assert s.execute("GET gpa IN student").values["gpa"] == 3.8
+        # Enumerate their enrollment.
+        enrolled = set()
+        result = s.execute("FIND FIRST course WITHIN enrollment")
+        while result.ok:
+            enrolled.add(result.dbkey)
+            result = s.execute("FIND NEXT course WITHIN enrollment")
+        # Set order across MBDS backends is deterministic but not FIFO
+        # (records are partitioned round-robin), so compare membership.
+        assert enrolled == {keys.courses[0], keys.courses[1]}
+        # They drop both courses and leave the university.
+        for index in (0, 1):
+            title = data.courses[index].title
+            s.execute(f"MOVE '{title}' TO title IN course")
+            s.execute("FIND ANY course USING title IN course")
+            s.execute("FIND CURRENT student WITHIN person_student")
+            s.execute("FIND CURRENT course WITHIN system_course")
+            s.execute("DISCONNECT course FROM enrollment")
+        s.execute("FIND CURRENT student WITHIN person_student")
+        assert s.execute("ERASE student").ok
+        s.execute("MOVE 'Story Person' TO name IN person")
+        s.execute("FIND ANY person USING name IN person")
+        assert s.execute("ERASE person").ok

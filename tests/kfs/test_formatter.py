@@ -1,0 +1,66 @@
+"""KFS result formatting."""
+
+from repro.abdm import Record
+from repro.kfs import format_record, format_records, format_table
+from repro.network import AttributeType, NetAttribute, NetRecordType
+
+
+def course_def():
+    return NetRecordType(
+        "course",
+        [
+            NetAttribute("title", AttributeType.CHARACTER, length=10),
+            NetAttribute("credits", AttributeType.INTEGER),
+        ],
+    )
+
+
+class TestFormatRecord:
+    def test_items_in_schema_order(self):
+        text = format_record(course_def(), {"credits": 4, "title": "DB"})
+        lines = text.splitlines()
+        assert lines[0] == "course:"
+        assert lines[1].strip() == "title = DB"
+        assert lines[2].strip() == "credits = 4"
+
+    def test_missing_values_render_null(self):
+        text = format_record(course_def(), {})
+        assert "title = <null>" in text
+
+    def test_float_rendering(self):
+        record_def = NetRecordType("r", [NetAttribute("x", AttributeType.FLOAT)])
+        assert "x = 2.5" in format_record(record_def, {"x": 2.5})
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        text = format_table(["a", "b"], [{"a": 1, "b": "xyz"}, {"a": 22}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "xyz" in lines[2]
+        assert "<null>" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [], title="Empty")
+        assert text.startswith("Empty")
+        assert "(no records)" in text
+
+    def test_column_width_fits_longest(self):
+        text = format_table(["col"], [{"col": "a-rather-long-value"}])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-rather-long-value")
+
+
+class TestFormatRecords:
+    def test_projects_ab_records(self):
+        records = [
+            Record.from_pairs([("FILE", "course"), ("title", "DB"), ("credits", 4)]),
+            Record.from_pairs([("FILE", "course"), ("title", "OS"), ("credits", 3)]),
+        ]
+        text = format_records(course_def(), records)
+        assert "DB" in text and "OS" in text
+
+    def test_item_subset(self):
+        records = [Record.from_pairs([("FILE", "course"), ("title", "DB"), ("credits", 4)])]
+        text = format_records(course_def(), records, items=["credits"])
+        assert "title" not in text

@@ -1,0 +1,153 @@
+"""Edge cases of the functional target adapter: links, errors, probes."""
+
+import pytest
+
+from repro.abdm.predicate import Predicate
+from repro.errors import (
+    ConstraintViolation,
+    CurrencyError,
+    SchemaError,
+    TranslationError,
+)
+from repro.kms import Status
+from repro.kms.functional_adapter import LINK_KEY_SEPARATOR
+
+
+@pytest.fixture()
+def adapter(session):
+    return session.engine.adapter
+
+
+class TestLinkKeys:
+    def test_split_link_key(self, adapter):
+        left, right = adapter.split_link_key("link_1", f"a$1{LINK_KEY_SEPARATOR}b$2")
+        assert (left, right) == ("a$1", "b$2")
+
+    def test_split_staged_key_rejected(self, adapter):
+        with pytest.raises(TranslationError):
+            adapter.split_link_key("link_1", "link_1$3")
+
+    def test_fetch_staged_link(self, session, adapter):
+        staged = session.execute("STORE link_1")
+        record = adapter.fetch_by_dbkey("link_1", staged.dbkey)
+        assert record is not None
+        assert record.get("link_1") == staged.dbkey
+
+    def test_fetch_nonexistent_materialized_link(self, adapter):
+        assert (
+            adapter.fetch_by_dbkey("link_1", f"person$999{LINK_KEY_SEPARATOR}course$999")
+            is None
+        )
+
+    def test_find_any_on_link_rejected(self, session):
+        session.execute("MOVE 'x' TO link_1 IN link_1")
+        with pytest.raises(TranslationError):
+            session.execute("FIND ANY link_1 USING link_1 IN link_1")
+
+    def test_erase_staged_link(self, session):
+        session.execute("STORE link_1")
+        result = session.execute("ERASE link_1")
+        assert result.ok
+        assert result.requests == []  # staged: nothing ever reached the kernel
+
+
+class TestFetchAndProbe:
+    def test_fetch_missing_record(self, adapter):
+        assert adapter.fetch_by_dbkey("person", "person$9999") is None
+
+    def test_member_records_unknown_set(self, adapter):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            adapter.member_records("ghost_set", "person$1")
+
+    def test_member_records_requires_owner_for_non_system(self, adapter):
+        with pytest.raises(CurrencyError):
+            adapter.member_records("advisor", None)
+
+    def test_member_records_with_extra_predicates(self, session, adapter):
+        session.execute("MOVE 'computer_science' TO dname IN department")
+        dept = session.execute("FIND ANY department USING dname IN department")
+        everyone = adapter.member_records("dept", dept.dbkey)
+        filtered = adapter.member_records(
+            "dept", dept.dbkey, [Predicate("rank", "=", "professor")]
+        )
+        assert len(filtered) <= len(everyone)
+
+    def test_one_to_many_empty_occurrence(self, session, adapter):
+        session.execute("MOVE 'Empty Owner' TO name IN person")
+        session.execute("MOVE 5 TO age IN person")
+        session.execute("STORE person")
+        session.execute("MOVE 'none' TO major IN student")
+        student = session.execute("STORE student")
+        assert adapter.member_records("enrollment", student.dbkey) == []
+
+    def test_member_records_dedupes_multivalued_owners(self, session, adapter):
+        # A faculty member teaching several courses is several AB records
+        # in file faculty, but one member of its dept occurrence.
+        session.execute("MOVE 'computer_science' TO dname IN department")
+        dept = session.execute("FIND ANY department USING dname IN department")
+        members = adapter.member_records("dept", dept.dbkey)
+        keys = [r.get("faculty") for r in members]
+        assert len(keys) == len(set(keys))
+
+
+class TestUserItems:
+    def test_user_items_exclude_dbkey(self, adapter):
+        items = adapter.user_items("student")
+        assert "student" not in items
+        assert items == ["major", "gpa"]
+
+    def test_check_item_unknown(self, adapter):
+        with pytest.raises(SchemaError):
+            adapter.check_item("student", "ghost")
+
+
+class TestConnectErrors:
+    def test_connect_unknown_set(self, session):
+        session.execute("MOVE 'X Y' TO name IN person")
+        session.execute("STORE person")
+        with pytest.raises(SchemaError):
+            session.execute("CONNECT person TO ghost_set")
+
+    def test_owner_side_add_missing_owner(self, adapter):
+        with pytest.raises(SchemaError):
+            adapter._owner_side_add("enrollment", "person$9999", "course$1")
+
+    def test_disconnect_requires_occurrence(self, session):
+        session.execute("MOVE 'Q R' TO name IN person")
+        session.execute("MOVE 1 TO age IN person")
+        session.execute("STORE person")
+        session.execute("MOVE 's' TO major IN student")
+        session.execute("STORE student")
+        with pytest.raises(CurrencyError):
+            session.execute("DISCONNECT student FROM advisor")
+
+
+class TestSubtypeStoreEdges:
+    def test_store_needs_matching_isa_currency_type(self, session):
+        # FIND a department, then try to STORE student: the ISA set
+        # person_student has no occurrence.
+        session.execute("MOVE 'computer_science' TO dname IN department")
+        session.execute("FIND ANY department USING dname IN department")
+        session.execute("MOVE 'm' TO major IN student")
+        with pytest.raises(CurrencyError):
+            session.execute("STORE student")
+
+    def test_store_unknown_record_type(self, session):
+        with pytest.raises(SchemaError):
+            session.execute("STORE ghost")
+
+    def test_faculty_store_requires_employee_extension(self, session):
+        """STORE faculty needs the employee_faculty occurrence: the person
+        must already be an employee."""
+        session.execute("MOVE 'New Hire' TO name IN person")
+        session.execute("MOVE 30 TO age IN person")
+        session.execute("STORE person")
+        session.execute("MOVE 'professor' TO rank IN faculty")
+        with pytest.raises(CurrencyError):
+            session.execute("STORE faculty")
+        # After extending to employee, faculty works.
+        session.execute("MOVE 50000.0 TO salary IN employee")
+        session.execute("STORE employee")
+        assert session.execute("STORE faculty").ok

@@ -1,0 +1,335 @@
+"""CONNECT (VI.D) and DISCONNECT (VI.E) against AB(functional)."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, CurrencyError, TranslationError
+from repro.kms import Status
+
+
+def store_person(s, name, age=30):
+    s.execute(f"MOVE '{name}' TO name IN person")
+    s.execute(f"MOVE {age} TO age IN person")
+    return s.execute("STORE person")
+
+
+def store_student(s, major="testing"):
+    s.execute(f"MOVE '{major}' TO major IN student")
+    return s.execute("STORE student")
+
+
+def find_a_faculty(s):
+    s.execute("MOVE 'professor' TO rank IN faculty")
+    result = s.execute("FIND ANY faculty USING rank IN faculty")
+    if not result.ok:
+        s.execute("MOVE 'associate' TO rank IN faculty")
+        result = s.execute("FIND ANY faculty USING rank IN faculty")
+    assert result.ok
+    return result
+
+
+class TestConnectMemberSide:
+    """Single-valued function sets: the keyword lives in the member file."""
+
+    def test_connect_updates_member_keyword(self, session):
+        s = session
+        store_person(s, "Connectee")
+        student = store_student(s)
+        faculty = find_a_faculty(s)
+        # Restore the student as the run-unit (its advisor pair is NULL so
+        # the advisor currency set by the faculty FIND survives).
+        s.execute("MOVE 'Connectee' TO name IN person")
+        s.execute("FIND ANY person USING name IN person")
+        s.execute("FIND FIRST student WITHIN person_student")
+        result = s.execute("CONNECT student TO advisor")
+        assert result.ok
+        # Probe RETRIEVE (already-connected check) followed by the UPDATE.
+        assert result.requests[0].startswith("RETRIEVE ((FILE = 'student')")
+        assert result.requests[1:] == [
+            f"UPDATE ((FILE = 'student') AND (student = '{student.dbkey}')) "
+            f"(advisor = '{faculty.dbkey}')"
+        ]
+
+    def test_connected_member_found_in_occurrence(self, session):
+        s = session
+        store_person(s, "Connectee")
+        student = store_student(s)
+        find_a_faculty(s)
+        s.execute("FIND CURRENT student WITHIN person_student")
+        s.execute("CONNECT student TO advisor")
+        s.execute("FIND OWNER WITHIN advisor")
+        members = s.execute("FIND FIRST student WITHIN advisor")
+        found = {members.dbkey}
+        while True:
+            more = s.execute("FIND NEXT student WITHIN advisor")
+            if not more.ok:
+                break
+            found.add(more.dbkey)
+        assert student.dbkey in found
+
+    def test_automatic_set_rejected(self, session):
+        s = session
+        store_person(s, "Connectee")
+        store_student(s)
+        with pytest.raises(ConstraintViolation):
+            s.execute("CONNECT student TO person_student")
+
+    def test_requires_set_occurrence(self, session):
+        s = session
+        store_person(s, "Connectee")
+        store_student(s)
+        with pytest.raises(CurrencyError):
+            s.execute("CONNECT student TO advisor")
+
+    def test_run_unit_type_checked(self, session):
+        s = session
+        find_a_faculty(s)
+        with pytest.raises(CurrencyError):
+            s.execute("CONNECT student TO advisor")
+
+    def test_member_type_checked(self, session):
+        s = session
+        store_person(s, "Connectee")
+        with pytest.raises(TranslationError):
+            s.execute("CONNECT person TO advisor")
+
+
+class TestConnectOwnerSide:
+    """One-to-many sets: the four owner-record cases of VI.D.2.a."""
+
+    def _fresh_student(self, s, name="Owner Side"):
+        store_person(s, name)
+        return store_student(s)
+
+    def _course_key(self, s, semester="fall"):
+        s.execute(f"MOVE '{semester}' TO semester IN course")
+        return s.execute("FIND ANY course USING semester IN course")
+
+    def test_case_1_null_set_update(self, session):
+        """A fresh student's enrollment keyword is NULL: one UPDATE."""
+        s = session
+        student = self._fresh_student(s)
+        course = self._course_key(s)
+        # course is now the run-unit; the enrollment occurrence is the
+        # student (owner).  Set the occurrence by finding the student.
+        s.execute("FIND CURRENT student WITHIN person_student")
+        # Run-unit must be the member (the course): re-find it.
+        s.execute("FIND CURRENT course WITHIN system_course")
+        result = s.execute("CONNECT course TO enrollment")
+        assert result.ok
+        update = [r for r in result.requests if r.startswith("UPDATE")]
+        assert update == [
+            f"UPDATE ((FILE = 'student') AND (student = '{student.dbkey}')) "
+            f"(enrollment = '{course.dbkey}')"
+        ]
+
+    def test_case_3_second_member_inserts_copy(self, session):
+        """With one member present, connecting another INSERTs a duplicate."""
+        s = session
+        self._fresh_student(s)
+        self._course_key(s, "fall")
+        s.execute("FIND CURRENT course WITHIN system_course")
+        s.execute("CONNECT course TO enrollment")
+        # Pick a different course.
+        second = self._course_key(s, "spring")
+        result = s.execute("CONNECT course TO enrollment")
+        inserts = [r for r in result.requests if r.startswith("INSERT")]
+        assert len(inserts) == 1
+        assert f"<enrollment, '{second.dbkey}'>" in inserts[0]
+
+    def test_members_enumerable_after_connect(self, session):
+        s = session
+        student = self._fresh_student(s)
+        first = self._course_key(s, "fall")
+        s.execute("FIND CURRENT course WITHIN system_course")
+        s.execute("CONNECT course TO enrollment")
+        second = self._course_key(s, "spring")
+        s.execute("CONNECT course TO enrollment")
+        # Enumerate the occurrence.
+        s.execute("FIND CURRENT student WITHIN person_student")
+        found = set()
+        result = s.execute("FIND FIRST course WITHIN enrollment")
+        while result.ok:
+            found.add(result.dbkey)
+            result = s.execute("FIND NEXT course WITHIN enrollment")
+        assert {first.dbkey, second.dbkey} <= found
+
+    def test_reconnect_same_member_is_noop(self, session):
+        s = session
+        self._fresh_student(s)
+        self._course_key(s)
+        s.execute("FIND CURRENT course WITHIN system_course")
+        s.execute("CONNECT course TO enrollment")
+        result = s.execute("CONNECT course TO enrollment")
+        assert not [r for r in result.requests if r.startswith(("UPDATE", "INSERT"))]
+
+
+class TestDisconnect:
+    def test_member_side_nulls_keyword(self, session):
+        s = session
+        store_person(s, "Disc Member")
+        student = store_student(s)
+        faculty = find_a_faculty(s)
+        s.execute("FIND CURRENT student WITHIN person_student")
+        s.execute("CONNECT student TO advisor")
+        result = s.execute("DISCONNECT student FROM advisor")
+        assert result.requests == [
+            f"UPDATE ((FILE = 'student') AND (student = '{student.dbkey}') "
+            f"AND (advisor = '{faculty.dbkey}')) (advisor = NULL)"
+        ]
+
+    def test_owner_side_singleton_nulls(self, session):
+        """VI.E: a singleton function set is nulled out, not deleted."""
+        s = session
+        store_person(s, "Disc Owner")
+        student = store_student(s)
+        s.execute("MOVE 'fall' TO semester IN course")
+        course = s.execute("FIND ANY course USING semester IN course")
+        s.execute("CONNECT course TO enrollment")
+        result = s.execute("DISCONNECT course FROM enrollment")
+        updates = [r for r in result.requests if r.startswith("UPDATE")]
+        assert updates == [
+            f"UPDATE ((FILE = 'student') AND (student = '{student.dbkey}') "
+            f"AND (enrollment = '{course.dbkey}')) (enrollment = NULL)"
+        ]
+
+    def test_owner_side_multiple_deletes_duplicates(self, session):
+        """VI.E: with several members, the duplicated records are DELETEd."""
+        s = session
+        store_person(s, "Disc Owner")
+        store_student(s)
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        s.execute("CONNECT course TO enrollment")
+        s.execute("MOVE 'spring' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        s.execute("CONNECT course TO enrollment")
+        result = s.execute("DISCONNECT course FROM enrollment")
+        assert any(r.startswith("DELETE") for r in result.requests)
+
+    def test_fixed_retention_rejected(self, session):
+        s = session
+        store_person(s, "Fixed")
+        store_student(s)
+        with pytest.raises(ConstraintViolation):
+            s.execute("DISCONNECT student FROM person_student")
+
+    def test_disconnect_unconnected_rejected(self, session):
+        s = session
+        store_person(s, "Never Connected")
+        store_student(s)
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        with pytest.raises(ConstraintViolation):
+            s.execute("DISCONNECT course FROM enrollment")
+
+    def test_disconnected_member_gone_from_occurrence(self, session):
+        s = session
+        store_person(s, "Gone Member")
+        store_student(s)
+        s.execute("MOVE 'fall' TO semester IN course")
+        course = s.execute("FIND ANY course USING semester IN course")
+        s.execute("CONNECT course TO enrollment")
+        s.execute("DISCONNECT course FROM enrollment")
+        s.execute("FIND CURRENT student WITHIN person_student")
+        result = s.execute("FIND FIRST course WITHIN enrollment")
+        assert result.status is Status.NOT_FOUND
+
+
+class TestManyToManyLinks:
+    def _faculty_and_course(self, s):
+        store_person(s, "Link Prof")
+        s.execute("MOVE 75000.0 TO salary IN employee")
+        s.execute("STORE employee")
+        s.execute("MOVE 'instructor' TO rank IN faculty")
+        faculty = s.execute("STORE faculty")
+        s.execute("MOVE 'Linked Course' TO title IN course")
+        s.execute("MOVE 'winter' TO semester IN course")
+        s.execute("MOVE 2 TO credits IN course")
+        course = s.execute("STORE course")
+        return faculty, course
+
+    def test_store_connect_both_sides_materializes(self, session):
+        s = session
+        faculty, course = self._faculty_and_course(s)
+        link = s.execute("STORE link_1")
+        first = s.execute("CONNECT link_1 TO teaching")
+        assert first.requests == []  # waiting for the second side
+        second = s.execute("CONNECT link_1 TO taught_by")
+        assert second.ok
+        # The materialized key orders the sides by the link's set order.
+        info = s.engine.adapter.transformation.links["link_1"]
+        owners = {"teaching": faculty.dbkey, "taught_by": course.dbkey}
+        assert second.dbkey == f"{owners[info.first_set]}~{owners[info.second_set]}"
+        # Both owner files gained the partner's key.
+        joined = " ".join(second.requests)
+        assert "(FILE = 'faculty')" in joined
+        assert "(FILE = 'course')" in joined
+
+    def test_link_navigable_after_materialization(self, session):
+        s = session
+        faculty, course = self._faculty_and_course(s)
+        s.execute("STORE link_1")
+        s.execute("CONNECT link_1 TO teaching")
+        s.execute("CONNECT link_1 TO taught_by")
+        s.execute("FIND CURRENT faculty WITHIN employee_faculty")
+        link = s.execute("FIND FIRST link_1 WITHIN teaching")
+        assert link.ok
+        owner = s.execute("FIND OWNER WITHIN taught_by")
+        assert owner.dbkey == course.dbkey
+
+    def test_disconnect_link_dissolves_pair(self, session):
+        s = session
+        faculty, course = self._faculty_and_course(s)
+        s.execute("STORE link_1")
+        s.execute("CONNECT link_1 TO teaching")
+        s.execute("CONNECT link_1 TO taught_by")
+        s.execute("DISCONNECT link_1 FROM teaching")
+        s.execute("FIND CURRENT faculty WITHIN employee_faculty")
+        result = s.execute("FIND FIRST link_1 WITHIN teaching")
+        assert result.status is Status.NOT_FOUND
+
+    def test_connect_existing_link_rejected(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'professor' TO rank IN faculty")
+        found = s.execute("FIND ANY faculty USING rank IN faculty")
+        if not found.ok:
+            pytest.skip("population has no professor")
+        link = s.execute("FIND FIRST link_1 WITHIN teaching")
+        assert link.ok
+        with pytest.raises(ConstraintViolation):
+            s.execute("CONNECT link_1 TO teaching")
+
+
+class TestReconnectRejected:
+    """A member of one occurrence must be DISCONNECTed before CONNECT
+    joins it to another (the thesis's disconnect-modify-reconnect recipe)."""
+
+    def test_single_valued_reconnect_rejected(self, session):
+        s = session
+        store_person(s, "Reconnect Target")
+        store_student(s)
+        find_a_faculty(s)
+        s.execute("FIND CURRENT student WITHIN person_student")
+        s.execute("CONNECT student TO advisor")
+        # Pick another faculty as the new occurrence and retry.
+        s.execute("MOVE 'instructor' TO rank IN faculty")
+        other = s.execute("FIND ANY faculty USING rank IN faculty")
+        if not other.ok:
+            s.execute("MOVE 'assistant' TO rank IN faculty")
+            other = s.execute("FIND ANY faculty USING rank IN faculty")
+        s.execute("FIND CURRENT student WITHIN person_student")
+        with pytest.raises(ConstraintViolation):
+            s.execute("CONNECT student TO advisor")
+
+    def test_reconnect_after_disconnect_succeeds(self, session):
+        s = session
+        store_person(s, "Reconnect Target")
+        store_student(s)
+        faculty = find_a_faculty(s)
+        s.execute("FIND CURRENT student WITHIN person_student")
+        s.execute("CONNECT student TO advisor")
+        s.execute("DISCONNECT student FROM advisor")
+        result = s.execute("CONNECT student TO advisor")
+        assert result.ok
+        owner = s.execute("FIND OWNER WITHIN advisor")
+        assert owner.dbkey == faculty.dbkey

@@ -1,0 +1,134 @@
+"""Engine-level edge cases: currency misuse, statement validation."""
+
+import pytest
+
+from repro.errors import (
+    CurrencyError,
+    ExecutionError,
+    SchemaError,
+    TranslationError,
+)
+from repro.kms import Status
+from repro.network import dml
+
+
+class TestParsedStatementInput:
+    def test_engine_accepts_parsed_statements(self, shared_session):
+        statement = dml.parse_statement("MOVE 'fall' TO semester IN course")
+        assert shared_session.execute(statement).ok
+
+    def test_move_validates_item(self, shared_session):
+        with pytest.raises(SchemaError):
+            shared_session.execute("MOVE 1 TO ghost IN course")
+
+    def test_move_validates_record(self, shared_session):
+        with pytest.raises(SchemaError):
+            shared_session.execute("MOVE 1 TO x IN ghost")
+
+
+class TestFindValidation:
+    def test_find_any_unknown_record(self, shared_session):
+        with pytest.raises(SchemaError):
+            shared_session.execute("FIND ANY ghost USING x IN ghost")
+
+    def test_find_first_unknown_set(self, shared_session):
+        with pytest.raises(SchemaError):
+            shared_session.execute("FIND FIRST course WITHIN ghost")
+
+    def test_find_within_current_member_check(self, shared_session):
+        shared_session.execute("MOVE 'x' TO title IN course")
+        with pytest.raises(TranslationError):
+            shared_session.execute(
+                "FIND course WITHIN dept CURRENT USING title IN course"
+            )
+
+    def test_duplicate_items_validated(self, shared_session):
+        s = shared_session
+        s.execute("FIND FIRST person WITHIN system_person")
+        with pytest.raises(SchemaError):
+            s.execute("FIND DUPLICATE WITHIN system_person USING ghost IN person")
+
+
+class TestRunUnitGuards:
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "GET",
+            "CONNECT student TO advisor",
+            "DISCONNECT student FROM advisor",
+            "MODIFY major IN student",
+            "ERASE student",
+        ],
+    )
+    def test_statements_need_run_unit(self, shared_session, statement):
+        with pytest.raises(CurrencyError):
+            shared_session.execute(statement)
+
+    def test_connect_member_type_check(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        with pytest.raises(TranslationError):
+            s.execute("CONNECT course TO advisor")  # course not advisor's member
+
+
+class TestRunSequences:
+    def test_run_executes_whole_transaction(self, shared_session):
+        results = shared_session.run(
+            "MOVE 'fall' TO semester IN course\n"
+            "FIND ANY course USING semester IN course\n"
+            "GET"
+        )
+        assert [r.ok for r in results] == [True, True, True]
+
+    def test_requests_attributed_per_statement(self, shared_session):
+        results = shared_session.run(
+            "MOVE 'fall' TO semester IN course\n"
+            "FIND ANY course USING semester IN course"
+        )
+        assert results[0].requests == []
+        assert len(results[1].requests) == 1
+
+
+class TestBufferInvalidations:
+    def test_connect_invalidates_set_buffer(self, session):
+        s = session
+        s.execute("MOVE 'Inval Person' TO name IN person")
+        s.execute("MOVE 9 TO age IN person")
+        s.execute("STORE person")
+        s.execute("MOVE 'm' TO major IN student")
+        s.execute("STORE student")
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        s.execute("FIND CURRENT student WITHIN person_student")
+        s.execute("FIND FIRST course WITHIN enrollment")  # empty, but loads RB
+        s.execute("FIND CURRENT course WITHIN system_course")
+        s.execute("CONNECT course TO enrollment")
+        assert not s.engine.buffers.has_records("enrollment")
+
+    def test_erase_clears_all_buffers(self, session):
+        s = session
+        s.execute("FIND FIRST person WITHIN system_person")
+        s.execute("MOVE 'Eraser' TO name IN person")
+        s.execute("MOVE 2 TO age IN person")
+        s.execute("STORE person")
+        s.execute("ERASE person")
+        assert s.engine.buffers.count == 0
+
+
+class TestStatusValues:
+    def test_not_found_vs_end_of_set(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'Nobody Whatsoever' TO name IN person")
+        assert (
+            s.execute("FIND ANY person USING name IN person").status
+            is Status.NOT_FOUND
+        )
+        s.execute("FIND FIRST person WITHIN system_person")
+        result = s.execute("FIND PRIOR person WITHIN system_person")
+        assert result.status is Status.END_OF_SET
+
+    def test_result_repr(self, shared_session):
+        s = shared_session
+        result = s.execute("FIND FIRST person WITHIN system_person")
+        assert "person[" in repr(result)

@@ -1,0 +1,188 @@
+"""GET (VI.C) and STORE (VI.G) against the AB(functional) database."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, CurrencyError, ExecutionError
+from repro.kms import Status
+
+
+class TestGet:
+    def test_bare_get_returns_all_items(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        result = s.execute("GET")
+        assert set(result.values) == {"course", "title", "dept", "semester", "credits"}
+
+    def test_get_record_type_checked(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        with pytest.raises(ExecutionError):
+            s.execute("GET student")
+
+    def test_get_items_subset(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        result = s.execute("GET title, credits IN course")
+        assert set(result.values) == {"title", "credits"}
+
+    def test_get_fills_uwa(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        result = s.execute("GET course")
+        assert s.uwa.get("course", "title") == result.values["title"]
+
+    def test_get_without_find_rejected(self, shared_session):
+        with pytest.raises(CurrencyError):
+            shared_session.execute("GET")
+
+    def test_get_uses_cached_record(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        result = s.execute("GET")
+        assert result.requests == []  # served from the run-unit cache
+
+    def test_get_after_find_current_refetches(self, shared_session):
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        s.execute("FIND CURRENT course WITHIN system_course")
+        result = s.execute("GET")
+        assert len(result.requests) == 1  # cache was dropped; one RETRIEVE
+
+    def test_unknown_item_rejected(self, shared_session):
+        from repro.errors import SchemaError
+
+        s = shared_session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        with pytest.raises(SchemaError):
+            s.execute("GET ghost IN course")
+
+
+class TestStoreBaseEntity:
+    def test_store_mints_key_and_inserts(self, session):
+        s = session
+        s.execute("MOVE 'Fresh Person' TO name IN person")
+        s.execute("MOVE 33 TO age IN person")
+        result = s.execute("STORE person")
+        assert result.ok
+        assert result.dbkey.startswith("person$")
+        assert any(r.startswith("INSERT (<FILE, 'person'>") for r in result.requests)
+
+    def test_store_becomes_run_unit(self, session):
+        s = session
+        s.execute("MOVE 'Fresh Person' TO name IN person")
+        s.execute("STORE person")
+        assert s.cit.run_unit.record_type == "person"
+
+    def test_stored_record_findable(self, session):
+        s = session
+        s.execute("MOVE 'Fresh Person' TO name IN person")
+        s.execute("MOVE 33 TO age IN person")
+        stored = s.execute("STORE person")
+        s.execute("MOVE 'Fresh Person' TO name IN person")
+        found = s.execute("FIND ANY person USING name IN person")
+        assert found.dbkey == stored.dbkey
+
+    def test_unique_name_duplicate_rejected(self, session):
+        s = session
+        s.execute("MOVE 'Dup Name' TO name IN person")
+        s.execute("STORE person")
+        with pytest.raises(ConstraintViolation):
+            s.execute("STORE person")
+
+    def test_duplicate_check_issues_retrieve(self, session):
+        s = session
+        s.execute("MOVE 'Some Person' TO name IN person")
+        result = s.execute("STORE person")
+        assert any(
+            r.startswith("RETRIEVE ((FILE = 'person') AND (name = 'Some Person'))")
+            for r in result.requests
+        )
+
+    def test_composite_uniqueness(self, session):
+        s = session
+        # Same title as an existing course but a fresh semester: allowed.
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        got = s.execute("GET course")
+        s.execute(f"MOVE '{got.values['title']}' TO title IN course")
+        s.execute("MOVE 'winter2' TO semester IN course")  # not a real semester: unique
+        s.execute("MOVE 1 TO credits IN course")
+        assert s.execute("STORE course").ok
+
+
+class TestStoreSubtype:
+    def _store_person(self, s, name="Subtype Base"):
+        s.execute(f"MOVE '{name}' TO name IN person")
+        s.execute("MOVE 20 TO age IN person")
+        return s.execute("STORE person")
+
+    def test_subtype_reuses_supertype_key(self, session):
+        s = session
+        person = self._store_person(s)
+        s.execute("MOVE 'history' TO major IN student")
+        student = s.execute("STORE student")
+        assert student.dbkey == person.dbkey
+
+    def test_subtype_requires_isa_occurrence(self, session):
+        s = session
+        with pytest.raises(CurrencyError):
+            session.execute("STORE student")
+
+    def test_double_store_rejected(self, session):
+        s = session
+        self._store_person(s)
+        s.execute("MOVE 'history' TO major IN student")
+        s.execute("STORE student")
+        s.execute("FIND CURRENT student WITHIN person_student")
+        with pytest.raises(ConstraintViolation):
+            s.execute("STORE student")
+
+    def test_overlap_allows_student_faculty(self, session):
+        s = session
+        person = self._store_person(s)
+        s.execute("MOVE 60000.0 TO salary IN employee")
+        employee = s.execute("STORE employee")
+        assert employee.dbkey == person.dbkey
+        s.execute("MOVE 'professor' TO rank IN faculty")
+        faculty = s.execute("STORE faculty")
+        assert faculty.ok
+        # The overlap table allows student+faculty: store student too.
+        s.execute("MOVE 'physics' TO major IN student")
+        assert s.execute("STORE student").ok
+
+    def test_overlap_blocks_faculty_support_staff(self, session):
+        s = session
+        self._store_person(s)
+        s.execute("MOVE 60000.0 TO salary IN employee")
+        s.execute("STORE employee")
+        s.execute("MOVE 'professor' TO rank IN faculty")
+        s.execute("STORE faculty")
+        s.execute("MOVE 'admin' TO skill IN support_staff")
+        # support_staff does not overlap with faculty.
+        with pytest.raises(ConstraintViolation):
+            s.execute("STORE support_staff")
+
+    def test_overlap_check_queries_terminal_subtypes(self, session):
+        s = session
+        self._store_person(s)
+        s.execute("MOVE 'history' TO major IN student")
+        result = s.execute("STORE student")
+        # The STORE's auxiliary retrieves probed the other terminal files.
+        probed = " ".join(result.requests)
+        assert "(FILE = 'faculty')" in probed
+        assert "(FILE = 'support_staff')" in probed
+
+
+class TestStoreLink:
+    def test_store_link_stages_without_abdl(self, session):
+        result = session.execute("STORE link_1")
+        assert result.ok
+        assert result.requests == []
+        assert result.dbkey.startswith("link_1$")

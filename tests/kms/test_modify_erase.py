@@ -1,0 +1,165 @@
+"""MODIFY (VI.F) and ERASE (VI.H) against AB(functional)."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolation,
+    CurrencyError,
+    ExecutionError,
+    UnsupportedStatement,
+)
+
+
+def store_person(s, name, age=40):
+    s.execute(f"MOVE '{name}' TO name IN person")
+    s.execute(f"MOVE {age} TO age IN person")
+    return s.execute("STORE person")
+
+
+class TestModify:
+    def test_one_update_per_item(self, session):
+        """VI.F: the UPDATE request is repeated per modified field."""
+        s = session
+        person = store_person(s, "Modify Me")
+        s.execute("MOVE 'Renamed' TO name IN person")
+        s.execute("MOVE 41 TO age IN person")
+        result = s.execute("MODIFY name, age IN person")
+        assert result.requests == [
+            f"UPDATE ((FILE = 'person') AND (person = '{person.dbkey}')) (name = 'Renamed')",
+            f"UPDATE ((FILE = 'person') AND (person = '{person.dbkey}')) (age = 41)",
+        ]
+
+    def test_modification_visible(self, session):
+        s = session
+        store_person(s, "Modify Me")
+        s.execute("MOVE 99 TO age IN person")
+        s.execute("MODIFY age IN person")
+        assert s.execute("GET age IN person").values["age"] == 99
+
+    def test_whole_record_uses_uwa_items(self, session):
+        s = session
+        store_person(s, "Modify Me")
+        s.execute("MOVE 'Renamed' TO name IN person")
+        result = s.execute("MODIFY person")
+        # Every UWA-supplied user item gets its UPDATE.
+        assert len(result.requests) == 2  # name and age templates are set
+
+    def test_modify_without_uwa_values_rejected(self, session):
+        s = session
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        s.uwa.clear("course")
+        with pytest.raises(ExecutionError):
+            s.execute("MODIFY course")
+
+    def test_modify_item_missing_from_uwa(self, session):
+        s = session
+        store_person(s, "Modify Me")
+        s.uwa.clear("person")
+        with pytest.raises(ExecutionError):
+            s.execute("MODIFY age IN person")
+
+    def test_run_unit_type_checked(self, session):
+        s = session
+        store_person(s, "Modify Me")
+        s.execute("MOVE 'x' TO major IN student")
+        with pytest.raises(CurrencyError):
+            s.execute("MODIFY major IN student")
+
+
+class TestErase:
+    def test_erase_clean_record(self, session):
+        s = session
+        store_person(s, "Erase Me")
+        result = s.execute("ERASE person")
+        assert result.ok
+        assert result.requests[-1].startswith("DELETE ((FILE = 'person')")
+        s.execute("MOVE 'Erase Me' TO name IN person")
+        assert not s.execute("FIND ANY person USING name IN person").ok
+
+    def test_erase_checks_precede_delete(self, session):
+        """VI.H: auxiliary RETRIEVEs run before the DELETE."""
+        s = session
+        store_person(s, "Erase Me")
+        result = s.execute("ERASE person")
+        retrieves = [r for r in result.requests if r.startswith("RETRIEVE")]
+        deletes = [r for r in result.requests if r.startswith("DELETE")]
+        assert retrieves and len(deletes) == 1
+        assert result.requests[-1] == deletes[0]
+
+    def test_erase_supertype_with_subtype_blocked(self, session):
+        """CODASYL: the record owns a non-null ISA occurrence."""
+        s = session
+        store_person(s, "Has Subtype")
+        s.execute("MOVE 'history' TO major IN student")
+        s.execute("STORE student")
+        s.execute("FIND CURRENT person WITHIN system_person")
+        with pytest.raises(ConstraintViolation, match="person_student"):
+            s.execute("ERASE person")
+
+    def test_erase_referenced_entity_blocked(self, session):
+        """DAPLEX DESTROY rule: a function value cannot be destroyed."""
+        s = session
+        # Every loaded faculty member advises someone or teaches something;
+        # find one who advises a student.
+        s.execute("MOVE 'computer science' TO major IN student")
+        s.execute("FIND ANY student USING major IN student")
+        s.execute("FIND OWNER WITHIN advisor")
+        with pytest.raises(ConstraintViolation):
+            s.execute("ERASE faculty")
+
+    def test_erase_after_subtype_removed(self, session):
+        s = session
+        store_person(s, "Two Phase")
+        s.execute("MOVE 'history' TO major IN student")
+        s.execute("STORE student")
+        s.execute("ERASE student")
+        s.execute("FIND CURRENT person WITHIN system_person")
+        assert s.execute("ERASE person").ok
+
+    def test_erase_clears_currency(self, session):
+        s = session
+        store_person(s, "Erase Me")
+        s.execute("ERASE person")
+        assert s.cit.run_unit is None
+
+    def test_erase_all_rejected(self, session):
+        s = session
+        store_person(s, "Erase All Target")
+        with pytest.raises(UnsupportedStatement):
+            s.execute("ERASE ALL person")
+
+    def test_erase_needs_run_unit(self, session):
+        with pytest.raises(CurrencyError):
+            session.execute("ERASE person")
+
+    def test_erase_run_unit_type_checked(self, session):
+        s = session
+        store_person(s, "Wrong Type")
+        with pytest.raises(CurrencyError):
+            s.execute("ERASE course")
+
+    def test_erase_student_with_enrollment_blocked(self, session):
+        """The student owns a non-null enrollment occurrence."""
+        s = session
+        store_person(s, "Enrolled")
+        s.execute("MOVE 'history' TO major IN student")
+        s.execute("STORE student")
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        s.execute("CONNECT course TO enrollment")
+        s.execute("FIND CURRENT student WITHIN person_student")
+        with pytest.raises(ConstraintViolation, match="enrollment"):
+            s.execute("ERASE student")
+
+    def test_erase_after_disconnect_succeeds(self, session):
+        s = session
+        store_person(s, "Enrolled")
+        s.execute("MOVE 'history' TO major IN student")
+        s.execute("STORE student")
+        s.execute("MOVE 'fall' TO semester IN course")
+        s.execute("FIND ANY course USING semester IN course")
+        s.execute("CONNECT course TO enrollment")
+        s.execute("DISCONNECT course FROM enrollment")
+        s.execute("FIND CURRENT student WITHIN person_student")
+        assert s.execute("ERASE student").ok

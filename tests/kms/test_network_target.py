@@ -1,0 +1,288 @@
+"""The AB(network) target: the original Emdi translation (baseline).
+
+The same DML engine runs over a *native* network database; memberships
+are member-carried keywords for every set, so the request shapes are the
+uniform ones of the original network interface.
+"""
+
+import pytest
+
+from repro import MLDS
+from repro.errors import ConstraintViolation, CurrencyError
+from repro.kms import Status
+
+SCHEMA = """
+SCHEMA NAME IS firm;
+
+RECORD NAME IS department;
+DUPLICATES ARE NOT ALLOWED FOR dname;
+    dname TYPE IS CHARACTER 20;
+    budget TYPE IS INTEGER;
+
+RECORD NAME IS worker;
+    wname TYPE IS CHARACTER 30;
+    salary TYPE IS INTEGER;
+
+SET NAME IS staff;
+    OWNER IS department;
+    MEMBER IS worker;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+    SET SELECTION IS BY APPLICATION;
+
+SET NAME IS assigned;
+    OWNER IS department;
+    MEMBER IS worker;
+    INSERTION IS AUTOMATIC;
+    RETENTION IS FIXED;
+    SET SELECTION IS BY APPLICATION;
+
+SET NAME IS system_department;
+    OWNER IS SYSTEM;
+    MEMBER IS department;
+    INSERTION IS AUTOMATIC;
+    RETENTION IS FIXED;
+    SET SELECTION IS BY APPLICATION;
+"""
+
+
+@pytest.fixture()
+def mlds_net():
+    mlds = MLDS(backend_count=2)
+    mlds.define_network_database(SCHEMA)
+    loader = mlds.network_loader("firm")
+    d1 = loader.create("department", dname="research", budget=100)
+    d2 = loader.create("department", dname="sales", budget=50)
+    for i, (name, dept) in enumerate(
+        [("Ann", d1), ("Bob", d1), ("Cal", d2), ("Dee", d1)]
+    ):
+        loader.create(
+            "worker",
+            wname=name,
+            salary=1000 * (i + 1),
+            memberships={"staff": dept, "assigned": dept},
+        )
+    return mlds
+
+
+@pytest.fixture()
+def net_session(mlds_net):
+    return mlds_net.open_codasyl_session("firm")
+
+
+class TestSessionRouting:
+    def test_lil_marks_source_network(self, net_session):
+        assert net_session.source_model == "network"
+
+
+class TestFind:
+    def test_find_any(self, net_session):
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        result = s.execute("FIND ANY department USING dname IN department")
+        assert result.ok
+        assert result.values["budget"] == 100
+
+    def test_member_iteration(self, net_session):
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        dept = s.execute("FIND ANY department USING dname IN department")
+        result = s.execute("FIND FIRST worker WITHIN staff")
+        assert (
+            f"RETRIEVE ((FILE = 'worker') AND (staff = '{dept.dbkey}'))"
+            in result.requests[0]
+        )
+        names = [result.values["wname"]]
+        while True:
+            result = s.execute("FIND NEXT worker WITHIN staff")
+            if not result.ok:
+                break
+            names.append(result.values["wname"])
+        assert names == ["Ann", "Bob", "Dee"]
+
+    def test_find_owner(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Cal' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        result = s.execute("FIND OWNER WITHIN staff")
+        assert result.values["dname"] == "sales"
+
+    def test_memberships_read_off_record(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Ann' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        assert s.cit.set_currency("staff").owner_dbkey is not None
+        assert s.cit.set_currency("assigned").owner_dbkey is not None
+
+
+class TestStore:
+    def test_store_with_automatic_set(self, net_session):
+        s = net_session
+        s.execute("MOVE 'sales' TO dname IN department")
+        dept = s.execute("FIND ANY department USING dname IN department")
+        s.execute("MOVE 'Eve' TO wname IN worker")
+        s.execute("MOVE 9000 TO salary IN worker")
+        result = s.execute("STORE worker")
+        assert result.ok
+        # AUTOMATIC membership connected at store time; MANUAL stayed null.
+        insert = [r for r in result.requests if r.startswith("INSERT")][0]
+        assert f"<assigned, '{dept.dbkey}'>" in insert
+        assert "<staff, NULL>" in insert
+
+    def test_store_requires_automatic_occurrence(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Eve' TO wname IN worker")
+        with pytest.raises(CurrencyError):
+            s.execute("STORE worker")
+
+    def test_duplicates_not_allowed(self, net_session):
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        s.execute("MOVE 7 TO budget IN department")
+        with pytest.raises(ConstraintViolation):
+            s.execute("STORE department")
+
+
+class TestConnectDisconnect:
+    def test_connect_updates_member_keyword(self, net_session):
+        s = net_session
+        s.execute("MOVE 'sales' TO dname IN department")
+        dept = s.execute("FIND ANY department USING dname IN department")
+        s.execute("MOVE 'Eve' TO wname IN worker")
+        s.execute("MOVE 1 TO salary IN worker")
+        worker = s.execute("STORE worker")
+        result = s.execute("CONNECT worker TO staff")
+        # An auxiliary RETRIEVE probes the already-connected constraint,
+        # then one UPDATE writes the membership keyword.
+        assert result.requests[0].startswith("RETRIEVE ((FILE = 'worker')")
+        assert result.requests[1:] == [
+            f"UPDATE ((FILE = 'worker') AND (worker = '{worker.dbkey}')) "
+            f"(staff = '{dept.dbkey}')"
+        ]
+
+    def test_connect_automatic_rejected(self, net_session):
+        s = net_session
+        s.execute("MOVE 'sales' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        s.execute("MOVE 'Eve' TO wname IN worker")
+        s.execute("MOVE 1 TO salary IN worker")
+        s.execute("STORE worker")
+        with pytest.raises(ConstraintViolation):
+            s.execute("CONNECT worker TO assigned")
+
+    def test_disconnect_nulls_keyword(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Ann' TO wname IN worker")
+        worker = s.execute("FIND ANY worker USING wname IN worker")
+        owner = s.cit.set_currency("staff").owner_dbkey
+        result = s.execute("DISCONNECT worker FROM staff")
+        assert result.requests == [
+            f"UPDATE ((FILE = 'worker') AND (worker = '{worker.dbkey}') "
+            f"AND (staff = '{owner}')) (staff = NULL)"
+        ]
+
+    def test_disconnect_fixed_rejected(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Ann' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        with pytest.raises(ConstraintViolation):
+            s.execute("DISCONNECT worker FROM assigned")
+
+
+class TestModifyErase:
+    def test_modify(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Bob' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        s.execute("MOVE 5555 TO salary IN worker")
+        s.execute("MODIFY salary IN worker")
+        assert s.execute("GET salary IN worker").values["salary"] == 5555
+
+    def test_erase_owner_with_members_blocked(self, net_session):
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        with pytest.raises(ConstraintViolation):
+            s.execute("ERASE department")
+
+    def test_erase_member(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Dee' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        assert s.execute("ERASE worker").ok
+        s.execute("MOVE 'Dee' TO wname IN worker")
+        assert s.execute("FIND ANY worker USING wname IN worker").status is Status.NOT_FOUND
+
+
+class TestNavigationVariants:
+    def test_find_last_and_prior(self, net_session):
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        last = s.execute("FIND LAST worker WITHIN staff")
+        assert last.values["wname"] == "Dee"
+        prior = s.execute("FIND PRIOR worker WITHIN staff")
+        assert prior.values["wname"] == "Bob"
+
+    def test_find_within_current_using(self, net_session):
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        s.execute("FIND FIRST worker WITHIN staff")
+        s.execute("MOVE 'Dee' TO wname IN worker")
+        result = s.execute("FIND worker WITHIN staff CURRENT USING wname IN worker")
+        assert result.ok and result.values["wname"] == "Dee"
+
+    def test_find_duplicate_within(self, net_session):
+        s = net_session
+        # Two research workers share a salary after a MODIFY.
+        s.execute("MOVE 'Ann' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        s.execute("MOVE 7777 TO salary IN worker")
+        s.execute("MODIFY salary IN worker")
+        s.execute("MOVE 'Dee' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        s.execute("MOVE 7777 TO salary IN worker")
+        s.execute("MODIFY salary IN worker")
+        s.execute("MOVE 'research' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        first = s.execute("FIND FIRST worker WITHIN staff")
+        assert first.values["wname"] == "Ann"
+        duplicate = s.execute("FIND DUPLICATE WITHIN staff USING salary IN worker")
+        assert duplicate.ok and duplicate.values["wname"] == "Dee"
+
+    def test_find_current_within_set(self, net_session):
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        s.execute("FIND FIRST worker WITHIN staff")
+        s.execute("FIND NEXT worker WITHIN staff")
+        # GET does not move currency; FIND CURRENT restores Bob as the
+        # run-unit from the set's current record.
+        s.execute("GET")
+        restored = s.execute("FIND CURRENT worker WITHIN staff")
+        assert restored.ok
+        # FIND CURRENT is currency-only (no values); GET reads the record.
+        assert s.execute("GET").values["wname"] == "Bob"
+
+    def test_find_current_type_mismatch(self, net_session):
+        """Finding an owner makes it the current of its sets, so FIND
+        CURRENT of the member type must then fail (CODASYL currency)."""
+        from repro.errors import CurrencyError
+
+        s = net_session
+        s.execute("MOVE 'research' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        s.execute("FIND FIRST worker WITHIN staff")
+        s.execute("MOVE 'sales' TO dname IN department")
+        s.execute("FIND ANY department USING dname IN department")
+        with pytest.raises(CurrencyError):
+            s.execute("FIND CURRENT worker WITHIN staff")
+
+    def test_get_forms(self, net_session):
+        s = net_session
+        s.execute("MOVE 'Cal' TO wname IN worker")
+        s.execute("FIND ANY worker USING wname IN worker")
+        assert set(s.execute("GET").values) == {"wname", "salary"}
+        assert s.execute("GET worker").values["wname"] == "Cal"
+        assert set(s.execute("GET salary IN worker").values) == {"salary"}

@@ -1,0 +1,113 @@
+"""The shared lexer and token stream."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.lang import Lexer, TokenStream, TokenType
+
+
+@pytest.fixture()
+def lexer():
+    return Lexer(["FIND", "WITHIN", "NULL"])
+
+
+class TestTokens:
+    def test_keywords_normalized(self, lexer):
+        tokens = lexer.tokenize("find WiThIn")
+        assert [t.type for t in tokens[:2]] == [TokenType.KEYWORD] * 2
+        assert tokens[0].text == "FIND"
+
+    def test_identifiers_keep_case(self, lexer):
+        token = lexer.tokenize("Person_Student")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "Person_Student"
+
+    def test_dollar_in_identifier(self, lexer):
+        token = lexer.tokenize("person$31")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "person$31"
+
+    def test_integer(self, lexer):
+        token = lexer.tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == 42
+
+    def test_float(self, lexer):
+        token = lexer.tokenize("3.25")[0]
+        assert token.value == 3.25
+
+    def test_range_dots_not_float(self):
+        lexer = Lexer([], symbols=("..", ".", "(", ")"))
+        tokens = lexer.tokenize("1..5")
+        assert [t.text for t in tokens[:3]] == ["1", "..", "5"]
+
+    def test_string_with_escape(self, lexer):
+        token = lexer.tokenize("'it''s'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "it's"
+
+    def test_comment_skipped(self, lexer):
+        tokens = lexer.tokenize("find -- comment here\nwithin")
+        assert [t.text for t in tokens[:2]] == ["FIND", "WITHIN"]
+
+    def test_longest_symbol_wins(self):
+        lexer = Lexer([], symbols=("<=", "<", "="))
+        assert lexer.tokenize("<=")[0].text == "<="
+
+    def test_positions(self, lexer):
+        tokens = lexer.tokenize("find\n  within")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_terminates(self, lexer):
+        assert lexer.tokenize("")[0].type is TokenType.EOF
+
+
+class TestLexErrors:
+    def test_unterminated_string(self, lexer):
+        with pytest.raises(LexError):
+            lexer.tokenize("'oops")
+
+    def test_unknown_character(self):
+        lexer = Lexer([], symbols=("(",))
+        with pytest.raises(LexError):
+            lexer.tokenize("@")
+
+
+class TestTokenStream:
+    def make(self, text, keywords=("FIND", "WITHIN")):
+        return TokenStream(Lexer(keywords).tokenize(text))
+
+    def test_accept_and_expect(self):
+        stream = self.make("FIND x WITHIN y")
+        assert stream.accept_keyword("FIND")
+        assert stream.expect_ident().text == "x"
+        assert stream.expect_keyword("WITHIN")
+        assert stream.expect_ident().text == "y"
+        stream.expect_eof()
+
+    def test_expect_failure_raises_parse_error(self):
+        stream = self.make("x")
+        with pytest.raises(ParseError):
+            stream.expect_keyword("FIND")
+
+    def test_peek_does_not_consume(self):
+        stream = self.make("FIND x")
+        assert stream.peek(1).text == "x"
+        assert stream.current.text == "FIND"
+
+    def test_trailing_input_detected(self):
+        stream = self.make("x y")
+        stream.expect_ident()
+        with pytest.raises(ParseError):
+            stream.expect_eof()
+
+    def test_keywords_usable_as_identifiers(self):
+        stream = self.make("FIND")
+        token = stream.expect_ident()
+        assert token.text == "FIND"
+
+    def test_advance_at_eof_is_stable(self):
+        stream = self.make("")
+        assert stream.advance().type is TokenType.EOF
+        assert stream.advance().type is TokenType.EOF

@@ -1,0 +1,102 @@
+"""FIG-5.1: the University functional schema transformed to network form.
+
+The test pins the complete record/set inventory of the transformed
+University database against the listing fragments of Figure 5.1 —
+set names, owners, members, insertion/retention/selection modes, the
+``link_1`` record of the teaching/taught_by pair, and the DUPLICATES
+clause from the uniqueness constraint of Figure 5.3.
+"""
+
+import pytest
+
+from repro.mapping import transform_schema
+from repro.network import InsertionMode, RetentionMode, SelectionMode
+from repro.university import university_schema
+
+
+@pytest.fixture(scope="module")
+def transformation():
+    return transform_schema(university_schema())
+
+
+class TestRecordInventory:
+    def test_every_type_became_a_record(self, transformation):
+        assert set(transformation.schema.records) == {
+            "person",
+            "department",
+            "course",
+            "employee",
+            "student",
+            "faculty",
+            "support_staff",
+            "link_1",
+        }
+
+    def test_course_attributes(self, transformation):
+        names = transformation.schema.record("course").attribute_names
+        assert names == ["course", "title", "dept", "semester", "credits"]
+
+    def test_duplicates_clause_on_course(self, transformation):
+        record = transformation.schema.record("course")
+        assert not record.attribute("title").duplicates_allowed
+        assert not record.attribute("semester").duplicates_allowed
+        assert "DUPLICATES ARE NOT ALLOWED FOR title, semester;" in record.render()
+
+    def test_phones_no_duplicates(self, transformation):
+        assert not transformation.schema.record("employee").attribute("phones").duplicates_allowed
+
+
+# The Figure 5.1 set listings: (name, owner, member, insertion, retention).
+FIGURE_5_1_SETS = [
+    ("supervisor", "employee", "support_staff", InsertionMode.MANUAL, RetentionMode.OPTIONAL),
+    ("employee_support_staff", "employee", "support_staff", InsertionMode.AUTOMATIC, RetentionMode.FIXED),
+    ("teaching", "faculty", "link_1", InsertionMode.MANUAL, RetentionMode.OPTIONAL),
+    ("taught_by", "course", "link_1", InsertionMode.MANUAL, RetentionMode.OPTIONAL),
+    ("dept", "department", "faculty", InsertionMode.MANUAL, RetentionMode.OPTIONAL),
+    ("employee_faculty", "employee", "faculty", InsertionMode.AUTOMATIC, RetentionMode.FIXED),
+    ("advisor", "faculty", "student", InsertionMode.MANUAL, RetentionMode.OPTIONAL),
+    ("person_student", "person", "student", InsertionMode.AUTOMATIC, RetentionMode.FIXED),
+    ("person_employee", "person", "employee", InsertionMode.AUTOMATIC, RetentionMode.FIXED),
+    ("enrollment", "student", "course", InsertionMode.MANUAL, RetentionMode.OPTIONAL),
+]
+
+
+class TestSetInventory:
+    @pytest.mark.parametrize(
+        "name,owner,member,insertion,retention",
+        FIGURE_5_1_SETS,
+        ids=[row[0] for row in FIGURE_5_1_SETS],
+    )
+    def test_figure_5_1_set(self, transformation, name, owner, member, insertion, retention):
+        set_def = transformation.schema.set_type(name)
+        assert set_def.owner_name == owner
+        assert set_def.member_name == member
+        assert set_def.insertion is insertion
+        assert set_def.retention is retention
+        assert set_def.select.mode is SelectionMode.BY_APPLICATION
+
+    def test_system_sets(self, transformation):
+        for entity in ("person", "department", "course"):
+            set_def = transformation.schema.set_type(f"system_{entity}")
+            assert set_def.system_owned
+            assert set_def.insertion is InsertionMode.AUTOMATIC
+            assert set_def.retention is RetentionMode.FIXED
+
+    def test_total_set_count(self, transformation):
+        # 3 system + 4 ISA + 3 single-valued + 1 one-to-many + 2 link sides.
+        assert transformation.schema.num_sets == 13
+
+
+class TestRenderedSchema:
+    def test_renders_figure_5_1_listing(self, transformation):
+        text = transformation.schema.render()
+        assert "SET NAME IS supervisor;" in text
+        assert "OWNER IS employee;" in text
+        assert "SET SELECTION IS BY APPLICATION;" in text
+        assert "RECORD NAME IS link_1;" in text
+
+    def test_rendered_schema_reparses(self, transformation):
+        from repro.network import parse_network_schema
+
+        rendered = transformation.schema.render()
+        assert parse_network_schema(rendered).render() == rendered

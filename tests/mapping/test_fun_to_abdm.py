@@ -1,0 +1,126 @@
+"""FIG-3.3: the functional-to-ABDM mapping (AB(functional) layout)."""
+
+import pytest
+
+from repro.abdm import FILE_ATTRIBUTE
+from repro.errors import SchemaError
+from repro.mapping import ABFunctionalMapping
+from repro.university import university_schema
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return ABFunctionalMapping(university_schema())
+
+
+class TestLayout:
+    def test_one_file_per_type(self, mapping):
+        assert mapping.file_names() == [
+            "person",
+            "department",
+            "course",
+            "employee",
+            "student",
+            "faculty",
+            "support_staff",
+        ]
+
+    def test_layout_attribute_order(self, mapping):
+        layout = mapping.layout("course")
+        assert layout.attributes[:2] == [FILE_ATTRIBUTE, "course"]
+        assert layout.attributes[2:] == ["title", "dept", "semester", "credits", "taught_by"]
+
+    def test_multivalued_functions_flagged(self, mapping):
+        assert mapping.layout("faculty").multivalued == ["teaching"]
+        assert mapping.layout("employee").multivalued == ["phones"]
+
+    def test_dbkey_attribute(self, mapping):
+        assert mapping.dbkey_attribute("student") == "student"
+
+    def test_inherited_files(self, mapping):
+        assert mapping.inherited_files("faculty") == ["employee", "person"]
+
+
+class TestBuildRecords:
+    def test_first_two_keywords(self, mapping):
+        (record,) = mapping.build_records("person", "person$1", {"name": "Ann", "age": 30})
+        assert record.pairs()[0] == (FILE_ATTRIBUTE, "person")
+        assert record.pairs()[1] == ("person", "person$1")
+
+    def test_missing_functions_default_null(self, mapping):
+        (record,) = mapping.build_records("person", "person$1", {"name": "Ann"})
+        assert record.get("age") is None
+
+    def test_unknown_function_rejected(self, mapping):
+        with pytest.raises(SchemaError):
+            mapping.build_records("person", "person$1", {"ghost": 1})
+
+    def test_list_for_single_valued_rejected(self, mapping):
+        with pytest.raises(SchemaError):
+            mapping.build_records("person", "person$1", {"name": ["a", "b"]})
+
+    def test_multivalued_multiplies_records(self, mapping):
+        records = mapping.build_records(
+            "faculty",
+            "person$1",
+            {"rank": "professor", "teaching": ["course$1", "course$2", "course$3"]},
+        )
+        assert len(records) == 3
+        assert {r.get("teaching") for r in records} == {"course$1", "course$2", "course$3"}
+        assert all(r.get("rank") == "professor" for r in records)
+
+    def test_empty_multivalued_yields_one_null_record(self, mapping):
+        records = mapping.build_records("faculty", "person$1", {"teaching": []})
+        assert len(records) == 1
+        assert records[0].get("teaching") is None
+
+    def test_two_multivalued_functions_cross_product(self):
+        from repro.functional import parse_schema
+
+        schema = parse_schema(
+            "DATABASE d;\nTYPE a IS ENTITY p : SET OF INTEGER; q : SET OF INTEGER; END ENTITY;"
+        )
+        mapping = ABFunctionalMapping(schema)
+        records = mapping.build_records("a", "a$1", {"p": [1, 2], "q": [10, 20, 30]})
+        assert len(records) == 6
+        assert {(r.get("p"), r.get("q")) for r in records} == {
+            (p, q) for p in (1, 2) for q in (10, 20, 30)
+        }
+
+    def test_scalar_given_as_single_multivalue(self, mapping):
+        records = mapping.build_records("employee", "person$1", {"phones": 5551234})
+        assert len(records) == 1
+        assert records[0].get("phones") == 5551234
+
+    def test_subtype_key_pairs_with_supertype(self, mapping):
+        # A student's second keyword carries the person's key (III.C.1 rule 3).
+        (record,) = mapping.build_records("student", "person$7", {"major": "cs"})
+        assert record.pairs()[1] == ("student", "person$7")
+
+
+class TestCollapse:
+    def test_roundtrip_scalars(self, mapping):
+        records = mapping.build_records(
+            "course",
+            "course$1",
+            {"title": "DB", "dept": "cs", "semester": "fall", "credits": 4},
+        )
+        values = mapping.collapse("course", records)
+        assert values["title"] == "DB"
+        assert values["course"] == "course$1"
+
+    def test_collapse_gathers_multivalues(self, mapping):
+        records = mapping.build_records(
+            "faculty", "person$1", {"teaching": ["c$1", "c$2"]}
+        )
+        values = mapping.collapse("faculty", records)
+        assert values["teaching"] == ["c$1", "c$2"]
+
+    def test_collapse_empty(self, mapping):
+        assert mapping.collapse("faculty", []) == {}
+
+    def test_group_by_dbkey(self, mapping):
+        records = mapping.build_records("faculty", "person$1", {"teaching": ["c$1", "c$2"]})
+        records += mapping.build_records("faculty", "person$2", {"teaching": ["c$1"]})
+        groups = mapping.group_by_dbkey("faculty", records)
+        assert {k: len(v) for k, v in groups.items()} == {"person$1": 2, "person$2": 1}

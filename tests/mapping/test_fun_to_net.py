@@ -1,0 +1,232 @@
+"""Chapter V transformation algorithms, construct by construct."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.functional import parse_schema
+from repro.mapping import Carrier, SetKind, transform_schema
+from repro.network import AttributeType, InsertionMode, RetentionMode, SelectionMode
+
+
+def transform(daplex):
+    return transform_schema(parse_schema(daplex))
+
+
+class TestEntityTypes:
+    """V.A: entity type -> record type + SYSTEM-owned set."""
+
+    def test_record_and_system_set(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY x : INTEGER; END ENTITY;")
+        assert "a" in t.schema.records
+        system_set = t.schema.set_type("system_a")
+        assert system_set.owner_name == "SYSTEM"
+        assert system_set.member_name == "a"
+        assert system_set.insertion is InsertionMode.AUTOMATIC
+        assert system_set.retention is RetentionMode.FIXED
+
+    def test_dbkey_attribute_first(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY x : INTEGER; END ENTITY;")
+        assert t.schema.record("a").attributes[0].name == "a"
+        assert t.dbkey_attribute("a") == "a"
+
+    def test_scalar_function_becomes_attribute(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY x : STRING(7); END ENTITY;")
+        attribute = t.schema.record("a").attribute("x")
+        assert attribute.type is AttributeType.CHARACTER
+        assert attribute.length == 7
+        assert attribute.duplicates_allowed
+
+    def test_scalar_multivalued_clears_duplicates_flag(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY p : SET OF INTEGER; END ENTITY;")
+        assert not t.schema.record("a").attribute("p").duplicates_allowed
+
+
+class TestSubtypes:
+    """V.B: subtype -> record type + <supertype>_<subtype> set."""
+
+    DAPLEX = (
+        "DATABASE d;\n"
+        "TYPE a IS ENTITY x : INTEGER; END ENTITY;\n"
+        "TYPE b IS a ENTITY y : INTEGER; END ENTITY;"
+    )
+
+    def test_isa_set(self):
+        t = transform(self.DAPLEX)
+        isa = t.schema.set_type("a_b")
+        assert isa.owner_name == "a" and isa.member_name == "b"
+        assert isa.insertion is InsertionMode.AUTOMATIC
+        assert isa.retention is RetentionMode.FIXED
+        assert t.origin("a_b").kind is SetKind.ISA
+        assert t.origin("a_b").carrier is Carrier.IMPLICIT
+
+    def test_subtype_has_no_system_set(self):
+        t = transform(self.DAPLEX)
+        assert not t.schema.has_set("system_b")
+
+    def test_multiple_supertypes_multiple_sets(self):
+        t = transform(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY x : INTEGER; END ENTITY;\n"
+            "TYPE b IS ENTITY y : INTEGER; END ENTITY;\n"
+            "TYPE c IS a, b ENTITY z : INTEGER; END ENTITY;"
+        )
+        assert t.schema.has_set("a_c") and t.schema.has_set("b_c")
+
+
+class TestNonEntityMappings:
+    """V.C: the four non-entity mappings."""
+
+    def test_string_to_character(self):
+        t = transform("DATABASE d;\nTYPE s IS STRING(9);\nTYPE a IS ENTITY f : s; END ENTITY;")
+        attribute = t.schema.record("a").attribute("f")
+        assert attribute.type is AttributeType.CHARACTER and attribute.length == 9
+
+    def test_float_to_float(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY f : FLOAT; END ENTITY;")
+        assert t.schema.record("a").attribute("f").type is AttributeType.FLOAT
+
+    def test_integer_to_integer(self):
+        t = transform("DATABASE d;\nTYPE r IS INTEGER RANGE 1..5;\nTYPE a IS ENTITY f : r; END ENTITY;")
+        assert t.schema.record("a").attribute("f").type is AttributeType.INTEGER
+
+    def test_enumeration_to_character_of_longest_literal(self):
+        t = transform("DATABASE d;\nTYPE e IS (ab, cdef, g);\nTYPE a IS ENTITY f : e; END ENTITY;")
+        attribute = t.schema.record("a").attribute("f")
+        assert attribute.type is AttributeType.CHARACTER
+        assert attribute.length == 4
+
+    def test_boolean_to_character(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY f : BOOLEAN; END ENTITY;")
+        attribute = t.schema.record("a").attribute("f")
+        assert attribute.type is AttributeType.CHARACTER and attribute.length == 5
+
+
+class TestSingleValuedFunctions:
+    """V.A: single-valued entity function -> set named after the function,
+    owner = range record type, member = domain record type."""
+
+    DAPLEX = (
+        "DATABASE d;\n"
+        "TYPE r IS ENTITY x : INTEGER; END ENTITY;\n"
+        "TYPE m IS ENTITY f : r; END ENTITY;"
+    )
+
+    def test_set_shape(self):
+        t = transform(self.DAPLEX)
+        set_def = t.schema.set_type("f")
+        assert set_def.owner_name == "r"
+        assert set_def.member_name == "m"
+        assert set_def.insertion is InsertionMode.MANUAL
+        assert set_def.retention is RetentionMode.OPTIONAL
+        assert set_def.select.mode is SelectionMode.BY_APPLICATION
+
+    def test_origin(self):
+        t = transform(self.DAPLEX)
+        origin = t.origin("f")
+        assert origin.kind is SetKind.SINGLE_VALUED
+        assert origin.carrier is Carrier.MEMBER
+        assert (origin.domain_type, origin.range_type) == ("m", "r")
+
+    def test_no_attribute_for_entity_function(self):
+        t = transform(self.DAPLEX)
+        assert t.schema.record("m").attribute("f") is None
+
+
+class TestMultiValuedFunctions:
+    def test_one_to_many_without_inverse(self):
+        t = transform(
+            "DATABASE d;\n"
+            "TYPE r IS ENTITY x : INTEGER; END ENTITY;\n"
+            "TYPE o IS ENTITY f : SET OF r; END ENTITY;"
+        )
+        set_def = t.schema.set_type("f")
+        assert set_def.owner_name == "o" and set_def.member_name == "r"
+        assert t.origin("f").kind is SetKind.ONE_TO_MANY
+        assert t.origin("f").carrier is Carrier.OWNER
+        assert not t.links
+
+    def test_many_to_many_creates_link(self):
+        t = transform(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY f : SET OF b; END ENTITY;\n"
+            "TYPE b IS ENTITY g : SET OF a; END ENTITY;"
+        )
+        assert "link_1" in t.schema.records
+        assert t.schema.set_type("f").member_name == "link_1"
+        assert t.schema.set_type("g").member_name == "link_1"
+        assert t.schema.set_type("f").owner_name == "a"
+        assert t.schema.set_type("g").owner_name == "b"
+        link = t.links["link_1"]
+        assert {link.first_type, link.second_type} == {"a", "b"}
+        assert t.origin("f").partner_set == "g"
+        assert t.origin("g").partner_set == "f"
+        assert t.is_link_record("link_1")
+
+    def test_self_referential_function_is_one_to_many(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY f : SET OF a; END ENTITY;")
+        set_def = t.schema.set_type("f")
+        assert set_def.owner_name == set_def.member_name == "a"
+        assert t.origin("f").kind is SetKind.ONE_TO_MANY
+
+    def test_self_referential_pair_links(self):
+        t = transform(
+            "DATABASE d;\nTYPE a IS ENTITY f : SET OF a; g : SET OF a; END ENTITY;"
+        )
+        assert "link_1" in t.schema.records
+        assert t.origin("f").partner_set == "g"
+
+    def test_two_links_numbered(self):
+        t = transform(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY f : SET OF b; h : SET OF c; END ENTITY;\n"
+            "TYPE b IS ENTITY g : SET OF a; END ENTITY;\n"
+            "TYPE c IS ENTITY i : SET OF a; END ENTITY;"
+        )
+        assert "link_1" in t.schema.records and "link_2" in t.schema.records
+
+
+class TestUniqueness:
+    """V.D: UNIQUE -> DUPLICATES ARE NOT ALLOWED."""
+
+    def test_duplicates_flag_cleared(self):
+        t = transform(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY x : INTEGER; y : INTEGER; END ENTITY;\n"
+            "UNIQUE x, y WITHIN a;"
+        )
+        record = t.schema.record("a")
+        assert not record.attribute("x").duplicates_allowed
+        assert not record.attribute("y").duplicates_allowed
+
+    def test_rendered_clause(self):
+        t = transform(
+            "DATABASE d;\nTYPE a IS ENTITY x : INTEGER; END ENTITY;\nUNIQUE x WITHIN a;"
+        )
+        assert "DUPLICATES ARE NOT ALLOWED FOR x;" in t.schema.record("a").render()
+
+    def test_unique_on_entity_function_rejected(self):
+        with pytest.raises(TransformError):
+            transform(
+                "DATABASE d;\n"
+                "TYPE r IS ENTITY x : INTEGER; END ENTITY;\n"
+                "TYPE a IS ENTITY f : r; END ENTITY;\n"
+                "UNIQUE f WITHIN a;"
+            )
+
+
+class TestNameCollisions:
+    def test_function_set_name_collision_rejected(self):
+        # Two single-valued functions with the same name on different types
+        # would both want a set of that name.
+        with pytest.raises(TransformError):
+            transform(
+                "DATABASE d;\n"
+                "TYPE r IS ENTITY x : INTEGER; END ENTITY;\n"
+                "TYPE a IS ENTITY f : r; END ENTITY;\n"
+                "TYPE b IS ENTITY f : r; END ENTITY;"
+            )
+
+    def test_origin_lookup_failure(self):
+        t = transform("DATABASE d;\nTYPE a IS ENTITY x : INTEGER; END ENTITY;")
+        with pytest.raises(TransformError):
+            t.origin("ghost")

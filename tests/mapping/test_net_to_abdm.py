@@ -1,0 +1,95 @@
+"""The network-to-ABDM mapping (AB(network) layout)."""
+
+import pytest
+
+from repro.abdm import FILE_ATTRIBUTE
+from repro.errors import SchemaError
+from repro.mapping import ABNetworkMapping
+from repro.network import parse_network_schema
+
+SCHEMA = """
+SCHEMA NAME IS demo;
+RECORD NAME IS department;
+    dname TYPE IS CHARACTER 20;
+RECORD NAME IS course;
+    title TYPE IS CHARACTER 40;
+    credits TYPE IS INTEGER;
+SET NAME IS offers;
+    OWNER IS department;
+    MEMBER IS course;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+    SET SELECTION IS BY APPLICATION;
+SET NAME IS reviewed_by;
+    OWNER IS department;
+    MEMBER IS course;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+    SET SELECTION IS BY APPLICATION;
+"""
+
+
+@pytest.fixture()
+def mapping():
+    return ABNetworkMapping(parse_network_schema(SCHEMA))
+
+
+class TestLayout:
+    def test_files_are_record_types(self, mapping):
+        assert mapping.file_names() == ["department", "course"]
+
+    def test_member_layout_includes_set_keywords(self, mapping):
+        layout = mapping.layout("course")
+        assert layout.attributes == [FILE_ATTRIBUTE, "course", "title", "credits"]
+        assert layout.member_sets == ["offers", "reviewed_by"]
+
+    def test_owner_layout_has_no_set_keywords(self, mapping):
+        assert mapping.layout("department").member_sets == []
+
+
+class TestKeys:
+    def test_mint_sequence_per_type(self, mapping):
+        assert mapping.mint_key("course") == "course$1"
+        assert mapping.mint_key("course") == "course$2"
+        assert mapping.mint_key("department") == "department$1"
+
+
+class TestBuildRecord:
+    def test_record_shape(self, mapping):
+        record = mapping.build_record(
+            "course",
+            "course$1",
+            {"title": "DB", "credits": 4},
+            {"offers": "department$1"},
+        )
+        assert record.pairs() == [
+            (FILE_ATTRIBUTE, "course"),
+            ("course", "course$1"),
+            ("title", "DB"),
+            ("credits", 4),
+            ("offers", "department$1"),
+            ("reviewed_by", None),
+        ]
+
+    def test_missing_values_null(self, mapping):
+        record = mapping.build_record("course", "course$1", {})
+        assert record.get("title") is None
+
+    def test_unknown_item_rejected(self, mapping):
+        with pytest.raises(SchemaError):
+            mapping.build_record("course", "course$1", {"ghost": 1})
+
+    def test_unknown_set_rejected(self, mapping):
+        with pytest.raises(SchemaError):
+            mapping.build_record("course", "course$1", {}, {"ghost": "x"})
+
+    def test_non_member_set_rejected(self, mapping):
+        with pytest.raises(SchemaError):
+            mapping.build_record("department", "department$1", {}, {"offers": "x"})
+
+
+class TestExtract:
+    def test_extract_values(self, mapping):
+        record = mapping.build_record("course", "course$1", {"title": "DB", "credits": 4})
+        values = mapping.extract_values("course", record)
+        assert values == {"title": "DB", "credits": 4}

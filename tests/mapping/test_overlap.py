@@ -1,0 +1,60 @@
+"""The Overlap Table (V.E / VI.G)."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.functional import parse_schema
+from repro.mapping import OverlapTable
+from repro.university import university_schema
+
+
+@pytest.fixture(scope="module")
+def table():
+    return OverlapTable(university_schema())
+
+
+class TestAllowed:
+    def test_declared_pairs(self, table):
+        assert table.allowed("student", "faculty")
+        assert table.allowed("faculty", "student")
+        assert table.allowed("student", "support_staff")
+
+    def test_undeclared_pair_disallowed(self, table):
+        assert not table.allowed("faculty", "support_staff")
+
+    def test_same_type_allowed(self, table):
+        assert table.allowed("student", "student")
+
+    def test_isa_chain_always_allowed(self, table):
+        assert table.allowed("faculty", "employee")
+        assert table.allowed("employee", "faculty")
+
+    def test_pairs_listing(self, table):
+        assert ("faculty", "student") in table.pairs()
+
+
+class TestCheckStore:
+    def test_clean_store_passes(self, table):
+        table.check_store("student", [])
+        table.check_store("student", ["faculty", "support_staff"])
+
+    def test_violation_raises(self, table):
+        with pytest.raises(ConstraintViolation):
+            table.check_store("support_staff", ["faculty"])
+
+    def test_message_names_the_pair(self, table):
+        with pytest.raises(ConstraintViolation, match="faculty"):
+            table.check_store("faculty", ["support_staff"])
+
+
+class TestSelfOverlapDeclaration:
+    def test_left_equal_right_ignored(self):
+        schema = parse_schema(
+            "DATABASE d;\n"
+            "TYPE a IS ENTITY x : INTEGER; END ENTITY;\n"
+            "TYPE b IS a ENTITY y : INTEGER; END ENTITY;\n"
+            "OVERLAP b WITH b;"
+        )
+        table = OverlapTable(schema)
+        assert table.pairs() == []
+        assert table.allowed("b", "b")  # same type remains trivially allowed

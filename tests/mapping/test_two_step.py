@@ -1,0 +1,73 @@
+"""CLAIM-III.B setup: the two-step baseline produces the same schema."""
+
+import pytest
+
+from repro.functional import parse_schema
+from repro.mapping import (
+    lower_to_intermediate,
+    transform_schema,
+    transform_schema_two_step,
+)
+from repro.university import university_schema
+
+
+class TestIntermediateForm:
+    def test_one_entry_per_type(self):
+        form = lower_to_intermediate(university_schema())
+        assert len(form.files) == 7
+
+    def test_entries_classify_items(self):
+        form = lower_to_intermediate(university_schema())
+        by_name = {f.type_name: f for f in form.files}
+        faculty = by_name["faculty"]
+        assert ("teaching", "course", True) in faculty.entity_items
+        assert any(name == "rank" for name, _, _ in faculty.scalar_items)
+        assert faculty.is_subtype and faculty.supertypes == ["employee"]
+
+    def test_unique_items_recorded(self):
+        form = lower_to_intermediate(university_schema())
+        course = next(f for f in form.files if f.type_name == "course")
+        assert course.unique_items == ["title", "semester"]
+
+
+class TestEquivalence:
+    def test_university_schemas_identical(self):
+        direct = transform_schema(university_schema())
+        two_step = transform_schema_two_step(university_schema())
+        assert two_step.schema.render() == direct.schema.render()
+
+    def test_set_origins_agree(self):
+        direct = transform_schema(university_schema())
+        two_step = transform_schema_two_step(university_schema())
+        assert set(direct.set_origins) == set(two_step.set_origins)
+        for name, origin in direct.set_origins.items():
+            other = two_step.set_origins[name]
+            assert (origin.kind, origin.carrier) == (other.kind, other.carrier)
+            assert origin.partner_set == other.partner_set
+
+    def test_links_agree(self):
+        direct = transform_schema(university_schema())
+        two_step = transform_schema_two_step(university_schema())
+        assert set(direct.links) == set(two_step.links)
+
+    @pytest.mark.parametrize(
+        "daplex",
+        [
+            "DATABASE d;\nTYPE a IS ENTITY x : INTEGER; END ENTITY;",
+            (
+                "DATABASE d;\n"
+                "TYPE a IS ENTITY f : SET OF b; END ENTITY;\n"
+                "TYPE b IS ENTITY g : SET OF a; END ENTITY;"
+            ),
+            (
+                "DATABASE d;\n"
+                "TYPE a IS ENTITY x : INTEGER; END ENTITY;\n"
+                "TYPE b IS a ENTITY y : SET OF INTEGER; END ENTITY;\n"
+                "UNIQUE x WITHIN a;"
+            ),
+        ],
+    )
+    def test_small_schemas_identical(self, daplex):
+        direct = transform_schema(parse_schema(daplex))
+        two_step = transform_schema_two_step(parse_schema(daplex))
+        assert two_step.schema.render() == direct.schema.render()

@@ -1,0 +1,117 @@
+"""The Kernel Database System facade: catalog and aggregate handling."""
+
+import pytest
+
+from repro.abdl import parse_request
+from repro.errors import ExecutionError
+from repro.mbds import KernelDatabaseSystem
+
+
+@pytest.fixture()
+def kds():
+    kds = KernelDatabaseSystem(backend_count=4)
+    for i in range(12):
+        kds.execute(
+            parse_request(
+                f"INSERT (<FILE, course>, <course, course${i}>, <credits, {i % 4}>)"
+            )
+        )
+    return kds
+
+
+class TestCatalog:
+    def test_define_and_lookup(self, kds):
+        kds.define_database("uni", "functional", ["person", "course"])
+        assert kds.database("uni").model == "functional"
+        assert len(kds.databases()) == 1
+
+    def test_duplicate_definition_rejected(self, kds):
+        kds.define_database("uni", "functional", [])
+        with pytest.raises(ExecutionError):
+            kds.define_database("uni", "network", [])
+
+    def test_unknown_database(self, kds):
+        with pytest.raises(ExecutionError):
+            kds.database("ghost")
+
+    def test_drop_database_removes_files(self, kds):
+        kds.define_database("uni", "functional", ["course"])
+        kds.drop_database("uni")
+        assert kds.record_count() == 0
+        with pytest.raises(ExecutionError):
+            kds.database("uni")
+
+
+class TestAggregateMerging:
+    def test_avg_is_global_not_avg_of_avgs(self, kds):
+        # credits are 0,1,2,3 repeating: the true mean is 1.5.  Averaging
+        # per-backend averages would only coincide by luck; the KDS must
+        # pull raw records to the controller.
+        trace = kds.execute(parse_request("RETRIEVE (FILE = course) (AVG(credits))"))
+        assert trace.result.records[0].get("AVG(credits)") == pytest.approx(1.5)
+
+    def test_count_star(self, kds):
+        trace = kds.execute(parse_request("RETRIEVE (FILE = course) (COUNT(*))"))
+        assert trace.result.records[0].get("COUNT(*)") == 12
+
+    def test_grouped_aggregate(self, kds):
+        trace = kds.execute(
+            parse_request("RETRIEVE (FILE = course) (COUNT(*)) BY credits")
+        )
+        rows = {r.get("credits"): r.get("COUNT(*)") for r in trace.result.records}
+        assert rows == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_aggregate_charges_extra_controller_time(self, kds):
+        plain = kds.execute(parse_request("RETRIEVE (FILE = course) (*)"))
+        agg = kds.execute(parse_request("RETRIEVE (FILE = course) (COUNT(*))"))
+        assert agg.response.controller_ms > plain.response.controller_ms
+
+
+class TestClock:
+    def test_clock_accumulates(self, kds):
+        assert kds.clock.total_ms > 0
+        assert kds.requests_executed == 12
+
+    def test_reset(self, kds):
+        kds.reset_clock()
+        assert kds.clock.total_ms == 0
+        assert kds.requests_executed == 0
+
+    def test_retrieve_records_convenience(self, kds):
+        from repro.abdl.ast import RetrieveRequest
+        from repro.abdm import Query
+
+        records = kds.retrieve_records(RetrieveRequest(Query.single("FILE", "=", "course")))
+        assert len(records) == 12
+
+
+class TestRetrieveCommonMerging:
+    def test_join_partners_on_different_backends(self):
+        """RETRIEVE-COMMON must join at the controller: round-robin
+        placement puts matching records on different backends."""
+        from repro.abdl import parse_request
+
+        kds = KernelDatabaseSystem(backend_count=4)
+        for i in range(8):
+            kds.execute(parse_request(f"INSERT (<FILE, a>, <a, a${i}>, <k, {i}>)"))
+        for i in range(8):
+            kds.execute(parse_request(f"INSERT (<FILE, b>, <b, b${i}>, <k, {7 - i}>)"))
+        trace = kds.execute(
+            parse_request("RETRIEVE-COMMON (FILE = a) COMMON (k) (FILE = b) (*)")
+        )
+        # Every a-record has exactly one b-partner regardless of placement.
+        assert trace.result.count == 8
+
+    def test_join_charges_both_retrievals(self):
+        from repro.abdl import parse_request
+
+        kds = KernelDatabaseSystem(backend_count=2)
+        for i in range(10):
+            kds.execute(parse_request(f"INSERT (<FILE, a>, <a, a${i}>, <k, {i}>)"))
+            kds.execute(parse_request(f"INSERT (<FILE, b>, <b, b${i}>, <k, {i}>)"))
+        kds.reset_clock()
+        trace = kds.execute(
+            parse_request("RETRIEVE-COMMON (FILE = a) COMMON (k) (FILE = b) (*)")
+        )
+        # Two broadcasts plus controller join time.
+        assert trace.response.controller_ms > 2 * kds.controller.timing.broadcast_ms

@@ -1,0 +1,69 @@
+"""MBDS performance claims (thesis I.B.2), as correctness tests.
+
+The benchmarks regenerate the full curves; these tests pin the *shape*:
+
+1. response time decreases nearly reciprocally in the number of backends
+   at fixed database size, and
+2. response time is invariant when backends grow proportionally with the
+   database.
+"""
+
+import pytest
+
+from repro.abdl import parse_request
+from repro.mbds import KernelDatabaseSystem
+
+
+def populate(kds, records):
+    for i in range(records):
+        kds.execute(
+            parse_request(f"INSERT (<FILE, data>, <data, d${i}>, <x, {i}>)")
+        )
+    kds.reset_clock()
+
+
+def query_time(kds):
+    trace = kds.execute(parse_request("RETRIEVE ((FILE = data) AND (x < 0)) (*)"))
+    return trace.response.total_ms
+
+
+class TestReciprocalSpeedup:
+    def test_more_backends_cut_response_time(self):
+        times = {}
+        for backends in (1, 2, 4, 8):
+            kds = KernelDatabaseSystem(backend_count=backends)
+            populate(kds, 800)
+            times[backends] = query_time(kds)
+        assert times[2] < times[1]
+        assert times[4] < times[2]
+        assert times[8] < times[4]
+
+    def test_speedup_is_nearly_reciprocal(self):
+        kds1 = KernelDatabaseSystem(backend_count=1)
+        populate(kds1, 1600)
+        kds8 = KernelDatabaseSystem(backend_count=8)
+        populate(kds8, 1600)
+        speedup = query_time(kds1) / query_time(kds8)
+        # Fixed per-request costs (access, broadcast) keep it below 8; the
+        # scan term dominates at this size so it lands well above half.
+        assert 4.0 < speedup <= 8.0
+
+
+class TestCapacityInvariance:
+    def test_response_time_invariant_under_proportional_growth(self):
+        times = []
+        for backends in (1, 2, 4, 8):
+            kds = KernelDatabaseSystem(backend_count=backends)
+            populate(kds, 400 * backends)
+            times.append(query_time(kds))
+        spread = max(times) / min(times)
+        # The per-backend slice is constant, so response times stay within
+        # a few percent of each other (merge costs are zero for an empty
+        # answer; only fixed terms vary).
+        assert spread < 1.05
+
+    def test_per_backend_slice_is_constant(self):
+        for backends in (2, 4):
+            kds = KernelDatabaseSystem(backend_count=backends)
+            populate(kds, 400 * backends)
+            assert kds.controller.distribution() == [400] * backends

@@ -1,0 +1,66 @@
+"""The MBDS analytic timing model."""
+
+import pytest
+
+from repro.mbds import ResponseTime, TimingModel
+
+
+@pytest.fixture()
+def timing():
+    return TimingModel()
+
+
+class TestPages:
+    def test_zero_records(self, timing):
+        assert timing.pages(0) == 0
+
+    def test_partial_page_rounds_up(self, timing):
+        assert timing.pages(1) == 1
+        assert timing.pages(timing.records_per_page + 1) == 2
+
+    def test_exact_pages(self, timing):
+        assert timing.pages(timing.records_per_page * 3) == 3
+
+
+class TestBackendCosts:
+    def test_scan_includes_access(self, timing):
+        assert timing.backend_scan_ms(0, 0) == timing.access_ms
+
+    def test_scan_scales_with_pages(self, timing):
+        one = timing.backend_scan_ms(timing.records_per_page, 0)
+        three = timing.backend_scan_ms(timing.records_per_page * 3, 0)
+        assert three - one == pytest.approx(2 * timing.page_scan_ms)
+
+    def test_selection_cost(self, timing):
+        base = timing.backend_scan_ms(100, 0)
+        selected = timing.backend_scan_ms(100, 10)
+        assert selected - base == pytest.approx(10 * timing.select_record_ms)
+
+    def test_insert_cost(self, timing):
+        assert timing.backend_insert_ms() == timing.access_ms + timing.insert_ms
+
+
+class TestControllerCosts:
+    def test_broadcast_only(self, timing):
+        assert timing.controller_ms(0) == timing.broadcast_ms
+
+    def test_merge_scales(self, timing):
+        assert timing.controller_ms(100) == pytest.approx(
+            timing.broadcast_ms + 100 * timing.merge_record_ms
+        )
+
+
+class TestResponseTime:
+    def test_add_accumulates(self):
+        response = ResponseTime()
+        response.add(10.0, 2.0)
+        response.add(5.0, 1.0)
+        assert response.backend_ms == 15.0
+        assert response.controller_ms == 3.0
+        assert response.total_ms == 18.0
+
+    def test_plus_operator(self):
+        a = ResponseTime(10, 8, 2)
+        b = ResponseTime(5, 4, 1)
+        combined = a + b
+        assert (combined.total_ms, combined.backend_ms, combined.controller_ms) == (15, 12, 3)

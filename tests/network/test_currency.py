@@ -1,0 +1,95 @@
+"""The Currency Indicator Table."""
+
+import pytest
+
+from repro.errors import CurrencyError
+from repro.network import CurrencyIndicatorTable
+
+
+@pytest.fixture()
+def cit():
+    return CurrencyIndicatorTable()
+
+
+class TestRunUnit:
+    def test_initially_null(self, cit):
+        assert cit.run_unit is None
+        with pytest.raises(CurrencyError):
+            cit.require_run_unit()
+
+    def test_set_and_read(self, cit):
+        cit.set_run_unit("student", "person$3")
+        pointer = cit.require_run_unit()
+        assert (pointer.record_type, pointer.dbkey) == ("student", "person$3")
+
+
+class TestRecordCurrency:
+    def test_per_type_tracking(self, cit):
+        cit.set_record("student", "person$1")
+        cit.set_record("course", "course$9")
+        assert cit.record("student").dbkey == "person$1"
+        assert cit.record("course").dbkey == "course$9"
+
+    def test_require_missing(self, cit):
+        with pytest.raises(CurrencyError):
+            cit.require_record("ghost")
+
+
+class TestSetCurrency:
+    def test_null_until_touched(self, cit):
+        assert cit.set_currency("advisor").is_null
+        with pytest.raises(CurrencyError):
+            cit.require_set("advisor")
+
+    def test_occurrence_and_current(self, cit):
+        cit.set_set_currency("advisor", "person$1", "student", "person$5")
+        currency = cit.require_set("advisor")
+        assert currency.owner_dbkey == "person$1"
+        assert currency.current.dbkey == "person$5"
+        assert cit.require_set_owner("advisor") == "person$1"
+
+    def test_occurrence_without_current(self, cit):
+        cit.set_set_currency("advisor", "person$1")
+        assert cit.require_set("advisor").current is None
+
+    def test_current_without_occurrence(self, cit):
+        cit.set_set_currency("advisor", None, "student", "person$5")
+        with pytest.raises(CurrencyError):
+            cit.require_set_owner("advisor")
+
+
+class TestForgetRecord:
+    def test_forget_clears_every_pointer(self, cit):
+        cit.set_run_unit("student", "person$5")
+        cit.set_record("student", "person$5")
+        cit.set_set_currency("advisor", "person$1", "student", "person$5")
+        cit.forget_record("person$5")
+        assert cit.run_unit is None
+        assert cit.record("student") is None
+        assert cit.set_currency("advisor").current is None
+        # The occurrence owner is a different record and survives.
+        assert cit.set_currency("advisor").owner_dbkey == "person$1"
+
+    def test_forget_owner_clears_occurrence(self, cit):
+        cit.set_set_currency("advisor", "person$1", "student", "person$5")
+        cit.forget_record("person$1")
+        assert cit.set_currency("advisor").owner_dbkey is None
+
+    def test_forget_unrelated_is_noop(self, cit):
+        cit.set_run_unit("student", "person$5")
+        cit.forget_record("person$99")
+        assert cit.run_unit is not None
+
+
+class TestSnapshotAndClear:
+    def test_snapshot_shape(self, cit):
+        cit.set_run_unit("student", "person$5")
+        cit.set_set_currency("advisor", "person$1", "student", "person$5")
+        snap = cit.snapshot()
+        assert "person$5" in snap["run_unit"]
+        assert snap["sets"]["advisor"]["owner"] == "person$1"
+
+    def test_clear(self, cit):
+        cit.set_run_unit("student", "person$5")
+        cit.clear()
+        assert cit.run_unit is None

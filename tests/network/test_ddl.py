@@ -1,0 +1,109 @@
+"""The CODASYL schema DDL parser and its round-trip with the renderer."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.network import (
+    AttributeType,
+    InsertionMode,
+    RetentionMode,
+    SelectionMode,
+    parse_network_schema,
+)
+
+SCHEMA_TEXT = """
+SCHEMA NAME IS demo;
+
+RECORD NAME IS course;
+DUPLICATES ARE NOT ALLOWED FOR title, semester;
+    title TYPE IS CHARACTER 40;
+    semester TYPE IS CHARACTER 6;
+    credits TYPE IS INTEGER;
+    fee TYPE IS FLOAT;
+
+RECORD NAME IS department;
+    dname TYPE IS CHARACTER 20;
+
+SET NAME IS offers;
+    OWNER IS department;
+    MEMBER IS course;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+    SET SELECTION IS BY APPLICATION;
+
+SET NAME IS system_department;
+    OWNER IS SYSTEM;
+    MEMBER IS department;
+    INSERTION IS AUTOMATIC;
+    RETENTION IS FIXED;
+    SET SELECTION IS BY APPLICATION;
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_network_schema(SCHEMA_TEXT)
+
+
+class TestRecords:
+    def test_record_names(self, schema):
+        assert set(schema.records) == {"course", "department"}
+
+    def test_attribute_types(self, schema):
+        course = schema.record("course")
+        assert course.attribute("title").type is AttributeType.CHARACTER
+        assert course.attribute("title").length == 40
+        assert course.attribute("credits").type is AttributeType.INTEGER
+        assert course.attribute("fee").type is AttributeType.FLOAT
+
+    def test_duplicates_clause_applied(self, schema):
+        course = schema.record("course")
+        assert not course.attribute("title").duplicates_allowed
+        assert not course.attribute("semester").duplicates_allowed
+        assert course.attribute("credits").duplicates_allowed
+
+
+class TestSets:
+    def test_set_clauses(self, schema):
+        offers = schema.set_type("offers")
+        assert offers.owner_name == "department"
+        assert offers.member_name == "course"
+        assert offers.insertion is InsertionMode.MANUAL
+        assert offers.retention is RetentionMode.OPTIONAL
+        assert offers.select.mode is SelectionMode.BY_APPLICATION
+
+    def test_system_set(self, schema):
+        assert schema.set_type("system_department").system_owned
+
+
+class TestRoundTrip:
+    def test_render_parse_fixpoint(self, schema):
+        rendered = schema.render()
+        assert parse_network_schema(rendered).render() == rendered
+
+
+class TestErrors:
+    def test_missing_schema_header(self):
+        with pytest.raises(ParseError):
+            parse_network_schema("RECORD NAME IS x;")
+
+    def test_set_missing_owner(self):
+        text = "SCHEMA NAME IS d;\nRECORD NAME IS m;\n  x TYPE IS INTEGER;\nSET NAME IS s;\n  MEMBER IS m;"
+        with pytest.raises(ParseError):
+            parse_network_schema(text)
+
+    def test_duplicates_for_unknown_item(self):
+        text = (
+            "SCHEMA NAME IS d;\nRECORD NAME IS m;\n"
+            "DUPLICATES ARE NOT ALLOWED FOR ghost;\n  x TYPE IS INTEGER;"
+        )
+        with pytest.raises(SchemaError):
+            parse_network_schema(text)
+
+    def test_dangling_set_reference(self):
+        text = (
+            "SCHEMA NAME IS d;\nRECORD NAME IS m;\n  x TYPE IS INTEGER;\n"
+            "SET NAME IS s;\n  OWNER IS ghost;\n  MEMBER IS m;"
+        )
+        with pytest.raises(SchemaError):
+            parse_network_schema(text)

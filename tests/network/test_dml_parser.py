@@ -1,0 +1,172 @@
+"""TBL-2: the CODASYL-DML statement subset parses (and renders back)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.network import dml
+
+
+class TestMove:
+    def test_string_value(self):
+        statement = dml.parse_statement("MOVE 'Advanced Database' TO title IN course")
+        assert statement == dml.MoveStatement("Advanced Database", "title", "course")
+
+    def test_numeric_values(self):
+        assert dml.parse_statement("MOVE 42 TO credits IN course").value == 42
+        assert dml.parse_statement("MOVE 3.5 TO gpa IN student").value == 3.5
+        assert dml.parse_statement("MOVE -7 TO balance IN account").value == -7
+
+    def test_null_value(self):
+        assert dml.parse_statement("MOVE NULL TO advisor IN student").value is None
+
+
+class TestFindVariants:
+    def test_find_any(self):
+        statement = dml.parse_statement("FIND ANY course USING title, semester IN course")
+        assert isinstance(statement, dml.FindAny)
+        assert statement.items == ("title", "semester")
+
+    def test_find_any_record_mismatch(self):
+        with pytest.raises(ParseError):
+            dml.parse_statement("FIND ANY course USING title IN student")
+
+    def test_find_current(self):
+        statement = dml.parse_statement("FIND CURRENT student WITHIN person_student")
+        assert isinstance(statement, dml.FindCurrent)
+
+    def test_find_duplicate(self):
+        statement = dml.parse_statement(
+            "FIND DUPLICATE WITHIN dept USING rank IN faculty"
+        )
+        assert isinstance(statement, dml.FindDuplicate)
+        assert statement.set_name == "dept"
+
+    @pytest.mark.parametrize("position", ["FIRST", "LAST", "NEXT", "PRIOR"])
+    def test_find_positional(self, position):
+        statement = dml.parse_statement(f"FIND {position} student WITHIN advisor")
+        assert isinstance(statement, dml.FindPositional)
+        assert statement.position is dml.Position[position]
+
+    def test_find_owner(self):
+        statement = dml.parse_statement("FIND OWNER WITHIN advisor")
+        assert isinstance(statement, dml.FindOwner)
+
+    def test_find_within_current(self):
+        statement = dml.parse_statement(
+            "FIND student WITHIN advisor CURRENT USING major IN student"
+        )
+        assert isinstance(statement, dml.FindWithinCurrent)
+        assert statement.items == ("major",)
+
+    def test_find_within_current_record_mismatch(self):
+        with pytest.raises(ParseError):
+            dml.parse_statement("FIND student WITHIN advisor CURRENT USING major IN person")
+
+
+class TestGetForms:
+    def test_bare_get(self):
+        statement = dml.parse_statement("GET")
+        assert statement == dml.Get()
+
+    def test_get_record(self):
+        assert dml.parse_statement("GET student").record == "student"
+
+    def test_get_items(self):
+        statement = dml.parse_statement("GET name, major IN student")
+        assert statement.items == ("name", "major")
+        assert statement.record == "student"
+
+    def test_bare_get_in_transaction(self):
+        statements = dml.parse_transaction("GET\nFIND OWNER WITHIN advisor")
+        assert isinstance(statements[0], dml.Get)
+        assert statements[0].record is None
+        assert isinstance(statements[1], dml.FindOwner)
+
+
+class TestUpdateStatements:
+    def test_store(self):
+        assert dml.parse_statement("STORE course").record == "course"
+
+    def test_connect_multiple_sets(self):
+        statement = dml.parse_statement("CONNECT support_staff TO supervisor, other")
+        assert statement.sets == ("supervisor", "other")
+
+    def test_disconnect(self):
+        statement = dml.parse_statement("DISCONNECT support_staff FROM supervisor")
+        assert statement.sets == ("supervisor",)
+
+    def test_modify_whole_record(self):
+        statement = dml.parse_statement("MODIFY course")
+        assert statement.items == ()
+
+    def test_modify_items(self):
+        statement = dml.parse_statement("MODIFY title, credits IN course")
+        assert statement.items == ("title", "credits")
+
+    def test_erase(self):
+        assert not dml.parse_statement("ERASE course").all
+
+    def test_erase_all(self):
+        assert dml.parse_statement("ERASE ALL course").all
+
+
+class TestTransactions:
+    def test_thesis_sequence(self):
+        statements = dml.parse_transaction(
+            "MOVE 'Advanced Database' TO title IN course\n"
+            "FIND ANY course USING title IN course\n"
+            "GET course"
+        )
+        assert [type(s).__name__ for s in statements] == [
+            "MoveStatement",
+            "FindAny",
+            "Get",
+        ]
+
+    def test_semicolon_separated(self):
+        statements = dml.parse_transaction("GET; STORE course; ERASE course")
+        assert len(statements) == 3
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "MOVE 'X' TO title IN course",
+            "FIND ANY course USING title IN course",
+            "FIND CURRENT student WITHIN person_student",
+            "FIND DUPLICATE WITHIN dept USING rank IN faculty",
+            "FIND FIRST student WITHIN advisor",
+            "FIND OWNER WITHIN advisor",
+            "FIND student WITHIN advisor CURRENT USING major IN student",
+            "GET",
+            "GET student",
+            "GET name, major IN student",
+            "STORE course",
+            "CONNECT support_staff TO supervisor",
+            "DISCONNECT support_staff FROM supervisor",
+            "MODIFY course",
+            "MODIFY title, credits IN course",
+            "ERASE course",
+            "ERASE ALL course",
+        ],
+    )
+    def test_render_roundtrip(self, text):
+        statement = dml.parse_statement(text)
+        assert dml.parse_statement(statement.render()) == statement
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FROB course",
+            "FIND course",
+            "MOVE TO title IN course",
+            "CONNECT student",
+            "STORE",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            dml.parse_statement(text)

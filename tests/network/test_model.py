@@ -1,0 +1,140 @@
+"""The network data model classes (net_dbid_node and friends)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.network import (
+    AttributeType,
+    InsertionMode,
+    NetAttribute,
+    NetRecordType,
+    NetSetType,
+    NetworkSchema,
+    RetentionMode,
+    SelectionMode,
+    SetSelect,
+    SYSTEM_OWNER,
+)
+
+
+@pytest.fixture()
+def schema():
+    schema = NetworkSchema("demo")
+    schema.add_record(
+        NetRecordType(
+            "course",
+            [
+                NetAttribute("title", AttributeType.CHARACTER, length=40),
+                NetAttribute("credits", AttributeType.INTEGER),
+            ],
+        )
+    )
+    schema.add_record(NetRecordType("department", [NetAttribute("dname", AttributeType.CHARACTER, 20)]))
+    schema.add_set(
+        NetSetType(
+            "offers",
+            "department",
+            "course",
+            insertion=InsertionMode.MANUAL,
+            retention=RetentionMode.OPTIONAL,
+        )
+    )
+    schema.add_set(NetSetType("system_department", SYSTEM_OWNER, "department"))
+    return schema.validate()
+
+
+class TestRecords:
+    def test_attribute_lookup(self, schema):
+        record = schema.record("course")
+        assert record.attribute("title").length == 40
+        assert record.attribute("ghost") is None
+
+    def test_require_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            schema.record("course").require_attribute("ghost")
+
+    def test_attribute_names(self, schema):
+        assert schema.record("course").attribute_names == ["title", "credits"]
+
+    def test_duplicate_record_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_record(NetRecordType("course"))
+
+    def test_unknown_record(self, schema):
+        with pytest.raises(SchemaError):
+            schema.record("ghost")
+
+
+class TestSets:
+    def test_set_lookup(self, schema):
+        assert schema.set_type("offers").owner_name == "department"
+
+    def test_system_owned(self, schema):
+        assert schema.set_type("system_department").system_owned
+        assert not schema.set_type("offers").system_owned
+
+    def test_sets_with_member(self, schema):
+        assert [s.name for s in schema.sets_with_member("course")] == ["offers"]
+
+    def test_sets_with_owner(self, schema):
+        assert [s.name for s in schema.sets_with_owner("department")] == ["offers"]
+
+    def test_duplicate_set_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_set(NetSetType("offers", "department", "course"))
+
+    def test_counts(self, schema):
+        assert schema.num_records == 2
+        assert schema.num_sets == 2
+
+
+class TestValidation:
+    def test_unknown_owner(self):
+        schema = NetworkSchema("bad")
+        schema.add_record(NetRecordType("m"))
+        schema.add_set(NetSetType("s", "ghost", "m"))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_unknown_member(self):
+        schema = NetworkSchema("bad")
+        schema.add_record(NetRecordType("o"))
+        schema.add_set(NetSetType("s", "o", "ghost"))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_system_owner_always_valid(self):
+        schema = NetworkSchema("ok")
+        schema.add_record(NetRecordType("m"))
+        schema.add_set(NetSetType("s", SYSTEM_OWNER, "m"))
+        schema.validate()
+
+
+class TestModes:
+    def test_selection_render(self):
+        assert SetSelect(SelectionMode.BY_APPLICATION).mode.render() == "BY APPLICATION"
+        assert SelectionMode.NOT_SPECIFIED.render() == "NOT SPECIFIED"
+
+    def test_insertion_retention_render(self):
+        assert InsertionMode.AUTOMATIC.render() == "AUTOMATIC"
+        assert RetentionMode.OPTIONAL.render() == "OPTIONAL"
+
+
+class TestRendering:
+    def test_record_render_includes_duplicates_clause(self, schema):
+        record = schema.record("course")
+        record.attribute("title").duplicates_allowed = False
+        text = record.render()
+        assert "DUPLICATES ARE NOT ALLOWED FOR title;" in text
+
+    def test_set_render(self, schema):
+        text = schema.set_type("offers").render()
+        assert "SET NAME IS offers;" in text
+        assert "OWNER IS department;" in text
+        assert "INSERTION IS MANUAL;" in text
+        assert "SET SELECTION IS BY APPLICATION;" in text
+
+    def test_schema_render(self, schema):
+        text = schema.render()
+        assert text.startswith("SCHEMA NAME IS demo;")
+        assert "RECORD NAME IS course;" in text

@@ -1,0 +1,144 @@
+"""The User Work Area and the request-buffer pool."""
+
+import pytest
+
+from repro.abdm import Record
+from repro.errors import ExecutionError
+from repro.network import BufferPool, RequestBuffer, UserWorkArea
+
+
+class TestUWA:
+    def test_move_and_get(self):
+        uwa = UserWorkArea()
+        uwa.move("DB", "title", "course")
+        assert uwa.get("course", "title") == "DB"
+
+    def test_get_missing_is_none(self):
+        assert UserWorkArea().get("course", "title") is None
+
+    def test_require_missing_raises(self):
+        with pytest.raises(ExecutionError):
+            UserWorkArea().require("course", "title")
+
+    def test_fill_updates_template(self):
+        uwa = UserWorkArea()
+        uwa.move("old", "title", "course")
+        uwa.fill("course", {"title": "new", "credits": 3})
+        assert uwa.get("course", "title") == "new"
+        assert uwa.get("course", "credits") == 3
+
+    def test_clear_one_and_all(self):
+        uwa = UserWorkArea()
+        uwa.move(1, "a", "r1")
+        uwa.move(2, "b", "r2")
+        uwa.clear("r1")
+        assert uwa.get("r1", "a") is None
+        assert uwa.get("r2", "b") == 2
+        uwa.clear()
+        assert uwa.snapshot() == {}
+
+
+def records(n, attribute="student"):
+    return [
+        Record.from_pairs([("FILE", attribute), (attribute, f"k${i}"), ("x", i)])
+        for i in range(n)
+    ]
+
+
+class TestRequestBuffer:
+    def test_cursor_starts_before_first(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(3))
+        assert buffer.current is None
+        assert buffer.advance().get("x") == 0
+
+    def test_first_last(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(3))
+        assert buffer.first().get("x") == 0
+        assert buffer.last().get("x") == 2
+
+    def test_advance_to_end(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(2))
+        buffer.first()
+        assert buffer.advance().get("x") == 1
+        assert buffer.advance() is None
+        # Cursor stays on the last record after hitting the end.
+        assert buffer.current.get("x") == 1
+
+    def test_retreat_to_start(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(2))
+        buffer.last()
+        assert buffer.retreat().get("x") == 0
+        assert buffer.retreat() is None
+
+    def test_empty_buffer(self):
+        buffer = RequestBuffer("s")
+        buffer.load([])
+        assert buffer.first() is None
+        assert buffer.last() is None
+
+    def test_seek(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(3))
+        assert buffer.seek("student", "k$1").get("x") == 1
+        assert buffer.cursor == 1
+        assert buffer.seek("student", "ghost") is None
+        assert buffer.cursor == 1  # untouched on miss
+
+    def test_owner_tracking(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(1), owner_dbkey="person$9")
+        assert buffer.owner_dbkey == "person$9"
+
+    def test_remove_matching(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(3))
+        buffer.last()
+        removed = buffer.remove_matching("student", "k$2")
+        assert removed == 1
+        assert buffer.cursor == 1  # clamped back onto the new last record
+
+    def test_load_resets_cursor(self):
+        buffer = RequestBuffer("s")
+        buffer.load(records(3))
+        buffer.last()
+        buffer.load(records(2))
+        assert buffer.cursor == -1
+
+
+class TestBufferPool:
+    def test_buffer_created_on_demand(self):
+        pool = BufferPool()
+        assert pool.buffer("advisor") is pool.buffer("advisor")
+        assert pool.count == 1
+
+    def test_require_empty_raises(self):
+        pool = BufferPool()
+        with pytest.raises(ExecutionError):
+            pool.require("advisor")
+        pool.buffer("advisor")  # exists but empty
+        with pytest.raises(ExecutionError):
+            pool.require("advisor")
+
+    def test_require_loaded(self):
+        pool = BufferPool()
+        pool.buffer("advisor").load(records(1))
+        assert pool.require("advisor")
+
+    def test_has_records(self):
+        pool = BufferPool()
+        assert not pool.has_records("advisor")
+        pool.buffer("advisor").load(records(1))
+        assert pool.has_records("advisor")
+
+    def test_invalidate_and_clear(self):
+        pool = BufferPool()
+        pool.buffer("a").load(records(1))
+        pool.buffer("b").load(records(1))
+        pool.invalidate("a")
+        assert not pool.has_records("a")
+        pool.clear()
+        assert pool.count == 0

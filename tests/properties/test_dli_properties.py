@@ -1,0 +1,114 @@
+"""Property-based tests of the DL/I engine: random trees, exact traversal.
+
+Random segment forests are built through ISRT and compared against a
+plain-Python reference tree: the unqualified GN walk must be exactly the
+reference pre-order, GNP must list exactly the reference children in
+order, and DLET must remove exactly the reference subtree.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import MLDS
+
+DDL = """
+DATABASE forest;
+SEGMENT a ROOT (tag CHAR(8));
+SEGMENT b UNDER a (tag CHAR(8));
+SEGMENT c UNDER b (tag CHAR(8));
+"""
+
+
+@st.composite
+def tree_specs(draw):
+    """A forest spec: [(a_tag, [(b_tag, [c_tag, ...]), ...]), ...]."""
+    forest = []
+    n_roots = draw(st.integers(1, 3))
+    tag = 0
+    for _ in range(n_roots):
+        b_list = []
+        for _ in range(draw(st.integers(0, 3))):
+            c_list = [f"c{tag}-{i}" for i in range(draw(st.integers(0, 3)))]
+            b_list.append((f"b{tag}", c_list))
+            tag += 1
+        forest.append((f"a{tag}", b_list))
+        tag += 1
+    return forest
+
+
+def build(forest):
+    mlds = MLDS(backend_count=3)
+    mlds.define_hierarchical_database(DDL)
+    session = mlds.open_dli_session("forest")
+    for a_tag, b_list in forest:
+        session.execute(f"FLD tag = '{a_tag}'")
+        assert session.execute("ISRT a").ok
+        for b_tag, c_list in b_list:
+            session.execute(f"FLD tag = '{b_tag}'")
+            assert session.execute(f"ISRT a(tag = '{a_tag}') b").ok
+            for c_tag in c_list:
+                session.execute(f"FLD tag = '{c_tag}'")
+                assert session.execute(
+                    f"ISRT a(tag = '{a_tag}') b(tag = '{b_tag}') c"
+                ).ok
+    return session
+
+
+def reference_preorder(forest):
+    order = []
+    for a_tag, b_list in forest:
+        order.append(("a", a_tag))
+        for b_tag, c_list in b_list:
+            order.append(("b", b_tag))
+            order.extend(("c", c_tag) for c_tag in c_list)
+    return order
+
+
+class TestTraversal:
+    @given(tree_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_gn_walk_is_preorder(self, forest):
+        session = build(forest)
+        expected = reference_preorder(forest)
+        walk = []
+        result = session.execute("GU a")
+        while result.ok:
+            walk.append((result.segment, result.fields["tag"]))
+            result = session.execute("GN")
+        assert walk == expected
+
+    @given(tree_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_gnp_lists_children_in_order(self, forest):
+        session = build(forest)
+        for a_tag, b_list in forest:
+            session.execute(f"GU a(tag = '{a_tag}')")
+            got = []
+            while True:
+                result = session.execute("GNP b")
+                if not result.ok:
+                    break
+                got.append(result.fields["tag"])
+            assert got == [b_tag for b_tag, _ in b_list]
+
+    @given(tree_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_dlet_removes_exactly_the_subtree(self, forest):
+        if not forest[0][1]:
+            return  # first root has no children: nothing interesting
+        session = build(forest)
+        a_tag, b_list = forest[0]
+        victim_b, victim_cs = b_list[0]
+        session.execute(f"GU a(tag = '{a_tag}') b(tag = '{victim_b}')")
+        assert session.execute("DLET").ok
+        # The b subtree is gone...
+        assert not session.execute(f"GU b(tag = '{victim_b}')").ok
+        for c_tag in victim_cs:
+            assert not session.execute(f"GU c(tag = '{c_tag}')").ok
+        # ...and everything else survives.
+        assert session.execute(f"GU a(tag = '{a_tag}')").ok
+        for other_b, other_cs in b_list[1:]:
+            assert session.execute(f"GU b(tag = '{other_b}')").ok
+            for c_tag in other_cs:
+                assert session.execute(f"GU c(tag = '{c_tag}')").ok

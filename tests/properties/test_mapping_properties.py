@@ -1,0 +1,175 @@
+"""Property-based tests over the schema transformations.
+
+Invariants of Chapter V, checked on generated functional schemas:
+
+* every entity type maps to a record type plus a SYSTEM-owned set;
+* every subtype maps to a record type plus one ISA set per supertype;
+* every entity-valued function contributes exactly one set (or one link
+  side), named after itself;
+* the one-step and two-step strategies produce identical schemas;
+* build_records / collapse round-trips instance values.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.functional.model import (
+    EntitySubtype,
+    EntityType,
+    Function,
+    FunctionalSchema,
+    ScalarKind,
+    ScalarType,
+)
+from repro.mapping import (
+    ABFunctionalMapping,
+    SetKind,
+    transform_schema,
+    transform_schema_two_step,
+)
+
+_SCALARS = [
+    ScalarType(ScalarKind.INTEGER),
+    ScalarType(ScalarKind.FLOAT),
+    ScalarType(ScalarKind.STRING, length=10),
+    ScalarType(ScalarKind.ENUMERATION, values=("on", "off")),
+]
+
+
+@st.composite
+def functional_schemas(draw):
+    """Generate a small valid functional schema.
+
+    Entity names are e0..eN; each later type may subtype an earlier one;
+    functions (names unique schema-wide to respect the set-name rule) are
+    scalar, scalar multi-valued, single- or multi-valued entity functions
+    whose range is any declared type.
+    """
+    schema = FunctionalSchema("gen")
+    count = draw(st.integers(2, 5))
+    names = [f"e{i}" for i in range(count)]
+    fn_counter = 0
+    for index, name in enumerate(names):
+        functions = []
+        for _ in range(draw(st.integers(0, 3))):
+            fn_name = f"f{fn_counter}"
+            fn_counter += 1
+            choice = draw(st.integers(0, 3))
+            if choice == 0:
+                functions.append(Function(fn_name, draw(st.sampled_from(_SCALARS))))
+            elif choice == 1:
+                functions.append(
+                    Function(fn_name, draw(st.sampled_from(_SCALARS)), set_valued=True)
+                )
+            elif choice == 2:
+                functions.append(Function(fn_name, draw(st.sampled_from(names))))
+            else:
+                functions.append(
+                    Function(fn_name, draw(st.sampled_from(names)), set_valued=True)
+                )
+        if index > 0 and draw(st.booleans()):
+            supertype = draw(st.sampled_from(names[:index]))
+            schema.add_subtype(EntitySubtype(name, [supertype], functions))
+        else:
+            schema.add_entity_type(EntityType(name, functions))
+    return schema.validate()
+
+
+class TestTransformInvariants:
+    @given(functional_schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_every_type_becomes_a_record(self, schema):
+        t = transform_schema(schema)
+        for name in schema.type_names():
+            assert t.schema.has_record(name)
+
+    @given(functional_schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_entity_types_get_system_sets(self, schema):
+        t = transform_schema(schema)
+        for name in schema.entity_types:
+            origin = t.origin(f"system_{name}")
+            assert origin.kind is SetKind.SYSTEM
+
+    @given(functional_schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_subtypes_get_isa_sets(self, schema):
+        t = transform_schema(schema)
+        for subtype in schema.subtypes.values():
+            for supertype in subtype.supertypes:
+                set_def = t.schema.set_type(f"{supertype}_{subtype.name}")
+                assert set_def.owner_name == supertype
+                assert set_def.member_name == subtype.name
+
+    @given(functional_schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_every_entity_function_owns_one_set(self, schema):
+        t = transform_schema(schema)
+        for type_name in schema.type_names():
+            for function in schema.functions_of(type_name):
+                if function.is_entity_valued:
+                    origin = t.origin(function.name)
+                    assert origin.function_name == function.name
+
+    @given(functional_schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_link_records_pair_two_sets(self, schema):
+        t = transform_schema(schema)
+        for link in t.links.values():
+            first = t.origin(link.first_set)
+            second = t.origin(link.second_set)
+            assert first.partner_set == link.second_set
+            assert second.partner_set == link.first_set
+            assert t.schema.set_type(link.first_set).member_name == link.name
+            assert t.schema.set_type(link.second_set).member_name == link.name
+
+    @given(functional_schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_functions_become_attributes(self, schema):
+        t = transform_schema(schema)
+        for type_name in schema.type_names():
+            record = t.schema.record(type_name)
+            for function in schema.functions_of(type_name):
+                if function.is_entity_valued:
+                    assert record.attribute(function.name) is None
+                else:
+                    attribute = record.attribute(function.name)
+                    assert attribute is not None
+                    assert attribute.duplicates_allowed != function.set_valued
+
+    @given(functional_schemas())
+    @settings(max_examples=40, deadline=None)
+    def test_two_step_strategy_equivalent(self, schema):
+        direct = transform_schema(schema)
+        two_step = transform_schema_two_step(schema)
+        assert two_step.schema.render() == direct.schema.render()
+        assert set(two_step.set_origins) == set(direct.set_origins)
+
+
+class TestBuildCollapseRoundtrip:
+    @given(
+        st.lists(st.integers(-100, 100), max_size=4),
+        st.text(alphabet="abcdefg", min_size=1, max_size=8),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip(self, phone_list, name):
+        schema = FunctionalSchema("rt")
+        schema.add_entity_type(
+            EntityType(
+                "p",
+                [
+                    Function("name", ScalarType(ScalarKind.STRING, length=20)),
+                    Function("phones", ScalarType(ScalarKind.INTEGER), set_valued=True),
+                ],
+            )
+        )
+        schema.validate()
+        mapping = ABFunctionalMapping(schema)
+        unique_phones = list(dict.fromkeys(phone_list))
+        records = mapping.build_records(
+            "p", "p$1", {"name": name, "phones": unique_phones}
+        )
+        assert len(records) == max(1, len(unique_phones))
+        collapsed = mapping.collapse("p", records)
+        assert collapsed["name"] == name
+        assert collapsed["phones"] == unique_phones
+        assert collapsed["p"] == "p$1"

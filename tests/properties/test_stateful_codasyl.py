@@ -1,0 +1,197 @@
+"""Model-based testing: random CODASYL-DML walks vs a reference model.
+
+A hypothesis state machine drives a native network database (the simplest
+target: every membership is a member-side keyword) with random STORE /
+CONNECT / DISCONNECT / MODIFY / ERASE operations, mirroring each step in
+a plain-Python reference model, and checks after every step that both
+agree on the set memberships and field values — the run-unit semantics
+cannot silently diverge from the data.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import MLDS
+from repro.errors import MLDSError
+
+SCHEMA = """
+SCHEMA NAME IS firm;
+RECORD NAME IS department;
+    dname TYPE IS CHARACTER 20;
+RECORD NAME IS worker;
+    wname TYPE IS CHARACTER 20;
+    salary TYPE IS INTEGER;
+SET NAME IS staff;
+    OWNER IS department;
+    MEMBER IS worker;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+    SET SELECTION IS BY APPLICATION;
+"""
+
+
+class CodasylMachine(RuleBasedStateMachine):
+    """Random walks over one network database plus a dict-based oracle."""
+
+    departments = Bundle("departments")
+    workers = Bundle("workers")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mlds = MLDS(backend_count=3)
+        self.mlds.define_network_database(SCHEMA)
+        self.session = self.mlds.open_codasyl_session("firm")
+        self.counter = 0
+        #: oracle: dbkey -> {"salary": int, "staff": owner dbkey | None}
+        self.model_workers: dict[str, dict] = {}
+        self.model_departments: dict[str, str] = {}  # dbkey -> dname
+
+    # -- operations --------------------------------------------------------------
+
+    @rule(target=departments)
+    def store_department(self):
+        self.counter += 1
+        name = f"dept{self.counter}"
+        self.session.execute(f"MOVE '{name}' TO dname IN department")
+        result = self.session.execute("STORE department")
+        assert result.ok
+        self.model_departments[result.dbkey] = name
+        return result.dbkey
+
+    @rule(target=workers, salary=st.integers(1, 9))
+    def store_worker(self, salary):
+        self.counter += 1
+        name = f"w{self.counter}"
+        self.session.execute(f"MOVE '{name}' TO wname IN worker")
+        self.session.execute(f"MOVE {salary} TO salary IN worker")
+        result = self.session.execute("STORE worker")
+        assert result.ok
+        self.model_workers[result.dbkey] = {
+            "wname": name,
+            "salary": salary,
+            "staff": None,
+        }
+        return result.dbkey
+
+    def _find_worker(self, worker):
+        self.session.execute(
+            f"MOVE '{self.model_workers[worker]['wname']}' TO wname IN worker"
+        )
+        found = self.session.execute("FIND ANY worker USING wname IN worker")
+        assert found.ok and found.dbkey == worker
+        return found
+
+    def _find_department(self, dept):
+        self.session.execute(
+            f"MOVE '{self.model_departments[dept]}' TO dname IN department"
+        )
+        found = self.session.execute("FIND ANY department USING dname IN department")
+        assert found.ok and found.dbkey == dept
+        return found
+
+    @rule(worker=workers, dept=departments)
+    def connect(self, worker, dept):
+        if worker not in self.model_workers or dept not in self.model_departments:
+            return
+        state = self.model_workers[worker]
+        self._find_department(dept)
+        self._find_worker(worker)
+        if state["staff"] is not None:
+            # A member of one occurrence must be DISCONNECTed first.
+            with pytest.raises(MLDSError):
+                self.session.execute("CONNECT worker TO staff")
+            return
+        # Finding the (disconnected) worker leaves the department's staff
+        # occurrence current; CONNECT joins that occurrence.
+        self.session.execute("CONNECT worker TO staff")
+        state["staff"] = dept
+
+    @rule(worker=workers)
+    def disconnect(self, worker):
+        if worker not in self.model_workers:
+            return
+        state = self.model_workers[worker]
+        if state["staff"] is None:
+            return  # never connected: the currency machinery would refuse
+        self._find_department(state["staff"])
+        self._find_worker(worker)
+        self.session.execute("DISCONNECT worker FROM staff")
+        state["staff"] = None
+
+    @rule(worker=workers, salary=st.integers(10, 99))
+    def modify_salary(self, worker, salary):
+        if worker not in self.model_workers:
+            return
+        self._find_worker(worker)
+        self.session.execute(f"MOVE {salary} TO salary IN worker")
+        self.session.execute("MODIFY salary IN worker")
+        self.model_workers[worker]["salary"] = salary
+
+    @rule(worker=workers)
+    def erase_worker(self, worker):
+        if worker not in self.model_workers:
+            return
+        self._find_worker(worker)
+        self.session.execute("ERASE worker")
+        del self.model_workers[worker]
+
+    @rule(dept=departments)
+    def erase_department(self, dept):
+        if dept not in self.model_departments:
+            return
+        self._find_department(dept)
+        members = [
+            w for w, s in self.model_workers.items() if s["staff"] == dept
+        ]
+        if members:
+            with pytest.raises(MLDSError):
+                self.session.execute("ERASE department")
+        else:
+            self.session.execute("ERASE department")
+            del self.model_departments[dept]
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def workers_agree(self):
+        for worker, state in self.model_workers.items():
+            found = self._find_worker(worker)
+            assert found.values["salary"] == state["salary"]
+            if state["staff"] is not None:
+                # Finding a connected member makes its occurrence current;
+                # a disconnected member leaves the set currency untouched
+                # (CODASYL: currency only follows records *in* the set).
+                assert (
+                    self.session.cit.set_currency("staff").owner_dbkey
+                    == state["staff"]
+                )
+
+    @invariant()
+    def set_occurrences_agree(self):
+        for dept in self.model_departments:
+            expected = {
+                w for w, s in self.model_workers.items() if s["staff"] == dept
+            }
+            self._find_department(dept)
+            got = set()
+            result = self.session.execute("FIND FIRST worker WITHIN staff")
+            while result.ok:
+                got.add(result.dbkey)
+                result = self.session.execute("FIND NEXT worker WITHIN staff")
+            assert got == expected
+
+
+CodasylMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestCodasylStateMachine = CodasylMachine.TestCase

@@ -1,0 +1,163 @@
+"""The relational model and the SQL parsers."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.relational import (
+    Column,
+    ColumnType,
+    Relation,
+    RelationalSchema,
+    parse_relational_schema,
+    parse_script,
+    parse_statement,
+    sql,
+)
+
+DDL = """
+DATABASE registrar;
+CREATE TABLE student (sid INT, sname CHAR(30), major CHAR(20), PRIMARY KEY (sid));
+CREATE TABLE enrollment (sid INT, cid INT, grade CHAR(2), points FLOAT,
+                         PRIMARY KEY (sid, cid));
+"""
+
+
+class TestModel:
+    def test_column_types_accept(self):
+        assert ColumnType.INT.accepts(3)
+        assert not ColumnType.INT.accepts(3.5)
+        assert ColumnType.FLOAT.accepts(3)
+        assert ColumnType.CHAR.accepts("x")
+        assert ColumnType.CHAR.accepts(None)  # NULLs pass typing
+
+    def test_relation_lookup(self):
+        relation = Relation("r", [Column("a", ColumnType.INT)])
+        assert relation.column("a").type is ColumnType.INT
+        with pytest.raises(SchemaError):
+            relation.require_column("ghost")
+
+    def test_schema_rejects_duplicates(self):
+        schema = RelationalSchema("d")
+        schema.add_relation(Relation("r", [Column("a", ColumnType.INT)]))
+        with pytest.raises(SchemaError):
+            schema.add_relation(Relation("r", [Column("a", ColumnType.INT)]))
+
+    def test_duplicate_column_rejected(self):
+        schema = RelationalSchema("d")
+        with pytest.raises(SchemaError):
+            schema.add_relation(
+                Relation("r", [Column("a", ColumnType.INT), Column("a", ColumnType.INT)])
+            )
+
+    def test_primary_key_must_exist(self):
+        schema = RelationalSchema("d")
+        with pytest.raises(SchemaError):
+            schema.add_relation(
+                Relation("r", [Column("a", ColumnType.INT)], primary_key=["ghost"])
+            )
+
+    def test_render(self):
+        schema = parse_relational_schema(DDL)
+        text = schema.render()
+        assert "CREATE TABLE student" in text
+        assert "PRIMARY KEY (sid, cid)" in text
+
+
+class TestDDLParser:
+    def test_full_schema(self):
+        schema = parse_relational_schema(DDL)
+        assert set(schema.relations) == {"student", "enrollment"}
+        assert schema.relation("student").primary_key == ["sid"]
+        assert schema.relation("enrollment").primary_key == ["sid", "cid"]
+        assert schema.relation("student").column("sname").length == 30
+        assert schema.relation("enrollment").column("points").type is ColumnType.FLOAT
+
+    def test_integer_alias(self):
+        schema = parse_relational_schema(
+            "DATABASE d;\nCREATE TABLE t (a INTEGER);"
+        )
+        assert schema.relation("t").column("a").type is ColumnType.INT
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ParseError):
+            parse_relational_schema("DATABASE d;\nCREATE TABLE t (PRIMARY KEY (a));")
+
+    def test_missing_database_header(self):
+        with pytest.raises(ParseError):
+            parse_relational_schema("CREATE TABLE t (a INT);")
+
+
+class TestDMLParser:
+    def test_select_star(self):
+        statement = parse_statement("SELECT * FROM student")
+        assert statement.items[0].star
+        assert statement.tables == ("student",)
+
+    def test_select_where_dnf(self):
+        statement = parse_statement(
+            "SELECT sname FROM student WHERE major = 'cs' AND sid > 3 OR sid = 1"
+        )
+        assert len(statement.where.clauses) == 2
+        assert len(statement.where.clauses[0]) == 2
+
+    def test_not_equal_spellings(self):
+        for op in ("<>", "!="):
+            statement = parse_statement(f"SELECT * FROM t WHERE a {op} 1")
+            assert list(statement.where.comparisons())[0].operator == "!="
+
+    def test_aggregates_and_group_by(self):
+        statement = parse_statement(
+            "SELECT cid, COUNT(*), AVG(points) FROM enrollment GROUP BY cid"
+        )
+        assert statement.items[1].aggregate == "COUNT" and statement.items[1].star
+        assert statement.items[2].aggregate == "AVG"
+        assert statement.group_by.column == "cid"
+
+    def test_join_condition(self):
+        statement = parse_statement(
+            "SELECT sname FROM student, enrollment WHERE student.sid = enrollment.sid"
+        )
+        comparison = list(statement.where.comparisons())[0]
+        assert comparison.is_join
+        assert comparison.left.table == "student"
+        assert comparison.right.table == "enrollment"
+
+    def test_three_tables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM a, b, c")
+
+    def test_insert_positional(self):
+        statement = parse_statement("INSERT INTO student VALUES (1, 'Ann', 'cs')")
+        assert statement.columns == ()
+        assert statement.values == (1, "Ann", "cs")
+
+    def test_insert_named_columns(self):
+        statement = parse_statement("INSERT INTO student (sid, sname) VALUES (1, 'A')")
+        assert statement.columns == ("sid", "sname")
+
+    def test_insert_null_and_negative(self):
+        statement = parse_statement("INSERT INTO t VALUES (NULL, -3)")
+        assert statement.values == (None, -3)
+
+    def test_update(self):
+        statement = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert statement.assignments == (("a", 1), ("b", "x"))
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert statement.table == "t"
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+    def test_script(self):
+        statements = parse_script(
+            "INSERT INTO t VALUES (1); SELECT * FROM t; DELETE FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_malformed(self):
+        for text in ("FROB t", "SELECT FROM t", "INSERT t VALUES (1)", "UPDATE t a = 1"):
+            with pytest.raises(ParseError):
+                parse_statement(text)

@@ -1,0 +1,196 @@
+"""The SQL language interface engine over AB(relational)."""
+
+import pytest
+
+from repro import MLDS
+from repro.errors import ConstraintViolation, SchemaError, TranslationError
+
+DDL = """
+DATABASE registrar;
+CREATE TABLE student (sid INT, sname CHAR(30), major CHAR(20), PRIMARY KEY (sid));
+CREATE TABLE enrollment (sid INT, cid INT, grade CHAR(2), points FLOAT,
+                         PRIMARY KEY (sid, cid));
+"""
+
+
+@pytest.fixture()
+def session():
+    mlds = MLDS(backend_count=2)
+    mlds.define_relational_database(DDL)
+    s = mlds.open_sql_session("registrar")
+    s.run(
+        "INSERT INTO student VALUES (1, 'Ann', 'cs');"
+        "INSERT INTO student VALUES (2, 'Bob', 'math');"
+        "INSERT INTO student VALUES (3, 'Cal', 'cs');"
+        "INSERT INTO enrollment VALUES (1, 7, 'A', 4.0);"
+        "INSERT INTO enrollment VALUES (2, 7, 'B', 3.0);"
+        "INSERT INTO enrollment VALUES (3, 7, 'C', 2.0);"
+        "INSERT INTO enrollment VALUES (1, 8, 'A', 4.0);"
+    )
+    return s
+
+
+class TestSelect:
+    def test_projection_and_where(self, session):
+        result = session.execute("SELECT sname FROM student WHERE major = 'cs'")
+        assert result.columns == ["sname"]
+        assert {r["sname"] for r in result.rows} == {"Ann", "Cal"}
+
+    def test_select_star(self, session):
+        result = session.execute("SELECT * FROM student WHERE sid = 2")
+        assert result.rows == [{"sid": 2, "sname": "Bob", "major": "math"}]
+
+    def test_where_translated_to_dnf_retrieve(self, session):
+        result = session.execute(
+            "SELECT sname FROM student WHERE major = 'cs' OR sid = 2"
+        )
+        assert len(result.rows) == 3
+        assert " OR " in result.requests[0]
+
+    def test_comparison_operators(self, session):
+        result = session.execute("SELECT sid FROM enrollment WHERE points >= 3.0")
+        assert len(result.rows) == 3
+
+    def test_aggregates_grouped(self, session):
+        result = session.execute(
+            "SELECT cid, COUNT(*), AVG(points) FROM enrollment GROUP BY cid"
+        )
+        rows = {r["cid"]: r for r in result.rows}
+        assert rows[7]["COUNT(*)"] == 3
+        assert rows[7]["AVG(points)"] == pytest.approx(3.0)
+        assert rows[8]["COUNT(*)"] == 1
+
+    def test_global_aggregate(self, session):
+        result = session.execute("SELECT COUNT(*) FROM student")
+        assert result.rows == [{"COUNT(*)": 3}]
+
+    def test_unknown_column_rejected(self, session):
+        with pytest.raises(SchemaError):
+            session.execute("SELECT ghost FROM student")
+
+    def test_unknown_table_rejected(self, session):
+        with pytest.raises(SchemaError):
+            session.execute("SELECT * FROM ghost")
+
+
+class TestJoin:
+    def test_equi_join_via_retrieve_common(self, session):
+        result = session.execute(
+            "SELECT sname, grade FROM student, enrollment "
+            "WHERE student.sid = enrollment.sid AND cid = 7"
+        )
+        assert result.requests[0].startswith("RETRIEVE-COMMON")
+        assert {(r["sname"], r["grade"]) for r in result.rows} == {
+            ("Ann", "A"),
+            ("Bob", "B"),
+            ("Cal", "C"),
+        }
+
+    def test_join_with_residual_predicates_on_both_sides(self, session):
+        result = session.execute(
+            "SELECT sname FROM student, enrollment "
+            "WHERE student.sid = enrollment.sid AND major = 'cs' AND grade = 'A'"
+        )
+        names = {r["sname"] for r in result.rows}
+        assert names == {"Ann"}
+
+    def test_join_needs_equality(self, session):
+        with pytest.raises(TranslationError):
+            session.execute(
+                "SELECT sname FROM student, enrollment "
+                "WHERE student.sid <> enrollment.sid"
+            )
+
+    def test_join_needs_cross_table_condition(self, session):
+        with pytest.raises(TranslationError):
+            session.execute("SELECT sname FROM student, enrollment WHERE cid = 7")
+
+    def test_ambiguous_column_rejected(self, session):
+        with pytest.raises(SchemaError):
+            session.execute(
+                "SELECT sid FROM student, enrollment WHERE student.sid = enrollment.sid"
+            )
+
+    def test_join_star_projects_qualified_columns(self, session):
+        result = session.execute(
+            "SELECT * FROM student, enrollment WHERE student.sid = enrollment.sid"
+        )
+        assert "student.sname" in result.columns
+        assert "enrollment.grade" in result.columns
+        assert len(result.rows) == 4
+
+
+class TestInsert:
+    def test_positional_insert(self, session):
+        session.execute("INSERT INTO student VALUES (4, 'Dee', 'physics')")
+        result = session.execute("SELECT sname FROM student WHERE sid = 4")
+        assert result.rows == [{"sname": "Dee"}]
+
+    def test_named_columns_default_null(self, session):
+        session.execute("INSERT INTO student (sid, sname) VALUES (5, 'Eve')")
+        result = session.execute("SELECT major FROM student WHERE sid = 5")
+        assert result.rows == [{"major": None}]
+
+    def test_arity_mismatch(self, session):
+        with pytest.raises(SchemaError):
+            session.execute("INSERT INTO student VALUES (9)")
+
+    def test_primary_key_violation(self, session):
+        with pytest.raises(ConstraintViolation):
+            session.execute("INSERT INTO student VALUES (1, 'Dup', 'x')")
+
+    def test_composite_key_allows_partial_match(self, session):
+        # (1, 9) is new even though sid 1 exists.
+        session.execute("INSERT INTO enrollment VALUES (1, 9, 'B', 3.0)")
+        with pytest.raises(ConstraintViolation):
+            session.execute("INSERT INTO enrollment VALUES (1, 9, 'A', 4.0)")
+
+    def test_type_checking(self, session):
+        with pytest.raises(SchemaError):
+            session.execute("INSERT INTO student VALUES ('one', 'Ann', 'cs')")
+
+    def test_char_length_enforced(self, session):
+        with pytest.raises(SchemaError):
+            session.execute(
+                "INSERT INTO enrollment VALUES (6, 6, 'TOO LONG', 1.0)"
+            )
+
+
+class TestUpdateDelete:
+    def test_update_with_where(self, session):
+        result = session.execute("UPDATE enrollment SET grade = 'F' WHERE points < 2.5")
+        assert result.touched == 1
+        check = session.execute("SELECT COUNT(*) FROM enrollment WHERE grade = 'F'")
+        assert check.rows[0]["COUNT(*)"] == 1
+
+    def test_multi_assignment_update(self, session):
+        session.execute("UPDATE enrollment SET grade = 'B', points = 3.0 WHERE cid = 8")
+        result = session.execute("SELECT grade, points FROM enrollment WHERE cid = 8")
+        assert result.rows == [{"grade": "B", "points": 3.0}]
+
+    def test_update_type_checked(self, session):
+        with pytest.raises(SchemaError):
+            session.execute("UPDATE student SET sid = 'x'")
+
+    def test_delete(self, session):
+        result = session.execute("DELETE FROM enrollment WHERE cid = 8")
+        assert result.touched == 1
+        assert session.execute("SELECT COUNT(*) FROM enrollment").rows[0]["COUNT(*)"] == 3
+
+    def test_delete_all(self, session):
+        session.execute("DELETE FROM enrollment")
+        assert session.execute("SELECT COUNT(*) FROM enrollment").rows[0]["COUNT(*)"] == 0
+
+
+class TestSharedKernel:
+    def test_relational_database_coexists(self, session):
+        mlds = MLDS(backend_count=2)
+        mlds.define_relational_database(DDL)
+        from repro.university import UNIVERSITY_DAPLEX
+
+        mlds.define_functional_database(UNIVERSITY_DAPLEX)
+        assert mlds.database_names() == ["registrar", "university"]
+        sql_session = mlds.open_sql_session("registrar")
+        sql_session.execute("INSERT INTO student VALUES (1, 'A', 'cs')")
+        mlds.functional_loader("university").create("person", name="P", age=1)
+        assert mlds.kds.record_count() == 2
