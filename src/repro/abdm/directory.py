@@ -253,8 +253,10 @@ class ClusteredStore(ABStore):
     clusters whose keys satisfy every per-attribute constraint.
     """
 
-    def __init__(self, directory: Directory) -> None:
-        super().__init__()
+    def __init__(
+        self, directory: Directory, indexed_attributes: Iterable[str] = ()
+    ) -> None:
+        super().__init__(indexed_attributes)
         self.directory = directory
         #: file name -> cluster key -> records
         self._clusters: dict[str, dict[tuple[int, ...], list[Record]]] = {}
@@ -339,3 +341,22 @@ class ClusteredStore(ABStore):
 
     def cluster_count(self, file_name: str) -> int:
         return len(self._clusters.get(file_name, {}))
+
+    def cluster_descriptor_ids(self) -> dict[str, tuple[frozenset[int], ...]]:
+        """Per file, the position-wise union of descriptor ids over the
+        non-empty clusters (positions follow the directory's attribute
+        order).  This is the digest MBDS broadcast pruning consults: a
+        query whose descriptor search is incompatible with every resident
+        cluster of a backend cannot match there.
+        """
+        digest: dict[str, tuple[frozenset[int], ...]] = {}
+        width = len(self.directory.attributes)
+        for file_name, clusters in self._clusters.items():
+            positions: list[set[int]] = [set() for _ in range(width)]
+            for key, records in clusters.items():
+                if not records:
+                    continue
+                for index, descriptor_id in enumerate(key):
+                    positions[index].add(descriptor_id)
+            digest[file_name] = tuple(frozenset(ids) for ids in positions)
+        return digest

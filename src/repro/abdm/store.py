@@ -6,6 +6,18 @@ MBDS backend: it supports the four physical operations the kernel language
 needs — insert, delete-by-query, update-by-query, find-by-query — and a
 cost accounting hook (records examined) that feeds the MBDS timing model.
 
+Optionally, a store maintains **equality hash indexes** on chosen
+attributes (``indexed_attributes`` / :meth:`ABStore.add_index`).  Each
+index maps, per file, an attribute value to the records carrying it, in
+insertion order.  A query whose every DNF clause contains an equality
+predicate over an indexed attribute is answered from the index buckets
+instead of a whole-file scan; ``records_examined`` then counts only the
+bucket members actually inspected, so the MBDS timing model (and the
+directory-ablation benchmark) automatically reflect the index's benefit
+— the same accounting contract :class:`~repro.abdm.directory.ClusteredStore`
+follows.  Results are byte-identical to the unindexed scan, including
+record order.
+
 The store deliberately knows nothing about data models or languages; the
 ABDL executor drives it, and MBDS partitions one logical database across
 many stores.
@@ -61,17 +73,28 @@ class ABFile:
         return f"ABFile({self.name!r}, {len(self._records)} records)"
 
 
+#: One file's hash index: attribute -> value -> [(sequence, record), ...].
+#: Sequence numbers are per-file insertion ranks, so bucket unions can be
+#: restored to file order (multi-clause queries) by sorting on them.
+_FileIndex = dict[str, dict[Value, list[tuple[int, Record]]]]
+
+
 class ABStore:
     """An in-memory attribute-based record store (one backend's disk).
 
     Records are bucketed by file name so that queries pinning ``FILE``
     scan only the relevant buckets; queries that leave the file open scan
-    every bucket (and are charged for it).
+    every bucket (and are charged for it).  With *indexed_attributes*,
+    equality predicates over those attributes are additionally answered
+    from per-file hash indexes (see the module docstring).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, indexed_attributes: Iterable[str] = ()) -> None:
         self._files: dict[str, ABFile] = {}
         self.stats = ScanStats()
+        self._indexed: tuple[str, ...] = tuple(dict.fromkeys(indexed_attributes))
+        self._indexes: dict[str, _FileIndex] = {}
+        self._index_seq: dict[str, int] = {}
 
     # -- file management ------------------------------------------------------
 
@@ -91,10 +114,89 @@ class ABStore:
 
     def drop_file(self, name: str) -> None:
         self._files.pop(name, None)
+        self._indexes.pop(name, None)
+        self._index_seq.pop(name, None)
 
     def clear(self) -> None:
         self._files.clear()
+        self._indexes.clear()
+        self._index_seq.clear()
         self.stats = ScanStats()
+
+    # -- index management -----------------------------------------------------
+
+    @property
+    def indexed_attributes(self) -> tuple[str, ...]:
+        return self._indexed
+
+    def add_index(self, attribute: str) -> None:
+        """Start maintaining an equality index on *attribute* (idempotent)."""
+        if attribute in self._indexed:
+            return
+        self._indexed = self._indexed + (attribute,)
+        for name in self._files:
+            self._rebuild_index(name)
+
+    def _rebuild_index(self, file_name: str) -> None:
+        if not self._indexed:
+            return
+        abfile = self._files.get(file_name)
+        if abfile is None or len(abfile) == 0:
+            self._indexes.pop(file_name, None)
+            self._index_seq.pop(file_name, None)
+            return
+        table: _FileIndex = {attribute: {} for attribute in self._indexed}
+        for seq, record in enumerate(abfile):
+            for attribute in self._indexed:
+                if attribute in record:
+                    table[attribute].setdefault(record.get(attribute), []).append(
+                        (seq, record)
+                    )
+        self._indexes[file_name] = table
+        self._index_seq[file_name] = len(abfile)
+
+    def _index_add(self, file_name: str, record: Record) -> None:
+        table = self._indexes.setdefault(
+            file_name, {attribute: {} for attribute in self._indexed}
+        )
+        seq = self._index_seq.get(file_name, 0)
+        self._index_seq[file_name] = seq + 1
+        for attribute in self._indexed:
+            if attribute in record:
+                table[attribute].setdefault(record.get(attribute), []).append(
+                    (seq, record)
+                )
+
+    def _index_candidates(
+        self, file_name: str, query: Query
+    ) -> Optional[list[Record]]:
+        """Records the index narrows *query* down to, in file order.
+
+        None means the index cannot serve this (file, query) pair — some
+        clause lacks an equality predicate on an indexed attribute — and
+        the caller must fall back to the full scan.
+        """
+        if not self._indexed:
+            return None
+        table = self._indexes.get(file_name)
+        if table is None:
+            # File populated before indexing started (or never indexed).
+            return None if self.count(file_name) else []
+        chosen = []
+        for clause in query:
+            pinning = None
+            for predicate in clause:
+                if predicate.operator == "=" and predicate.attribute in table:
+                    pinning = predicate
+                    break
+            if pinning is None:
+                return None
+            chosen.append(pinning)
+        by_seq: dict[int, Record] = {}
+        for predicate in chosen:
+            for seq, record in table[predicate.attribute].get(predicate.value, ()):
+                by_seq.setdefault(seq, record)
+        return [by_seq[seq] for seq in sorted(by_seq)]
 
     # -- physical operations --------------------------------------------------
 
@@ -104,6 +206,8 @@ class ABStore:
         if name is None:
             raise ExecutionError("record has no FILE keyword; cannot be stored")
         self.file(name).insert(record)
+        if self._indexed:
+            self._index_add(name, record)
         self.stats.records_touched += 1
 
     def _candidate_files(self, query: Query) -> Iterable[ABFile]:
@@ -116,7 +220,8 @@ class ABStore:
         """Return every record satisfying *query* (in file/insertion order)."""
         found: list[Record] = []
         for abfile in self._candidate_files(query):
-            for record in abfile:
+            candidates = self._index_candidates(abfile.name, query)
+            for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1
                 if query.matches(record):
                     found.append(record)
@@ -128,14 +233,31 @@ class ABStore:
         deleted = 0
         for abfile in self._candidate_files(query):
             records = abfile.records()
-            kept = []
-            for record in records:
-                self.stats.records_examined += 1
-                if query.matches(record):
-                    deleted += 1
-                else:
-                    kept.append(record)
-            records[:] = kept
+            candidates = self._index_candidates(abfile.name, query)
+            if candidates is None:
+                kept = []
+                removed = 0
+                for record in records:
+                    self.stats.records_examined += 1
+                    if query.matches(record):
+                        removed += 1
+                    else:
+                        kept.append(record)
+                if removed:
+                    records[:] = kept
+            else:
+                victims = []
+                for record in candidates:
+                    self.stats.records_examined += 1
+                    if query.matches(record):
+                        victims.append(record)
+                removed = len(victims)
+                if removed:
+                    victim_ids = {id(record) for record in victims}
+                    records[:] = [r for r in records if id(r) not in victim_ids]
+            if removed and self._indexed:
+                self._rebuild_index(abfile.name)
+            deleted += removed
         self.stats.records_touched += deleted
         return deleted
 
@@ -147,11 +269,17 @@ class ABStore:
         """Apply *modify* in place to every record satisfying *query*."""
         updated = 0
         for abfile in self._candidate_files(query):
-            for record in abfile:
+            candidates = self._index_candidates(abfile.name, query)
+            touched = 0
+            for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1
                 if query.matches(record):
                     modify(record)
-                    updated += 1
+                    touched += 1
+            if touched and self._indexed:
+                # Modifiers may rewrite indexed keywords; re-derive.
+                self._rebuild_index(abfile.name)
+            updated += touched
         self.stats.records_touched += updated
         return updated
 

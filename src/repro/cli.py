@@ -254,15 +254,70 @@ def _render_cit(session: CodasylSession) -> str:
     return "\n".join(lines)
 
 
+def build_parser() -> "argparse.ArgumentParser":
+    """The mlds command-line interface (kernel knobs + demo loading)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="mlds",
+        description="Interactive shell over the Multi-Lingual Database System.",
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="load the University demo database"
+    )
+    parser.add_argument(
+        "--backends",
+        type=int,
+        default=4,
+        metavar="N",
+        help="number of MBDS backends (default 4)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("serial", "threads"),
+        default="serial",
+        help="broadcast execution engine: 'serial' runs backends in order, "
+        "'threads' fans each broadcast out on a thread pool (default serial; "
+        "simulated response times are identical either way)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool size for --engine threads (default: one per backend)",
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="skip backends whose file/descriptor summaries cannot match a "
+        "broadcast (pruned backends are charged zero simulated time)",
+    )
+    return parser
+
+
 def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
     argv = argv if argv is not None else sys.argv[1:]
-    mlds = MLDS(backend_count=4)
-    if "--demo" in argv:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        mlds = MLDS(
+            backend_count=args.backends,
+            engine=args.engine,
+            workers=args.workers,
+            pruning=args.prune,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.demo:
         from repro.university import load_university
 
         load_university(mlds)
         print("loaded the University demo database")
-    MLDSShell(mlds).run()
+    try:
+        MLDSShell(mlds).run()
+    finally:
+        mlds.kds.shutdown()
     return 0
 
 

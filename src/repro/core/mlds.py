@@ -59,12 +59,25 @@ class MLDS:
         backend_count: int = 4,
         timing: Optional[TimingModel] = None,
         store_factory=None,
+        engine=None,
+        workers: Optional[int] = None,
+        pruning: bool = False,
     ) -> None:
         """*store_factory* optionally replaces each backend's plain scan
         store, e.g. with a directory-clustered
         :class:`~repro.abdm.directory.ClusteredStore` (see the directory
-        ablation benchmark for the payoff)."""
-        self.kds = KernelDatabaseSystem(backend_count, timing, store_factory=store_factory)
+        ablation benchmark for the payoff).  *engine*/*workers* pick the
+        kernel's wall-clock dispatch strategy ('serial' or 'threads');
+        *pruning* enables summary-based broadcast pruning (see
+        :mod:`repro.mbds.engine` and :mod:`repro.mbds.summary`)."""
+        self.kds = KernelDatabaseSystem(
+            backend_count,
+            timing,
+            store_factory=store_factory,
+            engine=engine,
+            workers=workers,
+            pruning=pruning,
+        )
         self._functional: dict[str, FunctionalSchema] = {}
         self._network: dict[str, NetworkSchema] = {}
         self._relational: dict[str, RelationalSchema] = {}

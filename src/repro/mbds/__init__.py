@@ -14,7 +14,13 @@ the mechanism behind both claims — execute for real.
 """
 
 from repro.mbds.backend import Backend, BackendResult
-from repro.mbds.controller import BackendController, ExecutionTrace
+from repro.mbds.controller import BackendController, BroadcastPhase, ExecutionTrace
+from repro.mbds.engine import (
+    ExecutionEngine,
+    SerialEngine,
+    ThreadPoolEngine,
+    make_engine,
+)
 from repro.mbds.kds import DatabaseTemplate, KernelDatabaseSystem
 from repro.mbds.placement import (
     FileAffinityPlacement,
@@ -22,13 +28,17 @@ from repro.mbds.placement import (
     PlacementPolicy,
     RoundRobinPlacement,
 )
+from repro.mbds.summary import BackendSummary
 from repro.mbds.timing import ResponseTime, TimingModel
 
 __all__ = [
     "Backend",
     "BackendController",
     "BackendResult",
+    "BackendSummary",
+    "BroadcastPhase",
     "DatabaseTemplate",
+    "ExecutionEngine",
     "ExecutionTrace",
     "FileAffinityPlacement",
     "KernelDatabaseSystem",
@@ -36,5 +46,8 @@ __all__ = [
     "PlacementPolicy",
     "ResponseTime",
     "RoundRobinPlacement",
+    "SerialEngine",
+    "ThreadPoolEngine",
     "TimingModel",
+    "make_engine",
 ]

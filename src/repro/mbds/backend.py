@@ -3,32 +3,62 @@
 Backends have identical software and their own disks (thesis I.B.2).  Each
 backend owns an :class:`~repro.abdm.store.ABStore` holding its slice of
 every file and executes each broadcast request against that slice,
-reporting both the result and the simulated time spent.
+reporting the result, the simulated time spent, and the real wall-clock
+time spent.
+
+Concurrency: the controller's :class:`~repro.mbds.engine.ThreadPoolEngine`
+dispatches one broadcast to every backend at once, so :meth:`Backend.execute`
+must be safe under one-request-per-backend concurrency.  Stores are
+partitioned one-per-backend (no sharing), and a per-backend lock
+serializes requests *within* a backend, so store mutation, the
+``ScanStats`` delta read, and ``busy_ms`` accumulation are race-free even
+if a caller overlaps requests on the same backend.
+
+Disk latency emulation: real MBDS backends are disk-bound, and the
+paper's speedup comes from overlapping those disk waits across backends.
+With ``latency_scale > 0`` a backend sleeps ``simulated_ms *
+latency_scale`` milliseconds per request, converting the timing model's
+disk time into real, overlappable wall-clock stalls — this is what the
+wall-clock scaling benchmark measures.  The default of 0 keeps normal
+runs instantaneous.  Simulated time is computed before (and never from)
+the sleep, so engine choice and latency emulation cannot perturb it.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 
 from typing import Callable, Optional
 
-from repro.abdl.ast import InsertRequest, Request
+from repro.abdl.ast import DeleteRequest, InsertRequest, Request, UpdateRequest
 from repro.abdl.executor import Executor, RequestResult
 from repro.abdm.store import ABStore
+from repro.mbds.summary import BackendSummary
 from repro.mbds.timing import TimingModel
 
 #: Builds the record store of one backend; lets callers swap the plain
 #: scan store for a directory-clustered one (see repro.abdm.directory).
 StoreFactory = Callable[[], ABStore]
 
+#: Request types that can change what a backend's slice contains (and so
+#: invalidate its cached content summary).
+_MUTATING_REQUESTS = (InsertRequest, DeleteRequest, UpdateRequest)
+
 
 @dataclass
 class BackendResult:
-    """One backend's contribution to a request: records plus elapsed time."""
+    """One backend's contribution to a request: records plus elapsed time.
+
+    *elapsed_ms* is simulated (timing-model) time; *wall_ms* is the real
+    time the backend spent executing, measured with ``perf_counter``.
+    """
 
     backend_id: int
     result: RequestResult
     elapsed_ms: float
+    wall_ms: float = 0.0
 
 
 class Backend:
@@ -39,6 +69,7 @@ class Backend:
         backend_id: int,
         timing: TimingModel,
         store_factory: Optional[StoreFactory] = None,
+        latency_scale: float = 0.0,
     ) -> None:
         self.backend_id = backend_id
         self.timing = timing
@@ -46,19 +77,47 @@ class Backend:
         self.executor = Executor(self.store)
         #: Cumulative simulated busy time, for utilization reporting.
         self.busy_ms = 0.0
+        #: Cumulative real execution time (includes emulated disk stalls).
+        self.busy_wall_ms = 0.0
+        #: Real milliseconds slept per simulated millisecond (0 = no sleep).
+        self.latency_scale = latency_scale
+        self._lock = threading.Lock()
+        self._summary: Optional[BackendSummary] = None
 
     def execute(self, request: Request) -> BackendResult:
         """Execute *request* on this backend's slice, charging scan time."""
-        before = self.store.stats.records_examined
-        result = self.executor.execute(request)
-        examined = self.store.stats.records_examined - before
-        if isinstance(request, InsertRequest):
-            elapsed = self.timing.backend_insert_ms()
-        else:
-            selected = result.count
-            elapsed = self.timing.backend_scan_ms(examined, selected)
-        self.busy_ms += elapsed
-        return BackendResult(self.backend_id, result, elapsed)
+        with self._lock:
+            start = time.perf_counter()
+            before = self.store.stats.records_examined
+            result = self.executor.execute(request)
+            examined = self.store.stats.records_examined - before
+            if isinstance(request, _MUTATING_REQUESTS):
+                self._summary = None
+            if isinstance(request, InsertRequest):
+                elapsed = self.timing.backend_insert_ms()
+            else:
+                selected = result.count
+                elapsed = self.timing.backend_scan_ms(examined, selected)
+            if self.latency_scale > 0.0:
+                time.sleep(elapsed * self.latency_scale / 1000.0)
+            wall_ms = (time.perf_counter() - start) * 1000.0
+            self.busy_ms += elapsed
+            self.busy_wall_ms += wall_ms
+            return BackendResult(self.backend_id, result, elapsed, wall_ms)
+
+    # -- content summary (broadcast pruning) ------------------------------------
+
+    def summary(self) -> BackendSummary:
+        """This backend's content summary, rebuilt lazily after mutations."""
+        with self._lock:
+            if self._summary is None:
+                self._summary = BackendSummary.of_store(self.store)
+            return self._summary
+
+    def invalidate_summary(self) -> None:
+        """Drop the cached summary (after out-of-band store mutation)."""
+        with self._lock:
+            self._summary = None
 
     def record_count(self) -> int:
         """Records resident on this backend."""

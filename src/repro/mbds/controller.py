@@ -8,32 +8,91 @@ backend contribution to response time is the *maximum* of their individual
 times, not the sum — this is the mechanism behind both MBDS performance
 claims.
 
+Two orthogonal layers make the parallelism real rather than only
+simulated:
+
+* an :class:`~repro.mbds.engine.ExecutionEngine` decides how a broadcast
+  is dispatched in wall-clock terms — serially (default, deterministic)
+  or concurrently on a thread pool — without affecting results or
+  simulated time;
+* optional **broadcast pruning** consults each backend's cached
+  :class:`~repro.mbds.summary.BackendSummary` and skips backends whose
+  slice cannot match the request's query.  Pruned backends are charged
+  zero simulated time and zero wall time; their slots in the per-backend
+  lists stay at 0.0 so the lists remain indexed by backend id.
+
 INSERT requests are not broadcast: the placement policy routes each new
 record to exactly one backend.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.abdl.ast import InsertRequest, Request, Transaction
+from repro.abdl.ast import (
+    DeleteRequest,
+    InsertRequest,
+    Request,
+    RetrieveCommonRequest,
+    RetrieveRequest,
+    Transaction,
+    UpdateRequest,
+)
 from repro.abdl.executor import RequestResult
 from repro.abdm.record import Record
 from repro.errors import ExecutionError
 from repro.mbds.backend import Backend, BackendResult, StoreFactory
+from repro.mbds.engine import EngineSpec, ExecutionEngine, make_engine
 from repro.mbds.placement import PlacementPolicy, RoundRobinPlacement
 from repro.mbds.timing import ResponseTime, TimingModel
+
+_OPERATION_NAMES = {
+    RetrieveRequest: "RETRIEVE",
+    RetrieveCommonRequest: "RETRIEVE-COMMON",
+    DeleteRequest: "DELETE",
+    UpdateRequest: "UPDATE",
+    InsertRequest: "INSERT",
+}
+
+
+@dataclass
+class BroadcastPhase:
+    """One labelled broadcast inside a request (per-backend timings).
+
+    Most requests have exactly one phase; RETRIEVE-COMMON has a ``left``
+    and a ``right`` phase (the two broadcast retrievals it is built
+    from), kept separate so per-backend accounting never silently
+    concatenates two broadcasts into one flat list.
+    """
+
+    label: str
+    per_backend_ms: list[float] = field(default_factory=list)
+    per_backend_wall_ms: list[float] = field(default_factory=list)
 
 
 @dataclass
 class ExecutionTrace:
-    """Merged outcome of one request across all backends."""
+    """Merged outcome of one request across all backends.
+
+    *per_backend_ms* / *per_backend_wall_ms* are indexed by backend id
+    for broadcasts (pruned backends hold 0.0); for routed INSERTs they
+    hold the single executing backend.  For multi-phase requests
+    (RETRIEVE-COMMON) they are the element-wise per-backend totals
+    across phases, with the per-phase breakdown in *phases*.
+
+    *response* is simulated time (engine-independent); *wall_ms* is the
+    real time the request took end to end.
+    """
 
     request: Request
     result: RequestResult
     response: ResponseTime
     per_backend_ms: list[float] = field(default_factory=list)
+    wall_ms: float = 0.0
+    per_backend_wall_ms: list[float] = field(default_factory=list)
+    phases: list[BroadcastPhase] = field(default_factory=list)
 
 
 class BackendController:
@@ -45,13 +104,20 @@ class BackendController:
         timing: Optional[TimingModel] = None,
         placement: Optional[PlacementPolicy] = None,
         store_factory: Optional[StoreFactory] = None,
+        engine: EngineSpec = None,
+        workers: Optional[int] = None,
+        pruning: bool = False,
+        latency_scale: float = 0.0,
     ) -> None:
         if backend_count < 1:
             raise ValueError("MBDS needs at least one backend")
         self.timing = timing or TimingModel()
         self.placement = placement or RoundRobinPlacement()
+        self.engine: ExecutionEngine = make_engine(engine, workers)
+        self.pruning = pruning
         self.backends = [
-            Backend(i, self.timing, store_factory) for i in range(backend_count)
+            Backend(i, self.timing, store_factory, latency_scale)
+            for i in range(backend_count)
         ]
 
     @property
@@ -71,29 +137,71 @@ class BackendController:
         return [self.execute(request) for request in transaction]
 
     def _execute_insert(self, request: InsertRequest) -> ExecutionTrace:
+        start = time.perf_counter()
         index = self.placement.place(request.record, self.backend_count)
         backend_result = self.backends[index].execute(request)
+        wall_ms = (time.perf_counter() - start) * 1000.0
         response = ResponseTime()
         response.add(backend_result.elapsed_ms, self.timing.controller_ms(0))
+        phase = BroadcastPhase(
+            "insert", [backend_result.elapsed_ms], [backend_result.wall_ms]
+        )
         return ExecutionTrace(
             request,
             backend_result.result,
             response,
             per_backend_ms=[backend_result.elapsed_ms],
+            wall_ms=wall_ms,
+            per_backend_wall_ms=[backend_result.wall_ms],
+            phases=[phase],
         )
 
     def _execute_broadcast(self, request: Request) -> ExecutionTrace:
-        partials: list[BackendResult] = [b.execute(request) for b in self.backends]
-        merged = _merge(request, partials)
-        slowest = max(p.elapsed_ms for p in partials)
+        start = time.perf_counter()
+        targets = self._broadcast_targets(request)
+        partials = self.engine.run(targets, request) if targets else []
+        merged = (
+            _merge(request, partials) if partials else _empty_result(request)
+        )
+        per_backend_ms = [0.0] * self.backend_count
+        per_backend_wall_ms = [0.0] * self.backend_count
+        for partial in partials:
+            per_backend_ms[partial.backend_id] = partial.elapsed_ms
+            per_backend_wall_ms[partial.backend_id] = partial.wall_ms
+        slowest = max((p.elapsed_ms for p in partials), default=0.0)
         response = ResponseTime()
         response.add(slowest, self.timing.controller_ms(len(merged.records)))
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        phase = BroadcastPhase("broadcast", per_backend_ms, per_backend_wall_ms)
         return ExecutionTrace(
             request,
             merged,
             response,
-            per_backend_ms=[p.elapsed_ms for p in partials],
+            per_backend_ms=per_backend_ms,
+            wall_ms=wall_ms,
+            per_backend_wall_ms=per_backend_wall_ms,
+            phases=[phase],
         )
+
+    def _broadcast_targets(self, request: Request) -> list[Backend]:
+        """The backends a broadcast must reach (all, unless pruning)."""
+        if not self.pruning:
+            return self.backends
+        query = getattr(request, "query", None)
+        if query is None:
+            return self.backends
+        return [b for b in self.backends if b.summary().may_match(query)]
+
+    # -- maintenance -------------------------------------------------------------
+
+    def invalidate_summaries(self) -> None:
+        """Drop every cached backend summary (after direct store edits)."""
+        for backend in self.backends:
+            backend.invalidate_summary()
+
+    def shutdown(self) -> None:
+        """Release engine resources (worker threads, if any)."""
+        self.engine.shutdown()
 
     # -- inspection -------------------------------------------------------------
 
@@ -111,6 +219,14 @@ class BackendController:
         for backend in self.backends:
             records.extend(backend.store.all_records())
         return records
+
+
+def _empty_result(request: Request) -> RequestResult:
+    """The result of a broadcast every backend was pruned from."""
+    for request_type, operation in _OPERATION_NAMES.items():
+        if isinstance(request, request_type):
+            return RequestResult(operation)
+    raise ExecutionError(f"unknown request type {type(request).__name__}")
 
 
 def _merge(request: Request, partials: Sequence[BackendResult]) -> RequestResult:

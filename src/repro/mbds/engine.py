@@ -1,0 +1,138 @@
+"""Wall-clock execution engines for MBDS broadcasts.
+
+The :class:`~repro.mbds.controller.BackendController` has always computed
+*simulated* parallel time (the backend contribution to a response is the
+maximum of the per-backend times), but it executed the backends one after
+another in the controller's own thread.  An :class:`ExecutionEngine`
+decouples "how the broadcast is dispatched" from "what it costs in the
+timing model":
+
+* :class:`SerialEngine` — the historical behavior: backends run in order
+  in the calling thread.  Default, fully deterministic, no threads.
+* :class:`ThreadPoolEngine` — fans the broadcast out to every backend
+  concurrently on a shared thread pool and collects the results in
+  backend order, so real wall-clock time tracks the *slowest* backend
+  instead of the sum.  Combined with the backends' emulated disk latency
+  (see :class:`~repro.mbds.backend.Backend`), this reproduces MBDS's
+  reciprocal response-time claim in real time, not just in the model.
+
+Engine choice never changes results or simulated time: per-backend
+simulated cost is a pure function of each backend's store state, stores
+are partitioned one-per-backend, and result merging is performed by the
+controller in backend order.  ``bench_wallclock_scaling.py`` checks both
+halves of that contract (real speedup, identical simulated totals).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.abdl.ast import Request
+    from repro.mbds.backend import Backend, BackendResult
+
+
+class ExecutionEngine:
+    """Dispatches one broadcast request to a set of backends."""
+
+    #: Short name used by ``--engine`` and reprs.
+    name = "engine"
+
+    def run(
+        self, backends: Sequence["Backend"], request: "Request"
+    ) -> list["BackendResult"]:
+        """Execute *request* on every backend; results in backend order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any resources (threads); the engine stays usable after."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialEngine(ExecutionEngine):
+    """Run the backends one after another in the calling thread."""
+
+    name = "serial"
+
+    def run(
+        self, backends: Sequence["Backend"], request: "Request"
+    ) -> list["BackendResult"]:
+        return [backend.execute(request) for backend in backends]
+
+
+class ThreadPoolEngine(ExecutionEngine):
+    """Run every backend of a broadcast concurrently on a thread pool.
+
+    The pool is created lazily on the first multi-backend broadcast and
+    reused for the life of the engine, so per-request overhead is one
+    ``submit`` per backend.  Results are collected in submission order,
+    which keeps merged results byte-identical to :class:`SerialEngine`.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("ThreadPoolEngine needs at least one worker")
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def run(
+        self, backends: Sequence["Backend"], request: "Request"
+    ) -> list["BackendResult"]:
+        if len(backends) <= 1:
+            return [backend.execute(request) for backend in backends]
+        pool = self._ensure_pool(len(backends))
+        futures = [pool.submit(backend.execute, request) for backend in backends]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self, backend_count: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers or backend_count,
+                thread_name_prefix="mbds-backend",
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ThreadPoolEngine(workers={self.workers})"
+
+
+#: What callers may pass wherever an engine is accepted: an instance, a
+#: name ('serial' / 'threads'), or None for the default serial engine.
+EngineSpec = Union[ExecutionEngine, str, None]
+
+_ENGINE_NAMES = {
+    "serial": SerialEngine,
+    "threads": ThreadPoolEngine,
+    "threadpool": ThreadPoolEngine,
+}
+
+
+def make_engine(spec: EngineSpec = None, workers: Optional[int] = None) -> ExecutionEngine:
+    """Resolve an engine spec (instance, name, or None) to an engine.
+
+    *workers* only applies when a :class:`ThreadPoolEngine` is built here;
+    an explicit engine instance is returned unchanged.
+    """
+    if isinstance(spec, ExecutionEngine):
+        return spec
+    if spec is None or spec == "serial":
+        return SerialEngine()
+    if isinstance(spec, str):
+        cls = _ENGINE_NAMES.get(spec.lower())
+        if cls is ThreadPoolEngine:
+            return ThreadPoolEngine(workers)
+        if cls is not None:
+            return cls()
+    raise ValueError(
+        f"unknown execution engine {spec!r} (expected 'serial' or 'threads')"
+    )

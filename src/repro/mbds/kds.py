@@ -27,7 +27,8 @@ from repro.abdl.ast import (
 from repro.abdl.executor import RequestResult, merge_common, project
 from repro.abdm.record import Record
 from repro.errors import ExecutionError
-from repro.mbds.controller import BackendController, ExecutionTrace
+from repro.mbds.controller import BackendController, BroadcastPhase, ExecutionTrace
+from repro.mbds.engine import EngineSpec
 from repro.mbds.placement import PlacementPolicy
 from repro.mbds.timing import ResponseTime, TimingModel
 
@@ -50,9 +51,25 @@ class KernelDatabaseSystem:
         timing: Optional[TimingModel] = None,
         placement: Optional[PlacementPolicy] = None,
         store_factory=None,
+        engine: EngineSpec = None,
+        workers: Optional[int] = None,
+        pruning: bool = False,
+        latency_scale: float = 0.0,
     ) -> None:
+        """*engine* picks the wall-clock dispatch strategy ('serial' or
+        'threads', or an :class:`~repro.mbds.engine.ExecutionEngine`);
+        simulated response time is identical for every engine.  *pruning*
+        enables summary-based broadcast pruning; *latency_scale* emulates
+        real disk stalls (see :class:`~repro.mbds.backend.Backend`)."""
         self.controller = BackendController(
-            backend_count, timing, placement, store_factory
+            backend_count,
+            timing,
+            placement,
+            store_factory,
+            engine=engine,
+            workers=workers,
+            pruning=pruning,
+            latency_scale=latency_scale,
         )
         self._catalog: dict[str, DatabaseTemplate] = {}
         #: Simulated time accumulated across every request executed.
@@ -85,6 +102,9 @@ class KernelDatabaseSystem:
         for backend in self.controller.backends:
             for file_name in template.files:
                 backend.store.drop_file(file_name)
+        # Dropping files bypasses Backend.execute, so the cached pruning
+        # summaries no longer describe the stores; rebuild them lazily.
+        self.controller.invalidate_summaries()
         del self._catalog[name]
 
     # -- execution ---------------------------------------------------------------
@@ -129,8 +149,27 @@ class KernelDatabaseSystem:
             left.response.backend_ms + right.response.backend_ms,
             left.response.controller_ms + right.response.controller_ms + join_ms,
         )
+        # The two broadcasts stay labelled phases; the per-backend lists
+        # carry each backend's total across both (never a flat concat,
+        # which would misindex backends and double the apparent farm).
         return ExecutionTrace(
-            request, result, response, left.per_backend_ms + right.per_backend_ms
+            request,
+            result,
+            response,
+            per_backend_ms=[
+                l + r for l, r in zip(left.per_backend_ms, right.per_backend_ms)
+            ],
+            wall_ms=left.wall_ms + right.wall_ms,
+            per_backend_wall_ms=[
+                l + r
+                for l, r in zip(left.per_backend_wall_ms, right.per_backend_wall_ms)
+            ],
+            phases=[
+                BroadcastPhase("left", left.per_backend_ms, left.per_backend_wall_ms),
+                BroadcastPhase(
+                    "right", right.per_backend_ms, right.per_backend_wall_ms
+                ),
+            ],
         )
 
     def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
@@ -153,7 +192,15 @@ class KernelDatabaseSystem:
             trace.response.backend_ms,
             trace.response.controller_ms + extra,
         )
-        return ExecutionTrace(request, merged, response, trace.per_backend_ms)
+        return ExecutionTrace(
+            request,
+            merged,
+            response,
+            per_backend_ms=trace.per_backend_ms,
+            wall_ms=trace.wall_ms,
+            per_backend_wall_ms=trace.per_backend_wall_ms,
+            phases=trace.phases,
+        )
 
     # -- convenience -------------------------------------------------------------
 
@@ -167,3 +214,7 @@ class KernelDatabaseSystem:
     def reset_clock(self) -> None:
         self.clock = ResponseTime()
         self.requests_executed = 0
+
+    def shutdown(self) -> None:
+        """Release execution-engine resources (worker threads, if any)."""
+        self.controller.shutdown()

@@ -1,0 +1,94 @@
+"""Per-backend content summaries for broadcast pruning.
+
+MBDS broadcasts every non-INSERT request to every backend, and each
+backend charges at least one disk access even when its slice cannot
+possibly hold a qualifying record.  A :class:`BackendSummary` is the
+controller-side digest of one backend's store that lets the controller
+skip such backends entirely:
+
+* **file names** — the files with at least one resident record.  A
+  clause whose ``FILE =`` pins name files absent from the backend cannot
+  select anything there.
+* **descriptor-id sets** — when the backend runs a
+  :class:`~repro.abdm.directory.ClusteredStore`, the per-file,
+  per-directory-attribute union of descriptor ids over its non-empty
+  clusters.  A clause whose descriptor search is incompatible with every
+  resident cluster cannot select anything either.
+
+Both checks are *relaxations* of the store's own candidate selection
+(file bucketing and cluster compatibility), so pruning can never change
+a request's result — it only removes backends whose contribution would
+have been empty.  Pruned backends are charged zero simulated time, which
+is exactly what the paper's directory is for: spend a cheap descriptor
+search to avoid an expensive record scan.
+
+Summaries are built lazily from the store and cached by the backend;
+any mutating request (INSERT / DELETE / UPDATE) or catalog operation
+(``drop_database``) invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.abdm.directory import ClusteredStore, Directory
+from repro.abdm.predicate import Conjunction, Query
+from repro.abdm.store import ABStore
+
+
+@dataclass(frozen=True)
+class BackendSummary:
+    """What one backend's slice can possibly answer."""
+
+    #: Files with at least one resident record.
+    files: frozenset[str]
+    #: The directory clustering the store, when it has one.
+    directory: Optional[Directory] = None
+    #: Per file: position-wise union of descriptor ids over the resident
+    #: clusters (positions follow the directory's attribute order).
+    descriptor_sets: Mapping[str, tuple[frozenset[int], ...]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def of_store(cls, store: ABStore) -> "BackendSummary":
+        """Digest *store* into a summary."""
+        files = frozenset(
+            name for name in store.file_names() if store.count(name) > 0
+        )
+        if isinstance(store, ClusteredStore):
+            return cls(files, store.directory, store.cluster_descriptor_ids())
+        return cls(files)
+
+    def may_match(self, query: Query) -> bool:
+        """False only when *no* record of the backend can satisfy *query*."""
+        if not self.files:
+            return False
+        return any(self._clause_may_match(clause) for clause in query)
+
+    def _clause_may_match(self, clause: Conjunction) -> bool:
+        pinned = clause.file_names()
+        if pinned:
+            names = [name for name in pinned if name in self.files]
+        else:
+            names = list(self.files)
+        if not names:
+            return False
+        if self.directory is None:
+            return True
+        constraints = self.directory.descriptor_search(clause)
+        if all(allowed is None for allowed in constraints):
+            return True
+        for name in names:
+            present = self.descriptor_sets.get(name)
+            if present is None:
+                # No descriptor digest for this file: cannot prune it.
+                return True
+            compatible = all(
+                allowed is None or (allowed & present[index])
+                for index, allowed in enumerate(constraints)
+            )
+            if compatible:
+                return True
+        return False

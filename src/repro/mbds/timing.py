@@ -17,6 +17,13 @@ records, 0.4 ms of CPU per selected record, a 5 ms broadcast over the
 communication bus and 0.1 ms of controller time per merged record.  The
 absolute values only set the scale; the *shape* of the curves comes from
 the structure of the model.
+
+Simulated time is **engine-independent**: it is a pure function of each
+backend's store state (records examined / selected), so dispatching a
+broadcast serially or on a thread pool (see :mod:`repro.mbds.engine`)
+yields bit-identical :class:`ResponseTime` totals.  Real wall-clock time
+is reported separately (``ExecutionTrace.wall_ms``) and is the quantity
+the execution engines change.
 """
 
 from __future__ import annotations
@@ -81,3 +88,11 @@ class ResponseTime:
             self.backend_ms + other.backend_ms,
             self.controller_ms + other.controller_ms,
         )
+
+    def as_dict(self) -> dict[str, float]:
+        """A JSON-friendly view (used by the benchmark reports)."""
+        return {
+            "total_ms": self.total_ms,
+            "backend_ms": self.backend_ms,
+            "controller_ms": self.controller_ms,
+        }
