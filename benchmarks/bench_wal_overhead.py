@@ -1,0 +1,171 @@
+"""WAL: commit-path overhead of write-ahead logging, and recovery fidelity.
+
+Durability is not free: with a WAL attached every mutating request is
+encoded to JSON and appended (flushed) to a backend log before it is
+applied, and every transaction writes begin/commit records to the master
+log.  This benchmark measures that cost directly — the same mutating
+workload with the WAL off, on (flush-only, the default), and on with
+``sync=True`` (fsync per append, closest to real durability) — and then
+closes the loop by recovering the logged run from its WAL directory and
+checking the recovered farm is bit-identical to the live one.
+
+Run standalone (writes a JSON report, default ``BENCH_wal.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_wal_overhead.py
+
+Exit status is non-zero when the flush-only WAL slows the workload by
+more than ``--max-overhead`` times (default 50, a generous CI guard — the
+point is catching accidental quadratic regressions, not enforcing a
+tight constant), or when the recovered farm differs from the live one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # runnable as a plain script, too
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.abdl.ast import DeleteRequest, InsertRequest, Modifier, UpdateRequest
+from repro.abdm.predicate import Query
+from repro.abdm.record import Record
+from repro.mbds import KernelDatabaseSystem
+from repro.wal.log import WalManager
+from repro.wal.recovery import recover_mlds
+
+
+def workload(records: int) -> list:
+    """A mutating mix: inserts, periodic broadcast updates, a few deletes."""
+    requests: list = []
+    for i in range(records):
+        requests.append(
+            InsertRequest(
+                Record.from_pairs(
+                    [("FILE", "data"), ("data", f"d${i}"), ("x", i % 97)],
+                    text=f"row {i}",
+                )
+            )
+        )
+        if i % 50 == 49:
+            requests.append(
+                UpdateRequest(
+                    Query.single("x", "=", i % 97),
+                    Modifier("x", arithmetic="+", operand=100),
+                )
+            )
+        if i % 200 == 199:
+            requests.append(DeleteRequest(Query.single("x", "=", 150)))
+    return requests
+
+
+def run_mode(mode: str, backends: int, requests: list, wal_dir: Path | None) -> dict:
+    wal = None
+    if mode != "off":
+        wal = WalManager(wal_dir, backends, sync=(mode == "sync"))
+    kds = KernelDatabaseSystem(backend_count=backends, wal=wal)
+    start = time.perf_counter()
+    for request in requests:
+        kds.execute(request)
+    wall_s = time.perf_counter() - start
+    distribution = kds.controller.distribution()
+    farm = [
+        sorted((tuple(r.pairs()), r.text) for r in b.store.all_records())
+        for b in kds.controller.backends
+    ]
+    kds.shutdown()
+    return {
+        "mode": mode,
+        "wall_s": wall_s,
+        "requests": len(requests),
+        "requests_per_s": len(requests) / max(wall_s, 1e-9),
+        "distribution": distribution,
+        "_farm": farm,  # stripped from the report; used for the replay check
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backends", type=int, default=4)
+    parser.add_argument("--records", type=int, default=1500)
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=50.0,
+        help="maximum tolerated (wal wall / no-wal wall) ratio (0 disables)",
+    )
+    parser.add_argument(
+        "--skip-sync",
+        action="store_true",
+        help="skip the fsync-per-append mode (slow on some filesystems)",
+    )
+    parser.add_argument("--out", default="BENCH_wal.json")
+    args = parser.parse_args(argv)
+
+    requests = workload(args.records)
+    scratch = Path(tempfile.mkdtemp(prefix="bench-wal-"))
+    try:
+        rows = [run_mode("off", args.backends, requests, None)]
+        wal_dir = scratch / "wal"
+        rows.append(run_mode("wal", args.backends, requests, wal_dir))
+        if not args.skip_sync:
+            rows.append(run_mode("sync", args.backends, requests, scratch / "wal-sync"))
+
+        # recovery fidelity: replaying the journaled run reproduces the farm
+        recovered = recover_mlds(wal_dir, attach_wal=False)
+        recovered_farm = [
+            sorted((tuple(r.pairs()), r.text) for r in b.store.all_records())
+            for b in recovered.kds.controller.backends
+        ]
+        replay_identical = recovered_farm == rows[1]["_farm"]
+        recovered.kds.shutdown()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    base = rows[0]["wall_s"]
+    for row in rows:
+        row["overhead_x"] = row["wall_s"] / max(base, 1e-9)
+        del row["_farm"]
+
+    print("=== WAL  commit-path overhead (mutating workload) ===")
+    header = f"{'mode':>6}  {'wall s':>8}  {'req/s':>10}  {'overhead':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['mode']:>6}  {row['wall_s']:>8.3f}  "
+            f"{row['requests_per_s']:>10.0f}  {row['overhead_x']:>7.2f}x"
+        )
+    print(f"replay identical: {replay_identical}")
+
+    report = {
+        "benchmark": "wal_overhead",
+        "backends": args.backends,
+        "records": args.records,
+        "replay_identical": replay_identical,
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not replay_identical:
+        print("FAIL: recovered farm differs from the live run", file=sys.stderr)
+        return 1
+    wal_row = next(r for r in rows if r["mode"] == "wal")
+    if args.max_overhead > 0 and wal_row["overhead_x"] > args.max_overhead:
+        print(
+            f"FAIL: WAL overhead {wal_row['overhead_x']:.1f}x exceeds "
+            f"--max-overhead {args.max_overhead}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

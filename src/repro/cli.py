@@ -46,6 +46,8 @@ dot-commands:
   .exec <path>               run a statement file through the open session
   .save <path>               snapshot the whole system to a JSON file
   .load <path>               replace the system with a snapshot
+  .checkpoint                checkpoint the WAL (snapshot + truncate the log)
+  .recover <wal-dir>         replace the system with one recovered from a WAL
   .quit                      leave the shell
 anything else is executed as a statement of the open session's language."""
 
@@ -154,6 +156,26 @@ class MLDSShell:
             self.mlds = load_mlds(args[0])
             self.session = None
             return f"loaded {args[0]} ({len(self.mlds.database_names())} databases)"
+        if command == ".checkpoint":
+            if args:
+                return "usage: .checkpoint"
+            if self.mlds.kds.wal is None:
+                return "no write-ahead log attached (start with --wal-dir)"
+            from repro.wal.recovery import checkpoint_mlds
+
+            path = checkpoint_mlds(self.mlds)
+            return f"checkpointed to {path}"
+        if command == ".recover":
+            if len(args) != 1:
+                return "usage: .recover <wal-dir>"
+            from repro.wal.recovery import recover_mlds
+
+            self.mlds = recover_mlds(args[0])
+            self.session = None
+            return (
+                f"recovered from {args[0]} "
+                f"({self.mlds.kds.record_count()} records)"
+            )
         if command == ".log":
             if self.session is None:
                 return "no session open"
@@ -293,6 +315,24 @@ def build_parser() -> "argparse.ArgumentParser":
         help="skip backends whose file/descriptor summaries cannot match a "
         "broadcast (pruned backends are charged zero simulated time)",
     )
+    parser.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        default=None,
+        help="enable durability: journal every mutating kernel request to a "
+        "write-ahead log in DIR before applying it (see .checkpoint/.recover)",
+    )
+    parser.add_argument(
+        "--no-wal",
+        action="store_true",
+        help="ignore --wal-dir and run without journaling (volatile session)",
+    )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="start from the state recovered out of --wal-dir (checkpoint "
+        "snapshot plus committed WAL tail) instead of an empty system",
+    )
     return parser
 
 
@@ -300,13 +340,27 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
     argv = argv if argv is not None else sys.argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
+    wal_dir = None if args.no_wal else args.wal_dir
     try:
-        mlds = MLDS(
-            backend_count=args.backends,
-            engine=args.engine,
-            workers=args.workers,
-            pruning=args.prune,
-        )
+        if args.recover:
+            if wal_dir is None:
+                parser.error("--recover requires --wal-dir")
+            from repro.wal.recovery import recover_mlds
+
+            mlds = recover_mlds(
+                wal_dir,
+                engine=args.engine,
+                workers=args.workers,
+                pruning=args.prune,
+            )
+        else:
+            mlds = MLDS(
+                backend_count=args.backends,
+                engine=args.engine,
+                workers=args.workers,
+                pruning=args.prune,
+                wal=wal_dir,
+            )
     except ValueError as exc:
         parser.error(str(exc))
     if args.demo:

@@ -15,6 +15,7 @@ know which kind of database answered.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 from repro.errors import SchemaError
@@ -41,6 +42,7 @@ from repro.hierarchical.model import HierarchicalSchema
 from repro.relational.model import RelationalSchema
 from repro.relational.sql import parse_relational_schema
 from repro.network.model import NetworkSchema
+from repro.wal.log import WalManager
 
 
 class MLDS:
@@ -62,6 +64,7 @@ class MLDS:
         engine=None,
         workers: Optional[int] = None,
         pruning: bool = False,
+        wal: Union[None, str, Path, WalManager] = None,
     ) -> None:
         """*store_factory* optionally replaces each backend's plain scan
         store, e.g. with a directory-clustered
@@ -69,7 +72,13 @@ class MLDS:
         ablation benchmark for the payoff).  *engine*/*workers* pick the
         kernel's wall-clock dispatch strategy ('serial' or 'threads');
         *pruning* enables summary-based broadcast pruning (see
-        :mod:`repro.mbds.engine` and :mod:`repro.mbds.summary`)."""
+        :mod:`repro.mbds.engine` and :mod:`repro.mbds.summary`).  *wal*
+        enables durability: pass a directory path (or a prepared
+        :class:`~repro.wal.log.WalManager`) and every mutating kernel
+        request is journaled there before it is applied (see
+        :mod:`repro.wal`)."""
+        if wal is not None and not isinstance(wal, WalManager):
+            wal = WalManager(Path(wal), backend_count)
         self.kds = KernelDatabaseSystem(
             backend_count,
             timing,
@@ -77,6 +86,7 @@ class MLDS:
             engine=engine,
             workers=workers,
             pruning=pruning,
+            wal=wal,
         )
         self._functional: dict[str, FunctionalSchema] = {}
         self._network: dict[str, NetworkSchema] = {}
@@ -86,6 +96,14 @@ class MLDS:
         self._hierarchical_mappings: dict[str, ABHierarchicalMapping] = {}
         self._relational_mappings: dict[str, ABRelationalMapping] = {}
         self._transformations: dict[str, NetworkTransformation] = {}
+
+    def attach_wal(self, wal: WalManager) -> None:
+        """Wire a write-ahead log into an already-built system.
+
+        Used by :func:`repro.wal.recovery.recover_mlds` so a recovered
+        system resumes journaling to the directory it was rebuilt from.
+        """
+        self.kds.controller.wal = wal
 
     # -- database definition (the KMS's first task) ---------------------------------
 

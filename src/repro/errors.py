@@ -70,6 +70,18 @@ class TransactionAborted(ExecutionError):
     """A multi-request translation was aborted mid-way (e.g. ERASE checks)."""
 
 
+class WalError(MLDSError):
+    """The write-ahead log is misused, corrupt, or fails verification.
+
+    Raised for protocol misuse (nested transactions, checkpointing with a
+    transaction open), for log corruption detected during recovery
+    (non-monotonic sequence numbers, undecodable non-tail records), and
+    for record-count checksum mismatches after replay.  Note that an
+    *injected crash* is deliberately not a :class:`WalError` — see
+    :class:`repro.wal.faults.InjectedCrash`.
+    """
+
+
 class UnsupportedStatement(TranslationError):
     """The statement is parsed but deliberately not translated.
 

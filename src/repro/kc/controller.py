@@ -10,7 +10,8 @@ statement translated into exactly the ABDL the thesis's chapters show.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
 
 from repro.abdl.ast import (
     ALL_ATTRIBUTES,
@@ -36,6 +37,16 @@ class KernelController:
         """Execute one request, logging its ABDL text."""
         self.request_log.append(request.render())
         return self.kds.execute(request).result
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Group the requests executed inside into one kernel transaction.
+
+        Commits on normal exit, aborts (journal and in-memory) on error —
+        see :meth:`repro.mbds.kds.KernelDatabaseSystem.transaction`.
+        """
+        with self.kds.transaction():
+            yield
 
     def retrieve(
         self,

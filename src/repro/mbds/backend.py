@@ -48,6 +48,20 @@ _MUTATING_REQUESTS = (InsertRequest, DeleteRequest, UpdateRequest)
 
 
 @dataclass
+class BackendImage:
+    """Deep pre-image of a backend's store, for transaction rollback.
+
+    Records are copied (UPDATE mutates records in place, so a shallow
+    reference would alias the post-image); restoring re-inserts them
+    through the store so hash indexes and clustering rebuild themselves.
+    """
+
+    records: list
+    examined: int
+    touched: int
+
+
+@dataclass
 class BackendResult:
     """One backend's contribution to a request: records plus elapsed time.
 
@@ -104,6 +118,42 @@ class Backend:
             self.busy_ms += elapsed
             self.busy_wall_ms += wall_ms
             return BackendResult(self.backend_id, result, elapsed, wall_ms)
+
+    # -- durability support -----------------------------------------------------
+
+    def replay(self, request: Request) -> None:
+        """Re-apply a journaled mutation without timing or result accounting.
+
+        Recovery is not a workload: no simulated or wall time is charged
+        and no summary is consulted — the store is simply brought back to
+        the state the journal proves it reached.  Routing the op through
+        the executor keeps hash indexes and clustering maintained exactly
+        as they were during the original execution.
+        """
+        with self._lock:
+            self.executor.execute(request)
+            self._summary = None
+
+    def capture_image(self) -> BackendImage:
+        """Deep-copy the store contents (a transaction's pre-image)."""
+        with self._lock:
+            return BackendImage(
+                [record.copy() for record in self.store.all_records()],
+                self.store.stats.records_examined,
+                self.store.stats.records_touched,
+            )
+
+    def restore_image(self, image: BackendImage) -> None:
+        """Roll the store back to *image* (transaction abort)."""
+        with self._lock:
+            self.store.clear()
+            for record in image.records:
+                self.store.insert(record.copy())
+            # Reinserting bumps the touched counter; put the accounting
+            # back where the pre-image left it.
+            self.store.stats.records_examined = image.examined
+            self.store.stats.records_touched = image.touched
+            self._summary = None
 
     # -- content summary (broadcast pruning) ------------------------------------
 

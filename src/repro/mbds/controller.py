@@ -27,6 +27,7 @@ record to exactly one backend.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -43,10 +44,12 @@ from repro.abdl.ast import (
 from repro.abdl.executor import RequestResult
 from repro.abdm.record import Record
 from repro.errors import ExecutionError
-from repro.mbds.backend import Backend, BackendResult, StoreFactory
+from repro.mbds.backend import Backend, BackendImage, BackendResult, StoreFactory
 from repro.mbds.engine import EngineSpec, ExecutionEngine, make_engine
 from repro.mbds.placement import PlacementPolicy, RoundRobinPlacement
 from repro.mbds.timing import ResponseTime, TimingModel
+from repro.wal.faults import CrashPoint
+from repro.wal.log import WalManager
 
 _OPERATION_NAMES = {
     RetrieveRequest: "RETRIEVE",
@@ -55,6 +58,18 @@ _OPERATION_NAMES = {
     UpdateRequest: "UPDATE",
     InsertRequest: "INSERT",
 }
+
+
+#: Request types that mutate backend stores (and so must be journaled).
+_MUTATING_REQUESTS = (InsertRequest, DeleteRequest, UpdateRequest)
+
+
+@dataclass
+class ControllerImage:
+    """Pre-image of the whole farm plus placement state (for rollback)."""
+
+    backends: list[BackendImage]
+    placement: PlacementPolicy
 
 
 @dataclass
@@ -108,6 +123,7 @@ class BackendController:
         workers: Optional[int] = None,
         pruning: bool = False,
         latency_scale: float = 0.0,
+        wal: Optional[WalManager] = None,
     ) -> None:
         if backend_count < 1:
             raise ValueError("MBDS needs at least one backend")
@@ -115,6 +131,9 @@ class BackendController:
         self.placement = placement or RoundRobinPlacement()
         self.engine: ExecutionEngine = make_engine(engine, workers)
         self.pruning = pruning
+        #: Write-ahead log; when set, every mutating request is journaled
+        #: to the executing backends' logs before it is applied.
+        self.wal = wal
         self.backends = [
             Backend(i, self.timing, store_factory, latency_scale)
             for i in range(backend_count)
@@ -136,10 +155,33 @@ class BackendController:
         """Execute requests sequentially, as ABDL transactions require."""
         return [self.execute(request) for request in transaction]
 
+    def _journal(self, request: Request, targets: Sequence[Backend]) -> bool:
+        """Journal *request* for *targets* ahead of applying it.
+
+        Opens a single-request (auto-commit) transaction when no explicit
+        transaction is in progress; returns True when this request must
+        commit itself after applying.
+        """
+        if self.wal is None:
+            return False
+        auto = not self.wal.in_transaction
+        if auto:
+            self.wal.begin()
+        for backend in targets:
+            self.wal.log_op(backend.backend_id, request)
+        return auto
+
     def _execute_insert(self, request: InsertRequest) -> ExecutionTrace:
         start = time.perf_counter()
         index = self.placement.place(request.record, self.backend_count)
+        auto_commit = self._journal(request, [self.backends[index]])
+        if self.wal is not None:
+            self.wal.fire(CrashPoint.BEFORE_APPLY)
         backend_result = self.backends[index].execute(request)
+        if self.wal is not None:
+            self.wal.fire(CrashPoint.AFTER_APPLY)
+        if auto_commit:
+            self.wal.commit(self.distribution())
         wall_ms = (time.perf_counter() - start) * 1000.0
         response = ResponseTime()
         response.add(backend_result.elapsed_ms, self.timing.controller_ms(0))
@@ -159,7 +201,15 @@ class BackendController:
     def _execute_broadcast(self, request: Request) -> ExecutionTrace:
         start = time.perf_counter()
         targets = self._broadcast_targets(request)
+        mutating = isinstance(request, _MUTATING_REQUESTS)
+        auto_commit = self._journal(request, targets) if mutating else False
+        if mutating and self.wal is not None:
+            self.wal.fire(CrashPoint.BEFORE_APPLY)
         partials = self.engine.run(targets, request) if targets else []
+        if mutating and self.wal is not None:
+            self.wal.fire(CrashPoint.AFTER_APPLY)
+        if auto_commit:
+            self.wal.commit(self.distribution())
         merged = (
             _merge(request, partials) if partials else _empty_result(request)
         )
@@ -191,6 +241,27 @@ class BackendController:
         if query is None:
             return self.backends
         return [b for b in self.backends if b.summary().may_match(query)]
+
+    # -- transaction rollback ----------------------------------------------------
+
+    def capture_state(self) -> ControllerImage:
+        """Deep pre-image of every backend plus the placement policy.
+
+        Taken at explicit transaction begin so that an abort can roll the
+        in-memory farm back to exactly the pre-transaction state —
+        matching what recovery would reconstruct from the log, where the
+        aborted transaction is discarded.
+        """
+        return ControllerImage(
+            [backend.capture_image() for backend in self.backends],
+            copy.deepcopy(self.placement),
+        )
+
+    def restore_state(self, image: ControllerImage) -> None:
+        """Roll every backend (and placement state) back to *image*."""
+        for backend, backend_image in zip(self.backends, image.backends):
+            backend.restore_image(backend_image)
+        self.placement = image.placement
 
     # -- maintenance -------------------------------------------------------------
 

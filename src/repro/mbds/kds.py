@@ -14,23 +14,34 @@ AB(functional) alike — can coexist in one kernel, as MLDS requires.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.abdl.ast import (
     ALL_ATTRIBUTES,
+    DeleteRequest,
+    InsertRequest,
     Request,
     RetrieveCommonRequest,
     RetrieveRequest,
     Transaction,
+    UpdateRequest,
 )
 from repro.abdl.executor import RequestResult, merge_common, project
 from repro.abdm.record import Record
-from repro.errors import ExecutionError
-from repro.mbds.controller import BackendController, BroadcastPhase, ExecutionTrace
+from repro.errors import ExecutionError, WalError
+from repro.mbds.controller import (
+    BackendController,
+    BroadcastPhase,
+    ControllerImage,
+    ExecutionTrace,
+)
 from repro.mbds.engine import EngineSpec
 from repro.mbds.placement import PlacementPolicy
 from repro.mbds.timing import ResponseTime, TimingModel
+from repro.wal.faults import InjectedCrash
+from repro.wal.log import WalManager
 
 
 @dataclass
@@ -55,12 +66,16 @@ class KernelDatabaseSystem:
         workers: Optional[int] = None,
         pruning: bool = False,
         latency_scale: float = 0.0,
+        wal: Optional[WalManager] = None,
     ) -> None:
         """*engine* picks the wall-clock dispatch strategy ('serial' or
         'threads', or an :class:`~repro.mbds.engine.ExecutionEngine`);
         simulated response time is identical for every engine.  *pruning*
         enables summary-based broadcast pruning; *latency_scale* emulates
-        real disk stalls (see :class:`~repro.mbds.backend.Backend`)."""
+        real disk stalls (see :class:`~repro.mbds.backend.Backend`).
+        *wal* attaches a write-ahead log: mutating requests are journaled
+        before applying and grouped into transactions (see
+        :meth:`transaction`)."""
         self.controller = BackendController(
             backend_count,
             timing,
@@ -70,12 +85,79 @@ class KernelDatabaseSystem:
             workers=workers,
             pruning=pruning,
             latency_scale=latency_scale,
+            wal=wal,
         )
         self._catalog: dict[str, DatabaseTemplate] = {}
         #: Simulated time accumulated across every request executed.
         self.clock = ResponseTime()
         #: Count of requests executed (for the benchmark harnesses).
         self.requests_executed = 0
+        #: Farm pre-image captured at explicit transaction begin.
+        self._txn_image: Optional[ControllerImage] = None
+
+    @property
+    def wal(self) -> Optional[WalManager]:
+        return self.controller.wal
+
+    # -- transactions ------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn_image is not None
+
+    def begin_transaction(self) -> None:
+        """Open an explicit kernel transaction.
+
+        Until :meth:`commit_transaction`, every mutating request journals
+        under one WAL transaction (recovery applies all of it or none),
+        and :meth:`abort_transaction` can roll the in-memory farm back to
+        this point.  Without a WAL the in-memory rollback still works.
+        """
+        if self._txn_image is not None:
+            raise WalError("a kernel transaction is already open (no nesting)")
+        self._txn_image = self.controller.capture_state()
+        if self.wal is not None:
+            self.wal.begin()
+
+    def commit_transaction(self) -> None:
+        """Make the open transaction durable (writes the commit record)."""
+        if self._txn_image is None:
+            raise WalError("no kernel transaction to commit")
+        if self.wal is not None:
+            self.wal.commit(self.controller.distribution())
+        self._txn_image = None
+
+    def abort_transaction(self) -> None:
+        """Discard the open transaction: journal-level and in-memory.
+
+        The WAL records an abort (recovery skips the ops) and every
+        backend store is rolled back to the pre-transaction image, so the
+        live system and a recovered one agree.
+        """
+        if self._txn_image is None:
+            raise WalError("no kernel transaction to abort")
+        if self.wal is not None:
+            self.wal.abort()
+        self.controller.restore_state(self._txn_image)
+        self._txn_image = None
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Scope a kernel transaction: commit on success, abort on error.
+
+        An :class:`~repro.wal.faults.InjectedCrash` is *not* handled —
+        a crashed machine writes no abort record; it just dies.
+        """
+        self.begin_transaction()
+        try:
+            yield
+        except InjectedCrash:
+            raise
+        except BaseException:
+            self.abort_transaction()
+            raise
+        else:
+            self.commit_transaction()
 
     # -- catalog ---------------------------------------------------------------
 
@@ -173,6 +255,19 @@ class KernelDatabaseSystem:
         )
 
     def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
+        """Execute an ABDL transaction as one kernel transaction.
+
+        With a WAL attached, a mutating multi-request transaction maps
+        onto exactly one WAL transaction (the thesis's transaction
+        boundary), unless the caller already opened one explicitly.
+        """
+        mutating = any(
+            isinstance(request, (InsertRequest, DeleteRequest, UpdateRequest))
+            for request in transaction
+        )
+        if mutating and self.wal is not None and not self.in_transaction:
+            with self.transaction():
+                return [self.execute(request) for request in transaction]
         return [self.execute(request) for request in transaction]
 
     def _execute_aggregate(self, request: RetrieveRequest) -> ExecutionTrace:
@@ -216,5 +311,7 @@ class KernelDatabaseSystem:
         self.requests_executed = 0
 
     def shutdown(self) -> None:
-        """Release execution-engine resources (worker threads, if any)."""
+        """Release engine resources (worker threads) and WAL file handles."""
         self.controller.shutdown()
+        if self.wal is not None:
+            self.wal.close()

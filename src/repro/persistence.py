@@ -16,21 +16,39 @@ record contents — restorable into an identical :class:`~repro.core.MLDS`.
 The snapshot restores the *exact* backend partitioning (records are
 placed back on their original backend), so simulated response times and
 set-iteration orders are reproducible across save/load.
+
+Format history:
+
+* **1** — schemas, timing, key counters, per-backend records.
+* **2** — adds ``wal`` (the durability watermark: the last committed
+  WAL transaction the snapshot contains, written when the system has a
+  write-ahead log attached — see :mod:`repro.wal`) and ``placement``
+  (round-robin placement counters, so inserts after a restore land on
+  the same backends they would have without the restart).
+
+Version-1 snapshots still load: they simply carry no WAL watermark
+(recovery treats them as "replay everything") and no placement counters
+(post-restore placement restarts from backend 0, the historical
+behavior).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.abdm.record import Record
 from repro.core.mlds import MLDS
 from repro.errors import MLDSError
+from repro.mbds.placement import RoundRobinPlacement
 from repro.mbds.timing import TimingModel
 
 #: Snapshot format version, bumped on incompatible layout changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Snapshot versions :func:`load_mlds` can restore.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _dump_records(mlds: MLDS) -> list[list[dict]]:
@@ -44,12 +62,22 @@ def _dump_records(mlds: MLDS) -> list[list[dict]]:
     return dumps
 
 
+def _placement_state(mlds: MLDS) -> Optional[dict]:
+    placement = mlds.kds.controller.placement
+    if isinstance(placement, RoundRobinPlacement):
+        return {"kind": "round_robin", "counters": dict(placement._counters)}
+    return None
+
+
 def save_mlds(mlds: MLDS, path: Union[str, Path]) -> None:
     """Write a complete JSON snapshot of *mlds* to *path*."""
     timing = mlds.kds.controller.timing
+    wal = mlds.kds.wal
     snapshot = {
         "format": FORMAT_VERSION,
         "backend_count": mlds.kds.controller.backend_count,
+        "wal": wal.checkpoint_state() if wal is not None else None,
+        "placement": _placement_state(mlds),
         "timing": {
             "broadcast_ms": timing.broadcast_ms,
             "access_ms": timing.access_ms,
@@ -96,16 +124,42 @@ def save_mlds(mlds: MLDS, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(snapshot, indent=1))
 
 
-def load_mlds(path: Union[str, Path]) -> MLDS:
-    """Restore an :class:`MLDS` from a snapshot written by :func:`save_mlds`."""
+def load_mlds(
+    path: Union[str, Path],
+    *,
+    engine=None,
+    workers: Optional[int] = None,
+    pruning: bool = False,
+    store_factory=None,
+) -> MLDS:
+    """Restore an :class:`MLDS` from a snapshot written by :func:`save_mlds`.
+
+    The kernel knobs (*engine*, *workers*, *pruning*, *store_factory*)
+    are not part of the snapshot — they describe the machine, not the
+    data — so callers pick them at load time, defaulting to the serial,
+    unpruned configuration.
+
+    Records are restored through each backend's store, which rebuilds
+    hash indexes and clustering as it inserts; cached broadcast-pruning
+    summaries are explicitly invalidated afterwards so a pruned RETRIEVE
+    issued immediately after the load sees the restored contents.
+    """
     snapshot = json.loads(Path(path).read_text())
-    if snapshot.get("format") != FORMAT_VERSION:
+    version = snapshot.get("format")
+    if version not in SUPPORTED_VERSIONS:
         raise MLDSError(
-            f"snapshot format {snapshot.get('format')!r} is not supported "
-            f"(expected {FORMAT_VERSION})"
+            f"snapshot format {version!r} is not supported "
+            f"(expected one of {SUPPORTED_VERSIONS})"
         )
     timing = TimingModel(**snapshot["timing"])
-    mlds = MLDS(backend_count=snapshot["backend_count"], timing=timing)
+    mlds = MLDS(
+        backend_count=snapshot["backend_count"],
+        timing=timing,
+        engine=engine,
+        workers=workers,
+        pruning=pruning,
+        store_factory=store_factory,
+    )
     for name, entry in snapshot["functional"].items():
         schema = mlds.define_functional_database(entry["ddl"])
         for entity_name, last_key in entry["key_counters"].items():
@@ -128,4 +182,15 @@ def load_mlds(path: Union[str, Path]) -> MLDS:
         for row in rows:
             pairs = [(attribute, value) for attribute, value in row["pairs"]]
             backend.store.insert(Record.from_pairs(pairs, text=row.get("text", "")))
+    placement_state = snapshot.get("placement")
+    placement = mlds.kds.controller.placement
+    if (
+        placement_state
+        and placement_state.get("kind") == "round_robin"
+        and isinstance(placement, RoundRobinPlacement)
+    ):
+        placement._counters.update(placement_state.get("counters", {}))
+    # Restoring bypassed Backend.execute, so any cached content summaries
+    # no longer describe the stores; drop them (they rebuild lazily).
+    mlds.kds.controller.invalidate_summaries()
     return mlds

@@ -1,0 +1,105 @@
+"""JSON codec for the mutating ABDL requests the WAL journals.
+
+The WAL stores each journaled operation as a JSON object rather than as
+rendered ABDL text: the textual form is lossy (``InsertRequest.render``
+drops the record's textual portion, and re-lexing strings would have to
+round-trip quoting).  The codec below is exact for the three mutating
+request kinds — INSERT, DELETE, UPDATE — over the kernel value domain
+(``int`` / ``float`` / ``str`` / null), all of which are JSON-native.
+
+Retrievals are never journaled; asking the codec to encode one is a
+programming error and raises :class:`~repro.errors.WalError`.
+"""
+
+from __future__ import annotations
+
+from repro.abdl.ast import (
+    DeleteRequest,
+    InsertRequest,
+    Modifier,
+    Request,
+    UpdateRequest,
+)
+from repro.abdm.predicate import Conjunction, Predicate, Query
+from repro.abdm.record import Record
+from repro.errors import WalError
+
+#: Request types the WAL journals (everything else is read-only).
+MUTATING_REQUESTS = (InsertRequest, DeleteRequest, UpdateRequest)
+
+
+def is_mutating(request: Request) -> bool:
+    """True when *request* changes store contents (and so must be logged)."""
+    return isinstance(request, MUTATING_REQUESTS)
+
+
+# -- queries -------------------------------------------------------------------
+
+
+def encode_query(query: Query) -> list:
+    """DNF query -> ``[[ [attr, op, value], ... ], ...]`` (one list per clause)."""
+    return [
+        [[p.attribute, p.operator, p.value] for p in clause] for clause in query
+    ]
+
+
+def decode_query(payload: list) -> Query:
+    return Query(
+        Conjunction(Predicate(attribute, operator, value) for attribute, operator, value in clause)
+        for clause in payload
+    )
+
+
+# -- requests ------------------------------------------------------------------
+
+
+def encode_request(request: Request) -> dict:
+    """Encode one mutating request as a JSON-serializable dict."""
+    if isinstance(request, InsertRequest):
+        return {
+            "op": "INSERT",
+            "record": {
+                "pairs": [[a, v] for a, v in request.record.pairs()],
+                "text": request.record.text,
+            },
+        }
+    if isinstance(request, DeleteRequest):
+        return {"op": "DELETE", "query": encode_query(request.query)}
+    if isinstance(request, UpdateRequest):
+        modifier = request.modifier
+        return {
+            "op": "UPDATE",
+            "query": encode_query(request.query),
+            "modifier": {
+                "attribute": modifier.attribute,
+                "value": modifier.value,
+                "arithmetic": modifier.arithmetic,
+                "operand": modifier.operand,
+            },
+        }
+    raise WalError(
+        f"only mutating requests are journaled, not {type(request).__name__}"
+    )
+
+
+def decode_request(payload: dict) -> Request:
+    """Decode a dict produced by :func:`encode_request`."""
+    operation = payload.get("op")
+    if operation == "INSERT":
+        record = payload["record"]
+        pairs = [(attribute, value) for attribute, value in record["pairs"]]
+        return InsertRequest(Record.from_pairs(pairs, text=record.get("text", "")))
+    if operation == "DELETE":
+        return DeleteRequest(decode_query(payload["query"]))
+    if operation == "UPDATE":
+        modifier = payload["modifier"]
+        return UpdateRequest(
+            decode_query(payload["query"]),
+            Modifier(
+                modifier["attribute"],
+                value=modifier.get("value"),
+                arithmetic=modifier.get("arithmetic"),
+                operand=modifier.get("operand"),
+            ),
+        )
+    raise WalError(f"unknown journaled operation {operation!r}")

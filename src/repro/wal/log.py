@@ -1,0 +1,293 @@
+"""The write-ahead log: per-backend JSONL op segments plus a master
+transaction log.
+
+Layout of a WAL directory (one per MLDS instance)::
+
+    wal-meta.json               {"format": 1, "backend_count": N, "segment": s}
+    master-000000.jsonl         begin / commit / abort records
+    backend-000-000000.jsonl    op records journaled for backend 0
+    backend-001-000000.jsonl    ...
+    checkpoint.mlds.json        last snapshot (written by checkpoint_mlds)
+
+Every mutating kernel request (INSERT / DELETE / UPDATE) is journaled to
+the log of each backend that will apply it **before** it is applied,
+tagged with the surrounding transaction id and a per-backend monotonic
+sequence number.  Transaction boundaries live in the master log: the
+controller is MBDS's single master, so one ``commit`` record there is the
+atomic commit point for the whole farm — a transaction whose commit
+record is absent (crash before commit, or explicit abort) is discarded
+wholesale by recovery, which is what makes multi-backend mutations
+atomic.  Commit records carry the per-backend record counts observed
+after the transaction applied; recovery re-checks them after replay, so
+a torn backend log or a non-deterministic replay is detected rather than
+silently producing a different database (the segment record-count
+checksum).
+
+Checkpoints (see :mod:`repro.wal.recovery`) write a snapshot and then
+call :meth:`WalManager.start_new_segment`, which bumps the segment
+number and garbage-collects the old segment files.  Recovery never needs
+the truncation to have happened: replay skips transactions at or below
+the snapshot's watermark, so stale segments are merely dead weight.
+
+Each record is one JSON line, flushed as written; pass ``sync=True`` to
+additionally ``fsync`` every append (slower, closer to real durability —
+the overhead benchmark measures both).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.abdl.ast import Request
+from repro.errors import WalError
+from repro.wal.codec import encode_request, is_mutating
+from repro.wal.faults import CrashPoint, FaultInjector
+
+#: Metadata file kept at the root of every WAL directory.
+META_NAME = "wal-meta.json"
+#: Snapshot written by :func:`repro.wal.recovery.checkpoint_mlds`.
+CHECKPOINT_NAME = "checkpoint.mlds.json"
+#: On-disk WAL format version (independent of the snapshot format).
+WAL_FORMAT = 1
+
+
+def master_segment_name(segment: int) -> str:
+    return f"master-{segment:06d}.jsonl"
+
+
+def backend_segment_name(backend_id: int, segment: int) -> str:
+    return f"backend-{backend_id:03d}-{segment:06d}.jsonl"
+
+
+class _StreamWriter:
+    """Append-only JSONL writer for one log stream's current segment."""
+
+    def __init__(self, path: Path, sync: bool) -> None:
+        self.path = path
+        self.sync = sync
+        self._handle: Optional[IO[str]] = None
+
+    def append(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class WalManager:
+    """Owns one WAL directory: journaling, transactions, segments.
+
+    The manager is single-writer by construction: journaling happens in
+    the controller's thread *before* a broadcast is handed to the
+    execution engine, so no lock is needed even under
+    :class:`~repro.mbds.engine.ThreadPoolEngine`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        backend_count: int,
+        injector: Optional[FaultInjector] = None,
+        sync: bool = False,
+    ) -> None:
+        if backend_count < 1:
+            raise WalError("a WAL needs at least one backend")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.backend_count = backend_count
+        self.injector = injector or FaultInjector()
+        self.sync = sync
+
+        meta_path = self.directory / META_NAME
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if meta.get("format") != WAL_FORMAT:
+                raise WalError(
+                    f"WAL format {meta.get('format')!r} is not supported "
+                    f"(expected {WAL_FORMAT})"
+                )
+            if meta.get("backend_count") != backend_count:
+                raise WalError(
+                    f"WAL directory was written for {meta.get('backend_count')} "
+                    f"backends, not {backend_count}"
+                )
+            self.segment = int(meta.get("segment", 0))
+            self._resume_counters()
+        else:
+            self.segment = 0
+            self._master_seq = 0
+            self._backend_seq = [0] * backend_count
+            self._next_txn = 1
+            self.last_committed_txn = 0
+            self._write_meta()
+
+        self._open_writers()
+        #: Id of the currently open transaction, or None.
+        self._txn: Optional[int] = None
+
+    # -- metadata / resume -----------------------------------------------------
+
+    def _write_meta(self) -> None:
+        payload = json.dumps(
+            {
+                "format": WAL_FORMAT,
+                "backend_count": self.backend_count,
+                "segment": self.segment,
+            },
+            indent=1,
+        )
+        tmp = self.directory / (META_NAME + ".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self.directory / META_NAME)
+
+    def _resume_counters(self) -> None:
+        """Continue txn/seq numbering after everything already on disk."""
+        from repro.wal.reader import read_wal  # local import: reader is read-side
+
+        view = read_wal(self.directory, self.backend_count)
+        self._master_seq = view.max_master_seq
+        self._backend_seq = [view.max_seq.get(i, 0) for i in range(self.backend_count)]
+        self._next_txn = view.max_txn + 1
+        self.last_committed_txn = view.last_committed_txn
+
+    def _open_writers(self) -> None:
+        self._master = _StreamWriter(
+            self.directory / master_segment_name(self.segment), self.sync
+        )
+        self._backends = [
+            _StreamWriter(
+                self.directory / backend_segment_name(i, self.segment), self.sync
+            )
+            for i in range(self.backend_count)
+        ]
+
+    # -- transactions ----------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    @property
+    def current_txn(self) -> Optional[int]:
+        return self._txn
+
+    def begin(self) -> int:
+        """Open a transaction; journaled ops group under it until commit."""
+        if self._txn is not None:
+            raise WalError(f"transaction {self._txn} is already open (no nesting)")
+        txn = self._next_txn
+        self._next_txn += 1
+        self._master_seq += 1
+        self._master.append({"seq": self._master_seq, "type": "begin", "txn": txn})
+        self._txn = txn
+        return txn
+
+    def log_op(self, backend_id: int, request: Request) -> int:
+        """Journal *request* for *backend_id* under the open transaction.
+
+        Must be called before the backend applies the request — that is
+        the "write-ahead" in write-ahead log.  Returns the op's sequence
+        number in the backend's stream.
+        """
+        if self._txn is None:
+            raise WalError("no open transaction to journal under")
+        if not is_mutating(request):
+            raise WalError("only mutating requests are journaled")
+        if not 0 <= backend_id < self.backend_count:
+            raise WalError(f"no backend {backend_id} in this WAL")
+        self.injector.fire(CrashPoint.BEFORE_LOG_APPEND)
+        seq = self._backend_seq[backend_id] + 1
+        self._backend_seq[backend_id] = seq
+        self._backends[backend_id].append(
+            {"seq": seq, "txn": self._txn, "op": encode_request(request)}
+        )
+        self.injector.fire(CrashPoint.AFTER_LOG_APPEND)
+        return seq
+
+    def commit(self, counts: list[int]) -> None:
+        """Write the commit record — the transaction's atomic commit point.
+
+        *counts* are the per-backend record counts observed after the
+        transaction applied; recovery re-checks them after replay.
+        """
+        if self._txn is None:
+            raise WalError("no open transaction to commit")
+        if len(counts) != self.backend_count:
+            raise WalError("commit counts must cover every backend")
+        self.injector.fire(CrashPoint.BEFORE_COMMIT)
+        self._master_seq += 1
+        self._master.append(
+            {
+                "seq": self._master_seq,
+                "type": "commit",
+                "txn": self._txn,
+                "counts": list(counts),
+            }
+        )
+        self.last_committed_txn = self._txn
+        self._txn = None
+        self.injector.fire(CrashPoint.AFTER_COMMIT)
+
+    def abort(self) -> None:
+        """Mark the open transaction discarded (recovery will skip its ops)."""
+        if self._txn is None:
+            raise WalError("no open transaction to abort")
+        self._master_seq += 1
+        self._master.append({"seq": self._master_seq, "type": "abort", "txn": self._txn})
+        self._txn = None
+
+    # -- crash points ----------------------------------------------------------
+
+    def fire(self, point: CrashPoint) -> None:
+        """Fire a crash point (controller-side hooks route through here)."""
+        self.injector.fire(point)
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """WAL metadata embedded in a format-2 snapshot (the watermark)."""
+        return {"last_txn": self.last_committed_txn, "segment": self.segment}
+
+    def start_new_segment(self) -> None:
+        """Begin a fresh segment and garbage-collect the old ones.
+
+        Called by checkpointing after the snapshot is durable.  Recovery
+        is correct whether or not the old segments survive (replay skips
+        transactions at or below the snapshot watermark), so a crash at
+        any point inside this method is harmless.
+        """
+        if self._txn is not None:
+            raise WalError("cannot truncate the WAL with a transaction open")
+        self.close()
+        old_segment = self.segment
+        self.segment += 1
+        self._write_meta()
+        self._open_writers()
+        for stale in range(old_segment + 1):
+            (self.directory / master_segment_name(stale)).unlink(missing_ok=True)
+            for backend_id in range(self.backend_count):
+                (self.directory / backend_segment_name(backend_id, stale)).unlink(
+                    missing_ok=True
+                )
+
+    def close(self) -> None:
+        """Close file handles (the manager can keep appending afterwards)."""
+        self._master.close()
+        for writer in self._backends:
+            writer.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WalManager({str(self.directory)!r}, backends={self.backend_count}, "
+            f"segment={self.segment}, next_txn={self._next_txn})"
+        )

@@ -1,0 +1,177 @@
+"""Crash recovery and checkpointing.
+
+Recovery rebuilds an MLDS from its durable state: the latest checkpoint
+snapshot plus the WAL tail.  The protocol is the classic redo-only one:
+
+1. load the snapshot (or start empty when none was ever taken), noting
+   its transaction watermark — the last committed transaction the
+   snapshot already contains;
+2. replay every *committed* transaction above the watermark, backend by
+   backend in journal order, directly against the backend stores (no
+   timing is charged — recovery is not a workload);
+3. verify each replayed transaction's record-count checksum (the
+   per-backend counts its commit record captured);
+4. discard everything else: transactions with no commit record (the
+   crash beat the commit) and explicitly aborted ones are never applied.
+
+Because each backend's store is a deterministic function of the ops
+applied to it, replay is bit-identical to the original execution
+regardless of the execution engine the dying system used — SerialEngine
+and ThreadPoolEngine journal the same ops in the same order, as the
+journal is written by the controller *before* the engine fans out.
+
+Checkpointing is snapshot-then-truncate: write the format-2 snapshot
+(which embeds the watermark) atomically, then start a fresh WAL segment
+and drop the old ones.  A crash anywhere inside checkpointing is safe:
+recovery filters replay by the watermark of whichever snapshot survived,
+and stale segments are skipped, not double-applied.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.errors import WalError
+from repro.wal.codec import decode_request
+from repro.wal.faults import CrashPoint, FaultInjector
+from repro.wal.log import CHECKPOINT_NAME, WalManager
+from repro.wal.reader import WalView, read_backend_count, read_wal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.mlds import MLDS
+    from repro.mbds.controller import BackendController
+
+
+def replay_committed(
+    controller: "BackendController", view: WalView, after_txn: int = 0
+) -> int:
+    """Redo every committed transaction above *after_txn* onto *controller*.
+
+    Returns the number of transactions replayed.  Raises
+    :class:`~repro.errors.WalError` when a replayed transaction's
+    record-count checksum does not match the recovered farm.
+    """
+    from repro.abdl.ast import InsertRequest
+    from repro.mbds.placement import RoundRobinPlacement
+
+    replayed = 0
+    for transaction in view.committed:
+        if transaction.txn <= after_txn:
+            continue
+        for backend_id in sorted(transaction.ops):
+            if backend_id >= controller.backend_count:
+                raise WalError(
+                    f"transaction {transaction.txn} journals ops for backend "
+                    f"{backend_id}, but the farm has {controller.backend_count}"
+                )
+            backend = controller.backends[backend_id]
+            for op in sorted(transaction.ops[backend_id], key=lambda o: o.seq):
+                request = decode_request(op.payload)
+                backend.replay(request)
+                if isinstance(request, InsertRequest) and isinstance(
+                    controller.placement, RoundRobinPlacement
+                ):
+                    # Keep round-robin state consistent with the restored
+                    # contents, so post-recovery inserts land exactly where
+                    # the uncrashed system would have put them.
+                    file_name = request.record.file_name or ""
+                    counters = controller.placement._counters
+                    counters[file_name] = counters.get(file_name, 0) + 1
+        if transaction.counts:
+            observed = controller.distribution()
+            if observed != transaction.counts:
+                raise WalError(
+                    f"record-count checksum mismatch replaying transaction "
+                    f"{transaction.txn}: expected {transaction.counts}, "
+                    f"got {observed}"
+                )
+        replayed += 1
+    controller.invalidate_summaries()
+    return replayed
+
+
+def snapshot_watermark(snapshot_path: Union[str, Path]) -> int:
+    """The last committed transaction embedded in a snapshot (0 for v1)."""
+    snapshot = json.loads(Path(snapshot_path).read_text())
+    wal_meta = snapshot.get("wal") or {}
+    return int(wal_meta.get("last_txn", 0))
+
+
+def recover_mlds(
+    wal_dir: Union[str, Path],
+    snapshot: Union[str, Path, None] = None,
+    *,
+    engine=None,
+    workers: Optional[int] = None,
+    pruning: bool = False,
+    store_factory=None,
+    attach_wal: bool = True,
+    injector: Optional[FaultInjector] = None,
+) -> "MLDS":
+    """Rebuild an :class:`~repro.core.mlds.MLDS` from *wal_dir*.
+
+    *snapshot* defaults to the checkpoint kept inside the WAL directory;
+    when neither exists the system is rebuilt from an empty farm by
+    replaying the whole log (store contents recover fully; schema
+    definitions only exist once a checkpoint has been taken).  With
+    *attach_wal* (the default) the recovered system resumes journaling
+    to the same directory, with transaction ids continuing after
+    everything already on disk.
+    """
+    from repro.core.mlds import MLDS
+    from repro.persistence import load_mlds
+
+    wal_dir = Path(wal_dir)
+    backend_count = read_backend_count(wal_dir)
+    snapshot_path = Path(snapshot) if snapshot is not None else wal_dir / CHECKPOINT_NAME
+
+    kwargs = dict(
+        engine=engine, workers=workers, pruning=pruning, store_factory=store_factory
+    )
+    if snapshot_path.exists():
+        mlds = load_mlds(snapshot_path, **kwargs)
+        if mlds.kds.controller.backend_count != backend_count:
+            raise WalError(
+                f"snapshot has {mlds.kds.controller.backend_count} backends "
+                f"but the WAL was written for {backend_count}"
+            )
+        watermark = snapshot_watermark(snapshot_path)
+    else:
+        mlds = MLDS(backend_count=backend_count, **kwargs)
+        watermark = 0
+
+    view = read_wal(wal_dir, backend_count)
+    replay_committed(mlds.kds.controller, view, watermark)
+
+    if attach_wal:
+        mlds.attach_wal(WalManager(wal_dir, backend_count, injector=injector))
+    return mlds
+
+
+def checkpoint_mlds(mlds: "MLDS", path: Union[str, Path, None] = None) -> Path:
+    """Snapshot *mlds* and truncate its WAL (snapshot-then-truncate).
+
+    The snapshot is written atomically (temp file + rename), so a crash
+    mid-checkpoint leaves either the old or the new snapshot in place —
+    never a torn one — and recovery is correct either way.
+    """
+    from repro.persistence import save_mlds
+
+    wal = mlds.kds.wal
+    if wal is None:
+        raise WalError("checkpointing needs a WAL-enabled MLDS")
+    if wal.in_transaction:
+        raise WalError("cannot checkpoint with a transaction open")
+
+    wal.fire(CrashPoint.BEFORE_CHECKPOINT)
+    target = Path(path) if path is not None else wal.directory / CHECKPOINT_NAME
+    tmp = target.with_name(target.name + ".tmp")
+    save_mlds(mlds, tmp)
+    os.replace(tmp, target)
+    wal.fire(CrashPoint.AFTER_CHECKPOINT_SNAPSHOT)
+    wal.start_new_segment()
+    wal.fire(CrashPoint.AFTER_CHECKPOINT)
+    return target

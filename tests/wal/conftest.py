@@ -1,0 +1,43 @@
+"""Shared helpers for the durability test suite.
+
+The WAL tests drive the kernel directly with small hand-built ABDL
+requests (no language front-end involved), so the helpers here build
+requests and canonical farm images with minimal ceremony.
+"""
+
+from __future__ import annotations
+
+from repro.abdl.ast import DeleteRequest, InsertRequest, Modifier, UpdateRequest
+from repro.abdm.predicate import Conjunction, Predicate, Query
+from repro.abdm.record import Record
+
+
+def query(*predicates: tuple) -> Query:
+    """A one-conjunction query from ``(attribute, operator, value)`` tuples."""
+    return Query([Conjunction([Predicate(a, o, v) for a, o, v in predicates])])
+
+
+def insert(file_name: str, text: str = "", **attrs) -> InsertRequest:
+    """An INSERT of a record in *file_name* with keyword *attrs*."""
+    pairs = [("FILE", file_name), *attrs.items()]
+    return InsertRequest(Record.from_pairs(pairs, text=text))
+
+
+def delete(*predicates: tuple) -> DeleteRequest:
+    return DeleteRequest(query(*predicates))
+
+
+def update(modifier: Modifier, *predicates: tuple) -> UpdateRequest:
+    return UpdateRequest(query(*predicates), modifier)
+
+
+def farm_image(mlds) -> list:
+    """Canonical per-backend contents: sorted (pairs, text) per backend.
+
+    Two systems with equal farm images hold bit-identical stores —
+    the acceptance check for recovery correctness.
+    """
+    return [
+        sorted((tuple(r.pairs()), r.text) for r in backend.store.all_records())
+        for backend in mlds.kds.controller.backends
+    ]

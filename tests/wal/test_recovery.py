@@ -1,0 +1,200 @@
+"""Recovery semantics: redo committed work, discard everything else."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.abdl.ast import Modifier
+from repro.core.mlds import MLDS
+from repro.errors import WalError
+from repro.persistence import load_mlds, save_mlds
+from repro.university import load_university
+from repro.wal.log import WalManager, backend_segment_name
+from repro.wal.recovery import checkpoint_mlds, recover_mlds, snapshot_watermark
+
+from tests.wal.conftest import delete, farm_image, insert, update
+
+
+def small_workload(kds):
+    """A deterministic mixed workload across two files."""
+    for i in range(8):
+        kds.execute(insert("f", a=i))
+    for i in range(4):
+        kds.execute(insert("g", b=i, note=f"row {i}"))
+    kds.execute(update(Modifier("a", arithmetic="*", operand=10), ("a", ">=", 6)))
+    kds.execute(delete(("FILE", "=", "g"), ("b", "=", 1)))
+
+
+def test_recovery_without_checkpoint_rebuilds_the_whole_farm(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=3, wal=wal_dir)
+    small_workload(mlds.kds)
+    live = farm_image(mlds)
+    mlds.kds.shutdown()
+
+    recovered = recover_mlds(wal_dir)
+    assert farm_image(recovered) == live
+    recovered.kds.shutdown()
+
+
+def test_recovery_after_checkpoint_replays_only_the_tail(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=3, wal=wal_dir)
+    small_workload(mlds.kds)
+    checkpoint_mlds(mlds)
+    # tail beyond the checkpoint
+    mlds.kds.execute(insert("f", a=99))
+    mlds.kds.execute(delete(("FILE", "=", "f"), ("a", "=", 0)))
+    live = farm_image(mlds)
+    watermark = mlds.kds.wal.last_committed_txn
+    mlds.kds.shutdown()
+
+    recovered = recover_mlds(wal_dir)
+    assert farm_image(recovered) == live
+    # journaling resumes after everything already on disk
+    assert recovered.kds.wal.last_committed_txn == watermark
+    recovered.kds.shutdown()
+
+
+def test_checkpoint_carries_schemas_and_placement(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=4, wal=wal_dir)
+    load_university(mlds)
+    checkpoint_mlds(mlds)
+    mlds.kds.shutdown()
+
+    recovered = recover_mlds(wal_dir)
+    assert recovered.database_names() == ["university"]
+    # placement counters restored: the next insert round-robins onward
+    # exactly as the uncrashed system would have
+    counters = recovered.kds.controller.placement._counters
+    assert counters  # populated from the snapshot, not empty
+    recovered.kds.shutdown()
+
+
+def test_uncommitted_tail_is_discarded(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=2, wal=wal_dir)
+    mlds.kds.execute(insert("f", a=1))
+    pre = farm_image(mlds)
+    # an explicit transaction the crash beats to the commit record
+    mlds.kds.begin_transaction()
+    mlds.kds.execute(insert("f", a=2))
+    mlds.kds.execute(insert("f", a=3))
+    mlds.kds.controller.wal.close()  # the plug is pulled; no commit record
+
+    recovered = recover_mlds(wal_dir)
+    assert farm_image(recovered) == pre
+    recovered.kds.shutdown()
+    mlds.kds.controller.wal = None  # already closed; skip shutdown's close
+    mlds.kds.shutdown()
+
+
+def test_aborted_transaction_rolls_back_live_and_stays_out_of_recovery(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=2, wal=wal_dir)
+    mlds.kds.execute(insert("f", a=1))
+    pre = farm_image(mlds)
+
+    class Boom(RuntimeError):
+        pass
+
+    with pytest.raises(Boom):
+        with mlds.kds.transaction():
+            mlds.kds.execute(insert("f", a=2))
+            mlds.kds.execute(update(Modifier("a", value=7), ("FILE", "=", "f")))
+            raise Boom()
+    # in-memory rollback: the live farm is back to the pre-image
+    assert farm_image(mlds) == pre
+    mlds.kds.shutdown()
+
+    recovered = recover_mlds(wal_dir)
+    assert farm_image(recovered) == pre
+    recovered.kds.shutdown()
+
+
+def test_missing_journaled_op_fails_the_count_checksum(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=1, wal=wal_dir)
+    with mlds.kds.transaction():
+        mlds.kds.execute(insert("f", a=1))
+        mlds.kds.execute(insert("f", a=2))
+    mlds.kds.shutdown()
+    # drop the second (still well-formed) op line from the backend log
+    log = wal_dir / backend_segment_name(0, 0)
+    lines = log.read_text().splitlines()
+    log.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(WalError, match="checksum"):
+        recover_mlds(wal_dir)
+
+
+def test_recover_into_any_engine_is_identical(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=3, wal=wal_dir)
+    small_workload(mlds.kds)
+    live = farm_image(mlds)
+    mlds.kds.shutdown()
+
+    serial = recover_mlds(wal_dir, engine="serial", attach_wal=False)
+    threads = recover_mlds(wal_dir, engine="threads", workers=2, attach_wal=False)
+    assert farm_image(serial) == live
+    assert farm_image(threads) == live
+    serial.kds.shutdown()
+    threads.kds.shutdown()
+
+
+def test_recovered_placement_continues_round_robin(tmp_path):
+    """Post-recovery inserts land where the uncrashed system would put them."""
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=3, wal=wal_dir)
+    for i in range(4):  # 4 inserts over 3 backends: next goes to backend 1
+        mlds.kds.execute(insert("f", a=i))
+    mlds.kds.shutdown()
+
+    twin = MLDS(backend_count=3)
+    for i in range(4):
+        twin.kds.execute(insert("f", a=i))
+
+    recovered = recover_mlds(wal_dir)
+    recovered.kds.execute(insert("f", a=100))
+    twin.kds.execute(insert("f", a=100))
+    assert farm_image(recovered) == farm_image(twin)
+    recovered.kds.shutdown()
+    twin.kds.shutdown()
+
+
+def test_recover_requires_a_wal_directory(tmp_path):
+    with pytest.raises(WalError):
+        recover_mlds(tmp_path / "nowhere")
+
+
+def test_version_1_snapshot_still_loads_with_zero_watermark(tmp_path):
+    mlds = MLDS(backend_count=2)
+    mlds.kds.execute(insert("f", a=1))
+    path = tmp_path / "snap.json"
+    save_mlds(mlds, path)
+    # rewrite as the pre-WAL format 1 (no wal/placement keys)
+    snapshot = json.loads(path.read_text())
+    snapshot["format"] = 1
+    del snapshot["wal"]
+    del snapshot["placement"]
+    path.write_text(json.dumps(snapshot))
+
+    assert snapshot_watermark(path) == 0
+    migrated = load_mlds(path)
+    assert farm_image(migrated) == farm_image(mlds)
+
+
+def test_wrong_backend_count_snapshot_rejected_by_recovery(tmp_path):
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=2, wal=wal_dir)
+    mlds.kds.execute(insert("f", a=1))
+    mlds.kds.shutdown()
+
+    other = MLDS(backend_count=3)
+    snapshot = tmp_path / "other.json"
+    save_mlds(other, snapshot)
+    with pytest.raises(WalError, match="backends"):
+        recover_mlds(wal_dir, snapshot=snapshot)
