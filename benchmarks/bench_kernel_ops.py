@@ -10,7 +10,6 @@ from __future__ import annotations
 import pytest
 
 from repro.abdl import parse_request
-from repro.mbds import KernelDatabaseSystem
 
 from .conftest import populate_kds
 

@@ -1,0 +1,173 @@
+"""Observability: overhead of the disabled (null) and enabled bundles.
+
+The whole point of the null-object design in :mod:`repro.obs` is that an
+un-instrumented MLDS pays (near) nothing for the instrumentation hooks
+threaded through LIL, KMS, KC, KDS, the engines, and the WAL.  This
+benchmark holds that line: the same retrieval-heavy workload runs
+
+* ``baseline`` — the stack-wide ``NULL_OBS`` default (no bundle at all),
+* ``metrics`` — a real bundle with tracing off (counters/histograms only),
+* ``tracing`` — tracing on (span tree per request),
+* ``slowlog`` — tracing on plus a slow log that captures every request
+  (threshold 0, the worst case: one dict snapshot per trace).
+
+Each mode is repeated and the *minimum* wall time is kept — min-of-N is
+the standard noise filter for micro-benchmarks on shared CI runners —
+and the repetitions are interleaved round-robin across the modes so
+CPU-frequency drift and neighbour noise hit every mode alike instead of
+whichever one happened to run last.
+
+Run standalone (writes a JSON report, default ``BENCH_obs.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+Exit status is non-zero when any enabled mode slows the workload by more
+than ``--max-overhead`` times the baseline (default 1.10 — the ISSUE's
+10% line).  The workload is sized so real scan work dominates: each
+request examines hundreds of records per backend, so the per-request
+span cost (a few microseconds) must stay far below the request cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # runnable as a plain script, too
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.abdl.ast import ALL_ATTRIBUTES, InsertRequest, RetrieveRequest
+from repro.abdm.predicate import Query
+from repro.abdm.record import Record
+from repro.mbds import KernelDatabaseSystem
+from repro.obs import Observability
+
+
+def build_kds(backends: int, records: int, obs) -> KernelDatabaseSystem:
+    kds = KernelDatabaseSystem(backend_count=backends, obs=obs)
+    for i in range(records):
+        kds.execute(
+            InsertRequest(
+                Record.from_pairs(
+                    [("FILE", "data"), ("data", f"d${i}"), ("x", i % 23)],
+                    text=f"row {i}",
+                )
+            )
+        )
+    return kds
+
+
+MODES = ("baseline", "metrics", "tracing", "slowlog")
+
+
+def make_obs(mode: str):
+    if mode == "baseline":
+        return None
+    if mode == "metrics":
+        return Observability()
+    if mode == "tracing":
+        return Observability(tracing=True)
+    # slowlog: tracing plus a capture of every request (threshold 0)
+    return Observability(tracing=True, slow_ms=0.0)
+
+
+def run_modes(backends: int, records: int, queries: int, repeat: int) -> list[dict]:
+    """Time *queries* broadcast retrievals per mode; min wall of *repeat*
+    interleaved rounds."""
+    systems = {mode: build_kds(backends, records, make_obs(mode)) for mode in MODES}
+    requests = [
+        RetrieveRequest(Query.single("x", "=", q % 23), [ALL_ATTRIBUTES])
+        for q in range(queries)
+    ]
+    best = {mode: float("inf") for mode in MODES}
+    for _ in range(repeat):
+        for mode in MODES:
+            kds = systems[mode]
+            start = time.perf_counter()
+            for request in requests:
+                kds.execute(request)
+            best[mode] = min(best[mode], time.perf_counter() - start)
+    for kds in systems.values():
+        kds.shutdown()
+    return [
+        {
+            "mode": mode,
+            "wall_s": best[mode],
+            "queries": queries,
+            "queries_per_s": queries / max(best[mode], 1e-9),
+        }
+        for mode in MODES
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backends", type=int, default=4)
+    parser.add_argument(
+        "--records",
+        type=int,
+        default=2000,
+        help="records loaded before timing (spread across the backends)",
+    )
+    parser.add_argument("--queries", type=int, default=300)
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        help="timed repetitions per mode; the minimum is reported",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=1.10,
+        help="maximum tolerated (mode wall / baseline wall) ratio (0 disables)",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    rows = run_modes(args.backends, args.records, args.queries, args.repeat)
+    base = rows[0]["wall_s"]
+    for row in rows:
+        row["overhead_x"] = row["wall_s"] / max(base, 1e-9)
+
+    print("=== observability overhead (retrieval workload) ===")
+    header = f"{'mode':>8}  {'wall s':>8}  {'query/s':>10}  {'overhead':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['mode']:>8}  {row['wall_s']:>8.3f}  "
+            f"{row['queries_per_s']:>10.0f}  {row['overhead_x']:>7.3f}x"
+        )
+
+    report = {
+        "benchmark": "obs_overhead",
+        "backends": args.backends,
+        "records": args.records,
+        "queries": args.queries,
+        "repeat": args.repeat,
+        "max_overhead": args.max_overhead,
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.max_overhead > 0:
+        offenders = [r for r in rows if r["overhead_x"] > args.max_overhead]
+        if offenders:
+            for row in offenders:
+                print(
+                    f"FAIL: mode {row['mode']!r} overhead "
+                    f"{row['overhead_x']:.3f}x exceeds --max-overhead "
+                    f"{args.max_overhead}",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ UPDATE).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.abdl.aggregates import evaluate_aggregate, group_records
 from repro.abdl.ast import (

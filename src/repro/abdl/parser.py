@@ -43,7 +43,6 @@ from repro.abdl.ast import (
 from repro.abdm.predicate import Conjunction, Predicate, Query
 from repro.abdm.record import Keyword, Record
 from repro.abdm.values import Value
-from repro.errors import ParseError
 from repro.lang.lexer import Lexer, TokenStream, TokenType
 
 _KEYWORDS = (

@@ -27,7 +27,6 @@ directory's benefit — which the directory ablation benchmark measures.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 

@@ -29,21 +29,28 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.abdm.predicate import Query
-from repro.abdm.record import FILE_ATTRIBUTE, Record
+from repro.abdm.record import Record
 from repro.abdm.values import Value
 from repro.errors import ExecutionError
 
 
 @dataclass
 class ScanStats:
-    """Accounting for one store operation, consumed by the timing model."""
+    """Accounting for one store operation, consumed by the timing model.
+
+    *index_hits* counts (file, query) pairs a hash index answered instead
+    of a full scan — the signal the observability spans surface so index
+    effectiveness is visible per request, not only in aggregate.
+    """
 
     records_examined: int = 0
     records_touched: int = 0
+    index_hits: int = 0
 
     def __iadd__(self, other: "ScanStats") -> "ScanStats":
         self.records_examined += other.records_examined
         self.records_touched += other.records_touched
+        self.index_hits += other.index_hits
         return self
 
 
@@ -221,6 +228,8 @@ class ABStore:
         found: list[Record] = []
         for abfile in self._candidate_files(query):
             candidates = self._index_candidates(abfile.name, query)
+            if candidates is not None:
+                self.stats.index_hits += 1
             for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1
                 if query.matches(record):
@@ -234,6 +243,8 @@ class ABStore:
         for abfile in self._candidate_files(query):
             records = abfile.records()
             candidates = self._index_candidates(abfile.name, query)
+            if candidates is not None:
+                self.stats.index_hits += 1
             if candidates is None:
                 kept = []
                 removed = 0
@@ -270,6 +281,8 @@ class ABStore:
         updated = 0
         for abfile in self._candidate_files(query):
             candidates = self._index_candidates(abfile.name, query)
+            if candidates is not None:
+                self.stats.index_hits += 1
             touched = 0
             for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1

@@ -48,6 +48,9 @@ dot-commands:
   .load <path>               replace the system with a snapshot
   .checkpoint                checkpoint the WAL (snapshot + truncate the log)
   .recover <wal-dir>         replace the system with one recovered from a WAL
+  .stats                     dump the metrics registry (counters/gauges/histograms)
+  .trace                     render the most recent request trace (needs --trace)
+  .slow [n]                  show the slow log's last n entries (needs --slow-ms)
   .quit                      leave the shell
 anything else is executed as a statement of the open session's language."""
 
@@ -153,7 +156,9 @@ class MLDSShell:
                 return "usage: .load <path>"
             from repro.persistence import load_mlds
 
-            self.mlds = load_mlds(args[0])
+            # Keep the shell's observability bundle across the swap so
+            # --trace / --metrics-out keep working on the loaded system.
+            self.mlds = load_mlds(args[0], obs=self.mlds.obs)
             self.session = None
             return f"loaded {args[0]} ({len(self.mlds.database_names())} databases)"
         if command == ".checkpoint":
@@ -170,12 +175,40 @@ class MLDSShell:
                 return "usage: .recover <wal-dir>"
             from repro.wal.recovery import recover_mlds
 
-            self.mlds = recover_mlds(args[0])
+            self.mlds = recover_mlds(args[0], obs=self.mlds.obs)
             self.session = None
             return (
                 f"recovered from {args[0]} "
                 f"({self.mlds.kds.record_count()} records)"
             )
+        if command == ".stats":
+            import json
+
+            return json.dumps(self.mlds.obs.metrics.as_dict(), indent=1)
+        if command == ".trace":
+            if not self.mlds.obs.tracer.enabled:
+                return "tracing is off (start with --trace or --slow-ms)"
+            root = self.mlds.obs.tracer.last_trace
+            if root is None:
+                return "(no trace captured yet)"
+            return root.render()
+        if command == ".slow":
+            from repro.obs import NullSlowLog
+
+            slowlog = self.mlds.obs.slowlog
+            if isinstance(slowlog, NullSlowLog):
+                return "slow logging is off (start with --slow-ms)"
+            count = int(args[0]) if args else 5
+            entries = slowlog.entries()[-count:]
+            if not entries:
+                return "(no slow requests yet)"
+            lines = []
+            for entry in entries:
+                lines.append(
+                    f"{entry['name']}  wall={entry['wall_ms']:.3f}ms  "
+                    f"attrs={entry.get('attrs', {})}"
+                )
+            return "\n".join(lines)
         if command == ".log":
             if self.session is None:
                 return "no session open"
@@ -333,6 +366,27 @@ def build_parser() -> "argparse.ArgumentParser":
         help="start from the state recovered out of --wal-dir (checkpoint "
         "snapshot plus committed WAL tail) instead of an empty system",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture a span tree per request (inspect with .trace); "
+        "metrics are collected either way",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="snapshot the full trace of any request slower than MS "
+        "wall-clock milliseconds into the slow log (implies --trace; "
+        "inspect with .slow)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry as JSON to FILE when the shell exits",
+    )
     return parser
 
 
@@ -341,6 +395,11 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
     parser = build_parser()
     args = parser.parse_args(argv)
     wal_dir = None if args.no_wal else args.wal_dir
+    obs = None
+    if args.trace or args.slow_ms is not None or args.metrics_out:
+        from repro.obs import Observability
+
+        obs = Observability(tracing=args.trace, slow_ms=args.slow_ms)
     try:
         if args.recover:
             if wal_dir is None:
@@ -352,6 +411,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
                 engine=args.engine,
                 workers=args.workers,
                 pruning=args.prune,
+                obs=obs,
             )
         else:
             mlds = MLDS(
@@ -360,6 +420,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
                 workers=args.workers,
                 pruning=args.prune,
                 wal=wal_dir,
+                obs=obs,
             )
     except ValueError as exc:
         parser.error(str(exc))
@@ -368,10 +429,18 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
 
         load_university(mlds)
         print("loaded the University demo database")
+    shell = MLDSShell(mlds)
     try:
-        MLDSShell(mlds).run()
+        shell.run()
     finally:
-        mlds.kds.shutdown()
+        shell.mlds.kds.shutdown()
+        if args.metrics_out:
+            import json
+            from pathlib import Path
+
+            Path(args.metrics_out).write_text(
+                json.dumps(shell.mlds.obs.as_dict(), indent=1)
+            )
     return 0
 
 

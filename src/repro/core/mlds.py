@@ -36,6 +36,7 @@ from repro.mapping.hie_to_rel import HierarchicalSqlEngine
 from repro.mapping.rel_to_abdm import ABRelationalMapping
 from repro.mbds.kds import KernelDatabaseSystem
 from repro.mbds.timing import TimingModel
+from repro.obs import ObsSpec
 from repro.network.ddl import parse_network_schema
 from repro.hierarchical.dli import parse_hierarchical_schema
 from repro.hierarchical.model import HierarchicalSchema
@@ -65,6 +66,7 @@ class MLDS:
         workers: Optional[int] = None,
         pruning: bool = False,
         wal: Union[None, str, Path, WalManager] = None,
+        obs: ObsSpec = None,
     ) -> None:
         """*store_factory* optionally replaces each backend's plain scan
         store, e.g. with a directory-clustered
@@ -76,7 +78,10 @@ class MLDS:
         enables durability: pass a directory path (or a prepared
         :class:`~repro.wal.log.WalManager`) and every mutating kernel
         request is journaled there before it is applied (see
-        :mod:`repro.wal`)."""
+        :mod:`repro.wal`).  *obs* attaches an
+        :class:`~repro.obs.Observability` bundle — request tracing,
+        metrics, and the slow log — shared by every layer beneath this
+        facade; the default is the no-op null bundle."""
         if wal is not None and not isinstance(wal, WalManager):
             wal = WalManager(Path(wal), backend_count)
         self.kds = KernelDatabaseSystem(
@@ -87,6 +92,7 @@ class MLDS:
             workers=workers,
             pruning=pruning,
             wal=wal,
+            obs=obs,
         )
         self._functional: dict[str, FunctionalSchema] = {}
         self._network: dict[str, NetworkSchema] = {}
@@ -97,6 +103,11 @@ class MLDS:
         self._relational_mappings: dict[str, ABRelationalMapping] = {}
         self._transformations: dict[str, NetworkTransformation] = {}
 
+    @property
+    def obs(self):
+        """The system-wide observability bundle (see :mod:`repro.obs`)."""
+        return self.kds.obs
+
     def attach_wal(self, wal: WalManager) -> None:
         """Wire a write-ahead log into an already-built system.
 
@@ -104,6 +115,8 @@ class MLDS:
         system resumes journaling to the directory it was rebuilt from.
         """
         self.kds.controller.wal = wal
+        if self.obs.enabled:
+            wal.bind_obs(self.obs)
 
     # -- database definition (the KMS's first task) ---------------------------------
 

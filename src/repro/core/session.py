@@ -4,11 +4,17 @@ A session corresponds to the thesis's per-user data (Figure 4.18's
 user_info and the dml_info / dap_info unions): the user id, the database
 being processed, the run-unit state, and the kernel-controller handle
 whose request log records the ABDL every statement translated into.
+
+Sessions are also where request traces begin: each ``execute`` (one
+statement) or ``run`` (one transaction) opens the root ``lil.session``
+span — tagged with the language, database, and user — under which the
+KMS, KC, KDS, backend, and WAL spans of that work nest (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from repro.functional import daplex_dml
 from repro.hierarchical import dli
@@ -52,11 +58,21 @@ class CodasylSession:
 
     def execute(self, statement: Union[str, dml.Statement]) -> StatementResult:
         """Execute one DML statement."""
-        return self.engine.execute(statement)
+        with self._root_span():
+            return self.engine.execute(statement)
 
     def run(self, text: str) -> list[StatementResult]:
-        """Execute a multi-statement transaction."""
-        return self.engine.run(text)
+        """Execute a multi-statement transaction (one trace for all of it)."""
+        with self._root_span():
+            return self.engine.run(text)
+
+    def _root_span(self):
+        return self.kc.obs.tracer.span(
+            "lil.session",
+            language="codasyl",
+            database=self.database,
+            user=self.user,
+        )
 
     def run_file(self, path) -> list[StatementResult]:
         """Execute a transaction file (the thesis's dml_info file path)."""
@@ -121,11 +137,21 @@ class DaplexSession:
 
     def execute(self, statement: Union[str, daplex_dml.DaplexStatement]) -> DaplexResult:
         """Execute one DAPLEX DML statement."""
-        return self.engine.execute(statement)
+        with self._root_span():
+            return self.engine.execute(statement)
 
     def run(self, text: str) -> list[DaplexResult]:
-        """Execute a multi-statement DAPLEX program."""
-        return self.engine.run(text)
+        """Execute a multi-statement DAPLEX program (one trace)."""
+        with self._root_span():
+            return self.engine.run(text)
+
+    def _root_span(self):
+        return self.kc.obs.tracer.span(
+            "lil.session",
+            language="daplex",
+            database=self.database,
+            user=self.user,
+        )
 
     def run_file(self, path) -> list[DaplexResult]:
         """Execute a DAPLEX program file."""
@@ -170,11 +196,21 @@ class SqlSession:
 
     def execute(self, statement) -> SqlResult:
         """Execute one SQL statement (text or parsed)."""
-        return self.engine.execute(statement)
+        with self._root_span():
+            return self.engine.execute(statement)
 
     def run(self, text: str) -> list[SqlResult]:
-        """Execute a multi-statement SQL script."""
-        return self.engine.run(text)
+        """Execute a multi-statement SQL script (one trace)."""
+        with self._root_span():
+            return self.engine.run(text)
+
+    def _root_span(self):
+        return self.kc.obs.tracer.span(
+            "lil.session",
+            language="sql",
+            database=self.database,
+            user=self.user,
+        )
 
     def run_file(self, path) -> list[SqlResult]:
         """Execute a SQL script file."""
@@ -219,11 +255,21 @@ class DliSession:
 
     def execute(self, call: Union[str, dli.DliCall]) -> DliResult:
         """Execute one DL/I call."""
-        return self.engine.execute(call)
+        with self._root_span():
+            return self.engine.execute(call)
 
     def run(self, text: str) -> list[DliResult]:
-        """Execute a sequence of DL/I calls."""
-        return self.engine.run(text)
+        """Execute a sequence of DL/I calls (one trace)."""
+        with self._root_span():
+            return self.engine.run(text)
+
+    def _root_span(self):
+        return self.kc.obs.tracer.span(
+            "lil.session",
+            language="dli",
+            database=self.database,
+            user=self.user,
+        )
 
     def run_file(self, path) -> list[DliResult]:
         """Execute a DL/I call file."""

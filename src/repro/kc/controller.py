@@ -33,10 +33,20 @@ class KernelController:
         #: Rendered text of every request executed (oldest first).
         self.request_log: list[str] = []
 
+    @property
+    def obs(self):
+        """The kernel's observability bundle (shared across run-units)."""
+        return self.kds.obs
+
     def execute(self, request: Request) -> RequestResult:
         """Execute one request, logging its ABDL text."""
-        self.request_log.append(request.render())
-        return self.kds.execute(request).result
+        with self.obs.tracer.span("kc.dispatch") as span:
+            rendered = request.render()
+            self.request_log.append(rendered)
+            result = self.kds.execute(request).result
+            if span:
+                span.record(abdl=rendered)
+        return result
 
     @contextmanager
     def transaction(self) -> Iterator[None]:

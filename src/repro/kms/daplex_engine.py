@@ -61,14 +61,21 @@ class DaplexEngine:
     def execute(self, statement: dml.DaplexStatement | str) -> DaplexResult:
         if isinstance(statement, str):
             statement = dml.parse_statement(statement)
-        log_start = len(self.kc.request_log)
-        if isinstance(statement, dml.ForEach):
-            result = self._for_each(statement)
-        elif isinstance(statement, dml.ForNew):
-            result = self._for_new(statement)
-        else:
-            raise TranslationError(f"unknown statement {type(statement).__name__}")
-        result.requests = self.kc.request_log[log_start:]
+        with self.kc.obs.tracer.span("kms.translate") as span:
+            log_start = len(self.kc.request_log)
+            if isinstance(statement, dml.ForEach):
+                result = self._for_each(statement)
+            elif isinstance(statement, dml.ForNew):
+                result = self._for_new(statement)
+            else:
+                raise TranslationError(f"unknown statement {type(statement).__name__}")
+            result.requests = self.kc.request_log[log_start:]
+            if span:
+                span.record(
+                    language="daplex",
+                    statement=type(statement).__name__,
+                    requests=len(result.requests),
+                )
         return result
 
     def run(self, text: str) -> list[DaplexResult]:

@@ -88,25 +88,32 @@ class DliEngine:
     def execute(self, call: Union[str, dli.DliCall]) -> DliResult:
         if isinstance(call, str):
             call = dli.parse_call(call)
-        log_start = len(self.kc.request_log)
-        if isinstance(call, dli.SetField):
-            self.io_area[call.name] = call.value
-            result = DliResult(call.render())
-        elif isinstance(call, dli.GetUnique):
-            result = self._get_unique(call)
-        elif isinstance(call, dli.GetNext):
-            result = self._get_next(call)
-        elif isinstance(call, dli.GetNextWithinParent):
-            result = self._get_next_within_parent(call)
-        elif isinstance(call, dli.Insert):
-            result = self._insert(call)
-        elif isinstance(call, dli.Replace):
-            result = self._replace(call)
-        elif isinstance(call, dli.Delete):
-            result = self._delete(call)
-        else:
-            raise TranslationError(f"unknown DL/I call {type(call).__name__}")
-        result.requests = self.kc.request_log[log_start:]
+        with self.kc.obs.tracer.span("kms.translate") as span:
+            log_start = len(self.kc.request_log)
+            if isinstance(call, dli.SetField):
+                self.io_area[call.name] = call.value
+                result = DliResult(call.render())
+            elif isinstance(call, dli.GetUnique):
+                result = self._get_unique(call)
+            elif isinstance(call, dli.GetNext):
+                result = self._get_next(call)
+            elif isinstance(call, dli.GetNextWithinParent):
+                result = self._get_next_within_parent(call)
+            elif isinstance(call, dli.Insert):
+                result = self._insert(call)
+            elif isinstance(call, dli.Replace):
+                result = self._replace(call)
+            elif isinstance(call, dli.Delete):
+                result = self._delete(call)
+            else:
+                raise TranslationError(f"unknown DL/I call {type(call).__name__}")
+            result.requests = self.kc.request_log[log_start:]
+            if span:
+                span.record(
+                    language="dli",
+                    statement=type(call).__name__,
+                    requests=len(result.requests),
+                )
         return result
 
     def run(self, text: str) -> list[DliResult]:

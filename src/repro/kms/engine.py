@@ -18,7 +18,6 @@ from typing import Optional, Sequence, Union
 
 from repro.abdm.predicate import Predicate
 from repro.abdm.record import Record
-from repro.abdm.values import Value
 from repro.errors import (
     CurrencyError,
     ExecutionError,
@@ -50,9 +49,17 @@ class DMLEngine:
         """Execute one statement (text is parsed first)."""
         if isinstance(statement, str):
             statement = dml.parse_statement(statement)
-        log_start = len(self.adapter.kc.request_log)
-        result = self._dispatch(statement)
-        result.requests = self.adapter.kc.request_log[log_start:]
+        kc = self.adapter.kc
+        with kc.obs.tracer.span("kms.translate") as span:
+            log_start = len(kc.request_log)
+            result = self._dispatch(statement)
+            result.requests = kc.request_log[log_start:]
+            if span:
+                span.record(
+                    language="codasyl",
+                    statement=type(statement).__name__,
+                    requests=len(result.requests),
+                )
         return result
 
     def run(self, text: str) -> list[StatementResult]:

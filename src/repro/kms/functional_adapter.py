@@ -57,7 +57,7 @@ from repro.mapping.fun_to_abdm import ABFunctionalMapping
 from repro.mapping.fun_to_net import Carrier, NetworkTransformation, SetKind, SetOrigin
 from repro.mapping.overlap import OverlapTable
 from repro.network.currency import CurrencyIndicatorTable
-from repro.network.model import InsertionMode, RetentionMode
+from repro.network.model import RetentionMode
 
 #: Separator of the two side keys inside a virtual link database key.
 LINK_KEY_SEPARATOR = "~"

@@ -24,7 +24,7 @@ from repro.abdl.ast import (
     TargetItem,
     UpdateRequest,
 )
-from repro.abdm.predicate import Conjunction, Predicate, Query
+from repro.abdm.predicate import Predicate, Query
 from repro.abdm.record import Record
 from repro.abdm.values import Value
 from repro.errors import ConstraintViolation, CurrencyError, TranslationError

@@ -68,18 +68,25 @@ class SqlEngine:
     def execute(self, statement: Union[str, sql.SqlStatement]) -> SqlResult:
         if isinstance(statement, str):
             statement = sql.parse_statement(statement)
-        log_start = len(self.kc.request_log)
-        if isinstance(statement, sql.Select):
-            result = self._select(statement)
-        elif isinstance(statement, sql.Insert):
-            result = self._insert(statement)
-        elif isinstance(statement, sql.Update):
-            result = self._update(statement)
-        elif isinstance(statement, sql.Delete):
-            result = self._delete(statement)
-        else:
-            raise TranslationError(f"unknown statement {type(statement).__name__}")
-        result.requests = self.kc.request_log[log_start:]
+        with self.kc.obs.tracer.span("kms.translate") as span:
+            log_start = len(self.kc.request_log)
+            if isinstance(statement, sql.Select):
+                result = self._select(statement)
+            elif isinstance(statement, sql.Insert):
+                result = self._insert(statement)
+            elif isinstance(statement, sql.Update):
+                result = self._update(statement)
+            elif isinstance(statement, sql.Delete):
+                result = self._delete(statement)
+            else:
+                raise TranslationError(f"unknown statement {type(statement).__name__}")
+            result.requests = self.kc.request_log[log_start:]
+            if span:
+                span.record(
+                    language="sql",
+                    statement=type(statement).__name__,
+                    requests=len(result.requests),
+                )
         return result
 
     def run(self, text: str) -> list[SqlResult]:

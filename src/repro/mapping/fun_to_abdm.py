@@ -31,7 +31,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 from repro.abdm.record import FILE_ATTRIBUTE, Record
 from repro.abdm.values import Value
 from repro.errors import SchemaError, TransformError
-from repro.functional.model import EntitySubtype, EntityType, Function, FunctionalSchema
+from repro.functional.model import EntityType, Function, FunctionalSchema
 
 #: A function value supplied by a loader: one kernel value, or a list of
 #: them for multi-valued functions.

@@ -16,7 +16,7 @@ modified translation is measured against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.abdm.record import FILE_ATTRIBUTE, Record
 from repro.abdm.values import Value

@@ -14,7 +14,7 @@ the mechanism behind both claims — execute for real.
 """
 
 from repro.mbds.backend import Backend, BackendResult
-from repro.mbds.controller import BackendController, BroadcastPhase, ExecutionTrace
+from repro.mbds.controller import BackendController, ExecutionTrace
 from repro.mbds.engine import (
     ExecutionEngine,
     SerialEngine,
@@ -29,7 +29,7 @@ from repro.mbds.placement import (
     RoundRobinPlacement,
 )
 from repro.mbds.summary import BackendSummary
-from repro.mbds.timing import ResponseTime, TimingModel
+from repro.mbds.timing import BroadcastPhase, ResponseTime, TimingModel
 
 __all__ = [
     "Backend",

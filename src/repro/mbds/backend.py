@@ -59,6 +59,7 @@ class BackendImage:
     records: list
     examined: int
     touched: int
+    index_hits: int = 0
 
 
 @dataclass
@@ -67,12 +68,17 @@ class BackendResult:
 
     *elapsed_ms* is simulated (timing-model) time; *wall_ms* is the real
     time the backend spent executing, measured with ``perf_counter``.
+    *records_examined* / *index_hits* are this request's slice of the
+    store's scan accounting (deltas, not cumulative totals), surfaced so
+    per-backend trace spans can explain their own cost.
     """
 
     backend_id: int
     result: RequestResult
     elapsed_ms: float
     wall_ms: float = 0.0
+    records_examined: int = 0
+    index_hits: int = 0
 
 
 class Backend:
@@ -103,8 +109,10 @@ class Backend:
         with self._lock:
             start = time.perf_counter()
             before = self.store.stats.records_examined
+            hits_before = self.store.stats.index_hits
             result = self.executor.execute(request)
             examined = self.store.stats.records_examined - before
+            index_hits = self.store.stats.index_hits - hits_before
             if isinstance(request, _MUTATING_REQUESTS):
                 self._summary = None
             if isinstance(request, InsertRequest):
@@ -117,7 +125,9 @@ class Backend:
             wall_ms = (time.perf_counter() - start) * 1000.0
             self.busy_ms += elapsed
             self.busy_wall_ms += wall_ms
-            return BackendResult(self.backend_id, result, elapsed, wall_ms)
+            return BackendResult(
+                self.backend_id, result, elapsed, wall_ms, examined, index_hits
+            )
 
     # -- durability support -----------------------------------------------------
 
@@ -141,6 +151,7 @@ class Backend:
                 [record.copy() for record in self.store.all_records()],
                 self.store.stats.records_examined,
                 self.store.stats.records_touched,
+                self.store.stats.index_hits,
             )
 
     def restore_image(self, image: BackendImage) -> None:
@@ -153,6 +164,7 @@ class Backend:
             # back where the pre-image left it.
             self.store.stats.records_examined = image.examined
             self.store.stats.records_touched = image.touched
+            self.store.stats.index_hits = image.index_hits
             self._summary = None
 
     # -- content summary (broadcast pruning) ------------------------------------

@@ -47,7 +47,14 @@ from repro.errors import ExecutionError
 from repro.mbds.backend import Backend, BackendImage, BackendResult, StoreFactory
 from repro.mbds.engine import EngineSpec, ExecutionEngine, make_engine
 from repro.mbds.placement import PlacementPolicy, RoundRobinPlacement
-from repro.mbds.timing import ResponseTime, TimingModel
+from repro.mbds.timing import (
+    PHASE_BROADCAST,
+    PHASE_INSERT,
+    BroadcastPhase,
+    ResponseTime,
+    TimingModel,
+)
+from repro.obs import ObsSpec, resolve_obs
 from repro.wal.faults import CrashPoint
 from repro.wal.log import WalManager
 
@@ -70,21 +77,6 @@ class ControllerImage:
 
     backends: list[BackendImage]
     placement: PlacementPolicy
-
-
-@dataclass
-class BroadcastPhase:
-    """One labelled broadcast inside a request (per-backend timings).
-
-    Most requests have exactly one phase; RETRIEVE-COMMON has a ``left``
-    and a ``right`` phase (the two broadcast retrievals it is built
-    from), kept separate so per-backend accounting never silently
-    concatenates two broadcasts into one flat list.
-    """
-
-    label: str
-    per_backend_ms: list[float] = field(default_factory=list)
-    per_backend_wall_ms: list[float] = field(default_factory=list)
 
 
 @dataclass
@@ -124,6 +116,7 @@ class BackendController:
         pruning: bool = False,
         latency_scale: float = 0.0,
         wal: Optional[WalManager] = None,
+        obs: ObsSpec = None,
     ) -> None:
         if backend_count < 1:
             raise ValueError("MBDS needs at least one backend")
@@ -131,9 +124,15 @@ class BackendController:
         self.placement = placement or RoundRobinPlacement()
         self.engine: ExecutionEngine = make_engine(engine, workers)
         self.pruning = pruning
+        #: Observability bundle shared with the engine and the WAL; the
+        #: default is the null bundle (every hook a constant-time no-op).
+        self.obs = resolve_obs(obs)
+        self.engine.obs = self.obs
         #: Write-ahead log; when set, every mutating request is journaled
         #: to the executing backends' logs before it is applied.
         self.wal = wal
+        if wal is not None and self.obs.enabled:
+            wal.bind_obs(self.obs)
         self.backends = [
             Backend(i, self.timing, store_factory, latency_scale)
             for i in range(backend_count)
@@ -145,11 +144,17 @@ class BackendController:
 
     # -- execution -------------------------------------------------------------
 
-    def execute(self, request: Request) -> ExecutionTrace:
-        """Execute one request: route inserts, broadcast everything else."""
+    def execute(self, request: Request, label: Optional[str] = None) -> ExecutionTrace:
+        """Execute one request: route inserts, broadcast everything else.
+
+        *label* names the request's broadcast phase; it is the single
+        source for both the :class:`BroadcastPhase` accounting label and
+        the per-backend span names, so the two can never disagree (the
+        KDS passes ``left``/``right`` for RETRIEVE-COMMON's halves).
+        """
         if isinstance(request, InsertRequest):
-            return self._execute_insert(request)
-        return self._execute_broadcast(request)
+            return self._execute_insert(request, label or PHASE_INSERT)
+        return self._execute_broadcast(request, label or PHASE_BROADCAST)
 
     def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
         """Execute requests sequentially, as ABDL transactions require."""
@@ -171,22 +176,23 @@ class BackendController:
             self.wal.log_op(backend.backend_id, request)
         return auto
 
-    def _execute_insert(self, request: InsertRequest) -> ExecutionTrace:
+    def _execute_insert(self, request: InsertRequest, label: str) -> ExecutionTrace:
         start = time.perf_counter()
         index = self.placement.place(request.record, self.backend_count)
         auto_commit = self._journal(request, [self.backends[index]])
         if self.wal is not None:
             self.wal.fire(CrashPoint.BEFORE_APPLY)
-        backend_result = self.backends[index].execute(request)
+        backend_result = self.engine.execute_one(self.backends[index], request, label)
         if self.wal is not None:
             self.wal.fire(CrashPoint.AFTER_APPLY)
         if auto_commit:
             self.wal.commit(self.distribution())
         wall_ms = (time.perf_counter() - start) * 1000.0
+        self._account(label, [backend_result])
         response = ResponseTime()
         response.add(backend_result.elapsed_ms, self.timing.controller_ms(0))
         phase = BroadcastPhase(
-            "insert", [backend_result.elapsed_ms], [backend_result.wall_ms]
+            label, [backend_result.elapsed_ms], [backend_result.wall_ms]
         )
         return ExecutionTrace(
             request,
@@ -198,14 +204,14 @@ class BackendController:
             phases=[phase],
         )
 
-    def _execute_broadcast(self, request: Request) -> ExecutionTrace:
+    def _execute_broadcast(self, request: Request, label: str) -> ExecutionTrace:
         start = time.perf_counter()
         targets = self._broadcast_targets(request)
         mutating = isinstance(request, _MUTATING_REQUESTS)
         auto_commit = self._journal(request, targets) if mutating else False
         if mutating and self.wal is not None:
             self.wal.fire(CrashPoint.BEFORE_APPLY)
-        partials = self.engine.run(targets, request) if targets else []
+        partials = self.engine.run(targets, request, label) if targets else []
         if mutating and self.wal is not None:
             self.wal.fire(CrashPoint.AFTER_APPLY)
         if auto_commit:
@@ -222,7 +228,8 @@ class BackendController:
         response = ResponseTime()
         response.add(slowest, self.timing.controller_ms(len(merged.records)))
         wall_ms = (time.perf_counter() - start) * 1000.0
-        phase = BroadcastPhase("broadcast", per_backend_ms, per_backend_wall_ms)
+        self._account(label, partials)
+        phase = BroadcastPhase(label, per_backend_ms, per_backend_wall_ms)
         return ExecutionTrace(
             request,
             merged,
@@ -233,6 +240,19 @@ class BackendController:
             phases=[phase],
         )
 
+    def _account(self, label: str, partials: Sequence[BackendResult]) -> None:
+        """Record per-backend metrics for one executed phase."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        for partial in partials:
+            metrics.inc("backend.requests")
+            metrics.observe("backend.wall_ms", partial.wall_ms)
+            if partial.records_examined:
+                metrics.inc("backend.records_examined", partial.records_examined)
+            if partial.index_hits:
+                metrics.inc("backend.index_hits", partial.index_hits)
+
     def _broadcast_targets(self, request: Request) -> list[Backend]:
         """The backends a broadcast must reach (all, unless pruning)."""
         if not self.pruning:
@@ -240,7 +260,17 @@ class BackendController:
         query = getattr(request, "query", None)
         if query is None:
             return self.backends
-        return [b for b in self.backends if b.summary().may_match(query)]
+        with self.obs.tracer.span("prune.decision") as span:
+            targets = [b for b in self.backends if b.summary().may_match(query)]
+        skipped = len(self.backends) - len(targets)
+        if span:
+            span.record(targets=len(targets), skipped=skipped)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.inc("prune.broadcasts")
+            if skipped:
+                metrics.inc("prune.skipped_backends", skipped)
+        return targets
 
     # -- transaction rollback ----------------------------------------------------
 

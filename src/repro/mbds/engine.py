@@ -21,6 +21,16 @@ simulated cost is a pure function of each backend's store state, stores
 are partitioned one-per-backend, and result merging is performed by the
 controller in backend order.  ``bench_wallclock_scaling.py`` checks both
 halves of that contract (real speedup, identical simulated totals).
+
+Observability: the engine is the layer where execution crosses threads,
+so it is also where per-backend trace spans are opened.  The controller
+binds its observability bundle onto the engine (:attr:`ExecutionEngine.obs`),
+and :meth:`run` receives the phase *label* naming the spans
+(``backend[i].broadcast``, ``backend[i].left``, ...).  Under the thread
+pool the parent span is captured in the calling (controller) thread and
+attached explicitly, because the tracer's thread-local context is
+invisible from pool threads.  With the default null bundle the traced
+path is skipped entirely.
 """
 
 from __future__ import annotations
@@ -28,9 +38,13 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from repro.mbds.timing import PHASE_BROADCAST
+from repro.obs import NULL_OBS
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.abdl.ast import Request
     from repro.mbds.backend import Backend, BackendResult
+    from repro.obs.trace import Span
 
 
 class ExecutionEngine:
@@ -39,11 +53,51 @@ class ExecutionEngine:
     #: Short name used by ``--engine`` and reprs.
     name = "engine"
 
+    #: Observability bundle; the owning controller rebinds this so
+    #: per-backend spans and metrics reach the system-wide sinks.
+    obs = NULL_OBS
+
     def run(
-        self, backends: Sequence["Backend"], request: "Request"
+        self,
+        backends: Sequence["Backend"],
+        request: "Request",
+        label: str = PHASE_BROADCAST,
     ) -> list["BackendResult"]:
-        """Execute *request* on every backend; results in backend order."""
+        """Execute *request* on every backend; results in backend order.
+
+        *label* is the broadcast's phase label; traced runs name each
+        per-backend span ``backend[<id>].<label>``.
+        """
         raise NotImplementedError
+
+    def execute_one(
+        self,
+        backend: "Backend",
+        request: "Request",
+        label: str,
+        parent: Optional["Span"] = None,
+    ) -> "BackendResult":
+        """Execute on one backend, inside a per-backend span when tracing.
+
+        Also the controller's path for routed (non-broadcast) INSERTs, so
+        every backend execution — broadcast or routed — is spanned the
+        same way.
+        """
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return backend.execute(request)
+        span = tracer.open(f"backend[{backend.backend_id}].{label}", parent)
+        try:
+            result = backend.execute(request)
+        finally:
+            span.finish()
+        span.record(
+            simulated_ms=result.elapsed_ms,
+            records_examined=result.records_examined,
+            index_hits=result.index_hits,
+            records=result.result.count,
+        )
+        return result
 
     def shutdown(self) -> None:
         """Release any resources (threads); the engine stays usable after."""
@@ -58,9 +112,12 @@ class SerialEngine(ExecutionEngine):
     name = "serial"
 
     def run(
-        self, backends: Sequence["Backend"], request: "Request"
+        self,
+        backends: Sequence["Backend"],
+        request: "Request",
+        label: str = PHASE_BROADCAST,
     ) -> list["BackendResult"]:
-        return [backend.execute(request) for backend in backends]
+        return [self.execute_one(backend, request, label) for backend in backends]
 
 
 class ThreadPoolEngine(ExecutionEngine):
@@ -81,12 +138,21 @@ class ThreadPoolEngine(ExecutionEngine):
         self._pool: Optional[ThreadPoolExecutor] = None
 
     def run(
-        self, backends: Sequence["Backend"], request: "Request"
+        self,
+        backends: Sequence["Backend"],
+        request: "Request",
+        label: str = PHASE_BROADCAST,
     ) -> list["BackendResult"]:
         if len(backends) <= 1:
-            return [backend.execute(request) for backend in backends]
+            return [self.execute_one(backend, request, label) for backend in backends]
+        # Capture the parent span here, in the controller's thread: the
+        # tracer's thread-local context does not follow into the pool.
+        parent = self.obs.tracer.current
         pool = self._ensure_pool(len(backends))
-        futures = [pool.submit(backend.execute, request) for backend in backends]
+        futures = [
+            pool.submit(self.execute_one, backend, request, label, parent)
+            for backend in backends
+        ]
         return [future.result() for future in futures]
 
     def _ensure_pool(self, backend_count: int) -> ThreadPoolExecutor:

@@ -33,13 +33,18 @@ from repro.abdm.record import Record
 from repro.errors import ExecutionError, WalError
 from repro.mbds.controller import (
     BackendController,
-    BroadcastPhase,
     ControllerImage,
     ExecutionTrace,
 )
 from repro.mbds.engine import EngineSpec
 from repro.mbds.placement import PlacementPolicy
-from repro.mbds.timing import ResponseTime, TimingModel
+from repro.mbds.timing import (
+    PHASE_COMMON_LEFT,
+    PHASE_COMMON_RIGHT,
+    ResponseTime,
+    TimingModel,
+)
+from repro.obs import ObsSpec
 from repro.wal.faults import InjectedCrash
 from repro.wal.log import WalManager
 
@@ -67,6 +72,7 @@ class KernelDatabaseSystem:
         pruning: bool = False,
         latency_scale: float = 0.0,
         wal: Optional[WalManager] = None,
+        obs: ObsSpec = None,
     ) -> None:
         """*engine* picks the wall-clock dispatch strategy ('serial' or
         'threads', or an :class:`~repro.mbds.engine.ExecutionEngine`);
@@ -75,7 +81,9 @@ class KernelDatabaseSystem:
         real disk stalls (see :class:`~repro.mbds.backend.Backend`).
         *wal* attaches a write-ahead log: mutating requests are journaled
         before applying and grouped into transactions (see
-        :meth:`transaction`)."""
+        :meth:`transaction`).  *obs* attaches an
+        :class:`~repro.obs.Observability` bundle (tracing + metrics +
+        slow log); the default is the no-op null bundle."""
         self.controller = BackendController(
             backend_count,
             timing,
@@ -86,6 +94,7 @@ class KernelDatabaseSystem:
             pruning=pruning,
             latency_scale=latency_scale,
             wal=wal,
+            obs=obs,
         )
         self._catalog: dict[str, DatabaseTemplate] = {}
         #: Simulated time accumulated across every request executed.
@@ -98,6 +107,11 @@ class KernelDatabaseSystem:
     @property
     def wal(self) -> Optional[WalManager]:
         return self.controller.wal
+
+    @property
+    def obs(self):
+        """The observability bundle shared by every layer of this kernel."""
+        return self.controller.obs
 
     # -- transactions ------------------------------------------------------------
 
@@ -199,19 +213,40 @@ class KernelDatabaseSystem:
         wrong; join partners may live on different backends), so both are
         evaluated at the controller from broadcast raw retrievals.
         """
-        if isinstance(request, RetrieveRequest) and request.has_aggregates:
-            trace = self._execute_aggregate(request)
-        elif isinstance(request, RetrieveCommonRequest):
-            trace = self._execute_common(request)
-        else:
-            trace = self.controller.execute(request)
+        with self.obs.tracer.span("kds.execute") as span:
+            if isinstance(request, RetrieveRequest) and request.has_aggregates:
+                trace = self._execute_aggregate(request)
+            elif isinstance(request, RetrieveCommonRequest):
+                trace = self._execute_common(request)
+            else:
+                trace = self.controller.execute(request)
+            if span:
+                # The span's simulated time IS the timing model's report
+                # for this request — copied, never recomputed, so span
+                # totals stay bit-identical to the engine's clock.
+                span.record(
+                    simulated_ms=trace.response.total_ms,
+                    op=trace.result.operation,
+                    records=trace.result.count,
+                )
         self.clock = self.clock + trace.response
         self.requests_executed += 1
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.inc("kds.requests")
+            metrics.inc(f"kds.requests.{trace.result.operation.lower()}")
+            metrics.observe("kds.request.simulated_ms", trace.response.total_ms)
+            metrics.observe("kds.request.wall_ms", trace.wall_ms)
+            metrics.set_gauge("kds.requests_executed", self.requests_executed)
         return trace
 
     def _execute_common(self, request: RetrieveCommonRequest) -> ExecutionTrace:
-        left = self.controller.execute(RetrieveRequest(request.left_query))
-        right = self.controller.execute(RetrieveRequest(request.right_query))
+        left = self.controller.execute(
+            RetrieveRequest(request.left_query), label=PHASE_COMMON_LEFT
+        )
+        right = self.controller.execute(
+            RetrieveRequest(request.right_query), label=PHASE_COMMON_RIGHT
+        )
         merged = merge_common(
             left.result.raw_records, right.result.raw_records, request
         )
@@ -234,6 +269,8 @@ class KernelDatabaseSystem:
         # The two broadcasts stay labelled phases; the per-backend lists
         # carry each backend's total across both (never a flat concat,
         # which would misindex backends and double the apparent farm).
+        # The phases are the controller's own, already labelled at the
+        # single point the labels were handed down — not re-built here.
         return ExecutionTrace(
             request,
             result,
@@ -246,12 +283,7 @@ class KernelDatabaseSystem:
                 l + r
                 for l, r in zip(left.per_backend_wall_ms, right.per_backend_wall_ms)
             ],
-            phases=[
-                BroadcastPhase("left", left.per_backend_ms, left.per_backend_wall_ms),
-                BroadcastPhase(
-                    "right", right.per_backend_ms, right.per_backend_wall_ms
-                ),
-            ],
+            phases=[*left.phases, *right.phases],
         )
 
     def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:

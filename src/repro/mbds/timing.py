@@ -29,7 +29,7 @@ the execution engines change.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -96,3 +96,30 @@ class ResponseTime:
             "backend_ms": self.backend_ms,
             "controller_ms": self.controller_ms,
         }
+
+
+#: Canonical phase labels.  Every per-backend timing list and every
+#: ``backend[i].<phase>`` trace span derives its label from the *same*
+#: string handed down the execution path (see
+#: ``BackendController.execute(request, label=...)``), so the accounting
+#: label and the span label can never drift apart.
+PHASE_BROADCAST = "broadcast"
+PHASE_INSERT = "insert"
+PHASE_COMMON_LEFT = "left"
+PHASE_COMMON_RIGHT = "right"
+
+
+@dataclass
+class BroadcastPhase:
+    """One labelled broadcast inside a request (per-backend timings).
+
+    Most requests have exactly one phase; RETRIEVE-COMMON has a ``left``
+    and a ``right`` phase (the two broadcast retrievals it is built
+    from), kept separate so per-backend accounting never silently
+    concatenates two broadcasts into one flat list.  The *label* is the
+    same string the per-backend trace spans are named with.
+    """
+
+    label: str
+    per_backend_ms: list[float] = field(default_factory=list)
+    per_backend_wall_ms: list[float] = field(default_factory=list)

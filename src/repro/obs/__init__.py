@@ -1,0 +1,135 @@
+"""End-to-end observability for MLDS: tracing, metrics, slow-request log.
+
+The MLDS response-time story crosses five layers (LIL → KMS → KC → KDS →
+backends) plus the WAL; this package gives all of them one spine:
+
+* :mod:`repro.obs.trace` — per-request span trees with both real
+  wall-clock and the engine's simulated time,
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms,
+* :mod:`repro.obs.slowlog` — full span trees captured for requests
+  above a latency threshold.
+
+:class:`Observability` bundles the three and is what the stack passes
+around (``MLDS(obs=...)``).  ``NULL_OBS`` — the default everywhere — is
+the fully disabled bundle whose every operation is a constant-time
+no-op, so un-instrumented runs pay (near) nothing; the obs overhead
+benchmark holds that line in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.slowlog import NULL_SLOWLOG, NullSlowLog, SlowLog
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class Observability:
+    """One bundle of tracer + metrics + slow log, shared by every layer.
+
+    *tracing* turns span collection on; *slow_ms* (implies tracing)
+    additionally snapshots requests slower than the threshold into the
+    slow log.  Metrics are always live on a real bundle — only the
+    module-level :data:`NULL_OBS` default is free of them.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracing: bool = False,
+        slow_ms: Optional[float] = None,
+        trace_capacity: int = 64,
+        slow_capacity: int = 32,
+    ) -> None:
+        self.metrics: Union[MetricsRegistry, NullMetrics] = MetricsRegistry()
+        if slow_ms is not None:
+            tracing = True
+            self.slowlog: Union[SlowLog, NullSlowLog] = SlowLog(
+                slow_ms, slow_capacity
+            )
+        else:
+            self.slowlog = NULL_SLOWLOG
+        if tracing:
+            self.tracer: Union[Tracer, NullTracer] = Tracer(
+                trace_capacity, sink=self._on_trace
+            )
+        else:
+            self.tracer = NULL_TRACER
+
+    def _on_trace(self, root: Span) -> None:
+        self.slowlog.consider(root)
+
+    @property
+    def last_trace(self) -> Optional[Span]:
+        return self.tracer.last_trace
+
+    def as_dict(self) -> dict:
+        """JSON export: the metrics registry plus the slow log."""
+        return {"metrics": self.metrics.as_dict(), "slowlog": self.slowlog.as_dict()}
+
+
+class NullObservability:
+    """The fully disabled bundle (the stack-wide default)."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+    slowlog = NULL_SLOWLOG
+    last_trace = None
+
+    def as_dict(self) -> dict:
+        return {"metrics": {}, "slowlog": {"threshold_ms": None, "entries": []}}
+
+
+NULL_OBS = NullObservability()
+
+#: What layer constructors accept wherever observability is optional.
+ObsSpec = Union[Observability, NullObservability, None]
+
+
+def resolve_obs(obs: ObsSpec) -> Union[Observability, NullObservability]:
+    """None → the shared null bundle; bundles pass through unchanged."""
+    return obs if obs is not None else NULL_OBS
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_SLOWLOG",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullObservability",
+    "NullSlowLog",
+    "NullSpan",
+    "NullTracer",
+    "Observability",
+    "ObsSpec",
+    "SlowLog",
+    "Span",
+    "Tracer",
+    "resolve_obs",
+]

@@ -1,0 +1,77 @@
+"""The slow-request log: full span trees for outlier requests.
+
+Aggregated histograms say *that* the tail is slow; the slow log says
+*why*: whenever a traced root span finishes with a wall-clock duration at
+or above the configured threshold, its entire span tree is snapshotted
+(as plain dicts, so later mutation of the live system cannot retouch the
+evidence) into a bounded ring.  The newest entries win, on the theory
+that during an incident the most recent outliers are the ones being
+debugged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.obs.trace import Span
+
+
+class SlowLog:
+    """Bounded ring of span-tree snapshots for slow requests."""
+
+    def __init__(self, threshold_ms: float = 100.0, capacity: int = 32) -> None:
+        if threshold_ms < 0:
+            raise ValueError("slow-log threshold cannot be negative")
+        if capacity < 1:
+            raise ValueError("slow-log capacity must be at least 1")
+        self.threshold_ms = threshold_ms
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def consider(self, root: "Span") -> bool:
+        """Snapshot *root* if it crossed the threshold; return whether it did."""
+        if root.wall_ms is None or root.wall_ms < self.threshold_ms:
+            return False
+        self._entries.append(root.as_dict())
+        return True
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Captured trees, oldest first."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "threshold_ms": self.threshold_ms,
+            "entries": self.entries(),
+        }
+
+
+class NullSlowLog:
+    """The disabled slow log: records nothing."""
+
+    threshold_ms = float("inf")
+
+    def consider(self, root: "Span") -> bool:
+        return False
+
+    def entries(self) -> list[dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"threshold_ms": None, "entries": []}
+
+
+NULL_SLOWLOG = NullSlowLog()

@@ -131,13 +131,14 @@ def load_mlds(
     workers: Optional[int] = None,
     pruning: bool = False,
     store_factory=None,
+    obs=None,
 ) -> MLDS:
     """Restore an :class:`MLDS` from a snapshot written by :func:`save_mlds`.
 
-    The kernel knobs (*engine*, *workers*, *pruning*, *store_factory*)
-    are not part of the snapshot — they describe the machine, not the
-    data — so callers pick them at load time, defaulting to the serial,
-    unpruned configuration.
+    The kernel knobs (*engine*, *workers*, *pruning*, *store_factory*,
+    *obs*) are not part of the snapshot — they describe the machine, not
+    the data — so callers pick them at load time, defaulting to the
+    serial, unpruned, untraced configuration.
 
     Records are restored through each backend's store, which rebuilds
     hash indexes and clustering as it inserts; cached broadcast-pruning
@@ -159,6 +160,7 @@ def load_mlds(
         workers=workers,
         pruning=pruning,
         store_factory=store_factory,
+        obs=obs,
     )
     for name, entry in snapshot["functional"].items():
         schema = mlds.define_functional_database(entry["ddl"])

@@ -20,7 +20,6 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.abdm.values import Value
 
 _FIRST_NAMES = (
     "Alice", "Brian", "Carla", "David", "Elena", "Frank", "Grace", "Hugo",

@@ -38,11 +38,13 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import IO, Optional, Union
 
 from repro.abdl.ast import Request
 from repro.errors import WalError
+from repro.obs import NULL_OBS
 from repro.wal.codec import encode_request, is_mutating
 from repro.wal.faults import CrashPoint, FaultInjector
 
@@ -68,6 +70,7 @@ class _StreamWriter:
     def __init__(self, path: Path, sync: bool) -> None:
         self.path = path
         self.sync = sync
+        self.obs = NULL_OBS
         self._handle: Optional[IO[str]] = None
 
     def append(self, record: dict) -> None:
@@ -76,7 +79,18 @@ class _StreamWriter:
         self._handle.write(json.dumps(record, ensure_ascii=False) + "\n")
         self._handle.flush()
         if self.sync:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        assert self._handle is not None  # only called from append()
+        obs = self.obs
+        if not obs.enabled:
             os.fsync(self._handle.fileno())
+            return
+        with obs.tracer.span("wal.fsync"):
+            start = time.perf_counter()
+            os.fsync(self._handle.fileno())
+        obs.metrics.observe("wal.fsync_ms", (time.perf_counter() - start) * 1000.0)
 
     def close(self) -> None:
         if self._handle is not None:
@@ -107,6 +121,9 @@ class WalManager:
         self.backend_count = backend_count
         self.injector = injector or FaultInjector()
         self.sync = sync
+        #: Observability bundle; rebound by the controller that owns this
+        #: WAL so journaling spans/metrics join the system-wide trace.
+        self.obs = NULL_OBS
 
         meta_path = self.directory / META_NAME
         if meta_path.exists():
@@ -170,6 +187,16 @@ class WalManager:
             )
             for i in range(self.backend_count)
         ]
+        self._master.obs = self.obs
+        for writer in self._backends:
+            writer.obs = self.obs
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability bundle (idempotent, cheap)."""
+        self.obs = obs
+        self._master.obs = obs
+        for writer in self._backends:
+            writer.obs = obs
 
     # -- transactions ----------------------------------------------------------
 
@@ -205,13 +232,23 @@ class WalManager:
             raise WalError("only mutating requests are journaled")
         if not 0 <= backend_id < self.backend_count:
             raise WalError(f"no backend {backend_id} in this WAL")
-        self.injector.fire(CrashPoint.BEFORE_LOG_APPEND)
-        seq = self._backend_seq[backend_id] + 1
-        self._backend_seq[backend_id] = seq
-        self._backends[backend_id].append(
-            {"seq": seq, "txn": self._txn, "op": encode_request(request)}
-        )
-        self.injector.fire(CrashPoint.AFTER_LOG_APPEND)
+        obs = self.obs
+        with obs.tracer.span("wal.append") as span:
+            start = time.perf_counter() if obs.enabled else 0.0
+            self.injector.fire(CrashPoint.BEFORE_LOG_APPEND)
+            seq = self._backend_seq[backend_id] + 1
+            self._backend_seq[backend_id] = seq
+            self._backends[backend_id].append(
+                {"seq": seq, "txn": self._txn, "op": encode_request(request)}
+            )
+            self.injector.fire(CrashPoint.AFTER_LOG_APPEND)
+            if span:
+                span.record(backend=backend_id, seq=seq, txn=self._txn)
+        if obs.enabled:
+            obs.metrics.inc("wal.ops")
+            obs.metrics.observe(
+                "wal.append_ms", (time.perf_counter() - start) * 1000.0
+            )
         return seq
 
     def commit(self, counts: list[int]) -> None:
@@ -224,19 +261,29 @@ class WalManager:
             raise WalError("no open transaction to commit")
         if len(counts) != self.backend_count:
             raise WalError("commit counts must cover every backend")
-        self.injector.fire(CrashPoint.BEFORE_COMMIT)
-        self._master_seq += 1
-        self._master.append(
-            {
-                "seq": self._master_seq,
-                "type": "commit",
-                "txn": self._txn,
-                "counts": list(counts),
-            }
-        )
-        self.last_committed_txn = self._txn
-        self._txn = None
-        self.injector.fire(CrashPoint.AFTER_COMMIT)
+        obs = self.obs
+        with obs.tracer.span("wal.commit") as span:
+            start = time.perf_counter() if obs.enabled else 0.0
+            self.injector.fire(CrashPoint.BEFORE_COMMIT)
+            self._master_seq += 1
+            self._master.append(
+                {
+                    "seq": self._master_seq,
+                    "type": "commit",
+                    "txn": self._txn,
+                    "counts": list(counts),
+                }
+            )
+            if span:
+                span.record(txn=self._txn)
+            self.last_committed_txn = self._txn
+            self._txn = None
+            self.injector.fire(CrashPoint.AFTER_COMMIT)
+        if obs.enabled:
+            obs.metrics.inc("wal.commits")
+            obs.metrics.observe(
+                "wal.commit_ms", (time.perf_counter() - start) * 1000.0
+            )
 
     def abort(self) -> None:
         """Mark the open transaction discarded (recovery will skip its ops)."""
@@ -245,6 +292,7 @@ class WalManager:
         self._master_seq += 1
         self._master.append({"seq": self._master_seq, "type": "abort", "txn": self._txn})
         self._txn = None
+        self.obs.metrics.inc("wal.aborts")
 
     # -- crash points ----------------------------------------------------------
 

@@ -110,6 +110,7 @@ def recover_mlds(
     store_factory=None,
     attach_wal: bool = True,
     injector: Optional[FaultInjector] = None,
+    obs=None,
 ) -> "MLDS":
     """Rebuild an :class:`~repro.core.mlds.MLDS` from *wal_dir*.
 
@@ -129,7 +130,11 @@ def recover_mlds(
     snapshot_path = Path(snapshot) if snapshot is not None else wal_dir / CHECKPOINT_NAME
 
     kwargs = dict(
-        engine=engine, workers=workers, pruning=pruning, store_factory=store_factory
+        engine=engine,
+        workers=workers,
+        pruning=pruning,
+        store_factory=store_factory,
+        obs=obs,
     )
     if snapshot_path.exists():
         mlds = load_mlds(snapshot_path, **kwargs)

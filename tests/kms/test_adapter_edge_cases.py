@@ -9,7 +9,6 @@ from repro.errors import (
     SchemaError,
     TranslationError,
 )
-from repro.kms import Status
 from repro.kms.functional_adapter import LINK_KEY_SEPARATOR
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ConstraintViolation, CurrencyError, ExecutionError
-from repro.kms import Status
 
 
 class TestGet:

@@ -1,6 +1,5 @@
 """Broadcast pruning: summaries skip impossible backends, never change results."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.abdl import parse_request

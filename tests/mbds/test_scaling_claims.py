@@ -8,7 +8,6 @@ The benchmarks regenerate the full curves; these tests pin the *shape*:
    database.
 """
 
-import pytest
 
 from repro.abdl import parse_request
 from repro.mbds import KernelDatabaseSystem

@@ -1,0 +1,139 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    DEFAULT_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+
+
+class TestHistogram:
+    def test_default_buckets_are_fixed_and_sorted(self):
+        histogram = Histogram("h")
+        assert histogram.boundaries == DEFAULT_BUCKETS_MS
+        assert tuple(sorted(DEFAULT_BUCKETS_MS)) == DEFAULT_BUCKETS_MS
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+
+    def test_bucketing_and_summary(self):
+        histogram = Histogram("h", boundaries=(1.0, 10.0))
+        for value in (0.5, 5.0, 5.0, 100.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 2, 1]  # <=1, <=10, +Inf
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(110.5)
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(110.5 / 4)
+
+    def test_quantiles_report_bucket_bounds(self):
+        histogram = Histogram("h", boundaries=(1.0, 10.0))
+        for value in (0.5, 5.0, 5.0, 5.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 10.0
+        assert histogram.quantile(0.0) == 1.0
+        # The overflow bucket reports the observed maximum.
+        histogram.observe(50.0)
+        assert histogram.quantile(1.0) == 50.0
+
+    def test_quantile_edge_cases(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0  # empty
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_as_dict_schema(self):
+        histogram = Histogram("h")
+        histogram.observe(3.0)
+        payload = histogram.as_dict()
+        assert payload["type"] == "histogram"
+        assert payload["count"] == 1
+        assert payload["boundaries_ms"] == list(DEFAULT_BUCKETS_MS)
+        assert len(payload["bucket_counts"]) == len(DEFAULT_BUCKETS_MS) + 1
+        assert set(payload) >= {"sum", "max", "mean", "p50", "p99"}
+
+
+class TestRegistry:
+    def test_instruments_create_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.inc("requests")
+        registry.inc("requests", 2)
+        registry.set_gauge("resident", 10)
+        registry.observe("latency_ms", 5.0)
+        assert registry.counter_value("requests") == 3
+        assert registry.counter_value("resident") == 10
+        assert registry.get("latency_ms").count == 1
+        assert registry.names() == ["latency_ms", "requests", "resident"]
+
+    def test_missing_names(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        assert registry.counter_value("nope") == 0.0
+
+    def test_as_dict_is_name_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.observe("b", 1.0)
+        registry.inc("a")
+        payload = registry.as_dict()
+        assert list(payload) == ["a", "b"]
+        assert payload["a"]["type"] == "counter"
+        assert payload["b"]["type"] == "histogram"
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.clear()
+        assert registry.names() == []
+
+    def test_thread_safety_of_inc(self):
+        import threading
+
+        registry = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("n") == 4000
+
+
+class TestNullMetrics:
+    def test_inert(self):
+        NULL_METRICS.inc("a")
+        NULL_METRICS.set_gauge("b", 1)
+        NULL_METRICS.observe("c", 2.0)
+        assert NULL_METRICS.as_dict() == {}
+        assert NULL_METRICS.names() == []
+        assert NULL_METRICS.counter_value("a") == 0.0
+        assert NULL_METRICS.get("a") is None

@@ -1,0 +1,97 @@
+"""The slow-request log."""
+
+import pytest
+
+from repro.obs import NULL_SLOWLOG, Observability, SlowLog, Span, Tracer
+
+
+def finished_span(name="root", wall_ms=10.0):
+    span = Span(name)
+    span.finish()
+    span.wall_ms = wall_ms  # pin the duration for deterministic tests
+    return span
+
+
+class TestSlowLog:
+    def test_captures_at_or_above_threshold(self):
+        slowlog = SlowLog(threshold_ms=5.0)
+        assert slowlog.consider(finished_span(wall_ms=5.0))
+        assert slowlog.consider(finished_span(wall_ms=9.0))
+        assert not slowlog.consider(finished_span(wall_ms=4.9))
+        assert len(slowlog) == 2
+
+    def test_open_spans_are_never_captured(self):
+        slowlog = SlowLog(threshold_ms=0.0)
+        assert not slowlog.consider(Span("still-open"))
+
+    def test_entries_are_dict_snapshots(self):
+        slowlog = SlowLog(threshold_ms=0.0)
+        span = finished_span()
+        span.record(user="u")
+        slowlog.consider(span)
+        entry = slowlog.entries()[0]
+        assert entry["name"] == "root"
+        assert entry["attrs"] == {"user": "u"}
+        # Mutating the live span later cannot retouch the snapshot.
+        span.attrs["user"] = "someone-else"
+        assert slowlog.entries()[0]["attrs"] == {"user": "u"}
+
+    def test_capacity_keeps_newest(self):
+        slowlog = SlowLog(threshold_ms=0.0, capacity=2)
+        for i in range(4):
+            slowlog.consider(finished_span(name=f"r{i}"))
+        assert [e["name"] for e in slowlog.entries()] == ["r2", "r3"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowLog(threshold_ms=-1)
+        with pytest.raises(ValueError):
+            SlowLog(capacity=0)
+
+    def test_clear_and_as_dict(self):
+        slowlog = SlowLog(threshold_ms=1.0)
+        slowlog.consider(finished_span())
+        assert slowlog.as_dict()["threshold_ms"] == 1.0
+        slowlog.clear()
+        assert slowlog.as_dict()["entries"] == []
+
+
+class TestNullSlowLog:
+    def test_inert(self):
+        assert not NULL_SLOWLOG.consider(finished_span())
+        assert NULL_SLOWLOG.entries() == []
+        assert len(NULL_SLOWLOG) == 0
+        assert NULL_SLOWLOG.as_dict() == {"threshold_ms": None, "entries": []}
+
+
+class TestObservabilityBundle:
+    def test_slow_ms_implies_tracing(self):
+        obs = Observability(slow_ms=0.0)
+        assert obs.tracer.enabled
+        assert isinstance(obs.slowlog, SlowLog)
+
+    def test_traces_feed_the_slow_log(self):
+        obs = Observability(slow_ms=0.0)
+        with obs.tracer.span("root"):
+            pass
+        assert len(obs.slowlog) == 1
+        assert obs.slowlog.entries()[0]["name"] == "root"
+
+    def test_fast_requests_stay_out(self):
+        obs = Observability(slow_ms=10_000.0)
+        with obs.tracer.span("root"):
+            pass
+        assert len(obs.slowlog) == 0
+
+    def test_metrics_live_without_tracing(self):
+        obs = Observability()
+        assert not isinstance(obs.tracer, Tracer)
+        obs.metrics.inc("n")
+        assert obs.metrics.counter_value("n") == 1
+
+    def test_as_dict_bundles_metrics_and_slowlog(self):
+        obs = Observability(slow_ms=0.0)
+        obs.metrics.inc("n")
+        payload = obs.as_dict()
+        assert payload["metrics"]["n"]["value"] == 1
+        assert payload["slowlog"]["threshold_ms"] == 0.0

@@ -1,0 +1,162 @@
+"""Span trees and the tracer's context propagation."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+
+class TestSpan:
+    def test_nesting_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert [s.name for s in root.walk()] == ["root", "child-a", "leaf", "child-b"]
+        assert root.closed
+        assert all(s.closed for s in root.walk())
+
+    def test_children_attach_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                assert child.parent is root
+        assert root.children == [child]
+
+    def test_record_simulated_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            root.record(simulated_ms=42.5, records=3)
+        assert root.simulated_ms == 42.5
+        assert root.attrs["records"] == 3
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("kc.dispatch"):
+                pass
+            with tracer.span("kc.dispatch"):
+                pass
+        root = tracer.last_trace
+        assert len(root.find("kc.dispatch")) == 2
+        assert root.find("nothing") == []
+
+    def test_as_dict_snapshots_subtree(self):
+        tracer = Tracer()
+        with tracer.span("root", user="u") as root:
+            root.record(simulated_ms=1.0)
+            with tracer.span("child"):
+                pass
+        payload = root.as_dict()
+        assert payload["name"] == "root"
+        assert payload["simulated_ms"] == 1.0
+        assert payload["attrs"] == {"user": "u"}
+        assert [c["name"] for c in payload["children"]] == ["child"]
+
+    def test_render_is_indented(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        text = tracer.last_trace.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+
+    def test_exception_still_closes_spans(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise RuntimeError("boom")
+        root = tracer.last_trace
+        assert root is not None and root.closed
+        assert all(s.closed for s in root.walk())
+
+
+class TestTracer:
+    def test_roots_collect_in_traces(self):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [t.name for t in tracer.traces] == ["r0", "r1", "r2"]
+        assert tracer.last_trace.name == "r2"
+
+    def test_capacity_bounds_traces(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [t.name for t in tracer.traces] == ["r3", "r4"]
+
+    def test_sink_fires_per_root_only(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in seen] == ["root"]
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("root") as root:
+            assert tracer.current is root
+            with tracer.span("child") as child:
+                assert tracer.current is child
+            assert tracer.current is root
+        assert tracer.current is None
+
+    def test_open_with_explicit_parent_crosses_threads(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            parent = tracer.current
+
+            def pool_work():
+                # Pool threads see no thread-local context ...
+                assert tracer.current is None
+                span = tracer.open("backend[0].broadcast", parent)
+                span.finish()
+
+            worker = threading.Thread(target=pool_work)
+            worker.start()
+            worker.join()
+        # ... yet the span landed under the controller-side parent.
+        assert [c.name for c in root.children] == ["backend[0].broadcast"]
+
+    def test_open_defaults_to_current(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            leaf = tracer.open("leaf")
+            leaf.finish()
+        assert leaf.parent is root
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        tracer.clear()
+        assert tracer.last_trace is None
+
+
+class TestNullObjects:
+    def test_null_span_is_falsy_and_inert(self):
+        assert not NULL_SPAN
+        NULL_SPAN.record(simulated_ms=1.0, anything=2)
+        NULL_SPAN.finish()
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("x", a=1) as span:
+            assert span is NULL_SPAN
+        assert NULL_TRACER.open("y") is NULL_SPAN
+        assert NULL_TRACER.current is None
+        assert NULL_TRACER.last_trace is None
+
+    def test_real_span_is_truthy(self):
+        assert Span("s")

@@ -11,7 +11,7 @@ from repro.core.mlds import MLDS
 from repro.errors import WalError
 from repro.persistence import load_mlds, save_mlds
 from repro.university import load_university
-from repro.wal.log import WalManager, backend_segment_name
+from repro.wal.log import backend_segment_name
 from repro.wal.recovery import checkpoint_mlds, recover_mlds, snapshot_watermark
 
 from tests.wal.conftest import delete, farm_image, insert, update
