@@ -27,12 +27,12 @@ directory's benefit — which the directory ablation benchmark measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.abdm.predicate import Conjunction, Predicate, Query
 from repro.abdm.record import Record
-from repro.abdm.store import ABStore, ScanStats
+from repro.abdm.store import ABStore
 from repro.abdm.values import Value
 from repro.errors import SchemaError
 
@@ -296,10 +296,11 @@ class ClusteredStore(ABStore):
         if not pinned:
             return super().find(query)
         found: list[Record] = []
+        matches = self.matcher(query)
         for file_name in sorted(pinned):
             for record in self._candidate_clusters(file_name, query):
                 self.stats.records_examined += 1
-                if query.matches(record):
+                if matches(record):
                     found.append(record)
         self.stats.records_touched += len(found)
         return found

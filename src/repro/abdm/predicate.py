@@ -8,14 +8,17 @@ fully satisfied by the record's keywords.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.abdm.record import Record
 from repro.abdm.values import Value, compare, render
 
 #: Relational operators accepted in keyword predicates.
 RELATIONAL_OPERATORS = ("=", "!=", "<=", ">=", "<", ">")
+
+#: Absent-keyword sentinel for the single-fetch path in Predicate.matches.
+_ABSENT: Any = object()
 
 
 @dataclass(frozen=True)
@@ -39,9 +42,10 @@ class Predicate:
         A null test (``attribute = NULL``) matches a record carrying a
         null-valued keyword for the attribute.
         """
-        if self.attribute not in record:
+        value = record.get(self.attribute, _ABSENT)
+        if value is _ABSENT:
             return False
-        return compare(record.get(self.attribute), self.value, self.operator)
+        return compare(value, self.value, self.operator)
 
     def render(self) -> str:
         """Render as ABDL predicate text, e.g. ``(title = 'Advanced Database')``."""
@@ -70,11 +74,21 @@ class Conjunction:
         }
 
     def render(self) -> str:
+        # Rendered text is cached on the instance: the WAL codec, pruning
+        # keys, span labels and every cache layer re-render the same
+        # frozen clause on each dispatch.  The cache rides in __dict__,
+        # invisible to dataclass eq/hash (which use fields only).
+        cached = self.__dict__.get("_rendered")
+        if cached is not None:
+            return cached
         if not self.predicates:
-            return "()"
-        if len(self.predicates) == 1:
-            return self.predicates[0].render()
-        return "(" + " AND ".join(p.render() for p in self.predicates) + ")"
+            rendered = "()"
+        elif len(self.predicates) == 1:
+            rendered = self.predicates[0].render()
+        else:
+            rendered = "(" + " AND ".join(p.render() for p in self.predicates) + ")"
+        object.__setattr__(self, "_rendered", rendered)
+        return rendered
 
     def __iter__(self) -> Iterator[Predicate]:
         return iter(self.predicates)
@@ -122,11 +136,18 @@ class Query:
         return names
 
     def render(self) -> str:
+        # Cached like Conjunction.render — see the comment there.
+        cached = self.__dict__.get("_rendered")
+        if cached is not None:
+            return cached
         if not self.clauses:
-            return "()"
-        if len(self.clauses) == 1:
-            return self.clauses[0].render()
-        return "(" + " OR ".join(c.render() for c in self.clauses) + ")"
+            rendered = "()"
+        elif len(self.clauses) == 1:
+            rendered = self.clauses[0].render()
+        else:
+            rendered = "(" + " OR ".join(c.render() for c in self.clauses) + ")"
+        object.__setattr__(self, "_rendered", rendered)
+        return rendered
 
     def __iter__(self) -> Iterator[Conjunction]:
         return iter(self.clauses)

@@ -10,7 +10,7 @@ key (``(entity-type, unique-key)``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 from repro.abdm.values import Value, render
@@ -71,6 +71,15 @@ class Record:
 
     def __getitem__(self, attribute: str) -> Value:
         return self._index[attribute]
+
+    def keyword_map(self) -> dict[str, Value]:
+        """The live attribute→value dict backing this record.
+
+        This is the fast accessor compiled matchers evaluate against.
+        Callers must treat it as read-only; mutate via :meth:`set` /
+        :meth:`remove` so insertion order stays consistent.
+        """
+        return self._index
 
     def __contains__(self, attribute: str) -> bool:
         return attribute in self._index

@@ -32,6 +32,10 @@ from repro.abdm.predicate import Query
 from repro.abdm.record import Record
 from repro.abdm.values import Value
 from repro.errors import ExecutionError
+from repro.obs import NULL_OBS, ObsSpec, resolve_obs
+from repro.qc.compile import compile_query
+from repro.qc.lru import MISSING
+from repro.qc import runtime as qc_runtime
 
 
 @dataclass
@@ -102,6 +106,62 @@ class ABStore:
         self._indexed: tuple[str, ...] = tuple(dict.fromkeys(indexed_attributes))
         self._indexes: dict[str, _FileIndex] = {}
         self._index_seq: dict[str, int] = {}
+        self._obs = NULL_OBS
+        self._compiled = qc_runtime.new_cache("compile")
+        # Mutation epochs: one counter per file plus a whole-store counter
+        # bumped by clear().  Result caches key on epoch_signature() so any
+        # mutation of a contributing file invalidates their entries —
+        # the same discipline the broadcast-pruning summaries use.
+        self._file_epochs: dict[str, int] = {}
+        self._store_epoch = 0
+
+    def bind_obs(self, obs: ObsSpec) -> None:
+        """Attach an observability bundle (compile-cache metrics + span)."""
+        self._obs = resolve_obs(obs)
+        self._compiled.bind_metrics(self._obs.metrics)
+
+    # -- query compilation ----------------------------------------------------
+
+    def matcher(self, query: Query) -> Callable[[Record], bool]:
+        """The fastest available record matcher for *query*.
+
+        With compilation enabled this is a cached CompiledQuery closure;
+        otherwise (``--no-compile``, or a compile cache sized to 0) it
+        falls back to the interpreted ``query.matches`` bound method.
+        The cache key carries the clause count besides the rendered text
+        because the empty query and the empty-clause query both render
+        as ``()`` while matching nothing / everything respectively.
+        """
+        if not qc_runtime.config.compile_enabled or not self._compiled.enabled:
+            return query.matches
+        key = (query.render(), len(query.clauses))
+        compiled = self._compiled.get(key)
+        if compiled is MISSING:
+            with self._obs.tracer.span("qc.compile", query=key[0]):
+                compiled = compile_query(query)
+            self._compiled.put(key, compiled)
+        return compiled.matches
+
+    # -- mutation epochs ------------------------------------------------------
+
+    def _bump_epoch(self, file_name: str) -> None:
+        self._file_epochs[file_name] = self._file_epochs.get(file_name, 0) + 1
+
+    def epoch_signature(self, pinned: Iterable[str] = ()) -> tuple:
+        """A hashable version stamp for result caches.
+
+        For a query pinning specific files, only those files' epochs
+        matter; an unpinned query depends on every file (including ones
+        dropped since — their bumped epoch entries persist until
+        ``clear()``, which bumps the store-wide epoch instead).
+        """
+        pinned = tuple(sorted(set(pinned)))
+        if pinned:
+            return (
+                self._store_epoch,
+                tuple((n, self._file_epochs.get(n, 0)) for n in pinned),
+            )
+        return (self._store_epoch, tuple(sorted(self._file_epochs.items())))
 
     # -- file management ------------------------------------------------------
 
@@ -120,7 +180,8 @@ class ABStore:
         return sorted(self._files)
 
     def drop_file(self, name: str) -> None:
-        self._files.pop(name, None)
+        if self._files.pop(name, None) is not None:
+            self._bump_epoch(name)
         self._indexes.pop(name, None)
         self._index_seq.pop(name, None)
 
@@ -128,6 +189,8 @@ class ABStore:
         self._files.clear()
         self._indexes.clear()
         self._index_seq.clear()
+        self._file_epochs.clear()
+        self._store_epoch += 1
         self.stats = ScanStats()
 
     # -- index management -----------------------------------------------------
@@ -215,6 +278,7 @@ class ABStore:
         self.file(name).insert(record)
         if self._indexed:
             self._index_add(name, record)
+        self._bump_epoch(name)
         self.stats.records_touched += 1
 
     def _candidate_files(self, query: Query) -> Iterable[ABFile]:
@@ -226,13 +290,14 @@ class ABStore:
     def find(self, query: Query) -> list[Record]:
         """Return every record satisfying *query* (in file/insertion order)."""
         found: list[Record] = []
+        matches = self.matcher(query)
         for abfile in self._candidate_files(query):
             candidates = self._index_candidates(abfile.name, query)
             if candidates is not None:
                 self.stats.index_hits += 1
             for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1
-                if query.matches(record):
+                if matches(record):
                     found.append(record)
         self.stats.records_touched += len(found)
         return found
@@ -240,6 +305,7 @@ class ABStore:
     def delete(self, query: Query) -> int:
         """Delete every record satisfying *query*; return the count."""
         deleted = 0
+        matches = self.matcher(query)
         for abfile in self._candidate_files(query):
             records = abfile.records()
             candidates = self._index_candidates(abfile.name, query)
@@ -250,7 +316,7 @@ class ABStore:
                 removed = 0
                 for record in records:
                     self.stats.records_examined += 1
-                    if query.matches(record):
+                    if matches(record):
                         removed += 1
                     else:
                         kept.append(record)
@@ -260,14 +326,16 @@ class ABStore:
                 victims = []
                 for record in candidates:
                     self.stats.records_examined += 1
-                    if query.matches(record):
+                    if matches(record):
                         victims.append(record)
                 removed = len(victims)
                 if removed:
                     victim_ids = {id(record) for record in victims}
                     records[:] = [r for r in records if id(r) not in victim_ids]
-            if removed and self._indexed:
-                self._rebuild_index(abfile.name)
+            if removed:
+                self._bump_epoch(abfile.name)
+                if self._indexed:
+                    self._rebuild_index(abfile.name)
             deleted += removed
         self.stats.records_touched += deleted
         return deleted
@@ -279,6 +347,7 @@ class ABStore:
     ) -> int:
         """Apply *modify* in place to every record satisfying *query*."""
         updated = 0
+        matches = self.matcher(query)
         for abfile in self._candidate_files(query):
             candidates = self._index_candidates(abfile.name, query)
             if candidates is not None:
@@ -286,12 +355,14 @@ class ABStore:
             touched = 0
             for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1
-                if query.matches(record):
+                if matches(record):
                     modify(record)
                     touched += 1
-            if touched and self._indexed:
-                # Modifiers may rewrite indexed keywords; re-derive.
-                self._rebuild_index(abfile.name)
+            if touched:
+                self._bump_epoch(abfile.name)
+                if self._indexed:
+                    # Modifiers may rewrite indexed keywords; re-derive.
+                    self._rebuild_index(abfile.name)
             updated += touched
         self.stats.records_touched += updated
         return updated
@@ -308,6 +379,10 @@ class ABStore:
     def all_records(self) -> Iterator[Record]:
         for name in sorted(self._files):
             yield from self._files[name]
+
+    def cache_snapshot(self) -> dict[str, object]:
+        """Compile-cache counters for the ``.caches`` dot-command."""
+        return self._compiled.snapshot()
 
     def snapshot(self) -> dict[str, list[list[tuple[str, Value]]]]:
         """A structural snapshot (for tests and debugging)."""

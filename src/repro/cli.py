@@ -49,6 +49,7 @@ dot-commands:
   .checkpoint                checkpoint the WAL (snapshot + truncate the log)
   .recover <wal-dir>         replace the system with one recovered from a WAL
   .stats                     dump the metrics registry (counters/gauges/histograms)
+  .caches                    show qc cache counters (compile/parse/translate/result)
   .trace                     render the most recent request trace (needs --trace)
   .slow [n]                  show the slow log's last n entries (needs --slow-ms)
   .quit                      leave the shell
@@ -185,6 +186,10 @@ class MLDSShell:
             import json
 
             return json.dumps(self.mlds.obs.metrics.as_dict(), indent=1)
+        if command == ".caches":
+            import json
+
+            return json.dumps(self._cache_report(), indent=1)
         if command == ".trace":
             if not self.mlds.obs.tracer.enabled:
                 return "tracing is off (start with --trace or --slow-ms)"
@@ -216,6 +221,27 @@ class MLDSShell:
             log = self.session.request_log[-count:]
             return "\n".join(log) if log else "(no requests yet)"
         return f"unknown command {command!r} (try .help)"
+
+    def _cache_report(self) -> dict:
+        """Counters for every qc cache layer reachable from this shell."""
+        from repro.qc import runtime as qc_runtime
+
+        report = dict(self.mlds.kds.controller.cache_snapshots())
+        report["config"] = {
+            "compile": qc_runtime.config.compile_enabled,
+            "parse": qc_runtime.config.parse_cache_enabled,
+            "translate": qc_runtime.config.translation_cache_enabled,
+            "result": qc_runtime.config.result_cache_enabled,
+            "sizes": dict(qc_runtime.config.sizes),
+        }
+        if self.session is not None:
+            engine = self.session.engine
+            adapter = getattr(engine, "adapter", None)
+            holder = adapter if adapter is not None else engine
+            snap = getattr(holder, "translation_cache_snapshot", None)
+            if snap is not None:
+                report["session_translations"] = snap()
+        return report
 
     def _schema_text(self, name: str) -> str:
         if name not in self.mlds.database_names():
@@ -387,6 +413,20 @@ def build_parser() -> "argparse.ArgumentParser":
         default=None,
         help="write the metrics registry as JSON to FILE when the shell exits",
     )
+    parser.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="interpret DNF queries per record instead of compiling them "
+        "to matcher closures (the compiled path is the default)",
+    )
+    parser.add_argument(
+        "--cache-sizes",
+        metavar="SPEC",
+        default=None,
+        help="override qc cache bounds as 'layer=size,...' with layers "
+        "compile, parse, translate, result (size 0 disables a layer); "
+        "e.g. --cache-sizes result=0,compile=64",
+    )
     return parser
 
 
@@ -394,6 +434,15 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
     argv = argv if argv is not None else sys.argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.qc import runtime as qc_runtime
+
+    if args.no_compile:
+        qc_runtime.config.compile_enabled = False
+    if args.cache_sizes:
+        try:
+            qc_runtime.apply_sizes(args.cache_sizes)
+        except ValueError as exc:
+            parser.error(str(exc))
     wal_dir = None if args.no_wal else args.wal_dir
     obs = None
     if args.trace or args.slow_ms is not None or args.metrics_out:

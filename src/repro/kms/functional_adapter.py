@@ -57,7 +57,6 @@ from repro.mapping.fun_to_abdm import ABFunctionalMapping
 from repro.mapping.fun_to_net import Carrier, NetworkTransformation, SetKind, SetOrigin
 from repro.mapping.overlap import OverlapTable
 from repro.network.currency import CurrencyIndicatorTable
-from repro.network.model import RetentionMode
 
 #: Separator of the two side keys inside a virtual link database key.
 LINK_KEY_SEPARATOR = "~"
@@ -65,6 +64,10 @@ LINK_KEY_SEPARATOR = "~"
 
 class FunctionalTargetAdapter(TargetAdapter):
     """Translates DML operations against an AB(functional) database."""
+
+    # FIND ANY translations depend only on (record type, UWA values),
+    # both of which are in the cache key — safe to memoize.
+    caches_translations = True
 
     def __init__(
         self,

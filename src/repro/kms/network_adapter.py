@@ -27,7 +27,7 @@ from repro.abdl.ast import (
 from repro.abdm.predicate import Predicate, Query
 from repro.abdm.record import Record
 from repro.abdm.values import Value
-from repro.errors import ConstraintViolation, CurrencyError, TranslationError
+from repro.errors import ConstraintViolation, CurrencyError
 from repro.kc.controller import KernelController
 from repro.kms.adapter import TargetAdapter, dedupe_by_dbkey
 from repro.mapping.net_to_abdm import ABNetworkMapping
@@ -37,6 +37,10 @@ from repro.network.model import InsertionMode, NetworkSchema, RetentionMode
 
 class NetworkTargetAdapter(TargetAdapter):
     """Translates DML operations against an AB(network) database."""
+
+    # FIND ANY translations depend only on (record type, UWA values),
+    # both of which are in the cache key — safe to memoize.
+    caches_translations = True
 
     def __init__(
         self,

@@ -32,11 +32,20 @@ from dataclasses import dataclass
 
 from typing import Callable, Optional
 
-from repro.abdl.ast import DeleteRequest, InsertRequest, Request, UpdateRequest
+from repro.abdl.ast import (
+    DeleteRequest,
+    InsertRequest,
+    Request,
+    RetrieveRequest,
+    UpdateRequest,
+)
 from repro.abdl.executor import Executor, RequestResult
 from repro.abdm.store import ABStore
 from repro.mbds.summary import BackendSummary
 from repro.mbds.timing import TimingModel
+from repro.obs import ObsSpec, resolve_obs
+from repro.qc.lru import MISSING
+from repro.qc import runtime as qc_runtime
 
 #: Builds the record store of one backend; lets callers swap the plain
 #: scan store for a directory-clustered one (see repro.abdm.directory).
@@ -60,6 +69,35 @@ class BackendImage:
     examined: int
     touched: int
     index_hits: int = 0
+
+
+@dataclass
+class _CachedRetrieve:
+    """One result-cache entry: the result plus its full cost accounting.
+
+    *signature* is the store's epoch signature at compute time; an entry
+    only serves while the signature still matches (any mutation of a
+    contributing file bumps an epoch and strands the entry).  The cost
+    fields are replayed on a hit so cumulative ScanStats, simulated time,
+    and emulated disk latency stay bit-identical to an uncached run.
+    """
+
+    signature: tuple
+    result: RequestResult
+    elapsed_ms: float
+    examined: int
+    index_hits: int
+    touched: int
+
+
+def _copy_retrieve_result(result: RequestResult) -> RequestResult:
+    """An independent copy (callers may mutate the records they receive)."""
+    return RequestResult(
+        result.operation,
+        records=[r.copy() for r in result.records],
+        raw_records=[r.copy() for r in result.raw_records],
+        count=result.count,
+    )
 
 
 @dataclass
@@ -103,31 +141,101 @@ class Backend:
         self.latency_scale = latency_scale
         self._lock = threading.Lock()
         self._summary: Optional[BackendSummary] = None
+        self._result_cache = qc_runtime.new_cache("result", prefix="qc.result")
+
+    def bind_obs(self, obs: ObsSpec) -> None:
+        """Attach observability: store compile-cache + result-cache metrics."""
+        self.store.bind_obs(obs)
+        self._result_cache.bind_metrics(resolve_obs(obs).metrics)
+
+    def cache_snapshots(self) -> dict[str, dict[str, object]]:
+        """Per-layer cache counters for the ``.caches`` dot-command."""
+        return {
+            "compile": self.store.cache_snapshot(),
+            "result": self._result_cache.snapshot(),
+        }
 
     def execute(self, request: Request) -> BackendResult:
-        """Execute *request* on this backend's slice, charging scan time."""
+        """Execute *request* on this backend's slice, charging scan time.
+
+        Plain RETRIEVEs are served from the epoch-guarded result cache
+        when possible.  A hit replays the original run's full accounting
+        — simulated elapsed, examined/index-hit/touched deltas, and the
+        emulated disk stall — so cumulative stats, the timing model, and
+        the wall-clock scaling benchmark see bit-identical figures
+        whether or not the cache fired.
+        """
         with self._lock:
-            start = time.perf_counter()
-            before = self.store.stats.records_examined
-            hits_before = self.store.stats.index_hits
-            result = self.executor.execute(request)
-            examined = self.store.stats.records_examined - before
-            index_hits = self.store.stats.index_hits - hits_before
-            if isinstance(request, _MUTATING_REQUESTS):
-                self._summary = None
-            if isinstance(request, InsertRequest):
-                elapsed = self.timing.backend_insert_ms()
-            else:
-                selected = result.count
-                elapsed = self.timing.backend_scan_ms(examined, selected)
-            if self.latency_scale > 0.0:
-                time.sleep(elapsed * self.latency_scale / 1000.0)
-            wall_ms = (time.perf_counter() - start) * 1000.0
-            self.busy_ms += elapsed
-            self.busy_wall_ms += wall_ms
-            return BackendResult(
-                self.backend_id, result, elapsed, wall_ms, examined, index_hits
+            use_cache = (
+                type(request) is RetrieveRequest
+                and qc_runtime.config.result_cache_enabled
+                and self._result_cache.enabled
             )
+            if not use_cache:
+                return self._execute_locked(request)
+            key = request.render()
+            signature = self.store.epoch_signature(request.query.file_names())
+            entry = self._result_cache.get(key)
+            if entry is not MISSING and entry.signature == signature:
+                return self._replay_cached(entry)
+            touched_before = self.store.stats.records_touched
+            backend_result = self._execute_locked(request)
+            touched = self.store.stats.records_touched - touched_before
+            self._result_cache.put(
+                key,
+                _CachedRetrieve(
+                    signature,
+                    _copy_retrieve_result(backend_result.result),
+                    backend_result.elapsed_ms,
+                    backend_result.records_examined,
+                    backend_result.index_hits,
+                    touched,
+                ),
+            )
+            return backend_result
+
+    def _execute_locked(self, request: Request) -> BackendResult:
+        start = time.perf_counter()
+        before = self.store.stats.records_examined
+        hits_before = self.store.stats.index_hits
+        result = self.executor.execute(request)
+        examined = self.store.stats.records_examined - before
+        index_hits = self.store.stats.index_hits - hits_before
+        if isinstance(request, _MUTATING_REQUESTS):
+            self._summary = None
+        if isinstance(request, InsertRequest):
+            elapsed = self.timing.backend_insert_ms()
+        else:
+            selected = result.count
+            elapsed = self.timing.backend_scan_ms(examined, selected)
+        if self.latency_scale > 0.0:
+            time.sleep(elapsed * self.latency_scale / 1000.0)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        self.busy_ms += elapsed
+        self.busy_wall_ms += wall_ms
+        return BackendResult(
+            self.backend_id, result, elapsed, wall_ms, examined, index_hits
+        )
+
+    def _replay_cached(self, entry: _CachedRetrieve) -> BackendResult:
+        start = time.perf_counter()
+        stats = self.store.stats
+        stats.records_examined += entry.examined
+        stats.index_hits += entry.index_hits
+        stats.records_touched += entry.touched
+        if self.latency_scale > 0.0:
+            time.sleep(entry.elapsed_ms * self.latency_scale / 1000.0)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        self.busy_ms += entry.elapsed_ms
+        self.busy_wall_ms += wall_ms
+        return BackendResult(
+            self.backend_id,
+            _copy_retrieve_result(entry.result),
+            entry.elapsed_ms,
+            wall_ms,
+            entry.examined,
+            entry.index_hits,
+        )
 
     # -- durability support -----------------------------------------------------
 

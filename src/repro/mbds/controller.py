@@ -55,6 +55,7 @@ from repro.mbds.timing import (
     TimingModel,
 )
 from repro.obs import ObsSpec, resolve_obs
+from repro.qc import runtime as qc_runtime
 from repro.wal.faults import CrashPoint
 from repro.wal.log import WalManager
 
@@ -137,6 +138,23 @@ class BackendController:
             Backend(i, self.timing, store_factory, latency_scale)
             for i in range(backend_count)
         ]
+        if self.obs.enabled:
+            # Cache layers (compile + result, per backend) report their
+            # hit/miss/eviction counters into this bundle's registry; the
+            # process-global parse caches follow the same registry
+            # (last instrumented controller wins — see qc.runtime).
+            for backend in self.backends:
+                backend.bind_obs(self.obs)
+            qc_runtime.bind_metrics(self.obs.metrics)
+
+    def cache_snapshots(self) -> dict[str, object]:
+        """Aggregated qc cache counters (the ``.caches`` dot-command)."""
+        return {
+            "global": qc_runtime.global_snapshots(),
+            "backends": {
+                f"backend[{b.backend_id}]": b.cache_snapshots() for b in self.backends
+            },
+        }
 
     @property
     def backend_count(self) -> int:

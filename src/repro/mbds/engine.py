@@ -88,7 +88,11 @@ class ExecutionEngine:
             return backend.execute(request)
         span = tracer.open(f"backend[{backend.backend_id}].{label}", parent)
         try:
-            result = backend.execute(request)
+            # Activate on the executing thread so spans opened inside the
+            # backend (qc.compile) nest under this one identically for
+            # serial and pooled execution.
+            with tracer.activate(span):
+                result = backend.execute(request)
         finally:
             span.finish()
         span.record(

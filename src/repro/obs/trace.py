@@ -136,6 +136,32 @@ class _SpanScope:
         self._tracer._pop(self._span)
 
 
+class _ActivationScope:
+    """Scope that makes an existing span current without owning it.
+
+    Unlike :class:`_SpanScope`, exiting does *not* finish the span or
+    publish a root trace — the caller opened the span (via
+    :meth:`Tracer.open`) and keeps responsibility for finishing it.
+    Leaked children opened inside the scope are finished on exit.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        stack = self._tracer._local.stack
+        while stack and stack[-1] is not self._span:
+            stack.pop().finish()
+        if stack:
+            stack.pop()
+
+
 class Tracer:
     """Collects traces: one finished root span per traced request."""
 
@@ -194,6 +220,23 @@ class Tracer:
         """
         return Span(name, parent if parent is not None else self.current)
 
+    def activate(self, span: Span) -> _ActivationScope:
+        """Make *span* the calling thread's current span for a scope.
+
+        Engines pair this with :meth:`open`: the per-backend span is
+        opened (possibly with an explicit cross-thread parent) and then
+        activated on whichever thread executes the backend, so spans
+        opened *inside* the backend (``qc.compile``) attach to it
+        identically under serial and pooled execution.  Exiting the
+        scope pops without finishing — the opener still finishes.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+        return _ActivationScope(self, span)
+
     # -- access ----------------------------------------------------------------
 
     @property
@@ -249,6 +292,9 @@ class NullTracer:
 
     def open(self, name: str, parent: Optional[Span] = None) -> NullSpan:
         return NULL_SPAN
+
+    def activate(self, span: Any) -> _NullScope:
+        return _NULL_SCOPE
 
     def clear(self) -> None:
         pass

@@ -1,0 +1,24 @@
+"""Query compilation and multi-layer caching (PR 4).
+
+The hot-path levers, from the thesis's "response time bounded by the
+hardware" goal:
+
+* :mod:`repro.qc.compile` — DNF queries flattened into matcher closures
+  over the record keyword map (bit-identical to interpreted matching).
+* :mod:`repro.qc.lru` — the bounded, counter-instrumented LRU every
+  layer is built from.
+* :mod:`repro.qc.runtime` — the config singleton, cache factory, and
+  process-global parse memos.
+"""
+
+from repro.qc.compile import CompiledQuery, compile_query
+from repro.qc.lru import LRUCache, MISSING
+from repro.qc import runtime
+
+__all__ = [
+    "CompiledQuery",
+    "compile_query",
+    "LRUCache",
+    "MISSING",
+    "runtime",
+]

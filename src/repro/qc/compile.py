@@ -1,0 +1,166 @@
+"""Compilation of DNF queries into specialized matcher closures.
+
+Interpreted matching walks three layers per record — ``Query.matches`` →
+``Conjunction.matches`` → ``Predicate.matches`` → ``values.compare`` —
+re-dispatching on the operator string every time.  :func:`compile_query`
+does that dispatch **once**, flattening the query into a closure over the
+record's keyword map (a plain ``dict[str, Value]``), so the per-record
+cost is a dict lookup and a native comparison.
+
+Correctness contract: for every query and record,
+``compile_query(q).matches(r) == q.matches(r)`` — bit-identical selection,
+proven against :mod:`repro.abdm.values` semantics:
+
+* Equality compiles to ``m.get(attr, _MISSING) == value``.  On the kernel
+  value domain (int/float/str/None) Python ``==`` agrees exactly with
+  :func:`~repro.abdm.values.values_equal`: ``None`` equals only ``None``,
+  mixed string/number pairs are unequal, int/float mix numerically, and
+  the private ``_MISSING`` sentinel equals nothing — which reproduces the
+  "absent keyword never satisfies" rule for free.
+* ``!=`` requires the keyword to be *present* with a differing value
+  (the kernel compares keywords, not absences).
+* Ordering operators guard with ``isinstance`` checks that mirror
+  :func:`~repro.abdm.values.comparable`: strings order against strings,
+  numbers against numbers, nulls and absences against nothing.  A
+  predicate ordering against a null value can never be satisfied and
+  compiles to a constant ``False``.
+
+The module is pure — caching lives with the callers (each store keeps a
+bounded LRU from :mod:`repro.qc.runtime` keyed on the rendered query).
+"""
+
+from __future__ import annotations
+
+import operator as _op
+from typing import Callable, Mapping
+
+from repro.abdm.predicate import Conjunction, Predicate, Query
+from repro.abdm.record import Record
+from repro.abdm.values import Value
+
+#: Absent-keyword sentinel; compares unequal to every kernel value.
+_MISSING = object()
+
+#: A compiled matcher over a record's keyword map.
+MatchFn = Callable[[Mapping[str, Value]], bool]
+
+_ORDER_OPS: dict[str, Callable[[Value, Value], bool]] = {
+    "<": _op.lt,
+    "<=": _op.le,
+    ">": _op.gt,
+    ">=": _op.ge,
+}
+
+
+def _false(keyword_map: Mapping[str, Value]) -> bool:
+    return False
+
+
+def _true(keyword_map: Mapping[str, Value]) -> bool:
+    return True
+
+
+def compile_predicate(predicate: Predicate) -> MatchFn:
+    """Compile one keyword predicate to a closure over the keyword map."""
+    attribute = predicate.attribute
+    value = predicate.value
+    op = predicate.operator
+
+    if op == "=":
+
+        def eq(m: Mapping[str, Value]) -> bool:
+            return m.get(attribute, _MISSING) == value
+
+        return eq
+
+    if op == "!=":
+
+        def ne(m: Mapping[str, Value]) -> bool:
+            v = m.get(attribute, _MISSING)
+            return v is not _MISSING and v != value
+
+        return ne
+
+    relation = _ORDER_OPS[op]
+    if value is None:
+        # Ordering against the null marker is never satisfied.
+        return _false
+    if isinstance(value, str):
+
+        def order_str(m: Mapping[str, Value]) -> bool:
+            v = m.get(attribute, _MISSING)
+            return isinstance(v, str) and relation(v, value)
+
+        return order_str
+
+    def order_num(m: Mapping[str, Value]) -> bool:
+        v = m.get(attribute, _MISSING)
+        return isinstance(v, (int, float)) and relation(v, value)
+
+    return order_num
+
+
+def compile_conjunction(clause: Conjunction) -> MatchFn:
+    """Compile one DNF clause (an empty clause matches everything)."""
+    fns = tuple(compile_predicate(p) for p in clause.predicates)
+    if not fns:
+        return _true
+    if len(fns) == 1:
+        return fns[0]
+    if len(fns) == 2:
+        first, second = fns
+
+        def pair(m: Mapping[str, Value]) -> bool:
+            return first(m) and second(m)
+
+        return pair
+
+    def conj(m: Mapping[str, Value]) -> bool:
+        for fn in fns:
+            if not fn(m):
+                return False
+        return True
+
+    return conj
+
+
+class CompiledQuery:
+    """A query flattened into a single matcher closure.
+
+    ``matches`` accepts a :class:`~repro.abdm.record.Record` (mirroring
+    ``Query.matches``); ``fn`` is the raw closure over a keyword map for
+    callers already holding one.
+    """
+
+    __slots__ = ("query", "source", "fn")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.source = query.render()
+        clause_fns = tuple(compile_conjunction(c) for c in query.clauses)
+        if not clause_fns:
+            # An empty disjunction selects nothing (any(()) is False).
+            self.fn: MatchFn = _false
+        elif len(clause_fns) == 1:
+            self.fn = clause_fns[0]
+        else:
+
+            def disj(m: Mapping[str, Value]) -> bool:
+                for fn in clause_fns:
+                    if fn(m):
+                        return True
+                return False
+
+            self.fn = disj
+
+    def matches(self, record: Record) -> bool:
+        """Exactly ``self.query.matches(record)``, minus the dispatch."""
+        return self.fn(record.keyword_map())
+
+    def __repr__(self) -> str:
+        return f"CompiledQuery({self.source})"
+
+
+def compile_query(query: Query) -> CompiledQuery:
+    """Compile *query* into a :class:`CompiledQuery`."""
+    return CompiledQuery(query)

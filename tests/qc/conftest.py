@@ -1,0 +1,25 @@
+"""Shared fixtures for the query-compilation/caching suite.
+
+Every test runs against pristine qc state: the process-wide
+:data:`repro.qc.runtime.config` singleton and the global parse caches
+are reset before and after each test so flag flips and cache contents
+never leak between tests (or into the rest of the suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qc import runtime as qc_runtime
+
+
+@pytest.fixture(autouse=True)
+def _pristine_qc_state():
+    qc_runtime.reset()
+    yield
+    qc_runtime.reset()
+
+
+@pytest.fixture
+def config():
+    return qc_runtime.config
