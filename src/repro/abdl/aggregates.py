@@ -4,14 +4,31 @@ A RETRIEVE may name aggregate operations (AVG, SUM, COUNT, MIN, MAX) in its
 target list; the optional BY clause groups records before aggregation
 (thesis II.C.2: "the by-clause may be used to group records when an
 aggregate operation is specified").
+
+Besides the record-scan evaluator, this module hosts the **index fast
+path** for MIN / MAX / COUNT: when a whole-file aggregate request is
+eligible (:func:`digest_plan`) the kernel answers it from per-backend
+:class:`~repro.abdm.plan.AttributeIndexDigest` statistics instead of
+broadcasting a raw retrieval (:func:`merge_digests`), charging one disk
+access per resident backend and examining zero records.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-from repro.abdm.record import Record
+from repro.abdm.record import FILE_ATTRIBUTE, Record
 from repro.abdm.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.abdl.ast import RetrieveRequest
+    from repro.abdm.plan import AttributeIndexDigest
+
+#: Aggregates an attribute-index digest can answer without a scan.
+INDEXABLE_AGGREGATES = ("COUNT", "MIN", "MAX")
+
+#: One backend's probe: per-attribute digests plus its file record count.
+DigestProbe = tuple[dict[str, "AttributeIndexDigest"], int]
 
 
 def _numeric_values(records: Iterable[Record], attribute: str) -> list[float]:
@@ -61,6 +78,88 @@ def evaluate_aggregate(
             return None
         return min(pool) if operation == "MIN" else max(pool)
     raise ValueError(f"unknown aggregate operation {operation!r}")
+
+
+def digest_plan(request: "RetrieveRequest") -> Optional[tuple[str, list[str]]]:
+    """The (file, attributes) an index-digest evaluation would need.
+
+    Eligibility is deliberately narrow so the digest answer is provably
+    identical to the scan answer: no BY clause, every target an
+    aggregate in :data:`INDEXABLE_AGGREGATES` (``*`` only under COUNT),
+    and a query that is exactly ``FILE = name`` — any further predicate
+    would filter records the digests cannot see.  Returns None when the
+    request must take the raw-scan path.
+    """
+    if request.by is not None or not request.target:
+        return None
+    attributes: list[str] = []
+    for item in request.target:
+        if item.aggregate not in INDEXABLE_AGGREGATES:
+            return None
+        if item.attribute == "*":
+            if item.aggregate != "COUNT":
+                return None
+        else:
+            attributes.append(item.attribute)
+    if len(request.query.clauses) != 1:
+        return None
+    predicates = tuple(request.query.clauses[0])
+    if len(predicates) != 1:
+        return None
+    predicate = predicates[0]
+    if (
+        predicate.attribute != FILE_ATTRIBUTE
+        or predicate.operator != "="
+        or not isinstance(predicate.value, str)
+    ):
+        return None
+    return predicate.value, attributes
+
+
+def merge_digests(
+    operation: str,
+    attribute: str,
+    probes: Sequence[DigestProbe],
+) -> Value:
+    """Evaluate one indexable aggregate from per-backend digest probes.
+
+    Mirrors :func:`evaluate_aggregate` over the same records: COUNT(*)
+    sums record counts, COUNT(attr) sums non-null entries (NaNs count —
+    they are present and non-null), and MIN/MAX prefer the numeric domain
+    over strings exactly like the scan evaluator.  Callers must have
+    rejected NaN-bearing digests for MIN/MAX first (see
+    :meth:`~repro.abdm.plan.AttributeIndexDigest`): folding NaN through
+    ``min``/``max`` is input-order-dependent, so only a scan reproduces it.
+    """
+    if operation == "COUNT":
+        if attribute == "*":
+            return sum(count for _, count in probes)
+        return sum(
+            digests[attribute].entries - digests[attribute].nulls
+            for digests, _ in probes
+        )
+    picking_min = operation == "MIN"
+    numeric = [
+        bound
+        for digests, _ in probes
+        for bound in (
+            digests[attribute].num_min if picking_min else digests[attribute].num_max,
+        )
+        if bound is not None
+    ]
+    if numeric:
+        return min(numeric) if picking_min else max(numeric)
+    strings = [
+        bound
+        for digests, _ in probes
+        for bound in (
+            digests[attribute].str_min if picking_min else digests[attribute].str_max,
+        )
+        if bound is not None
+    ]
+    if strings:
+        return min(strings) if picking_min else max(strings)
+    return None
 
 
 def group_records(

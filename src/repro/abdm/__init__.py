@@ -15,14 +15,41 @@ from repro.abdm.directory import (
     Directory,
     DirectoryAttribute,
 )
+from repro.abdm.plan import (
+    AccessPath,
+    AttributeIndex,
+    AttributeIndexDigest,
+    ClausePlan,
+    Interval,
+    build_interval,
+    plan_conjunction,
+)
 from repro.abdm.predicate import Conjunction, Predicate, Query, RELATIONAL_OPERATORS
 from repro.abdm.record import FILE_ATTRIBUTE, Keyword, Record
 from repro.abdm.store import ABFile, ABStore, ScanStats
-from repro.abdm.values import NULL_TOKEN, Value, compare, is_null, parse_literal, render
+from repro.abdm.values import (
+    NULL_TOKEN,
+    Value,
+    compare,
+    is_nan,
+    is_null,
+    order_domain,
+    parse_literal,
+    render,
+)
 
 __all__ = [
     "ABFile",
     "ABStore",
+    "AccessPath",
+    "AttributeIndex",
+    "AttributeIndexDigest",
+    "ClausePlan",
+    "Interval",
+    "build_interval",
+    "is_nan",
+    "order_domain",
+    "plan_conjunction",
     "ClusteredStore",
     "Descriptor",
     "Directory",

@@ -6,17 +6,22 @@ MBDS backend: it supports the four physical operations the kernel language
 needs — insert, delete-by-query, update-by-query, find-by-query — and a
 cost accounting hook (records examined) that feeds the MBDS timing model.
 
-Optionally, a store maintains **equality hash indexes** on chosen
-attributes (``indexed_attributes`` / :meth:`ABStore.add_index`).  Each
-index maps, per file, an attribute value to the records carrying it, in
-insertion order.  A query whose every DNF clause contains an equality
-predicate over an indexed attribute is answered from the index buckets
-instead of a whole-file scan; ``records_examined`` then counts only the
-bucket members actually inspected, so the MBDS timing model (and the
-directory-ablation benchmark) automatically reflect the index's benefit
-— the same accounting contract :class:`~repro.abdm.directory.ClusteredStore`
-follows.  Results are byte-identical to the unindexed scan, including
-record order.
+Optionally, a store maintains **attribute indexes** on chosen attributes
+(``indexed_attributes`` / :meth:`ABStore.add_index`).  Each index keeps,
+per file, hash buckets (value → records in insertion order) plus sorted
+key arrays (:class:`~repro.abdm.plan.AttributeIndex`), so both equality
+probes and ``< <= > >=`` range slices can be answered without a
+whole-file scan.  A small per-clause planner
+(:func:`~repro.abdm.plan.plan_conjunction`) prices every indexable
+access path by exact candidate count and picks the cheapest — hash probe
+over range slice over compiled full scan — intersecting further
+selective paths when that shrinks the candidate set.  The (compiled)
+query matcher always re-verifies the candidates, so results are
+byte-identical to the unindexed scan, including record order;
+``records_examined`` counts only the candidates actually inspected, so
+the MBDS timing model (and the directory-ablation benchmark)
+automatically reflect the index's benefit — the same accounting contract
+:class:`~repro.abdm.directory.ClusteredStore` follows.
 
 The store deliberately knows nothing about data models or languages; the
 ABDL executor drives it, and MBDS partitions one logical database across
@@ -28,6 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.abdm.plan import (
+    EMPTY_DIGEST,
+    AttributeIndex,
+    AttributeIndexDigest,
+    plan_conjunction,
+)
 from repro.abdm.predicate import Query
 from repro.abdm.record import Record
 from repro.abdm.values import Value
@@ -42,20 +53,36 @@ from repro.qc import runtime as qc_runtime
 class ScanStats:
     """Accounting for one store operation, consumed by the timing model.
 
-    *index_hits* counts (file, query) pairs a hash index answered instead
-    of a full scan — the signal the observability spans surface so index
-    effectiveness is visible per request, not only in aggregate.
+    *index_hits* counts (file, query) pairs a hash probe answered and
+    *range_hits* those a sorted-key slice answered, instead of a full
+    scan; *fallback_scans* counts the pairs where an indexed store's
+    planner found no path cheaper than scanning.  The observability spans
+    surface all three so access-path effectiveness is visible per
+    request, not only in aggregate.
     """
 
     records_examined: int = 0
     records_touched: int = 0
     index_hits: int = 0
+    range_hits: int = 0
+    fallback_scans: int = 0
 
     def __iadd__(self, other: "ScanStats") -> "ScanStats":
         self.records_examined += other.records_examined
         self.records_touched += other.records_touched
         self.index_hits += other.index_hits
+        self.range_hits += other.range_hits
+        self.fallback_scans += other.fallback_scans
         return self
+
+    def copy(self) -> "ScanStats":
+        return ScanStats(
+            self.records_examined,
+            self.records_touched,
+            self.index_hits,
+            self.range_hits,
+            self.fallback_scans,
+        )
 
 
 class ABFile:
@@ -84,10 +111,10 @@ class ABFile:
         return f"ABFile({self.name!r}, {len(self._records)} records)"
 
 
-#: One file's hash index: attribute -> value -> [(sequence, record), ...].
-#: Sequence numbers are per-file insertion ranks, so bucket unions can be
-#: restored to file order (multi-clause queries) by sorting on them.
-_FileIndex = dict[str, dict[Value, list[tuple[int, Record]]]]
+#: One file's indexes: attribute -> AttributeIndex (hash buckets + sorted
+#: key arrays).  Bucket entries carry per-file insertion ranks, so
+#: candidate unions can be restored to file order by sorting on them.
+_FileIndex = dict[str, AttributeIndex]
 
 
 class ABStore:
@@ -96,8 +123,9 @@ class ABStore:
     Records are bucketed by file name so that queries pinning ``FILE``
     scan only the relevant buckets; queries that leave the file open scan
     every bucket (and are charged for it).  With *indexed_attributes*,
-    equality predicates over those attributes are additionally answered
-    from per-file hash indexes (see the module docstring).
+    equality and range predicates over those attributes are additionally
+    answered from per-file attribute indexes via the access-path planner
+    (see the module docstring).
     """
 
     def __init__(self, indexed_attributes: Iterable[str] = ()) -> None:
@@ -200,10 +228,16 @@ class ABStore:
         return self._indexed
 
     def add_index(self, attribute: str) -> None:
-        """Start maintaining an equality index on *attribute* (idempotent)."""
+        """Start maintaining an index on *attribute* (idempotent).
+
+        Bumps the store-wide epoch: indexing changes the accounting
+        (records_examined, hit counters) of replayed results, so any
+        result cache keyed on :meth:`epoch_signature` must refill.
+        """
         if attribute in self._indexed:
             return
         self._indexed = self._indexed + (attribute,)
+        self._store_epoch += 1
         for name in self._files:
             self._rebuild_index(name)
 
@@ -215,58 +249,118 @@ class ABStore:
             self._indexes.pop(file_name, None)
             self._index_seq.pop(file_name, None)
             return
-        table: _FileIndex = {attribute: {} for attribute in self._indexed}
+        table: _FileIndex = {attribute: AttributeIndex() for attribute in self._indexed}
         for seq, record in enumerate(abfile):
             for attribute in self._indexed:
                 if attribute in record:
-                    table[attribute].setdefault(record.get(attribute), []).append(
-                        (seq, record)
-                    )
+                    table[attribute].add(record.get(attribute), seq, record)
         self._indexes[file_name] = table
         self._index_seq[file_name] = len(abfile)
 
     def _index_add(self, file_name: str, record: Record) -> None:
         table = self._indexes.setdefault(
-            file_name, {attribute: {} for attribute in self._indexed}
+            file_name, {attribute: AttributeIndex() for attribute in self._indexed}
         )
         seq = self._index_seq.get(file_name, 0)
         self._index_seq[file_name] = seq + 1
         for attribute in self._indexed:
             if attribute in record:
-                table[attribute].setdefault(record.get(attribute), []).append(
-                    (seq, record)
-                )
+                table[attribute].add(record.get(attribute), seq, record)
 
-    def _index_candidates(
-        self, file_name: str, query: Query
-    ) -> Optional[list[Record]]:
-        """Records the index narrows *query* down to, in file order.
+    def index_digest(
+        self, file_name: str, attribute: str
+    ) -> Optional[AttributeIndexDigest]:
+        """Aggregate statistics of one (file, attribute) index.
 
-        None means the index cannot serve this (file, query) pair — some
-        clause lacks an equality predicate on an indexed attribute — and
-        the caller must fall back to the full scan.
+        None means the index cannot vouch for the file — the attribute is
+        unindexed, planning is disabled, or the file was populated before
+        indexing started — and the caller must scan.
         """
-        if not self._indexed:
+        if attribute not in self._indexed or not qc_runtime.config.plan_enabled:
+            return None
+        table = self._indexes.get(file_name)
+        if table is None:
+            return None if self.count(file_name) else EMPTY_DIGEST
+        return table[attribute].digest()
+
+    def _plan_candidates(
+        self, file_name: str, query: Query
+    ) -> Optional[tuple[list[Record], frozenset[str]]]:
+        """Records the planner narrows *query* down to, in file order.
+
+        Returns ``(candidates, kinds)`` where *kinds* names the access
+        paths used (``'hash'`` / ``'range'``), or None when no plan beats
+        the full scan for this (file, query) pair — some clause has no
+        indexable path, or its cheapest path surfaces the whole file.
+        """
+        if not self._indexed or not qc_runtime.config.plan_enabled:
             return None
         table = self._indexes.get(file_name)
         if table is None:
             # File populated before indexing started (or never indexed).
-            return None if self.count(file_name) else []
-        chosen = []
-        for clause in query:
-            pinning = None
-            for predicate in clause:
-                if predicate.operator == "=" and predicate.attribute in table:
-                    pinning = predicate
-                    break
-            if pinning is None:
-                return None
-            chosen.append(pinning)
+            return None if self.count(file_name) else ([], frozenset())
+        file_records = self.count(file_name)
         by_seq: dict[int, Record] = {}
-        for predicate in chosen:
-            for seq, record in table[predicate.attribute].get(predicate.value, ()):
+        kinds: set[str] = set()
+        for clause in query:
+            plan = plan_conjunction(clause, table, file_records)
+            primary = plan.primary
+            if primary is None:
+                return None
+            if primary.kind == "empty":
+                continue
+            index = table[primary.attribute]
+            if primary.kind == "hash":
+                entries = list(index.equal_bucket(primary.value))
+                kinds.add("hash")
+            else:
+                assert primary.interval is not None
+                entries = []
+                for key in index.range_keys(primary.interval):
+                    entries.extend(index.buckets[key])
+                kinds.add("range")
+            if plan.extras and entries:
+                keep: Optional[set[int]] = None
+                for extra in plan.extras:
+                    extra_index = table[extra.attribute]
+                    if extra.kind == "hash":
+                        seqs = {s for s, _ in extra_index.equal_bucket(extra.value)}
+                        kinds.add("hash")
+                    else:
+                        assert extra.interval is not None
+                        seqs = set()
+                        for key in extra_index.range_keys(extra.interval):
+                            seqs.update(s for s, _ in extra_index.buckets[key])
+                        kinds.add("range")
+                    keep = seqs if keep is None else keep & seqs
+                    if not keep:
+                        break
+                entries = [(s, record) for s, record in entries if s in (keep or ())]
+            for seq, record in entries:
                 by_seq.setdefault(seq, record)
-        return [by_seq[seq] for seq in sorted(by_seq)]
+        return [by_seq[seq] for seq in sorted(by_seq)], frozenset(kinds)
+
+    def _served_candidates(
+        self, file_name: str, query: Query
+    ) -> tuple[Optional[list[Record]], str]:
+        """:meth:`_plan_candidates` plus the per-pair stats charge.
+
+        Returns ``(candidates, label)`` where *label* names the access
+        path for the ``plan.access_path`` span attribute: ``'scan'`` when
+        candidates is None, otherwise ``'hash'``, ``'range'``,
+        ``'hash+range'`` or ``'empty'`` (planner proved the file empty).
+        """
+        planned = self._plan_candidates(file_name, query)
+        if planned is None:
+            if self._indexed and qc_runtime.config.plan_enabled:
+                self.stats.fallback_scans += 1
+            return None, "scan"
+        candidates, kinds = planned
+        if "range" in kinds:
+            self.stats.range_hits += 1
+        else:
+            self.stats.index_hits += 1
+        return candidates, "+".join(sorted(kinds)) or "empty"
 
     # -- physical operations --------------------------------------------------
 
@@ -291,15 +385,18 @@ class ABStore:
         """Return every record satisfying *query* (in file/insertion order)."""
         found: list[Record] = []
         matches = self.matcher(query)
+        paths: set[str] = set()
         for abfile in self._candidate_files(query):
-            candidates = self._index_candidates(abfile.name, query)
-            if candidates is not None:
-                self.stats.index_hits += 1
+            candidates, label = self._served_candidates(abfile.name, query)
+            paths.add(label)
             for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1
                 if matches(record):
                     found.append(record)
         self.stats.records_touched += len(found)
+        span = self._obs.tracer.current
+        if span is not None and self._indexed:
+            span.record(**{"plan.access_path": "+".join(sorted(paths)) or "none"})
         return found
 
     def delete(self, query: Query) -> int:
@@ -308,9 +405,7 @@ class ABStore:
         matches = self.matcher(query)
         for abfile in self._candidate_files(query):
             records = abfile.records()
-            candidates = self._index_candidates(abfile.name, query)
-            if candidates is not None:
-                self.stats.index_hits += 1
+            candidates, _ = self._served_candidates(abfile.name, query)
             if candidates is None:
                 kept = []
                 removed = 0
@@ -349,9 +444,7 @@ class ABStore:
         updated = 0
         matches = self.matcher(query)
         for abfile in self._candidate_files(query):
-            candidates = self._index_candidates(abfile.name, query)
-            if candidates is not None:
-                self.stats.index_hits += 1
+            candidates, _ = self._served_candidates(abfile.name, query)
             touched = 0
             for record in abfile if candidates is None else candidates:
                 self.stats.records_examined += 1
@@ -383,6 +476,21 @@ class ABStore:
     def cache_snapshot(self) -> dict[str, object]:
         """Compile-cache counters for the ``.caches`` dot-command."""
         return self._compiled.snapshot()
+
+    def index_snapshot(self) -> dict[str, object]:
+        """Index configuration and hit counters for ``.indexes``."""
+        files: dict[str, dict[str, int]] = {}
+        for file_name, table in sorted(self._indexes.items()):
+            files[file_name] = {
+                attribute: index.entries for attribute, index in sorted(table.items())
+            }
+        return {
+            "attributes": list(self._indexed),
+            "files": files,
+            "index_hits": self.stats.index_hits,
+            "range_hits": self.stats.range_hits,
+            "fallback_scans": self.stats.fallback_scans,
+        }
 
     def snapshot(self) -> dict[str, list[list[tuple[str, Value]]]]:
         """A structural snapshot (for tests and debugging)."""

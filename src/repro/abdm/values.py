@@ -21,7 +21,8 @@ layer agrees on the semantics:
 
 from __future__ import annotations
 
-from typing import Union
+import math
+from typing import Optional, Union
 
 #: A kernel value: an integer, a float, a string, or the null marker.
 Value = Union[int, float, str, None]
@@ -48,6 +49,27 @@ def domain_of(value: Value) -> str:
     if isinstance(value, str):
         return "string"
     raise TypeError(f"{value!r} is not a kernel value")
+
+
+def is_nan(value: Value) -> bool:
+    """True when *value* is a floating NaN (satisfies no predicate but ``!=``)."""
+    return isinstance(value, float) and math.isnan(value)
+
+
+def order_domain(value: Value) -> Optional[str]:
+    """The total-order domain *value* sorts in: ``'num'``, ``'str'`` or None.
+
+    Nulls and NaNs return None — neither participates in any ordering
+    (``compare`` is False for every ordering operator against them), so
+    sorted indexes keep them out of their key arrays.
+    """
+    if value is None or is_nan(value):
+        return None
+    if isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
 
 
 def comparable(left: Value, right: Value) -> bool:

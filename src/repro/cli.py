@@ -50,6 +50,7 @@ dot-commands:
   .recover <wal-dir>         replace the system with one recovered from a WAL
   .stats                     dump the metrics registry (counters/gauges/histograms)
   .caches                    show qc cache counters (compile/parse/translate/result)
+  .indexes                   show per-backend sorted indexes and hit/fallback counters
   .trace                     render the most recent request trace (needs --trace)
   .slow [n]                  show the slow log's last n entries (needs --slow-ms)
   .quit                      leave the shell
@@ -190,6 +191,10 @@ class MLDSShell:
             import json
 
             return json.dumps(self._cache_report(), indent=1)
+        if command == ".indexes":
+            import json
+
+            return json.dumps(self._index_report(), indent=1)
         if command == ".trace":
             if not self.mlds.obs.tracer.enabled:
                 return "tracing is off (start with --trace or --slow-ms)"
@@ -241,6 +246,25 @@ class MLDSShell:
             snap = getattr(holder, "translation_cache_snapshot", None)
             if snap is not None:
                 report["session_translations"] = snap()
+        return report
+
+    def _index_report(self) -> dict:
+        """Per-backend index state plus the planner's metric counters."""
+        from repro.qc import runtime as qc_runtime
+
+        report: dict = {"plan_enabled": qc_runtime.config.plan_enabled}
+        report["backends"] = self.mlds.kds.controller.index_report()
+        registry = self.mlds.obs.metrics.as_dict()
+        report["metrics"] = {
+            name: registry[name]["value"]
+            for name in (
+                "backend.index_hits",
+                "index.range_hits",
+                "plan.fallback_scan",
+                "index.aggregate_hits",
+            )
+            if name in registry
+        }
         return report
 
     def _schema_text(self, name: str) -> str:
@@ -414,6 +438,20 @@ def build_parser() -> "argparse.ArgumentParser":
         help="write the metrics registry as JSON to FILE when the shell exits",
     )
     parser.add_argument(
+        "--index",
+        metavar="ATTR[,ATTR...]",
+        default=None,
+        help="build sorted attribute indexes on every backend (comma-"
+        "separated attribute names); =/range predicates over indexed "
+        "attributes are answered from the index (see .indexes)",
+    )
+    parser.add_argument(
+        "--no-index-plan",
+        action="store_true",
+        help="keep indexes maintained but never plan with them: every "
+        "retrieval takes the full-scan path (the planner ablation baseline)",
+    )
+    parser.add_argument(
         "--no-compile",
         action="store_true",
         help="interpret DNF queries per record instead of compiling them "
@@ -438,6 +476,8 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
 
     if args.no_compile:
         qc_runtime.config.compile_enabled = False
+    if args.no_index_plan:
+        qc_runtime.config.plan_enabled = False
     if args.cache_sizes:
         try:
             qc_runtime.apply_sizes(args.cache_sizes)
@@ -473,6 +513,11 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
             )
     except ValueError as exc:
         parser.error(str(exc))
+    if args.index:
+        attributes = [attr.strip() for attr in args.index.split(",") if attr.strip()]
+        if not attributes:
+            parser.error("--index needs at least one attribute name")
+        mlds.kds.controller.add_index(*attributes)
     if args.demo:
         from repro.university import load_university
 

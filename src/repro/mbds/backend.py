@@ -30,7 +30,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.abdl.ast import (
     DeleteRequest,
@@ -40,8 +40,9 @@ from repro.abdl.ast import (
     UpdateRequest,
 )
 from repro.abdl.executor import Executor, RequestResult
+from repro.abdm.plan import AttributeIndexDigest
 from repro.abdm.store import ABStore
-from repro.mbds.summary import BackendSummary
+from repro.mbds.summary import BackendSummary, SummaryCache, affected_files
 from repro.mbds.timing import TimingModel
 from repro.obs import ObsSpec, resolve_obs
 from repro.qc.lru import MISSING
@@ -69,6 +70,8 @@ class BackendImage:
     examined: int
     touched: int
     index_hits: int = 0
+    range_hits: int = 0
+    fallback_scans: int = 0
 
 
 @dataclass
@@ -88,6 +91,8 @@ class _CachedRetrieve:
     examined: int
     index_hits: int
     touched: int
+    range_hits: int = 0
+    fallback_scans: int = 0
 
 
 def _copy_retrieve_result(result: RequestResult) -> RequestResult:
@@ -106,9 +111,10 @@ class BackendResult:
 
     *elapsed_ms* is simulated (timing-model) time; *wall_ms* is the real
     time the backend spent executing, measured with ``perf_counter``.
-    *records_examined* / *index_hits* are this request's slice of the
-    store's scan accounting (deltas, not cumulative totals), surfaced so
-    per-backend trace spans can explain their own cost.
+    *records_examined* / *index_hits* / *range_hits* / *fallback_scans*
+    are this request's slice of the store's scan accounting (deltas, not
+    cumulative totals), surfaced so per-backend trace spans can explain
+    their own cost and access-path choice.
     """
 
     backend_id: int
@@ -117,6 +123,8 @@ class BackendResult:
     wall_ms: float = 0.0
     records_examined: int = 0
     index_hits: int = 0
+    range_hits: int = 0
+    fallback_scans: int = 0
 
 
 class Backend:
@@ -141,6 +149,9 @@ class Backend:
         self.latency_scale = latency_scale
         self._lock = threading.Lock()
         self._summary: Optional[BackendSummary] = None
+        #: Per-file summary digests; mutations invalidate only the files
+        #: they touched, so one write never re-summarizes the whole slice.
+        self._summaries = SummaryCache()
         self._result_cache = qc_runtime.new_cache("result", prefix="qc.result")
 
     def bind_obs(self, obs: ObsSpec) -> None:
@@ -190,19 +201,35 @@ class Backend:
                     backend_result.records_examined,
                     backend_result.index_hits,
                     touched,
+                    backend_result.range_hits,
+                    backend_result.fallback_scans,
                 ),
             )
             return backend_result
 
+    def _invalidate_for(self, request: Request) -> None:
+        """Invalidate summaries for the files *request* may have touched."""
+        self._summary = None
+        if isinstance(request, InsertRequest):
+            name = request.record.file_name
+            self._summaries.invalidate([name] if name else None)
+        else:
+            query = getattr(request, "query", None)
+            self._summaries.invalidate(
+                affected_files(query) if query is not None else None
+            )
+
     def _execute_locked(self, request: Request) -> BackendResult:
         start = time.perf_counter()
-        before = self.store.stats.records_examined
-        hits_before = self.store.stats.index_hits
+        before = self.store.stats.copy()
         result = self.executor.execute(request)
-        examined = self.store.stats.records_examined - before
-        index_hits = self.store.stats.index_hits - hits_before
+        stats = self.store.stats
+        examined = stats.records_examined - before.records_examined
+        index_hits = stats.index_hits - before.index_hits
+        range_hits = stats.range_hits - before.range_hits
+        fallback_scans = stats.fallback_scans - before.fallback_scans
         if isinstance(request, _MUTATING_REQUESTS):
-            self._summary = None
+            self._invalidate_for(request)
         if isinstance(request, InsertRequest):
             elapsed = self.timing.backend_insert_ms()
         else:
@@ -214,7 +241,14 @@ class Backend:
         self.busy_ms += elapsed
         self.busy_wall_ms += wall_ms
         return BackendResult(
-            self.backend_id, result, elapsed, wall_ms, examined, index_hits
+            self.backend_id,
+            result,
+            elapsed,
+            wall_ms,
+            examined,
+            index_hits,
+            range_hits,
+            fallback_scans,
         )
 
     def _replay_cached(self, entry: _CachedRetrieve) -> BackendResult:
@@ -222,6 +256,8 @@ class Backend:
         stats = self.store.stats
         stats.records_examined += entry.examined
         stats.index_hits += entry.index_hits
+        stats.range_hits += entry.range_hits
+        stats.fallback_scans += entry.fallback_scans
         stats.records_touched += entry.touched
         if self.latency_scale > 0.0:
             time.sleep(entry.elapsed_ms * self.latency_scale / 1000.0)
@@ -235,6 +271,8 @@ class Backend:
             wall_ms,
             entry.examined,
             entry.index_hits,
+            entry.range_hits,
+            entry.fallback_scans,
         )
 
     # -- durability support -----------------------------------------------------
@@ -250,7 +288,7 @@ class Backend:
         """
         with self._lock:
             self.executor.execute(request)
-            self._summary = None
+            self._invalidate_for(request)
 
     def capture_image(self) -> BackendImage:
         """Deep-copy the store contents (a transaction's pre-image)."""
@@ -260,6 +298,8 @@ class Backend:
                 self.store.stats.records_examined,
                 self.store.stats.records_touched,
                 self.store.stats.index_hits,
+                self.store.stats.range_hits,
+                self.store.stats.fallback_scans,
             )
 
     def restore_image(self, image: BackendImage) -> None:
@@ -273,21 +313,70 @@ class Backend:
             self.store.stats.records_examined = image.examined
             self.store.stats.records_touched = image.touched
             self.store.stats.index_hits = image.index_hits
+            self.store.stats.range_hits = image.range_hits
+            self.store.stats.fallback_scans = image.fallback_scans
             self._summary = None
+            self._summaries.invalidate()
 
     # -- content summary (broadcast pruning) ------------------------------------
 
     def summary(self) -> BackendSummary:
-        """This backend's content summary, rebuilt lazily after mutations."""
+        """This backend's content summary, rebuilt lazily after mutations.
+
+        Per-file digests are memoized in :class:`SummaryCache`, so after
+        a mutation only the touched files are re-digested.
+        """
         with self._lock:
             if self._summary is None:
-                self._summary = BackendSummary.of_store(self.store)
+                self._summary = self._summaries.summarize(self.store)
             return self._summary
+
+    def summary_rebuild_counts(self) -> dict[str, int]:
+        """How often each file was re-digested (per-file invalidation tests)."""
+        with self._lock:
+            return dict(self._summaries.rebuild_counts)
 
     def invalidate_summary(self) -> None:
         """Drop the cached summary (after out-of-band store mutation)."""
         with self._lock:
             self._summary = None
+            self._summaries.invalidate()
+
+    def charge_access(self) -> tuple[float, float]:
+        """Charge one simulated disk access (the aggregate fast path).
+
+        Returns ``(simulated_ms, wall_ms)`` and keeps the busy counters
+        and emulated disk latency consistent with normal execution.
+        """
+        with self._lock:
+            start = time.perf_counter()
+            elapsed = self.timing.access_ms
+            if self.latency_scale > 0.0:
+                time.sleep(elapsed * self.latency_scale / 1000.0)
+            wall_ms = (time.perf_counter() - start) * 1000.0
+            self.busy_ms += elapsed
+            self.busy_wall_ms += wall_ms
+            return elapsed, wall_ms
+
+    def aggregate_probe(
+        self, file_name: str, attributes: Sequence[str]
+    ) -> Optional[tuple[dict[str, AttributeIndexDigest], int]]:
+        """Index digests + record count for the aggregate fast path.
+
+        None means some attribute's index cannot vouch for this file on
+        this backend (unindexed, planning disabled, or populated before
+        indexing) and the whole request must take the raw-scan path.
+        The probe itself reads only index metadata — no records — which
+        is why the fast path charges a single disk access per backend.
+        """
+        with self._lock:
+            digests: dict[str, AttributeIndexDigest] = {}
+            for attribute in attributes:
+                digest = self.store.index_digest(file_name, attribute)
+                if digest is None:
+                    return None
+                digests[attribute] = digest
+            return digests, self.store.count(file_name)
 
     def record_count(self) -> int:
         """Records resident on this backend."""

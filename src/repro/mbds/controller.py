@@ -270,6 +270,10 @@ class BackendController:
                 metrics.inc("backend.records_examined", partial.records_examined)
             if partial.index_hits:
                 metrics.inc("backend.index_hits", partial.index_hits)
+            if partial.range_hits:
+                metrics.inc("index.range_hits", partial.range_hits)
+            if partial.fallback_scans:
+                metrics.inc("plan.fallback_scan", partial.fallback_scans)
 
     def _broadcast_targets(self, request: Request) -> list[Backend]:
         """The backends a broadcast must reach (all, unless pruning)."""
@@ -312,6 +316,25 @@ class BackendController:
         self.placement = image.placement
 
     # -- maintenance -------------------------------------------------------------
+
+    def add_index(self, *attributes: str) -> None:
+        """Build sorted attribute indexes on every backend's store.
+
+        Indexing changes the simulated cost of future retrievals (fewer
+        records examined), so each store bumps its epoch and any cached
+        results priced under the unindexed accounting are invalidated.
+        """
+        for backend in self.backends:
+            for attribute in attributes:
+                backend.store.add_index(attribute)
+
+    def index_report(self) -> dict[str, object]:
+        """Per-backend index state and hit counters (the ``.indexes``
+        dot-command)."""
+        return {
+            f"backend[{b.backend_id}]": b.store.index_snapshot()
+            for b in self.backends
+        }
 
     def invalidate_summaries(self) -> None:
         """Drop every cached backend summary (after direct store edits)."""

@@ -99,6 +99,8 @@ class ExecutionEngine:
             simulated_ms=result.elapsed_ms,
             records_examined=result.records_examined,
             index_hits=result.index_hits,
+            range_hits=result.range_hits,
+            fallback_scans=result.fallback_scans,
             records=result.result.count,
         )
         return result

@@ -14,6 +14,7 @@ AB(functional) alike — can coexist in one kernel, as MLDS requires.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
@@ -28,6 +29,7 @@ from repro.abdl.ast import (
     Transaction,
     UpdateRequest,
 )
+from repro.abdl.aggregates import digest_plan, merge_digests
 from repro.abdl.executor import RequestResult, merge_common, project
 from repro.abdm.record import Record
 from repro.errors import ExecutionError, WalError
@@ -39,12 +41,15 @@ from repro.mbds.controller import (
 from repro.mbds.engine import EngineSpec
 from repro.mbds.placement import PlacementPolicy
 from repro.mbds.timing import (
+    PHASE_AGGREGATE_INDEX,
     PHASE_COMMON_LEFT,
     PHASE_COMMON_RIGHT,
+    BroadcastPhase,
     ResponseTime,
     TimingModel,
 )
 from repro.obs import ObsSpec
+from repro.qc import runtime as qc_runtime
 from repro.wal.faults import InjectedCrash
 from repro.wal.log import WalManager
 
@@ -302,7 +307,96 @@ class KernelDatabaseSystem:
                 return [self.execute(request) for request in transaction]
         return [self.execute(request) for request in transaction]
 
+    def _aggregate_from_digests(
+        self, request: RetrieveRequest
+    ) -> Optional[ExecutionTrace]:
+        """Answer a MIN/MAX/COUNT request from index digests, or None.
+
+        When :func:`~repro.abdl.aggregates.digest_plan` accepts the
+        request and every backend's index can vouch for the file, the
+        aggregates are computed from per-backend digest statistics:
+        backends holding no slice of the file are skipped at zero
+        simulated cost, the rest are charged exactly one disk access,
+        and zero records are examined.  MIN/MAX fall back to the scan
+        path when any digest reports resident NaNs (the scan evaluator
+        folds NaN through ``min``/``max``, whose result depends on input
+        order — only a real scan reproduces it).  The returned row is
+        bit-identical to the scan path's projection; ``raw_records``
+        stays empty, which is safe because aggregates never feed joins.
+        """
+        if not qc_runtime.config.plan_enabled:
+            return None
+        plan = digest_plan(request)
+        if plan is None:
+            return None
+        file_name, attributes = plan
+        start = time.perf_counter()
+        probes = []
+        for backend in self.controller.backends:
+            probe = backend.aggregate_probe(file_name, attributes)
+            if probe is None:
+                return None
+            probes.append(probe)
+        minmax_attrs = {
+            item.attribute
+            for item in request.target
+            if item.aggregate in ("MIN", "MAX")
+        }
+        if any(
+            digests[attribute].nans
+            for digests, _ in probes
+            for attribute in minmax_attrs
+        ):
+            return None
+        row = Record()
+        for item in request.target:
+            assert item.aggregate is not None
+            row.set(
+                item.output_name,
+                merge_digests(item.aggregate, item.attribute, probes),
+            )
+        result = RequestResult(
+            "RETRIEVE",
+            records=[row],
+            count=sum(count for _, count in probes),
+        )
+        per_backend_ms = [0.0] * self.controller.backend_count
+        per_backend_wall_ms = [0.0] * self.controller.backend_count
+        for backend, (_, count) in zip(self.controller.backends, probes):
+            if count == 0:
+                continue
+            elapsed, wall = backend.charge_access()
+            per_backend_ms[backend.backend_id] = elapsed
+            per_backend_wall_ms[backend.backend_id] = wall
+        response = ResponseTime()
+        response.add(
+            max(per_backend_ms), self.controller.timing.controller_ms(1)
+        )
+        span = self.obs.tracer.current
+        if span:
+            span.record(**{"plan.access_path": PHASE_AGGREGATE_INDEX})
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.inc("index.aggregate_hits")
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        return ExecutionTrace(
+            request,
+            result,
+            response,
+            per_backend_ms=per_backend_ms,
+            wall_ms=wall_ms,
+            per_backend_wall_ms=per_backend_wall_ms,
+            phases=[
+                BroadcastPhase(
+                    PHASE_AGGREGATE_INDEX, per_backend_ms, per_backend_wall_ms
+                )
+            ],
+        )
+
     def _execute_aggregate(self, request: RetrieveRequest) -> ExecutionTrace:
+        fast = self._aggregate_from_digests(request)
+        if fast is not None:
+            return fast
         raw = RetrieveRequest(request.query, (ALL_ATTRIBUTES,))
         trace = self.controller.execute(raw)
         projected = project(trace.result.raw_records, request)

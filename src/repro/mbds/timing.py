@@ -107,6 +107,7 @@ PHASE_BROADCAST = "broadcast"
 PHASE_INSERT = "insert"
 PHASE_COMMON_LEFT = "left"
 PHASE_COMMON_RIGHT = "right"
+PHASE_AGGREGATE_INDEX = "aggregate-index"
 
 
 @dataclass

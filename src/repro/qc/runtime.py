@@ -54,6 +54,10 @@ class QCConfig:
     parse_cache_enabled: bool = True
     translation_cache_enabled: bool = True
     result_cache_enabled: bool = True
+    #: Access-path planning over attribute indexes (``--no-index-plan``).
+    #: Off, every indexed store falls back to the compiled full scan —
+    #: the ablation baseline bench_range_index.py measures against.
+    plan_enabled: bool = True
     sizes: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_SIZES))
 
     def size(self, layer: str) -> int:
@@ -81,6 +85,7 @@ class QCConfig:
         self.parse_cache_enabled = True
         self.translation_cache_enabled = True
         self.result_cache_enabled = True
+        self.plan_enabled = True
         self.sizes = dict(DEFAULT_SIZES)
 
 

@@ -64,13 +64,17 @@ class TestIndexedFind:
             r.pairs() for r in plain.find(query)
         ]
 
-    def test_non_equality_falls_back_to_scan(self, indexed):
+    def test_range_predicate_served_by_sorted_index(self, indexed):
         query = Query.conjunction(
             [Predicate("FILE", "=", "data"), Predicate("x", "<", 3)]
         )
         found = indexed.find(query)
         assert len(found) == 18
-        assert indexed.stats.records_examined == 60
+        # PR 5: the sorted index serves the range slice — only the 18
+        # candidates are examined, and the hit lands in range_hits.
+        assert indexed.stats.records_examined == 18
+        assert indexed.stats.range_hits == 1
+        assert indexed.stats.fallback_scans == 0
 
     def test_clause_without_indexed_attribute_falls_back(self, indexed):
         query = Query(

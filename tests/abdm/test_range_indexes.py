@@ -1,0 +1,202 @@
+"""Sorted range indexes: bisected slices, byte-identical to full scans.
+
+PR 5's core fidelity property: for *every* comparison operator and every
+mix of int / float / string / null / NaN values, a store with sorted
+attribute indexes returns exactly what a plain scanning store returns —
+same records, same order — while examining only the index's candidates.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.abdm import (
+    ABStore,
+    AttributeIndex,
+    Interval,
+    Predicate,
+    Query,
+    Record,
+    build_interval,
+    plan_conjunction,
+)
+
+#: One shared NaN object.  NaN hashes by identity in the index buckets,
+#: so both stores must see the very same object (as they would when one
+#: parsed request is broadcast to every backend).
+NAN = float("nan")
+
+#: The sentinel for "this record does not carry the attribute at all".
+MISSING = "__missing__"
+
+OPERATORS = ("<", "<=", ">", ">=", "=", "!=")
+
+values = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+    st.sampled_from(["alpha", "beta", "zz"]),
+    st.none(),
+    st.just(NAN),
+    st.just(MISSING),
+)
+
+
+def record(file_name, key, value):
+    pairs = [("FILE", file_name), (file_name, key)]
+    if value is not MISSING:
+        pairs.append(("x", value))
+    return Record.from_pairs(pairs)
+
+
+def twin_stores(rows):
+    plain = ABStore()
+    indexed = ABStore(indexed_attributes=["x"])
+    for index, value in enumerate(rows):
+        # Distinct Record objects, same *value* objects (NaN included).
+        plain.insert(record("data", f"d${index}", value))
+        indexed.insert(record("data", f"d${index}", value))
+    return plain, indexed
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows=st.lists(values, max_size=25), operator=st.sampled_from(OPERATORS), probe=values)
+def test_indexed_retrieval_identical_to_scan(rows, operator, probe):
+    if probe is MISSING:
+        probe = None
+    plain, indexed = twin_stores(rows)
+    query = Query.conjunction(
+        [Predicate("FILE", "=", "data"), Predicate("x", operator, probe)]
+    )
+    # Lists compare element-first by identity, so the shared NaN object
+    # on both sides cannot trip the NaN != NaN comparison rule here.
+    assert [r.pairs() for r in indexed.find(query)] == [
+        r.pairs() for r in plain.find(query)
+    ]
+    assert indexed.stats.records_examined <= plain.stats.records_examined
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(values, max_size=20),
+    operator=st.sampled_from(("<", "<=", ">", ">=")),
+    probe=values,
+)
+def test_mutations_through_ranges_stay_consistent(rows, operator, probe):
+    if probe is MISSING:
+        probe = None
+    plain, indexed = twin_stores(rows)
+    query = Query.conjunction(
+        [Predicate("FILE", "=", "data"), Predicate("x", operator, probe)]
+    )
+    assert indexed.delete(query) == plain.delete(query)
+    everything = Query.single("FILE", "=", "data")
+    assert [r.pairs() for r in indexed.find(everything)] == [
+        r.pairs() for r in plain.find(everything)
+    ]
+
+
+class TestIntervals:
+    def test_bounds_merge_to_the_tightest_window(self):
+        interval = build_interval(
+            [
+                Predicate("x", ">=", 2),
+                Predicate("x", "<", 9),
+                Predicate("x", ">", 4),
+            ]
+        )
+        assert interval == Interval("num", 4, 9, lo_strict=True, hi_strict=True)
+        assert not interval.empty
+
+    def test_contradictory_bounds_are_empty(self):
+        interval = build_interval([Predicate("x", ">", 5), Predicate("x", "<", 3)])
+        assert interval.empty
+
+    def test_null_or_nan_bound_defeats_the_interval(self):
+        assert build_interval([Predicate("x", ">", None)]) is None
+        assert build_interval([Predicate("x", ">", NAN)]) is None
+
+    def test_mixed_domains_defeat_the_interval(self):
+        assert (
+            build_interval([Predicate("x", ">", 1), Predicate("x", "<", "zz")]) is None
+        )
+
+    def test_string_intervals_slice_lexicographically(self):
+        index = AttributeIndex()
+        for seq, word in enumerate(["ant", "bee", "cat", "dog"]):
+            index.add(word, seq, None)
+        interval = build_interval([Predicate("x", ">=", "bee"), Predicate("x", "<", "dog")])
+        assert index.range_keys(interval) == ["bee", "cat"]
+
+
+class TestPlanner:
+    def build_indexes(self, n=40):
+        index = AttributeIndex()
+        tag = AttributeIndex()
+        for seq in range(n):
+            index.add(seq % 10, seq, None)
+            tag.add("even" if seq % 2 == 0 else "odd", seq, None)
+        return {"x": index, "tag": tag}
+
+    def test_hash_beats_wider_range(self):
+        indexes = self.build_indexes()
+        plan = plan_conjunction(
+            [Predicate("x", "=", 3), Predicate("x", ">=", 0)], indexes, 40
+        )
+        assert plan.primary is not None
+        assert plan.primary.kind == "hash"
+        assert plan.primary.estimated == 4
+
+    def test_whole_file_range_falls_back_to_scan(self):
+        indexes = self.build_indexes()
+        plan = plan_conjunction([Predicate("x", ">=", 0)], indexes, 40)
+        assert plan.primary is None
+
+    def test_contradiction_plans_empty(self):
+        indexes = self.build_indexes()
+        plan = plan_conjunction(
+            [Predicate("x", ">", 5), Predicate("x", "<", 3)], indexes, 40
+        )
+        assert plan.primary is not None
+        assert plan.primary.kind == "empty"
+        assert plan.primary.estimated == 0
+
+    def test_selective_secondary_path_becomes_an_extra(self):
+        indexes = self.build_indexes()
+        plan = plan_conjunction(
+            [Predicate("x", "=", 3), Predicate("tag", "=", "odd")], indexes, 400
+        )
+        assert plan.primary is not None and plan.primary.attribute == "x"
+        assert [extra.attribute for extra in plan.extras] == ["tag"]
+
+
+class TestNaNAndNullSemantics:
+    def test_equality_on_nan_matches_nothing(self):
+        _, indexed = twin_stores([NAN, 1, 2.5])
+        assert indexed.find(
+            Query.conjunction(
+                [Predicate("FILE", "=", "data"), Predicate("x", "=", NAN)]
+            )
+        ) == []
+
+    def test_ordering_never_reaches_null_or_nan(self):
+        plain, indexed = twin_stores([None, NAN, -1, 0, 1])
+        query = Query.conjunction(
+            [Predicate("FILE", "=", "data"), Predicate("x", "<=", 100)]
+        )
+        found = indexed.find(query)
+        assert [r.pairs() for r in found] == [r.pairs() for r in plain.find(query)]
+        assert all(
+            isinstance(r.get("x"), (int, float)) and not math.isnan(r.get("x"))
+            for r in found
+        )
+
+    def test_digest_reports_nan_and_null_population(self):
+        store = ABStore(indexed_attributes=["x"])
+        for value in (NAN, None, 3, "word"):
+            store.insert(record("data", f"d${value}", value))
+        digest = store.index_digest("data", "x")
+        assert digest.entries == 4
+        assert digest.nans == 1
+        assert digest.nulls == 1
+        assert digest.num_min == digest.num_max == 3
+        assert digest.str_min == digest.str_max == "word"

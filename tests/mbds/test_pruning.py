@@ -149,13 +149,22 @@ class TestSummary:
         summary = BackendSummary.of_store(ABStore())
         assert not summary.may_match(Query.single("FILE", "=", "a"))
 
-    def test_summary_without_directory_cannot_prune_on_values(self):
+    def test_summary_without_directory_prunes_on_value_ranges(self):
         from repro.abdm import ABStore, Query, Record
 
         store = ABStore()
         store.insert(Record.from_pairs([("FILE", "a"), ("x", 1)]))
         summary = BackendSummary.of_store(store)
-        assert summary.may_match(Query.single("x", "=", 999))
+        # PR 5: value-range summaries prune without a directory — the
+        # resident x extent is [1, 1], so neither 999 nor x > 5 can match.
+        assert not summary.may_match(Query.single("x", "=", 999))
+        assert not summary.may_match(Query.single("x", ">", 5))
+        assert summary.may_match(Query.single("x", "=", 1))
+        assert summary.may_match(Query.single("x", "<=", 3))
+        # != stays conservative: any resident value may differ.
+        assert summary.may_match(Query.single("x", "!=", 1))
+        # An attribute no resident record carries satisfies nothing.
+        assert not summary.may_match(Query.single("ghost", "!=", 1))
         assert not summary.may_match(Query.single("FILE", "=", "b"))
 
 
