@@ -28,49 +28,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 if __package__ in (None, ""):  # runnable as a plain script, too
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.abdl import parse_request
-from repro.mbds import KernelDatabaseSystem
-
-
-def build_kds(
-    backends: int, records: int, engine: str, workers: int | None, latency_scale: float
-) -> KernelDatabaseSystem:
-    kds = KernelDatabaseSystem(
-        backend_count=backends,
-        engine=engine,
-        workers=workers,
-        latency_scale=latency_scale,
-    )
-    for i in range(records):
-        kds.execute(
-            parse_request(f"INSERT (<FILE, data>, <data, d${i}>, <x, {i % 97}>)")
-        )
-    kds.reset_clock()
-    return kds
-
-
-def run_workload(kds: KernelDatabaseSystem, requests: int) -> dict:
-    """A scan-heavy workload: broadcast selections over the whole farm."""
-    parsed = [
-        parse_request(f"RETRIEVE ((FILE = data) AND (x = {i % 97})) (*)")
-        for i in range(requests)
-    ]
-    selected = 0
-    start = time.perf_counter()
-    for request in parsed:
-        selected += kds.execute(request).result.count
-    wall_s = time.perf_counter() - start
-    return {
-        "wall_s": wall_s,
-        "selected": selected,
-        "simulated": kds.clock.as_dict(),
-    }
+try:  # shared dataset/workload builders (see workloads.py)
+    from benchmarks.workloads import build_kds, run_workload
+except ImportError:
+    from workloads import build_kds, run_workload
 
 
 def bench_one(

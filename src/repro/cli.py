@@ -379,18 +379,30 @@ def build_parser() -> "argparse.ArgumentParser":
     )
     parser.add_argument(
         "--engine",
-        choices=("serial", "threads"),
+        choices=("serial", "threads", "process"),
         default="serial",
         help="broadcast execution engine: 'serial' runs backends in order, "
-        "'threads' fans each broadcast out on a thread pool (default serial; "
-        "simulated response times are identical either way)",
+        "'threads' fans each broadcast out on a thread pool, 'process' "
+        "gives every backend its own worker process so CPU-bound scans "
+        "parallelize past the GIL (default serial; simulated response "
+        "times are identical for all three)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
         metavar="N",
-        help="thread-pool size for --engine threads (default: one per backend)",
+        help="pool size for --engine threads/process (default: one per backend)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("round-robin", "least-loaded", "hash-shard"),
+        default="round-robin",
+        help="record placement policy: 'round-robin' stripes each file "
+        "across all backends (default), 'least-loaded' balances raw "
+        "record counts, 'hash-shard' places each file wholly on a hashed "
+        "backend so single-file requests route there instead of "
+        "broadcasting",
     )
     parser.add_argument(
         "--prune",
@@ -484,6 +496,15 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
         except ValueError as exc:
             parser.error(str(exc))
     wal_dir = None if args.no_wal else args.wal_dir
+    placement = None
+    if args.placement == "least-loaded":
+        from repro.mbds.placement import LeastLoadedPlacement
+
+        placement = LeastLoadedPlacement()
+    elif args.placement == "hash-shard":
+        from repro.mbds.placement import HashShardPlacement
+
+        placement = HashShardPlacement()
     obs = None
     if args.trace or args.slow_ms is not None or args.metrics_out:
         from repro.obs import Observability
@@ -500,6 +521,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
                 engine=args.engine,
                 workers=args.workers,
                 pruning=args.prune,
+                placement=placement,
                 obs=obs,
             )
         else:
@@ -508,6 +530,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
                 engine=args.engine,
                 workers=args.workers,
                 pruning=args.prune,
+                placement=placement,
                 wal=wal_dir,
                 obs=obs,
             )

@@ -61,6 +61,7 @@ class MLDS:
         self,
         backend_count: int = 4,
         timing: Optional[TimingModel] = None,
+        placement=None,
         store_factory=None,
         engine=None,
         workers: Optional[int] = None,
@@ -71,11 +72,14 @@ class MLDS:
         """*store_factory* optionally replaces each backend's plain scan
         store, e.g. with a directory-clustered
         :class:`~repro.abdm.directory.ClusteredStore` (see the directory
-        ablation benchmark for the payoff).  *engine*/*workers* pick the
-        kernel's wall-clock dispatch strategy ('serial' or 'threads');
-        *pruning* enables summary-based broadcast pruning (see
-        :mod:`repro.mbds.engine` and :mod:`repro.mbds.summary`).  *wal*
-        enables durability: pass a directory path (or a prepared
+        ablation benchmark for the payoff).  *placement* picks the record
+        placement policy (round-robin by default; see
+        :mod:`repro.mbds.placement` — :class:`HashShardPlacement` adds
+        single-backend request routing).  *engine*/*workers* pick the
+        kernel's wall-clock dispatch strategy ('serial', 'threads', or
+        'process'); *pruning* enables summary-based broadcast pruning
+        (see :mod:`repro.mbds.engine` and :mod:`repro.mbds.summary`).
+        *wal* enables durability: pass a directory path (or a prepared
         :class:`~repro.wal.log.WalManager`) and every mutating kernel
         request is journaled there before it is applied (see
         :mod:`repro.wal`).  *obs* attaches an
@@ -87,6 +91,7 @@ class MLDS:
         self.kds = KernelDatabaseSystem(
             backend_count,
             timing,
+            placement=placement,
             store_factory=store_factory,
             engine=engine,
             workers=workers,

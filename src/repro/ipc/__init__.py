@@ -1,0 +1,22 @@
+"""Cross-process messaging for the MBDS process-parallel engine.
+
+The :class:`~repro.mbds.engine.ProcessPoolEngine` runs each backend's
+:class:`~repro.abdm.store.ABStore` in a persistent worker process and
+talks to it over a pair of queues.  Everything that crosses the process
+boundary travels as one JSON *string* — the same discipline the WAL
+already imposes on journaled mutations — so backend state is fully
+message-passing-clean: no live object, lock, or cache ever crosses.
+
+* :mod:`repro.ipc.codec` — the wire codec: requests (extending the WAL's
+  mutating-request codec to retrievals), results, scan statistics,
+  backend images, pruning summaries, index digests, and trace spans.
+* :mod:`repro.ipc.worker` — the worker process main loop.
+* :mod:`repro.ipc.proxy` — :class:`~repro.ipc.proxy.ProcessBackend`, the
+  controller-side stand-in that speaks the protocol while duck-typing
+  :class:`~repro.mbds.backend.Backend`.
+"""
+
+from repro.ipc.codec import decode_any_request, encode_any_request
+from repro.ipc.proxy import ProcessBackend
+
+__all__ = ["ProcessBackend", "decode_any_request", "encode_any_request"]

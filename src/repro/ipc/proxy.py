@@ -1,0 +1,308 @@
+"""Controller-side proxies for worker-resident backends.
+
+:class:`ProcessBackend` duck-types :class:`~repro.mbds.backend.Backend`
+closely enough that the controller, the KDS, persistence, and recovery
+never notice the store lives in another process: every Backend method
+they call has a counterpart here that encodes the call, ships it over
+the worker's request queue, and decodes the reply.  :class:`ProcessStore`
+does the same for the handful of direct store accesses the upper layers
+make (``add_index``, ``all_records``, ``drop_file``, snapshot-style
+inspection), so ``backend.store.…`` keeps working too.
+
+Two details carry the engine contract:
+
+* **Split-phase execution** — :meth:`ProcessBackend.start_execute` only
+  sends; :meth:`ProcessBackend.finish_execute` receives.  The engine
+  sends one request to every target worker before collecting any reply,
+  which is what turns N CPU-bound scans into N concurrent processes.
+* **Summary caching** — pruning consults summaries on every broadcast,
+  so the proxy caches the last decoded summary and drops it whenever a
+  mutating request (or replay, restore, direct store edit) goes through,
+  mirroring the per-file invalidation the worker's own
+  :class:`~repro.mbds.summary.SummaryCache` performs on its side.
+
+Workers are daemonic: an abandoned controller (the crash-matrix tests
+kill systems mid-transaction without shutdown) cannot leak processes
+past interpreter exit.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
+
+from repro import errors
+from repro.errors import ExecutionError
+from repro.ipc import codec
+from repro.ipc.worker import config_state, worker_main
+from repro.obs import NULL_OBS, ObsSpec, resolve_obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.abdl.ast import Request
+    from repro.abdm.plan import AttributeIndexDigest
+    from repro.abdm.record import Record
+    from repro.mbds.backend import BackendImage, BackendResult, StoreFactory
+    from repro.mbds.summary import BackendSummary
+    from repro.mbds.timing import TimingModel
+    from repro.obs.trace import Span
+
+#: Mutating request operation names (mirrors the WAL's journaled set).
+_MUTATING_OPS = ("INSERT", "DELETE", "UPDATE")
+
+
+def _spawn_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform has it (cheap, inherits the store factory
+    without pickling); fall back to the default context elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ProcessStore:
+    """The slice of the :class:`~repro.abdm.store.ABStore` API that upper
+    layers reach through ``backend.store``, proxied over the wire."""
+
+    def __init__(self, backend: "ProcessBackend") -> None:
+        self._backend = backend
+
+    def add_index(self, attribute: str) -> None:
+        self._backend._call({"cmd": "store_add_index", "attribute": attribute})
+
+    def index_snapshot(self) -> dict[str, Any]:
+        reply = self._backend._call({"cmd": "store_index_snapshot"})
+        return reply["snapshot"]
+
+    def all_records(self) -> Iterator["Record"]:
+        reply = self._backend._call({"cmd": "store_all_records"})
+        return iter([codec.decode_record(r) for r in reply["records"]])
+
+    def drop_file(self, name: str) -> None:
+        self._backend._summary_cache = None
+        self._backend._call({"cmd": "store_drop_file", "file": name})
+
+    def insert(self, record: "Record") -> None:
+        self._backend._summary_cache = None
+        self._backend._call(
+            {"cmd": "store_insert", "record": codec.encode_record(record)}
+        )
+
+    def count(self, file_name: Optional[str] = None) -> int:
+        reply = self._backend._call({"cmd": "store_count", "file": file_name})
+        return reply["count"]
+
+    def snapshot(self) -> dict[str, Any]:
+        reply = self._backend._call({"cmd": "store_snapshot"})
+        # JSON flattens the pair tuples to lists; restore the exact
+        # in-process shape so structural comparisons across engines hold.
+        return {
+            name: [[tuple(pair) for pair in record] for record in records]
+            for name, records in reply["snapshot"].items()
+        }
+
+
+class ProcessBackend:
+    """A :class:`~repro.mbds.backend.Backend` living in a worker process."""
+
+    def __init__(
+        self,
+        engine: Any,
+        backend_id: int,
+        timing: "TimingModel",
+        store_factory: Optional["StoreFactory"] = None,
+        latency_scale: float = 0.0,
+    ) -> None:
+        self.backend_id = backend_id
+        self.timing = timing
+        self.latency_scale = latency_scale
+        self._engine = engine
+        self._summary_cache: Optional["BackendSummary"] = None
+        self._directory = self._template_directory(store_factory)
+        context = _spawn_context()
+        self._requests: Any = context.SimpleQueue()
+        self._responses: Any = context.SimpleQueue()
+        self._process = context.Process(
+            target=worker_main,
+            args=(
+                backend_id,
+                codec.encode_timing(timing),
+                store_factory,
+                latency_scale,
+                config_state(),
+                self._requests,
+                self._responses,
+            ),
+            daemon=True,
+            name=f"mbds-backend-{backend_id}",
+        )
+        self._process.start()
+        self.store = ProcessStore(self)
+
+    @staticmethod
+    def _template_directory(store_factory: Optional["StoreFactory"]) -> Any:
+        """A local directory for decoded summaries (descriptor search).
+
+        Directory definitions are part of the store factory — schema, not
+        state — so a template store built from the same factory carries
+        the same descriptors the worker's store classifies records by.
+        """
+        if store_factory is None:
+            return None
+        return getattr(store_factory(), "directory", None)
+
+    # -- protocol plumbing -----------------------------------------------------
+
+    @property
+    def obs(self) -> Any:
+        return self._engine.obs if self._engine is not None else NULL_OBS
+
+    def _send(self, message: dict[str, Any]) -> None:
+        if not self._process.is_alive():
+            raise ExecutionError(
+                f"backend {self.backend_id}'s worker process is not running "
+                "(engine already shut down?)"
+            )
+        self._requests.put(json.dumps(message))
+
+    def _receive(self) -> dict[str, Any]:
+        reply = json.loads(self._responses.get())
+        error = reply.get("error")
+        if error is not None:
+            exc_type = getattr(errors, error["type"], None)
+            if isinstance(exc_type, type) and issubclass(exc_type, Exception):
+                raise exc_type(error["message"])
+            raise ExecutionError(f"{error['type']}: {error['message']}")
+        return reply
+
+    def _call(self, message: dict[str, Any]) -> dict[str, Any]:
+        self._send(message)
+        return self._receive()
+
+    # -- execution (the Backend.execute contract) ------------------------------
+
+    def start_execute(self, request: "Request") -> None:
+        """Ship *request* to the worker without waiting for the reply."""
+        if request.operation in _MUTATING_OPS:
+            self._summary_cache = None
+        self._send(
+            {
+                "cmd": "execute",
+                "request": codec.encode_any_request(request),
+                "trace": self.obs.tracer.enabled,
+            }
+        )
+
+    def finish_execute(self, span: Optional["Span"] = None) -> "BackendResult":
+        """Collect the reply for the last :meth:`start_execute`.
+
+        Worker-side spans are grafted under *span* (or the calling
+        thread's current span), re-joining the controller's trace tree;
+        worker-side counter deltas (qc cache hits/misses and friends)
+        are folded into the controller's metrics registry.
+        """
+        reply = self._receive()
+        parent = span if span is not None else self.obs.tracer.current
+        if reply["spans"] and parent is not None:
+            codec.graft_spans(reply["spans"], parent)
+        metrics = self.obs.metrics
+        for name, delta in reply.get("metrics", {}).items():
+            metrics.inc(name, delta)
+        return codec.decode_backend_result(reply["result"])
+
+    def execute(self, request: "Request") -> "BackendResult":
+        self.start_execute(request)
+        return self.finish_execute()
+
+    # -- durability support ----------------------------------------------------
+
+    def replay(self, request: "Request") -> None:
+        self._summary_cache = None
+        self._call(
+            {"cmd": "replay", "request": codec.encode_any_request(request)}
+        )
+
+    def capture_image(self) -> "BackendImage":
+        return codec.decode_image(self._call({"cmd": "capture"})["image"])
+
+    def restore_image(self, image: "BackendImage") -> None:
+        self._summary_cache = None
+        self._call({"cmd": "restore", "image": codec.encode_image(image)})
+
+    # -- content summary (broadcast pruning) -----------------------------------
+
+    def summary(self) -> "BackendSummary":
+        if self._summary_cache is None:
+            reply = self._call({"cmd": "summary"})
+            self._summary_cache = codec.decode_summary(
+                reply["summary"], self._directory
+            )
+        return self._summary_cache
+
+    def summary_rebuild_counts(self) -> dict[str, int]:
+        return dict(self._call({"cmd": "rebuild_counts"})["counts"])
+
+    def invalidate_summary(self) -> None:
+        self._summary_cache = None
+        self._call({"cmd": "invalidate_summary"})
+
+    # -- aggregates and accounting ---------------------------------------------
+
+    def charge_access(self) -> tuple[float, float]:
+        reply = self._call({"cmd": "charge_access"})
+        return reply["elapsed_ms"], reply["wall_ms"]
+
+    def aggregate_probe(
+        self, file_name: str, attributes: Sequence[str]
+    ) -> Optional[tuple[dict[str, "AttributeIndexDigest"], int]]:
+        reply = self._call(
+            {
+                "cmd": "aggregate_probe",
+                "file": file_name,
+                "attributes": list(attributes),
+            }
+        )
+        probe = reply["probe"]
+        if probe is None:
+            return None
+        digests = {
+            attribute: codec.decode_digest(encoded)
+            for attribute, encoded in probe["digests"].items()
+        }
+        return digests, probe["count"]
+
+    def record_count(self) -> int:
+        return self.store.count()
+
+    @property
+    def busy_ms(self) -> float:
+        return self._call({"cmd": "busy"})["busy_ms"]
+
+    @property
+    def busy_wall_ms(self) -> float:
+        return self._call({"cmd": "busy"})["busy_wall_ms"]
+
+    def bind_obs(self, obs: ObsSpec) -> None:
+        bundle = resolve_obs(obs)
+        self._call({"cmd": "bind_obs", "tracing": bundle.tracer.enabled})
+
+    def cache_snapshots(self) -> dict[str, dict[str, Any]]:
+        return self._call({"cmd": "cache_snapshots"})["caches"]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the worker process (idempotent)."""
+        if self._process.is_alive():
+            try:
+                self._requests.put(json.dumps({"cmd": "stop"}))
+                self._responses.get()
+            except (OSError, EOFError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._process.join(timeout=5.0)
+        self._requests.close()
+        self._responses.close()
+
+    def __repr__(self) -> str:
+        state = "alive" if self._process.is_alive() else "stopped"
+        return f"ProcessBackend({self.backend_id}, {state})"

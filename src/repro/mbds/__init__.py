@@ -17,6 +17,7 @@ from repro.mbds.backend import Backend, BackendResult
 from repro.mbds.controller import BackendController, ExecutionTrace
 from repro.mbds.engine import (
     ExecutionEngine,
+    ProcessPoolEngine,
     SerialEngine,
     ThreadPoolEngine,
     make_engine,
@@ -24,6 +25,7 @@ from repro.mbds.engine import (
 from repro.mbds.kds import DatabaseTemplate, KernelDatabaseSystem
 from repro.mbds.placement import (
     FileAffinityPlacement,
+    HashShardPlacement,
     LeastLoadedPlacement,
     PlacementPolicy,
     RoundRobinPlacement,
@@ -41,9 +43,11 @@ __all__ = [
     "ExecutionEngine",
     "ExecutionTrace",
     "FileAffinityPlacement",
+    "HashShardPlacement",
     "KernelDatabaseSystem",
     "LeastLoadedPlacement",
     "PlacementPolicy",
+    "ProcessPoolEngine",
     "ResponseTime",
     "RoundRobinPlacement",
     "SerialEngine",

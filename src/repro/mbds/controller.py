@@ -134,10 +134,12 @@ class BackendController:
         self.wal = wal
         if wal is not None and self.obs.enabled:
             wal.bind_obs(self.obs)
-        self.backends = [
-            Backend(i, self.timing, store_factory, latency_scale)
-            for i in range(backend_count)
-        ]
+        # The engine owns backend construction: in-process engines build
+        # plain Backends; the process engine spawns worker processes and
+        # returns proxies (see ExecutionEngine.create_backends).
+        self.backends = self.engine.create_backends(
+            backend_count, self.timing, store_factory, latency_scale
+        )
         if self.obs.enabled:
             # Cache layers (compile + result, per backend) report their
             # hit/miss/eviction counters into this bundle's registry; the
@@ -226,6 +228,13 @@ class BackendController:
         start = time.perf_counter()
         targets = self._broadcast_targets(request)
         mutating = isinstance(request, _MUTATING_REQUESTS)
+        if mutating:
+            # Targets were routed under the pre-mutation placement state
+            # (where the matching records actually live); only then may
+            # the policy update its routing metadata (shard-key taints).
+            observe = getattr(self.placement, "observe_mutation", None)
+            if observe is not None:
+                observe(request)
         auto_commit = self._journal(request, targets) if mutating else False
         if mutating and self.wal is not None:
             self.wal.fire(CrashPoint.BEFORE_APPLY)
@@ -276,23 +285,51 @@ class BackendController:
                 metrics.inc("plan.fallback_scan", partial.fallback_scans)
 
     def _broadcast_targets(self, request: Request) -> list[Backend]:
-        """The backends a broadcast must reach (all, unless pruning)."""
+        """The backends a broadcast must reach.
+
+        Two independent narrowing layers compose here:
+
+        1. **Shard routing** — a placement policy exposing ``route``
+           (e.g. :class:`~repro.mbds.placement.HashShardPlacement`) can
+           prove from placement alone that only certain backends may
+           hold matches.  Routing is metadata-only: no backend is
+           consulted.
+        2. **Summary pruning** — when enabled, the surviving targets are
+           further filtered against each backend's cached content
+           summary, which also catches backends whose routed slice
+           happens to hold nothing matching the predicate values.
+
+        Skipped backends (by either layer) are charged zero simulated
+        and zero wall time, exactly as pruning always has.
+        """
+        targets = list(self.backends)
+        router = getattr(self.placement, "route", None)
+        if router is not None:
+            routed = router(request, self.backend_count)
+            if routed is not None:
+                targets = [b for b in targets if b.backend_id in routed]
+                metrics = self.obs.metrics
+                if metrics.enabled:
+                    metrics.inc("route.requests")
+                    skipped = self.backend_count - len(targets)
+                    if skipped:
+                        metrics.inc("route.skipped_backends", skipped)
         if not self.pruning:
-            return self.backends
+            return targets
         query = getattr(request, "query", None)
         if query is None:
-            return self.backends
+            return targets
         with self.obs.tracer.span("prune.decision") as span:
-            targets = [b for b in self.backends if b.summary().may_match(query)]
-        skipped = len(self.backends) - len(targets)
+            pruned = [b for b in targets if b.summary().may_match(query)]
+        skipped = len(targets) - len(pruned)
         if span:
-            span.record(targets=len(targets), skipped=skipped)
+            span.record(targets=len(pruned), skipped=skipped)
         metrics = self.obs.metrics
         if metrics.enabled:
             metrics.inc("prune.broadcasts")
             if skipped:
                 metrics.inc("prune.skipped_backends", skipped)
-        return targets
+        return pruned
 
     # -- transaction rollback ----------------------------------------------------
 

@@ -15,6 +15,19 @@ timing model":
   instead of the sum.  Combined with the backends' emulated disk latency
   (see :class:`~repro.mbds.backend.Backend`), this reproduces MBDS's
   reciprocal response-time claim in real time, not just in the model.
+* :class:`ProcessPoolEngine` — each backend owns its store in a
+  persistent worker *process* (see :mod:`repro.ipc`), so CPU-bound
+  compiled matching and range scans parallelize past the GIL.  Requests
+  and results cross the boundary as JSON messages built on the WAL
+  codec; dispatch is split-phase (send to every target worker, then
+  collect in backend order).
+
+Because the process engine must build its backends *in* the workers, the
+engine — not the controller — now owns backend construction
+(:meth:`ExecutionEngine.create_backends`).  In-process engines return
+ordinary :class:`~repro.mbds.backend.Backend` objects; the process
+engine returns :class:`~repro.ipc.proxy.ProcessBackend` proxies that
+duck-type them.
 
 Engine choice never changes results or simulated time: per-backend
 simulated cost is a pure function of each backend's store state, stores
@@ -43,8 +56,22 @@ from repro.obs import NULL_OBS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.abdl.ast import Request
-    from repro.mbds.backend import Backend, BackendResult
+    from repro.ipc.proxy import ProcessBackend
+    from repro.mbds.backend import Backend, BackendResult, StoreFactory
+    from repro.mbds.timing import TimingModel
     from repro.obs.trace import Span
+
+
+def _record_result(span: "Span", result: "BackendResult") -> None:
+    """Stamp the standard per-backend attributes onto a finished span."""
+    span.record(
+        simulated_ms=result.elapsed_ms,
+        records_examined=result.records_examined,
+        index_hits=result.index_hits,
+        range_hits=result.range_hits,
+        fallback_scans=result.fallback_scans,
+        records=result.result.count,
+    )
 
 
 class ExecutionEngine:
@@ -56,6 +83,26 @@ class ExecutionEngine:
     #: Observability bundle; the owning controller rebinds this so
     #: per-backend spans and metrics reach the system-wide sinks.
     obs = NULL_OBS
+
+    def create_backends(
+        self,
+        count: int,
+        timing: "TimingModel",
+        store_factory: Optional["StoreFactory"] = None,
+        latency_scale: float = 0.0,
+    ) -> list["Backend"]:
+        """Build the backend farm this engine will execute against.
+
+        In-process engines return plain :class:`Backend` objects; the
+        process engine overrides this to spawn worker processes and hand
+        back proxies.
+        """
+        from repro.mbds.backend import Backend
+
+        return [
+            Backend(backend_id, timing, store_factory, latency_scale)
+            for backend_id in range(count)
+        ]
 
     def run(
         self,
@@ -95,14 +142,7 @@ class ExecutionEngine:
                 result = backend.execute(request)
         finally:
             span.finish()
-        span.record(
-            simulated_ms=result.elapsed_ms,
-            records_examined=result.records_examined,
-            index_hits=result.index_hits,
-            range_hits=result.range_hits,
-            fallback_scans=result.fallback_scans,
-            records=result.result.count,
-        )
+        _record_result(span, result)
         return result
 
     def shutdown(self) -> None:
@@ -178,22 +218,120 @@ class ThreadPoolEngine(ExecutionEngine):
         return f"ThreadPoolEngine(workers={self.workers})"
 
 
+class ProcessPoolEngine(ExecutionEngine):
+    """Run every backend in its own persistent worker process.
+
+    :meth:`create_backends` spawns one worker per backend, each owning a
+    completely ordinary in-worker :class:`~repro.mbds.backend.Backend`
+    (store, executor, result cache, timing model), and returns
+    :class:`~repro.ipc.proxy.ProcessBackend` proxies.  A broadcast is
+    dispatched split-phase — send the encoded request to every target
+    worker, then collect replies in backend order — so N CPU-bound scans
+    run on N cores while merged results stay byte-identical to
+    :class:`SerialEngine`.
+
+    *workers* caps in-flight workers per broadcast (dispatch proceeds in
+    chunks of that size); the worker *processes* are always one per
+    backend, because each one holds backend-resident state.
+
+    Unlike the thread pool, :meth:`shutdown` is terminal: it stops the
+    worker processes, and with them the backend stores they own.  Use it
+    only when the system is done (``KDS.shutdown`` / recovery teardown).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("ProcessPoolEngine needs at least one worker")
+        self.workers = workers
+        self._backends: list["ProcessBackend"] = []
+
+    def create_backends(
+        self,
+        count: int,
+        timing: "TimingModel",
+        store_factory: Optional["StoreFactory"] = None,
+        latency_scale: float = 0.0,
+    ) -> list["Backend"]:
+        from repro.ipc.proxy import ProcessBackend
+
+        self._backends = [
+            ProcessBackend(self, backend_id, timing, store_factory, latency_scale)
+            for backend_id in range(count)
+        ]
+        return list(self._backends)  # type: ignore[return-value]
+
+    def run(
+        self,
+        backends: Sequence["Backend"],
+        request: "Request",
+        label: str = PHASE_BROADCAST,
+    ) -> list["BackendResult"]:
+        if len(backends) <= 1:
+            return [self.execute_one(backend, request, label) for backend in backends]
+        tracer = self.obs.tracer
+        parent = tracer.current if tracer.enabled else None
+        limit = self.workers or len(backends)
+        results: list["BackendResult"] = []
+        for start in range(0, len(backends), limit):
+            chunk = backends[start : start + limit]
+            spans: list[Optional["Span"]] = []
+            for backend in chunk:
+                spans.append(
+                    tracer.open(f"backend[{backend.backend_id}].{label}", parent)
+                    if tracer.enabled
+                    else None
+                )
+                backend.start_execute(request)  # type: ignore[attr-defined]
+            # Collect every reply even if one raises — leaving replies in
+            # a queue would desynchronize that worker's protocol.
+            error: Optional[Exception] = None
+            for backend, span in zip(chunk, spans):
+                try:
+                    result = backend.finish_execute(span)  # type: ignore[attr-defined]
+                except Exception as exc:
+                    if error is None:
+                        error = exc
+                    if span is not None:
+                        span.finish()
+                    continue
+                if span is not None:
+                    span.finish()
+                    _record_result(span, result)
+                results.append(result)
+            if error is not None:
+                raise error
+        return results
+
+    def shutdown(self) -> None:
+        for backend in self._backends:
+            backend.stop()
+        self._backends = []
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolEngine(workers={self.workers})"
+
+
 #: What callers may pass wherever an engine is accepted: an instance, a
-#: name ('serial' / 'threads'), or None for the default serial engine.
+#: name ('serial' / 'threads' / 'process'), or None for the default
+#: serial engine.
 EngineSpec = Union[ExecutionEngine, str, None]
 
 _ENGINE_NAMES = {
     "serial": SerialEngine,
     "threads": ThreadPoolEngine,
     "threadpool": ThreadPoolEngine,
+    "process": ProcessPoolEngine,
+    "processes": ProcessPoolEngine,
 }
 
 
 def make_engine(spec: EngineSpec = None, workers: Optional[int] = None) -> ExecutionEngine:
     """Resolve an engine spec (instance, name, or None) to an engine.
 
-    *workers* only applies when a :class:`ThreadPoolEngine` is built here;
-    an explicit engine instance is returned unchanged.
+    *workers* only applies when a pooled engine is built here; an
+    explicit engine instance is returned unchanged.
     """
     if isinstance(spec, ExecutionEngine):
         return spec
@@ -203,8 +341,11 @@ def make_engine(spec: EngineSpec = None, workers: Optional[int] = None) -> Execu
         cls = _ENGINE_NAMES.get(spec.lower())
         if cls is ThreadPoolEngine:
             return ThreadPoolEngine(workers)
+        if cls is ProcessPoolEngine:
+            return ProcessPoolEngine(workers)
         if cls is not None:
             return cls()
     raise ValueError(
-        f"unknown execution engine {spec!r} (expected 'serial' or 'threads')"
+        f"unknown execution engine {spec!r} "
+        "(expected 'serial', 'threads', or 'process')"
     )

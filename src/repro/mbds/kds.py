@@ -205,7 +205,12 @@ class KernelDatabaseSystem:
                 backend.store.drop_file(file_name)
         # Dropping files bypasses Backend.execute, so the cached pruning
         # summaries no longer describe the stores; rebuild them lazily.
+        # It also bypasses placement, so load-tracking policies get the
+        # farm's actual distribution to resynchronize against.
         self.controller.invalidate_summaries()
+        rebalance = getattr(self.controller.placement, "rebalance", None)
+        if rebalance is not None:
+            rebalance(self.controller.distribution())
         del self._catalog[name]
 
     # -- execution ---------------------------------------------------------------

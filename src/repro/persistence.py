@@ -41,7 +41,11 @@ from typing import Optional, Union
 from repro.abdm.record import Record
 from repro.core.mlds import MLDS
 from repro.errors import MLDSError
-from repro.mbds.placement import RoundRobinPlacement
+from repro.mbds.placement import (
+    HashShardPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+)
 from repro.mbds.timing import TimingModel
 
 #: Snapshot format version, bumped on incompatible layout changes.
@@ -66,6 +70,14 @@ def _placement_state(mlds: MLDS) -> Optional[dict]:
     placement = mlds.kds.controller.placement
     if isinstance(placement, RoundRobinPlacement):
         return {"kind": "round_robin", "counters": dict(placement._counters)}
+    if isinstance(placement, LeastLoadedPlacement):
+        return {"kind": "least_loaded"}
+    if isinstance(placement, HashShardPlacement):
+        return {
+            "kind": "hash_shard",
+            "key_attributes": dict(placement.key_attributes),
+            "tainted": sorted(placement.tainted_files),
+        }
     return None
 
 
@@ -130,15 +142,19 @@ def load_mlds(
     engine=None,
     workers: Optional[int] = None,
     pruning: bool = False,
+    placement=None,
     store_factory=None,
     obs=None,
 ) -> MLDS:
     """Restore an :class:`MLDS` from a snapshot written by :func:`save_mlds`.
 
-    The kernel knobs (*engine*, *workers*, *pruning*, *store_factory*,
-    *obs*) are not part of the snapshot — they describe the machine, not
-    the data — so callers pick them at load time, defaulting to the
-    serial, unpruned, untraced configuration.
+    The kernel knobs (*engine*, *workers*, *pruning*, *placement*,
+    *store_factory*, *obs*) are not part of the snapshot — they describe
+    the machine, not the data — so callers pick them at load time,
+    defaulting to the serial, unpruned, untraced, round-robin
+    configuration.  The snapshot's placement *state* (round-robin
+    counters, hash-shard taints, load counts) is re-applied when the
+    chosen policy matches the kind that wrote it.
 
     Records are restored through each backend's store, which rebuilds
     hash indexes and clustering as it inserts; cached broadcast-pruning
@@ -156,6 +172,7 @@ def load_mlds(
     mlds = MLDS(
         backend_count=snapshot["backend_count"],
         timing=timing,
+        placement=placement,
         engine=engine,
         workers=workers,
         pruning=pruning,
@@ -185,13 +202,16 @@ def load_mlds(
             pairs = [(attribute, value) for attribute, value in row["pairs"]]
             backend.store.insert(Record.from_pairs(pairs, text=row.get("text", "")))
     placement_state = snapshot.get("placement")
-    placement = mlds.kds.controller.placement
-    if (
-        placement_state
-        and placement_state.get("kind") == "round_robin"
-        and isinstance(placement, RoundRobinPlacement)
-    ):
-        placement._counters.update(placement_state.get("counters", {}))
+    restored = mlds.kds.controller.placement
+    kind = placement_state.get("kind") if placement_state else None
+    if kind == "round_robin" and isinstance(restored, RoundRobinPlacement):
+        restored._counters.update(placement_state.get("counters", {}))
+    elif kind == "hash_shard" and isinstance(restored, HashShardPlacement):
+        restored.key_attributes.update(placement_state.get("key_attributes", {}))
+        restored._tainted.update(placement_state.get("tainted", ()))
+    if isinstance(restored, LeastLoadedPlacement):
+        # Whatever the snapshot said, the true load is what was restored.
+        restored.rebalance(mlds.kds.controller.distribution())
     # Restoring bypassed Backend.execute, so any cached content summaries
     # no longer describe the stores; drop them (they rebuild lazily).
     mlds.kds.controller.invalidate_summaries()

@@ -16,9 +16,14 @@ snapshot plus the WAL tail.  The protocol is the classic redo-only one:
 
 Because each backend's store is a deterministic function of the ops
 applied to it, replay is bit-identical to the original execution
-regardless of the execution engine the dying system used — SerialEngine
-and ThreadPoolEngine journal the same ops in the same order, as the
-journal is written by the controller *before* the engine fans out.
+regardless of the execution engine the dying system used — Serial,
+ThreadPool, and ProcessPool engines journal the same ops in the same
+order, as the journal is written by the controller *before* the engine
+fans out.  Process-engine recovery needs no cross-process reconciliation
+for the same reason: fresh workers are spawned with empty stores, the
+snapshot and replay repopulate them through the same proxied calls, and
+worker-resident epochs and result caches restart coherent with the
+recovered contents.
 
 Checkpointing is snapshot-then-truncate: write the format-2 snapshot
 (which embeds the watermark) atomically, then start a fresh WAL segment
@@ -54,8 +59,11 @@ def replay_committed(
     :class:`~repro.errors.WalError` when a replayed transaction's
     record-count checksum does not match the recovered farm.
     """
-    from repro.abdl.ast import InsertRequest
-    from repro.mbds.placement import RoundRobinPlacement
+    # Keep placement state consistent with the restored contents, so
+    # post-recovery inserts land (and routed requests go) exactly where
+    # the uncrashed system would have sent them.  Policies opt in by
+    # exposing observe_replay (see repro.mbds.placement).
+    observe_replay = getattr(controller.placement, "observe_replay", None)
 
     replayed = 0
     for transaction in view.committed:
@@ -71,15 +79,8 @@ def replay_committed(
             for op in sorted(transaction.ops[backend_id], key=lambda o: o.seq):
                 request = decode_request(op.payload)
                 backend.replay(request)
-                if isinstance(request, InsertRequest) and isinstance(
-                    controller.placement, RoundRobinPlacement
-                ):
-                    # Keep round-robin state consistent with the restored
-                    # contents, so post-recovery inserts land exactly where
-                    # the uncrashed system would have put them.
-                    file_name = request.record.file_name or ""
-                    counters = controller.placement._counters
-                    counters[file_name] = counters.get(file_name, 0) + 1
+                if observe_replay is not None:
+                    observe_replay(request, backend_id, controller.backend_count)
         if transaction.counts:
             observed = controller.distribution()
             if observed != transaction.counts:
@@ -107,6 +108,7 @@ def recover_mlds(
     engine=None,
     workers: Optional[int] = None,
     pruning: bool = False,
+    placement=None,
     store_factory=None,
     attach_wal: bool = True,
     injector: Optional[FaultInjector] = None,
@@ -133,6 +135,7 @@ def recover_mlds(
         engine=engine,
         workers=workers,
         pruning=pruning,
+        placement=placement,
         store_factory=store_factory,
         obs=obs,
     )

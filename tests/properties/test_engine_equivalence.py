@@ -1,0 +1,110 @@
+"""Property: engine choice never changes behavior, to the bit.
+
+Randomized mixed workloads — interleaved INSERT / RETRIEVE / UPDATE /
+DELETE over two files, so mutations land mid-run between reads — must
+produce bit-identical ``BackendResult``s (records, ScanStats counters,
+simulated ``ResponseTime``) and the same final farm state under
+SerialEngine, ThreadPoolEngine, and ProcessPoolEngine.
+
+Process workers are real forked processes, so the example budget is kept
+modest; the determinism burden is carried by comparing *complete*
+fingerprints per request, not by running many examples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.abdl import parse_request
+from repro.mbds import KernelDatabaseSystem
+from repro.obs import Observability
+from repro.qc import runtime as qc_runtime
+
+FILES = ("alpha", "beta")
+
+
+@st.composite
+def workloads(draw):
+    """An interleaved request script over two files."""
+    script: list[str] = []
+    serial = 0
+    for _ in range(draw(st.integers(6, 14))):
+        kind = draw(
+            st.sampled_from(
+                ["insert", "insert", "insert", "retrieve", "update", "delete"]
+            )
+        )
+        file_name = draw(st.sampled_from(FILES))
+        value = draw(st.integers(0, 5))
+        if kind == "insert":
+            script.append(
+                f"INSERT (<FILE, {file_name}>, <{file_name}, r${serial}>, "
+                f"<x, {value}>)"
+            )
+            serial += 1
+        elif kind == "retrieve":
+            operator = draw(st.sampled_from(["=", ">=", "<"]))
+            script.append(
+                f"RETRIEVE ((FILE = {file_name}) AND (x {operator} {value})) (*)"
+            )
+        elif kind == "update":
+            script.append(
+                f"UPDATE ((FILE = {file_name}) AND (x = {value})) (x = x + 1)"
+            )
+        else:
+            script.append(f"DELETE ((FILE = {file_name}) AND (x = {value}))")
+    script.append("RETRIEVE ((FILE = alpha) OR (FILE = beta)) (*)")
+    return script
+
+
+def fingerprint(trace):
+    result = trace.result
+    return (
+        result.operation,
+        result.count,
+        [r.pairs() for r in result.records],
+        trace.response.total_ms,
+        trace.response.backend_ms,
+        trace.response.controller_ms,
+        tuple(trace.per_backend_ms),
+    )
+
+
+def run(script, engine, workers=None):
+    # The metrics registry is the per-engine ledger of ScanStats
+    # (backend.records_examined / index_hits) and every cache counter;
+    # comparing it whole pins those alongside the per-request results.
+    # The process-global parse caches must start cold each run, or the
+    # first engine warms them for the others.
+    qc_runtime.reset()
+    obs = Observability()
+    kds = KernelDatabaseSystem(
+        backend_count=2, engine=engine, workers=workers, obs=obs
+    )
+    try:
+        fingerprints = [
+            fingerprint(kds.execute(parse_request(text))) for text in script
+        ]
+        return {
+            "fingerprints": fingerprints,
+            "distribution": kds.controller.distribution(),
+            "clock": kds.clock.as_dict(),
+            "stores": [b.store.snapshot() for b in kds.controller.backends],
+            # Histograms track *wall* milliseconds (non-deterministic);
+            # counters/gauges are the deterministic half of the registry.
+            "metrics": {
+                name: payload
+                for name, payload in obs.metrics.as_dict().items()
+                if payload.get("type") in ("counter", "gauge")
+            },
+        }
+    finally:
+        kds.shutdown()
+
+
+@settings(max_examples=10, deadline=None)
+@given(workloads())
+def test_three_engines_bit_identical(script):
+    serial = run(script, "serial")
+    assert run(script, "threads", workers=2) == serial
+    assert run(script, "process", workers=2) == serial

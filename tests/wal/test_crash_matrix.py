@@ -45,7 +45,7 @@ CHECKPOINT_POINTS = {
     CrashPoint.AFTER_CHECKPOINT,
 }
 
-ENGINES = [("serial", None), ("threads", 2)]
+ENGINES = [("serial", None), ("threads", 2), ("process", 2)]
 
 
 def seed(kds):
