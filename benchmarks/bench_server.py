@@ -1,0 +1,184 @@
+"""SERVER: concurrent sessions × throughput over the MLDS network service.
+
+The thesis pitches MLDS as a shared facility: many users, one kernel.
+This benchmark measures what serving buys — N concurrent client
+connections, each running read-only SQL against its own hash-sharded
+table, against a server whose backends emulate their disk stalls in
+real time (``latency_scale``, as in ``bench_wallclock_scaling.py``).
+One session leaves every other backend's "disk" idle while its own
+sleeps; concurrent sessions overlap those stalls across backends, so
+read-only throughput must scale well past 1x — the kernel's shared
+locks (S mode) admit all readers simultaneously.
+
+Tables are chosen so each hashes to a distinct backend
+(:class:`~repro.mbds.placement.HashShardPlacement` routes single-table
+requests to exactly that backend), which keeps the scaling signal clean
+on a single-core host: the overlap is between emulated disk sleeps, not
+Python bytecode.
+
+Run standalone (writes ``BENCH_server.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+
+Exit status is non-zero when concurrent read-only throughput at the
+highest session count fails ``--min-scaling`` (default 1.5) over one
+session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import zlib
+from pathlib import Path
+
+if __package__ in (None, ""):  # runnable as a plain script, too
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.mlds import MLDS
+from repro.mbds.placement import HashShardPlacement
+from repro.server import Authenticator, Credential, MLDSServer, ServerClient
+
+TOKEN = "bench-token"
+
+
+def distinct_shard_tables(backends: int) -> list[str]:
+    """One table name per backend, chosen so crc32 routing separates them."""
+    tables: dict[int, str] = {}
+    i = 0
+    while len(tables) < backends:
+        name = f"t{i}"
+        shard = zlib.crc32(name.encode()) % backends
+        tables.setdefault(shard, name)
+        i += 1
+    return [tables[shard] for shard in range(backends)]
+
+
+def build_server(backends: int, rows: int, latency_scale: float):
+    tables = distinct_shard_tables(backends)
+    ddl = "DATABASE bench;\n" + "\n".join(
+        f"CREATE TABLE {t} (id INT, x INT, PRIMARY KEY (id));" for t in tables
+    )
+    mlds = MLDS(
+        backend_count=backends,
+        placement=HashShardPlacement(),
+        latency_scale=latency_scale,
+    )
+    mlds.define_relational_database(ddl)
+    loader = mlds.open_sql_session("bench")
+    for table in tables:
+        for i in range(rows):
+            loader.execute(f"INSERT INTO {table} VALUES ({i}, {i % 13})")
+    authenticator = Authenticator()
+    authenticator.register(Credential(token=TOKEN, user="bench", max_sessions=64))
+    server = MLDSServer(mlds, authenticator, max_inflight=backends * 2)
+    return mlds, server, tables
+
+
+def client_run(host, port, table, requests, errors_out):
+    try:
+        with ServerClient(host, port) as client:
+            client.auth(TOKEN)
+            session = client.open("sql", "bench")
+            for i in range(requests):
+                # distinct predicates defeat nothing: cache hits replay
+                # the emulated stall, so throughput is honest either way
+                client.execute(session, f"SELECT id FROM {table} WHERE x = {i % 13}")
+    except Exception as exc:  # pragma: no cover - failure detail
+        errors_out.append(exc)
+
+
+def bench_sessions(host, port, tables, sessions, requests) -> dict:
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=client_run,
+            args=(host, port, tables[i % len(tables)], requests, errors),
+        )
+        for i in range(sessions)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    total = sessions * requests
+    return {
+        "sessions": sessions,
+        "requests_per_session": requests,
+        "total_statements": total,
+        "wall_s": round(wall_s, 4),
+        "throughput_stmt_s": round(total / wall_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backends", type=int, default=4)
+    parser.add_argument("--rows", type=int, default=60, help="rows per table")
+    parser.add_argument("--requests", type=int, default=30, help="statements per session")
+    parser.add_argument(
+        "--latency-scale",
+        type=float,
+        default=8.0,
+        help="real ms slept per simulated ms of backend disk time",
+    )
+    parser.add_argument(
+        "--session-counts", default="1,2,4", help="comma-separated session counts"
+    )
+    parser.add_argument("--min-scaling", type=float, default=1.5)
+    parser.add_argument("--out", default="BENCH_server.json")
+    args = parser.parse_args(argv)
+
+    session_counts = [int(s) for s in args.session_counts.split(",")]
+    mlds, server, tables = build_server(args.backends, args.rows, args.latency_scale)
+    handle = server.serve_in_thread()
+    rows = []
+    try:
+        # Warm each table's result cache/locks once so every session
+        # count measures the same steady state.
+        bench_sessions(handle.host, handle.port, tables, len(tables), 2)
+        for sessions in session_counts:
+            row = bench_sessions(
+                handle.host, handle.port, tables, sessions, args.requests
+            )
+            rows.append(row)
+            print(
+                f"sessions={row['sessions']:>2}  wall={row['wall_s']:.2f}s  "
+                f"throughput={row['throughput_stmt_s']:.1f} stmt/s"
+            )
+    finally:
+        handle.stop()
+        mlds.kds.shutdown()
+
+    base = rows[0]["throughput_stmt_s"]
+    peak = rows[-1]["throughput_stmt_s"]
+    scaling = peak / base if base else 0.0
+    report = {
+        "benchmark": "server_sessions_throughput",
+        "backends": args.backends,
+        "latency_scale": args.latency_scale,
+        "rows_per_table": args.rows,
+        "tables": tables,
+        "results": rows,
+        "scaling_vs_single_session": round(scaling, 3),
+        "min_scaling": args.min_scaling,
+        "passed": scaling >= args.min_scaling,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=1))
+    print(
+        f"read-only scaling at {rows[-1]['sessions']} sessions: "
+        f"{scaling:.2f}x (gate {args.min_scaling}x) "
+        f"{'PASS' if report['passed'] else 'FAIL'}"
+    )
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

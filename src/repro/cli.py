@@ -477,6 +477,55 @@ def build_parser() -> "argparse.ArgumentParser":
         "compile, parse, translate, result (size 0 disables a layer); "
         "e.g. --cache-sizes result=0,compile=64",
     )
+    serving = parser.add_argument_group("serving (see repro.server)")
+    serving.add_argument(
+        "--serve",
+        action="store_true",
+        help="instead of the shell, serve this system over TCP: concurrent "
+        "clients authenticate with a token and run sessions in any of the "
+        "four languages against the shared, lock-protected kernel",
+    )
+    serving.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --serve"
+    )
+    serving.add_argument(
+        "--port",
+        type=int,
+        default=7407,
+        help="bind port for --serve (0 picks a free port; default 7407)",
+    )
+    serving.add_argument(
+        "--serve-token",
+        action="append",
+        metavar="TOKEN[:USER]",
+        default=None,
+        help="accept this auth token (repeatable); without any, a random "
+        "token is generated and printed at startup",
+    )
+    serving.add_argument(
+        "--serve-rate",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="per-connection statement rate limit in statements/second "
+        "(default 0 = unlimited)",
+    )
+    serving.add_argument(
+        "--serve-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission control: max concurrently executing statements "
+        "(default 8)",
+    )
+    serving.add_argument(
+        "--serve-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission control: max statements queued for a slot before "
+        "the server sheds with an overload error (default 16)",
+    )
     return parser
 
 
@@ -546,6 +595,48 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
 
         load_university(mlds)
         print("loaded the University demo database")
+    if args.serve:
+        import asyncio
+
+        from repro.server import Authenticator, Credential, MLDSServer
+        from repro.server.auth import generate_token
+
+        authenticator = Authenticator()
+        specs = args.serve_token
+        if not specs:
+            token = generate_token()
+            print(f"generated auth token: {token}", flush=True)
+            specs = [token]
+        for spec in specs:
+            token, _, user = spec.partition(":")
+            authenticator.register(
+                Credential(
+                    token=token,
+                    user=user or f"user-{token[:8]}",
+                    rate=args.serve_rate,
+                )
+            )
+        server = MLDSServer(
+            mlds,
+            authenticator,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.serve_inflight,
+            max_queue=args.serve_queue,
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            print(f"serving MLDS on {server.host}:{server.port}", flush=True)
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            mlds.kds.shutdown()
+        return 0
     shell = MLDSShell(mlds)
     try:
         shell.run()

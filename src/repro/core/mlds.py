@@ -35,6 +35,7 @@ from repro.mapping.hie_to_abdm import ABHierarchicalMapping
 from repro.mapping.hie_to_rel import HierarchicalSqlEngine
 from repro.mapping.rel_to_abdm import ABRelationalMapping
 from repro.mbds.kds import KernelDatabaseSystem
+from repro.mbds.sessions import KernelSession
 from repro.mbds.timing import TimingModel
 from repro.obs import ObsSpec
 from repro.network.ddl import parse_network_schema
@@ -66,8 +67,10 @@ class MLDS:
         engine=None,
         workers: Optional[int] = None,
         pruning: bool = False,
+        latency_scale: float = 0.0,
         wal: Union[None, str, Path, WalManager] = None,
         obs: ObsSpec = None,
+        lock_timeout: float = 10.0,
     ) -> None:
         """*store_factory* optionally replaces each backend's plain scan
         store, e.g. with a directory-clustered
@@ -79,6 +82,11 @@ class MLDS:
         kernel's wall-clock dispatch strategy ('serial', 'threads', or
         'process'); *pruning* enables summary-based broadcast pruning
         (see :mod:`repro.mbds.engine` and :mod:`repro.mbds.summary`).
+        *latency_scale* makes each backend emulate its disk stalls in
+        real time (see :class:`~repro.mbds.backend.Backend`), and
+        *lock_timeout* bounds how long a kernel session waits for a
+        lock before :class:`~repro.errors.LockTimeout` (see
+        :mod:`repro.mbds.locks`).
         *wal* enables durability: pass a directory path (or a prepared
         :class:`~repro.wal.log.WalManager`) and every mutating kernel
         request is journaled there before it is applied (see
@@ -96,8 +104,10 @@ class MLDS:
             engine=engine,
             workers=workers,
             pruning=pruning,
+            latency_scale=latency_scale,
             wal=wal,
             obs=obs,
+            lock_timeout=lock_timeout,
         )
         self._functional: dict[str, FunctionalSchema] = {}
         self._network: dict[str, NetworkSchema] = {}
@@ -246,7 +256,22 @@ class MLDS:
 
     # -- the LIL: opening sessions ----------------------------------------------------------
 
-    def open_codasyl_session(self, database: str, user: str = "user") -> CodasylSession:
+    def create_kernel_session(self, name: Optional[str] = None) -> KernelSession:
+        """Register a concurrent kernel session (see ``kernel_session=``).
+
+        Pass the returned session to any ``open_*_session`` call to run
+        that run-unit under kernel concurrency control; several run-units
+        (even in different languages) may share one kernel session, and
+        several kernel sessions may drive the kernel simultaneously.
+        """
+        return self.kds.create_session(name)
+
+    def open_codasyl_session(
+        self,
+        database: str,
+        user: str = "user",
+        kernel_session: Optional[KernelSession] = None,
+    ) -> CodasylSession:
         """Open a CODASYL-DML session on *database*.
 
         LIL searches the network schemas first; when the name belongs to a
@@ -254,7 +279,7 @@ class MLDS:
         and the session is wired to the modified, AB(functional)-target
         KMS — Chapter V's opening flow.
         """
-        kc = KernelController(self.kds)
+        kc = KernelController(self.kds, kernel_session)
         if database in self._network:
             adapter = NetworkTargetAdapter(
                 self._network[database], kc, self._network_mappings[database]
@@ -268,7 +293,12 @@ class MLDS:
             f"database {database!r} is not defined (neither network nor functional)"
         )
 
-    def open_daplex_session(self, database: str, user: str = "user") -> DaplexSession:
+    def open_daplex_session(
+        self,
+        database: str,
+        user: str = "user",
+        kernel_session: Optional[KernelSession] = None,
+    ) -> DaplexSession:
         """Open a native DAPLEX session on the functional database *database*.
 
         This is MLDS's functional language interface — the path the
@@ -276,9 +306,16 @@ class MLDS:
         CODASYL-DML path reaches the same AB(functional) records.
         """
         schema = self.functional_schema(database)
-        return DaplexSession(user, database, schema, KernelController(self.kds))
+        return DaplexSession(
+            user, database, schema, KernelController(self.kds, kernel_session)
+        )
 
-    def open_sql_session(self, database: str, user: str = "user") -> SqlSession:
+    def open_sql_session(
+        self,
+        database: str,
+        user: str = "user",
+        kernel_session: Optional[KernelSession] = None,
+    ) -> SqlSession:
         """Open a SQL session on *database*.
 
         Native relational databases get the full SQL engine.  When the
@@ -286,7 +323,7 @@ class MLDS:
         relational view and hands back the read-mostly Zawis interface —
         the second cross-model pair of the MMDS roadmap (thesis VII.B).
         """
-        kc = KernelController(self.kds)
+        kc = KernelController(self.kds, kernel_session)
         if database in self._relational:
             engine = SqlEngine(
                 self._relational[database], kc, self._relational_mappings[database]
@@ -299,11 +336,18 @@ class MLDS:
         self.relational_schema(database)
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def open_dli_session(self, database: str, user: str = "user") -> DliSession:
+    def open_dli_session(
+        self,
+        database: str,
+        user: str = "user",
+        kernel_session: Optional[KernelSession] = None,
+    ) -> DliSession:
         """Open a DL/I session on the hierarchical database *database*."""
         schema = self.hierarchical_schema(database)
         engine = DliEngine(
-            schema, KernelController(self.kds), self._hierarchical_mappings[database]
+            schema,
+            KernelController(self.kds, kernel_session),
+            self._hierarchical_mappings[database],
         )
         return DliSession(user, database, engine)
 

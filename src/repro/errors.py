@@ -89,3 +89,58 @@ class UnsupportedStatement(TranslationError):
     constraints clash (Section VI.H.2); the statement parses but the
     translator refuses it with this error.
     """
+
+
+class ConcurrencyError(MLDSError):
+    """Concurrent sessions conflicted in a way the kernel cannot resolve."""
+
+
+class LockTimeout(ConcurrencyError):
+    """A session waited longer than the deadline for a kernel lock.
+
+    Two-phase locking holds every lock to end of transaction, so a cycle
+    of sessions waiting on each other cannot resolve itself; the kernel
+    breaks the cycle by timing out the waiter.  The caller should abort
+    its transaction (releasing its own locks) and retry.
+    """
+
+
+class WorkerCrashed(ExecutionError):
+    """A backend's worker process died mid-request.
+
+    Carries the backend id so operators can tell *which* shard of the
+    farm went down.  Raised instead of hanging on the reply queue when a
+    :class:`~repro.ipc.proxy.ProcessBackend`'s worker exits; the
+    process engine shuts the rest of the farm down cleanly before
+    re-raising.
+    """
+
+    def __init__(self, backend_id: int, exitcode: "int | None" = None) -> None:
+        self.backend_id = backend_id
+        self.exitcode = exitcode
+        detail = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(f"backend {backend_id}'s worker process died{detail}")
+
+
+class ServerError(MLDSError):
+    """Base class for MLDS network-service errors (see repro.server)."""
+
+
+class AuthenticationError(ServerError):
+    """The connection presented a missing, unknown, or revoked token."""
+
+
+class QuotaExceeded(ServerError):
+    """A credential exhausted its session or lifetime-request quota."""
+
+
+class RateLimitExceeded(ServerError):
+    """A session's token bucket is empty; retry after it refills."""
+
+
+class ServerOverloaded(ServerError):
+    """Admission control shed the request: in-flight and queue are full."""
+
+
+class ProtocolError(ServerError):
+    """A line on the wire was not a well-formed MLDS protocol message."""

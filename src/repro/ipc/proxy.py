@@ -33,7 +33,7 @@ import multiprocessing
 from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
 
 from repro import errors
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, WorkerCrashed
 from repro.ipc import codec
 from repro.ipc.worker import config_state, worker_main
 from repro.obs import NULL_OBS, ObsSpec, resolve_obs
@@ -117,6 +117,7 @@ class ProcessBackend:
         self.timing = timing
         self.latency_scale = latency_scale
         self._engine = engine
+        self._stopped = False
         self._summary_cache: Optional["BackendSummary"] = None
         self._directory = self._template_directory(store_factory)
         context = _spawn_context()
@@ -159,13 +160,16 @@ class ProcessBackend:
 
     def _send(self, message: dict[str, Any]) -> None:
         if not self._process.is_alive():
-            raise ExecutionError(
-                f"backend {self.backend_id}'s worker process is not running "
-                "(engine already shut down?)"
-            )
+            if self._stopped:
+                raise ExecutionError(
+                    f"backend {self.backend_id}'s worker process is not "
+                    "running (engine already shut down?)"
+                )
+            raise WorkerCrashed(self.backend_id, self._process.exitcode)
         self._requests.put(json.dumps(message))
 
     def _receive(self) -> dict[str, Any]:
+        self._await_reply()
         reply = json.loads(self._responses.get())
         error = reply.get("error")
         if error is not None:
@@ -175,9 +179,33 @@ class ProcessBackend:
             raise ExecutionError(f"{error['type']}: {error['message']}")
         return reply
 
+    def _await_reply(self) -> None:
+        """Block until a reply is queued — or the worker is found dead.
+
+        ``SimpleQueue.get`` would wait forever on a worker that died
+        mid-request; polling the underlying pipe lets us notice the
+        death and raise a typed :class:`WorkerCrashed` naming the
+        backend instead of hanging the whole farm.
+        """
+        reader = getattr(self._responses, "_reader", None)
+        if reader is None:  # pragma: no cover - exotic queue implementation
+            return
+        while not reader.poll(0.05):
+            if not self._process.is_alive():
+                if reader.poll(0.0):  # the reply raced the exit; take it
+                    return
+                raise WorkerCrashed(self.backend_id, self._process.exitcode)
+
     def _call(self, message: dict[str, Any]) -> dict[str, Any]:
-        self._send(message)
-        return self._receive()
+        # Serialize against in-flight split-phase dispatches: another
+        # session's engine.run must not find our reply on the queue.
+        lock = getattr(self._engine, "_io_lock", None)
+        if lock is None:
+            self._send(message)
+            return self._receive()
+        with lock:
+            self._send(message)
+            return self._receive()
 
     # -- execution (the Backend.execute contract) ------------------------------
 
@@ -228,6 +256,23 @@ class ProcessBackend:
     def restore_image(self, image: "BackendImage") -> None:
         self._summary_cache = None
         self._call({"cmd": "restore", "image": codec.encode_image(image)})
+
+    def file_names(self) -> list[str]:
+        return list(self._call({"cmd": "file_names"})["files"])
+
+    def capture_file(self, file_name: str) -> list:
+        reply = self._call({"cmd": "capture_file", "file": file_name})
+        return [codec.decode_record(r) for r in reply["records"]]
+
+    def restore_file(self, file_name: str, records: list) -> None:
+        self._summary_cache = None
+        self._call(
+            {
+                "cmd": "restore_file",
+                "file": file_name,
+                "records": [codec.encode_record(r) for r in records],
+            }
+        )
 
     # -- content summary (broadcast pruning) -----------------------------------
 
@@ -292,11 +337,15 @@ class ProcessBackend:
     # -- lifecycle -------------------------------------------------------------
 
     def stop(self) -> None:
-        """Stop the worker process (idempotent)."""
+        """Stop the worker process (idempotent, tolerates a dead worker)."""
+        self._stopped = True
         if self._process.is_alive():
             try:
                 self._requests.put(json.dumps({"cmd": "stop"}))
+                self._await_reply()
                 self._responses.get()
+            except WorkerCrashed:  # died before acknowledging; that's fine
+                pass
             except (OSError, EOFError, BrokenPipeError):  # pragma: no cover
                 pass
             self._process.join(timeout=5.0)

@@ -11,7 +11,10 @@ statement translated into exactly the ABDL the thesis's chapters show.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.mbds.sessions import KernelSession
 
 from repro.abdl.ast import (
     ALL_ATTRIBUTES,
@@ -26,10 +29,23 @@ from repro.mbds.kds import KernelDatabaseSystem
 
 
 class KernelController:
-    """Executes ABDL requests on the shared KDS for one run-unit."""
+    """Executes ABDL requests on the shared KDS for one run-unit.
 
-    def __init__(self, kds: KernelDatabaseSystem) -> None:
+    *session* optionally binds the run-unit to a kernel session (see
+    :meth:`repro.mbds.kds.KernelDatabaseSystem.create_session`): every
+    request then executes under kernel concurrency control — two-phase
+    locks and session-owned WAL transactions — so many run-units can
+    share the kernel simultaneously.  Without one, requests take the
+    legacy single-caller path unchanged.
+    """
+
+    def __init__(
+        self,
+        kds: KernelDatabaseSystem,
+        session: Optional["KernelSession"] = None,
+    ) -> None:
         self.kds = kds
+        self.session = session
         #: Rendered text of every request executed (oldest first).
         self.request_log: list[str] = []
 
@@ -43,7 +59,7 @@ class KernelController:
         with self.obs.tracer.span("kc.dispatch") as span:
             rendered = request.render()
             self.request_log.append(rendered)
-            result = self.kds.execute(request).result
+            result = self.kds.execute(request, session=self.session).result
             if span:
                 span.record(abdl=rendered)
         return result
@@ -53,8 +69,14 @@ class KernelController:
         """Group the requests executed inside into one kernel transaction.
 
         Commits on normal exit, aborts (journal and in-memory) on error —
-        see :meth:`repro.mbds.kds.KernelDatabaseSystem.transaction`.
+        see :meth:`repro.mbds.kds.KernelDatabaseSystem.transaction`.  A
+        session-bound run-unit gets its session's concurrent transaction
+        protocol (locks held to commit, file-granular undo on abort).
         """
+        if self.session is not None:
+            with self.kds.session_transaction(self.session):
+                yield
+            return
         with self.kds.transaction():
             yield
 

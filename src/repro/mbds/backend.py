@@ -318,6 +318,34 @@ class Backend:
             self._summary = None
             self._summaries.invalidate()
 
+    def file_names(self) -> list[str]:
+        """Names of the files resident on this backend's slice (sorted)."""
+        with self._lock:
+            return self.store.file_names()
+
+    def capture_file(self, file_name: str) -> list:
+        """Deep-copy one file's records (a session transaction's pre-image).
+
+        Session transactions undo at file granularity — the same granule
+        the :class:`~repro.mbds.locks.LockManager` protects — so an abort
+        only rebuilds the files the transaction actually touched instead
+        of the whole slice.  Returns ``[]`` for a file this backend does
+        not hold (restoring ``[]`` later just drops it again).
+        """
+        with self._lock:
+            if not self.store.has_file(file_name):
+                return []
+            return [record.copy() for record in self.store.file(file_name).records()]
+
+    def restore_file(self, file_name: str, records: list) -> None:
+        """Roll one file back to a captured pre-image (session abort)."""
+        with self._lock:
+            self.store.drop_file(file_name)
+            for record in records:
+                self.store.insert(record.copy())
+            self._summary = None
+            self._summaries.invalidate([file_name])
+
     # -- content summary (broadcast pruning) ------------------------------------
 
     def summary(self) -> BackendSummary:

@@ -28,9 +28,10 @@ record to exactly one backend.
 from __future__ import annotations
 
 import copy
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.abdl.ast import (
     DeleteRequest,
@@ -47,6 +48,7 @@ from repro.errors import ExecutionError
 from repro.mbds.backend import Backend, BackendImage, BackendResult, StoreFactory
 from repro.mbds.engine import EngineSpec, ExecutionEngine, make_engine
 from repro.mbds.placement import PlacementPolicy, RoundRobinPlacement
+from repro.mbds.sessions import KernelSession
 from repro.mbds.timing import (
     PHASE_BROADCAST,
     PHASE_INSERT,
@@ -101,6 +103,11 @@ class ExecutionTrace:
     wall_ms: float = 0.0
     per_backend_wall_ms: list[float] = field(default_factory=list)
     phases: list[BroadcastPhase] = field(default_factory=list)
+    #: Global commit order stamped by the KDS for session auto-commits
+    #: (None for reads, legacy execution, and in-transaction requests —
+    #: those get their order from session_commit).  Serial replay of
+    #: mutations in commit_seq order reproduces the farm bit-identically.
+    commit_seq: Optional[int] = None
 
 
 class BackendController:
@@ -123,6 +130,10 @@ class BackendController:
             raise ValueError("MBDS needs at least one backend")
         self.timing = timing or TimingModel()
         self.placement = placement or RoundRobinPlacement()
+        #: Placement policies keep mutable routing state (round-robin
+        #: counters, load tallies, shard taints); concurrent sessions
+        #: serialize their updates here.
+        self.placement_lock = threading.RLock()
         self.engine: ExecutionEngine = make_engine(engine, workers)
         self.pruning = pruning
         #: Observability bundle shared with the engine and the WAL; the
@@ -164,49 +175,88 @@ class BackendController:
 
     # -- execution -------------------------------------------------------------
 
-    def execute(self, request: Request, label: Optional[str] = None) -> ExecutionTrace:
+    def execute(
+        self,
+        request: Request,
+        label: Optional[str] = None,
+        session: Optional[KernelSession] = None,
+    ) -> ExecutionTrace:
         """Execute one request: route inserts, broadcast everything else.
 
         *label* names the request's broadcast phase; it is the single
         source for both the :class:`BroadcastPhase` accounting label and
         the per-backend span names, so the two can never disagree (the
         KDS passes ``left``/``right`` for RETRIEVE-COMMON's halves).
+
+        *session* identifies a concurrent kernel session: its mutations
+        journal under the session's own WAL transaction (or a per-request
+        auto-commit transaction owned by the session) instead of the
+        legacy single transaction slot.  The KDS is responsible for
+        having acquired the request's locks before calling in.
         """
         if isinstance(request, InsertRequest):
-            return self._execute_insert(request, label or PHASE_INSERT)
-        return self._execute_broadcast(request, label or PHASE_BROADCAST)
+            return self._execute_insert(request, label or PHASE_INSERT, session)
+        return self._execute_broadcast(request, label or PHASE_BROADCAST, session)
 
     def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
         """Execute requests sequentially, as ABDL transactions require."""
         return [self.execute(request) for request in transaction]
 
-    def _journal(self, request: Request, targets: Sequence[Backend]) -> bool:
+    def _journal(
+        self,
+        request: Request,
+        targets: Sequence[Backend],
+        session: Optional[KernelSession] = None,
+    ) -> Optional[Callable[[], None]]:
         """Journal *request* for *targets* ahead of applying it.
 
         Opens a single-request (auto-commit) transaction when no explicit
-        transaction is in progress; returns True when this request must
-        commit itself after applying.
+        transaction is in progress; the returned thunk (None when no
+        commit is due) writes that transaction's commit record and must
+        be called after the request applied.  Session requests journal
+        under the session's open owned transaction, or an owned
+        auto-commit transaction (committed without counts — concurrent
+        sessions make whole-farm record counts unstable).
         """
         if self.wal is None:
-            return False
+            return None
+        if session is not None:
+            if session.wal_txn is not None:
+                for backend in targets:
+                    self.wal.log_op(backend.backend_id, request, txn=session.wal_txn)
+                return None
+            txn = self.wal.begin(owner=session.owner)
+            for backend in targets:
+                self.wal.log_op(backend.backend_id, request, txn=txn)
+            return lambda: self.wal.commit(txn=txn)
         auto = not self.wal.in_transaction
         if auto:
             self.wal.begin()
         for backend in targets:
             self.wal.log_op(backend.backend_id, request)
-        return auto
+        if auto:
+            return lambda: self.wal.commit(self.distribution())
+        return None
 
-    def _execute_insert(self, request: InsertRequest, label: str) -> ExecutionTrace:
+    def _execute_insert(
+        self,
+        request: InsertRequest,
+        label: str,
+        session: Optional[KernelSession] = None,
+    ) -> ExecutionTrace:
         start = time.perf_counter()
-        index = self.placement.place(request.record, self.backend_count)
-        auto_commit = self._journal(request, [self.backends[index]])
+        with self.placement_lock:
+            index = self.placement.place(request.record, self.backend_count)
+        if session is not None and session.in_transaction:
+            session.placed.append((request.record.file_name, index))
+        commit = self._journal(request, [self.backends[index]], session)
         if self.wal is not None:
             self.wal.fire(CrashPoint.BEFORE_APPLY)
         backend_result = self.engine.execute_one(self.backends[index], request, label)
         if self.wal is not None:
             self.wal.fire(CrashPoint.AFTER_APPLY)
-        if auto_commit:
-            self.wal.commit(self.distribution())
+        if commit is not None:
+            commit()
         wall_ms = (time.perf_counter() - start) * 1000.0
         self._account(label, [backend_result])
         response = ResponseTime()
@@ -224,25 +274,32 @@ class BackendController:
             phases=[phase],
         )
 
-    def _execute_broadcast(self, request: Request, label: str) -> ExecutionTrace:
+    def _execute_broadcast(
+        self,
+        request: Request,
+        label: str,
+        session: Optional[KernelSession] = None,
+    ) -> ExecutionTrace:
         start = time.perf_counter()
-        targets = self._broadcast_targets(request)
         mutating = isinstance(request, _MUTATING_REQUESTS)
-        if mutating:
-            # Targets were routed under the pre-mutation placement state
-            # (where the matching records actually live); only then may
-            # the policy update its routing metadata (shard-key taints).
-            observe = getattr(self.placement, "observe_mutation", None)
-            if observe is not None:
-                observe(request)
-        auto_commit = self._journal(request, targets) if mutating else False
+        with self.placement_lock:
+            targets = self._broadcast_targets(request)
+            if mutating:
+                # Targets were routed under the pre-mutation placement
+                # state (where the matching records actually live); only
+                # then may the policy update its routing metadata
+                # (shard-key taints).
+                observe = getattr(self.placement, "observe_mutation", None)
+                if observe is not None:
+                    observe(request)
+        commit = self._journal(request, targets, session) if mutating else None
         if mutating and self.wal is not None:
             self.wal.fire(CrashPoint.BEFORE_APPLY)
         partials = self.engine.run(targets, request, label) if targets else []
         if mutating and self.wal is not None:
             self.wal.fire(CrashPoint.AFTER_APPLY)
-        if auto_commit:
-            self.wal.commit(self.distribution())
+        if commit is not None:
+            commit()
         merged = (
             _merge(request, partials) if partials else _empty_result(request)
         )

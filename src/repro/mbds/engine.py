@@ -48,9 +48,11 @@ path is skipped entirely.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from repro.errors import WorkerCrashed
 from repro.mbds.timing import PHASE_BROADCAST
 from repro.obs import NULL_OBS
 
@@ -246,6 +248,12 @@ class ProcessPoolEngine(ExecutionEngine):
             raise ValueError("ProcessPoolEngine needs at least one worker")
         self.workers = workers
         self._backends: list["ProcessBackend"] = []
+        # Split-phase dispatch (send-all, then collect-all) assumes the
+        # reply arriving on a worker's queue answers *our* send; with
+        # many kernel sessions two callers could interleave sends and
+        # collect each other's replies.  One engine-wide lock keeps each
+        # dispatch's send/collect cycle atomic.
+        self._io_lock = threading.RLock()
 
     def create_backends(
         self,
@@ -262,6 +270,20 @@ class ProcessPoolEngine(ExecutionEngine):
         ]
         return list(self._backends)  # type: ignore[return-value]
 
+    def execute_one(
+        self,
+        backend: "Backend",
+        request: "Request",
+        label: str,
+        parent: Optional["Span"] = None,
+    ) -> "BackendResult":
+        with self._io_lock:
+            try:
+                return super().execute_one(backend, request, label, parent)
+            except WorkerCrashed:
+                self.shutdown()
+                raise
+
     def run(
         self,
         backends: Sequence["Backend"],
@@ -274,40 +296,51 @@ class ProcessPoolEngine(ExecutionEngine):
         parent = tracer.current if tracer.enabled else None
         limit = self.workers or len(backends)
         results: list["BackendResult"] = []
-        for start in range(0, len(backends), limit):
-            chunk = backends[start : start + limit]
-            spans: list[Optional["Span"]] = []
-            for backend in chunk:
-                spans.append(
-                    tracer.open(f"backend[{backend.backend_id}].{label}", parent)
-                    if tracer.enabled
-                    else None
-                )
-                backend.start_execute(request)  # type: ignore[attr-defined]
-            # Collect every reply even if one raises — leaving replies in
-            # a queue would desynchronize that worker's protocol.
-            error: Optional[Exception] = None
-            for backend, span in zip(chunk, spans):
-                try:
-                    result = backend.finish_execute(span)  # type: ignore[attr-defined]
-                except Exception as exc:
-                    if error is None:
-                        error = exc
-                    if span is not None:
-                        span.finish()
-                    continue
-                if span is not None:
-                    span.finish()
-                    _record_result(span, result)
-                results.append(result)
-            if error is not None:
-                raise error
+        with self._io_lock:
+            try:
+                for start in range(0, len(backends), limit):
+                    chunk = backends[start : start + limit]
+                    spans: list[Optional["Span"]] = []
+                    for backend in chunk:
+                        spans.append(
+                            tracer.open(f"backend[{backend.backend_id}].{label}", parent)
+                            if tracer.enabled
+                            else None
+                        )
+                        backend.start_execute(request)  # type: ignore[attr-defined]
+                    # Collect every reply even if one raises — leaving
+                    # replies in a queue would desynchronize that
+                    # worker's protocol.
+                    error: Optional[Exception] = None
+                    for backend, span in zip(chunk, spans):
+                        try:
+                            result = backend.finish_execute(span)  # type: ignore[attr-defined]
+                        except Exception as exc:
+                            if error is None:
+                                error = exc
+                            if span is not None:
+                                span.finish()
+                            continue
+                        if span is not None:
+                            span.finish()
+                            _record_result(span, result)
+                        results.append(result)
+                    if error is not None:
+                        raise error
+            except WorkerCrashed:
+                # A dead worker can never answer again: the farm is
+                # unusable, so stop the surviving workers instead of
+                # leaving them (and their queues) to hang the next
+                # dispatch.
+                self.shutdown()
+                raise
         return results
 
     def shutdown(self) -> None:
-        for backend in self._backends:
-            backend.stop()
-        self._backends = []
+        with self._io_lock:
+            for backend in self._backends:
+                backend.stop()
+            self._backends = []
 
     def __repr__(self) -> str:
         return f"ProcessPoolEngine(workers={self.workers})"

@@ -14,6 +14,7 @@ AB(functional) alike — can coexist in one kernel, as MLDS requires.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -39,7 +40,10 @@ from repro.mbds.controller import (
     ExecutionTrace,
 )
 from repro.mbds.engine import EngineSpec
+from repro.mbds.locks import LockManager, lock_items
 from repro.mbds.placement import PlacementPolicy
+from repro.mbds.sessions import KernelSession
+from repro.mbds.summary import affected_files
 from repro.mbds.timing import (
     PHASE_AGGREGATE_INDEX,
     PHASE_COMMON_LEFT,
@@ -78,6 +82,7 @@ class KernelDatabaseSystem:
         latency_scale: float = 0.0,
         wal: Optional[WalManager] = None,
         obs: ObsSpec = None,
+        lock_timeout: float = 10.0,
     ) -> None:
         """*engine* picks the wall-clock dispatch strategy ('serial' or
         'threads', or an :class:`~repro.mbds.engine.ExecutionEngine`);
@@ -108,6 +113,16 @@ class KernelDatabaseSystem:
         self.requests_executed = 0
         #: Farm pre-image captured at explicit transaction begin.
         self._txn_image: Optional[ControllerImage] = None
+        #: Kernel concurrency control for session-tagged execution.
+        self.locks = LockManager(lock_timeout)
+        #: Guards the shared accounting (clock, counters) across sessions.
+        self._state_lock = threading.Lock()
+        #: Global commit order: bumped for every session commit while the
+        #: committing session still holds its locks, so replaying
+        #: committed work in commit_seq order is a serial history
+        #: conflict-equivalent to the concurrent one (2PL).
+        self._commit_seq = 0
+        self._session_counter = 0
 
     @property
     def wal(self) -> Optional[WalManager]:
@@ -178,6 +193,190 @@ class KernelDatabaseSystem:
         else:
             self.commit_transaction()
 
+    # -- concurrent sessions -----------------------------------------------------
+    #
+    # The legacy transaction API above assumes one caller at a time (one
+    # farm-wide pre-image, the WAL's single slot).  Kernel sessions are
+    # the concurrent protocol: each carries its own WAL transaction, its
+    # own file-granular undo, and a lock owner identity.  Requests tagged
+    # with a session acquire two-phase locks (see repro.mbds.locks), so
+    # concurrent RETRIEVEs proceed in parallel while mutations serialize
+    # per file, and every history is conflict-equivalent to the commit
+    # order the kernel stamps (``commit_seq``).
+
+    def create_session(self, name: Optional[str] = None) -> KernelSession:
+        """Register a new concurrent caller of this kernel."""
+        with self._state_lock:
+            self._session_counter += 1
+            owner = name or f"session-{self._session_counter}"
+        return KernelSession(owner)
+
+    def _next_commit_seq(self) -> int:
+        with self._state_lock:
+            self._commit_seq += 1
+            return self._commit_seq
+
+    def session_begin(self, session: KernelSession) -> None:
+        """Open *session*'s kernel transaction (locks release at its end)."""
+        if session.in_transaction:
+            raise WalError(
+                f"session {session.owner!r} already has a transaction open "
+                "(no nesting)"
+            )
+        if self.wal is not None:
+            session.wal_txn = self.wal.begin(owner=session.owner)
+        session.in_transaction = True
+
+    def session_commit(self, session: KernelSession) -> int:
+        """Commit *session*'s transaction; returns its global commit seq.
+
+        The commit record is written and the commit order stamped while
+        the session still holds every lock it acquired (strict two-phase
+        locking), which is what makes the concurrent history
+        conflict-equivalent to commit_seq order.
+        """
+        if not session.in_transaction:
+            raise WalError(f"session {session.owner!r} has no transaction to commit")
+        if self.wal is not None:
+            self.wal.commit(txn=session.wal_txn)
+        seq = self._next_commit_seq()
+        session.end_transaction()
+        session.commits += 1
+        self.locks.release_all(session.owner)
+        return seq
+
+    def session_abort(self, session: KernelSession) -> None:
+        """Abort *session*'s transaction: WAL abort plus file-level undo.
+
+        Undo restores exactly the files the transaction captured
+        pre-images for — still under the transaction's exclusive locks,
+        so no other session can have observed the rolled-back state —
+        then rolls back placement routing for the transaction's INSERTs
+        and finally releases the locks.
+        """
+        if not session.in_transaction:
+            raise WalError(f"session {session.owner!r} has no transaction to abort")
+        if self.wal is not None:
+            self.wal.abort(txn=session.wal_txn)
+        touched = bool(session.undo) or bool(session.wildcard_backends)
+        backends = self.controller.backends
+        for (backend_id, file_name), records in sorted(session.undo.items()):
+            backends[backend_id].restore_file(file_name, records)
+        for backend_id in sorted(session.wildcard_backends):
+            captured = {
+                name for owner_id, name in session.undo if owner_id == backend_id
+            }
+            for file_name in backends[backend_id].file_names():
+                if file_name not in captured:
+                    # Never captured on a fully-captured backend: the
+                    # file was created by this transaction; drop it.
+                    backends[backend_id].restore_file(file_name, [])
+        if touched:
+            with self.controller.placement_lock:
+                observe = getattr(self.controller.placement, "observe_abort", None)
+                if observe is not None:
+                    for file_name, backend_id in session.placed:
+                        observe(file_name, backend_id)
+            self.controller.invalidate_summaries()
+        session.end_transaction()
+        session.aborts += 1
+        self.locks.release_all(session.owner)
+
+    @contextmanager
+    def session_transaction(self, session: KernelSession) -> Iterator[KernelSession]:
+        """Scope a session transaction: commit on success, abort on error.
+
+        As with :meth:`transaction`, an
+        :class:`~repro.wal.faults.InjectedCrash` is *not* handled — a
+        crashed machine writes no abort record; it just dies.
+        """
+        self.session_begin(session)
+        try:
+            yield session
+        except InjectedCrash:
+            raise
+        except BaseException:
+            self.session_abort(session)
+            raise
+        else:
+            self.session_commit(session)
+
+    def _capture_undo(self, session: KernelSession, request: Request) -> None:
+        """Lazily capture pre-images of the files *request* may mutate.
+
+        Pinned requests capture the named files on every backend (cheap:
+        a backend without the file contributes ``[]``).  An unpinned
+        mutation can touch anything, so the session captures every file
+        currently on every backend and marks those backends wildcard.
+        Captures happen at most once per (backend, file) per transaction
+        — the first mutation wins, preserving the true pre-image.
+        """
+        if isinstance(request, InsertRequest):
+            name = request.record.file_name
+            files = [name] if name is not None else None
+        else:
+            pinned = affected_files(request.query)  # type: ignore[attr-defined]
+            files = sorted(pinned) if pinned is not None else None
+        for backend in self.controller.backends:
+            backend_id = backend.backend_id
+            if backend_id in session.wildcard_backends:
+                continue
+            capture = backend.file_names() if files is None else files
+            for file_name in capture:
+                key = (backend_id, file_name)
+                if key not in session.undo:
+                    session.undo[key] = backend.capture_file(file_name)
+            if files is None:
+                session.wildcard_backends.add(backend_id)
+
+    def _execute_session(self, request: Request, session: KernelSession) -> ExecutionTrace:
+        """Session-tagged execution: lock, (maybe) capture undo, run.
+
+        Outside a transaction, locks span just this request and a
+        mutation auto-commits under a session-owned WAL transaction,
+        stamped with its commit seq before the locks drop.  Inside a
+        transaction, locks accumulate until commit/abort (2PL).
+        """
+        release_after = not session.in_transaction
+        mutating = isinstance(request, (InsertRequest, DeleteRequest, UpdateRequest))
+        try:
+            self.locks.acquire(
+                session.owner, lock_items(request), session.lock_timeout
+            )
+            if mutating and session.in_transaction:
+                self._capture_undo(session, request)
+            with self.obs.tracer.span("kds.execute") as span:
+                if isinstance(request, RetrieveRequest) and request.has_aggregates:
+                    trace = self._execute_aggregate(request)
+                elif isinstance(request, RetrieveCommonRequest):
+                    trace = self._execute_common(request)
+                else:
+                    trace = self.controller.execute(request, session=session)
+                if span:
+                    span.record(
+                        simulated_ms=trace.response.total_ms,
+                        op=trace.result.operation,
+                        records=trace.result.count,
+                        session=session.owner,
+                    )
+            if mutating and release_after:
+                trace.commit_seq = self._next_commit_seq()
+            with self._state_lock:
+                self.clock = self.clock + trace.response
+                self.requests_executed += 1
+            session.requests_executed += 1
+            metrics = self.obs.metrics
+            if metrics.enabled:
+                metrics.inc("kds.requests")
+                metrics.inc(f"kds.requests.{trace.result.operation.lower()}")
+                metrics.observe("kds.request.simulated_ms", trace.response.total_ms)
+                metrics.observe("kds.request.wall_ms", trace.wall_ms)
+                metrics.set_gauge("kds.requests_executed", self.requests_executed)
+            return trace
+        finally:
+            if release_after:
+                self.locks.release_all(session.owner)
+
     # -- catalog ---------------------------------------------------------------
 
     def define_database(self, name: str, model: str, files: Sequence[str]) -> DatabaseTemplate:
@@ -215,14 +414,24 @@ class KernelDatabaseSystem:
 
     # -- execution ---------------------------------------------------------------
 
-    def execute(self, request: Request) -> ExecutionTrace:
+    def execute(
+        self, request: Request, session: Optional[KernelSession] = None
+    ) -> ExecutionTrace:
         """Execute one ABDL request.
 
         Aggregate RETRIEVEs and RETRIEVE-COMMON cannot be answered by
         concatenating per-backend partials (an average of averages is
         wrong; join partners may live on different backends), so both are
         evaluated at the controller from broadcast raw retrievals.
+
+        With a *session* (see :meth:`create_session`) the request runs
+        under kernel concurrency control: two-phase locks, session-owned
+        WAL transactions, and commit-order stamping.  Without one, the
+        legacy single-caller path is byte-identical to what it always
+        was.
         """
+        if session is not None:
+            return self._execute_session(request, session)
         with self.obs.tracer.span("kds.execute") as span:
             if isinstance(request, RetrieveRequest) and request.has_aggregates:
                 trace = self._execute_aggregate(request)
@@ -239,8 +448,9 @@ class KernelDatabaseSystem:
                     op=trace.result.operation,
                     records=trace.result.count,
                 )
-        self.clock = self.clock + trace.response
-        self.requests_executed += 1
+        with self._state_lock:
+            self.clock = self.clock + trace.response
+            self.requests_executed += 1
         metrics = self.obs.metrics
         if metrics.enabled:
             metrics.inc("kds.requests")

@@ -1,0 +1,296 @@
+"""Multi-granularity kernel locking for concurrent MLDS sessions.
+
+Until this module the kernel assumed one caller at a time.  The
+:class:`LockManager` gives KDS real concurrency control with the classic
+multiple-granularity scheme (Gray et al.): a single **global** resource
+standing for the whole store, plus one resource per AB file.
+
+Lock modes
+----------
+
+========  ==========================================================
+``IS``    intention-shared — the session will read specific files
+``IX``    intention-exclusive — the session will write specific files
+``S``     shared — read the whole resource (unpinned RETRIEVE)
+``X``     exclusive — write the whole resource (unpinned mutation)
+========  ==========================================================
+
+A pinned read takes ``IS`` on the global resource and ``S`` on each
+file; a pinned mutation takes ``IX`` globally and ``X`` per file.  An
+*unpinned* request (a query with a clause that does not pin ``FILE``)
+can touch anything, so it locks the global resource itself in ``S`` or
+``X``.  Concurrent RETRIEVEs over any files are therefore compatible,
+mutations serialize per file, and an unpinned mutation drains the whole
+kernel — exactly the paper's one-kernel/many-interfaces contract made
+safe.
+
+Discipline
+----------
+
+* **Deterministic ordering** — :meth:`LockManager.acquire` sorts the
+  requested items (global resource first, then file names) so a single
+  request batch can never deadlock against another batch.
+* **Two-phase** — within a kernel transaction locks are only released
+  by :meth:`LockManager.release_all` at commit/abort, which makes every
+  concurrent history conflict-equivalent to the commit order (2PL).
+* **Timeouts, not detection** — cross-request cycles (session A locks
+  f1 then wants f2; B locks f2 then wants f1) are broken by a deadline:
+  the waiter raises :class:`~repro.errors.LockTimeout` and is expected
+  to abort, releasing its own locks.
+* **Validation epochs** — releasing an ``X`` file lock bumps a per-file
+  epoch counter, mirroring the PR 4 store mutation epochs at the lock
+  granule, so readers can validate that a file was untouched while they
+  did not hold its lock.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.abdl.ast import (
+    DeleteRequest,
+    InsertRequest,
+    Request,
+    RetrieveCommonRequest,
+    RetrieveRequest,
+    UpdateRequest,
+)
+from repro.errors import LockTimeout
+from repro.mbds.summary import affected_files
+
+#: Reserved resource name for the whole store.  AB file names come from
+#: schema identifiers and can never contain a NUL byte.
+GLOBAL_RESOURCE = "\x00global"
+
+
+class LockMode(enum.Enum):
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    X = "X"
+
+    def __repr__(self) -> str:  # noqa: D105 - compact in error messages
+        return self.value
+
+
+_M = LockMode
+
+#: Symmetric compatibility matrix (Gray's multi-granularity table,
+#: without SIX which we conservatively escalate to X).
+_COMPAT = {
+    frozenset({_M.IS}): True,
+    frozenset({_M.IS, _M.IX}): True,
+    frozenset({_M.IS, _M.S}): True,
+    frozenset({_M.IS, _M.X}): False,
+    frozenset({_M.IX}): True,
+    frozenset({_M.IX, _M.S}): False,
+    frozenset({_M.IX, _M.X}): False,
+    frozenset({_M.S}): True,
+    frozenset({_M.S, _M.X}): False,
+    frozenset({_M.X}): False,
+}
+
+#: Least upper bound when an owner strengthens a lock it already holds.
+#: S ∨ IX would be SIX; we escalate straight to X instead.
+_SUP = {
+    (_M.IS, _M.IS): _M.IS,
+    (_M.IS, _M.IX): _M.IX,
+    (_M.IS, _M.S): _M.S,
+    (_M.IS, _M.X): _M.X,
+    (_M.IX, _M.IX): _M.IX,
+    (_M.IX, _M.S): _M.X,
+    (_M.IX, _M.X): _M.X,
+    (_M.S, _M.S): _M.S,
+    (_M.S, _M.X): _M.X,
+    (_M.X, _M.X): _M.X,
+}
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    """Can *a* and *b* be held on the same resource by different owners?"""
+    return _COMPAT[frozenset({a, b})]
+
+
+def supremum(held: LockMode, wanted: LockMode) -> LockMode:
+    """The mode an owner holding *held* must upgrade to for *wanted*."""
+    return _SUP.get((held, wanted)) or _SUP[(wanted, held)]
+
+
+LockItem = Tuple[str, LockMode]
+
+
+def lock_items(request: Request) -> List[LockItem]:
+    """The lock set a kernel request must hold before executing.
+
+    Pinned requests intend on the global resource and lock their files;
+    unpinned requests lock the global resource itself.
+    """
+    if isinstance(request, InsertRequest):
+        file_name = request.record.file_name
+        if file_name is None:
+            return [(GLOBAL_RESOURCE, _M.X)]
+        return [(GLOBAL_RESOURCE, _M.IX), (file_name, _M.X)]
+    if isinstance(request, (DeleteRequest, UpdateRequest)):
+        files = affected_files(request.query)
+        if files is None:
+            return [(GLOBAL_RESOURCE, _M.X)]
+        return [(GLOBAL_RESOURCE, _M.IX)] + [(f, _M.X) for f in sorted(files)]
+    if isinstance(request, RetrieveCommonRequest):
+        left = affected_files(request.left_query)
+        right = affected_files(request.right_query)
+        if left is None or right is None:
+            return [(GLOBAL_RESOURCE, _M.S)]
+        files = sorted(left | right)
+        return [(GLOBAL_RESOURCE, _M.IS)] + [(f, _M.S) for f in files]
+    if isinstance(request, RetrieveRequest):
+        files = affected_files(request.query)
+        if files is None:
+            return [(GLOBAL_RESOURCE, _M.S)]
+        return [(GLOBAL_RESOURCE, _M.IS)] + [(f, _M.S) for f in sorted(files)]
+    # Unknown request type: be safe and drain the kernel.
+    return [(GLOBAL_RESOURCE, _M.X)]
+
+
+def _order_key(item: LockItem) -> Tuple[int, str]:
+    name = item[0]
+    return (0 if name == GLOBAL_RESOURCE else 1, name)
+
+
+class LockManager:
+    """Blocking reader/writer locks over the global + per-file resources.
+
+    All state lives behind one condition variable; waiters are woken on
+    every release and re-check compatibility.  Owners are opaque strings
+    (kernel session names).
+    """
+
+    def __init__(self, timeout: float = 10.0) -> None:
+        self.timeout = timeout
+        self._cv = threading.Condition()
+        #: resource -> owner -> mode currently granted
+        self._held: Dict[str, Dict[str, LockMode]] = {}
+        self._epochs: Dict[str, int] = {}
+        self.acquired_total = 0
+        self.wait_total = 0
+        self.timeout_total = 0
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(
+        self,
+        owner: str,
+        items: Iterable[LockItem],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Grant every (resource, mode) in *items* to *owner*, blocking.
+
+        Items are acquired in deterministic sorted order (global resource
+        first) so concurrent batches cannot deadlock each other.  Raises
+        :class:`LockTimeout` if any single grant outwaits the deadline;
+        locks already granted stay held (the caller aborts via
+        :meth:`release_all`).
+        """
+        limit = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + limit
+        for resource, mode in sorted(items, key=_order_key):
+            self._acquire_one(owner, resource, mode, deadline)
+
+    def _acquire_one(
+        self, owner: str, resource: str, mode: LockMode, deadline: float
+    ) -> None:
+        with self._cv:
+            waited = False
+            while True:
+                holders = self._held.get(resource, {})
+                target = mode
+                held = holders.get(owner)
+                if held is not None:
+                    target = supremum(held, mode)
+                    if target is held:
+                        return  # already strong enough
+                if all(
+                    compatible(target, other_mode)
+                    for other, other_mode in holders.items()
+                    if other != owner
+                ):
+                    self._held.setdefault(resource, {})[owner] = target
+                    self.acquired_total += 1
+                    if waited:
+                        self.wait_total += 1
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.timeout_total += 1
+                    blockers = sorted(
+                        other for other in holders if other != owner
+                    )
+                    raise LockTimeout(
+                        f"session {owner!r} timed out waiting for "
+                        f"{target.value} on {self._describe(resource)} "
+                        f"(held by {', '.join(blockers)})"
+                    )
+                waited = True
+                self._cv.wait(remaining)
+
+    # -- release -------------------------------------------------------------
+
+    def release_all(self, owner: str) -> None:
+        """Drop every lock *owner* holds (end of transaction/request)."""
+        with self._cv:
+            released = False
+            for resource in list(self._held):
+                holders = self._held[resource]
+                mode = holders.pop(owner, None)
+                if mode is None:
+                    continue
+                released = True
+                if mode is LockMode.X and resource != GLOBAL_RESOURCE:
+                    self._epochs[resource] = self._epochs.get(resource, 0) + 1
+                if not holders:
+                    del self._held[resource]
+            if released:
+                self._cv.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    def holders(self, resource: str) -> Dict[str, LockMode]:
+        """Snapshot of who holds *resource* (for tests and diagnostics)."""
+        with self._cv:
+            return dict(self._held.get(resource, {}))
+
+    def held_by(self, owner: str) -> Dict[str, LockMode]:
+        """Snapshot of every lock *owner* currently holds."""
+        with self._cv:
+            return {
+                resource: holders[owner]
+                for resource, holders in self._held.items()
+                if owner in holders
+            }
+
+    def epoch(self, file_name: str) -> int:
+        """Times an exclusive lock on *file_name* has been released."""
+        with self._cv:
+            return self._epochs.get(file_name, 0)
+
+    def epochs(self) -> Dict[str, int]:
+        with self._cv:
+            return dict(self._epochs)
+
+    def stats(self) -> Dict[str, int]:
+        with self._cv:
+            return {
+                "acquired": self.acquired_total,
+                "waited": self.wait_total,
+                "timeouts": self.timeout_total,
+            }
+
+    @staticmethod
+    def _describe(resource: str) -> str:
+        return "the whole store" if resource == GLOBAL_RESOURCE else f"file {resource!r}"
+
+    def __repr__(self) -> str:
+        with self._cv:
+            return f"LockManager(held={len(self._held)} resources)"

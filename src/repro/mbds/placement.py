@@ -69,6 +69,17 @@ class RoundRobinPlacement:
             file_name = request.record.file_name or ""
             self._counters[file_name] = self._counters.get(file_name, 0) + 1
 
+    def observe_abort(self, file_name: Optional[str], backend_id: int) -> None:
+        # A session transaction's INSERT was rolled back: rewind the
+        # counter its ``place`` advanced, so future placement matches a
+        # history in which the transaction never ran.  Safe because the
+        # aborting session held the file's exclusive lock from place to
+        # abort — no other session's placement interleaved on this file.
+        key = file_name or ""
+        count = self._counters.get(key, 0)
+        if count > 0:
+            self._counters[key] = count - 1
+
 
 class FileAffinityPlacement:
     """Places each *file* wholly on one backend (hash of the file name).
@@ -102,6 +113,10 @@ class LeastLoadedPlacement:
         if request.operation == "INSERT":
             self._pad(backend_count)
             self._loads[backend_id] += 1
+
+    def observe_abort(self, file_name: Optional[str], backend_id: int) -> None:
+        if backend_id < len(self._loads) and self._loads[backend_id] > 0:
+            self._loads[backend_id] -= 1
 
     def rebalance(self, distribution: Sequence[int]) -> None:
         """Reset load counts to the actual per-backend record counts.

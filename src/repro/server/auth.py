@@ -1,0 +1,121 @@
+"""Authentication tokens and per-credential quotas.
+
+Every connection must present a token before any other operation; the
+token names a :class:`Credential` carrying that user's limits — how
+many simultaneous connections they may hold, how many statements they
+may execute over the credential's lifetime, and the token-bucket rate
+applied per connection.  Violations raise
+:class:`~repro.errors.AuthenticationError` /
+:class:`~repro.errors.QuotaExceeded` with messages that say which limit
+was hit.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import AuthenticationError, QuotaExceeded
+
+
+@dataclass(frozen=True)
+class Credential:
+    """One token's identity and limits.
+
+    ``rate <= 0`` means unlimited statement rate; ``max_requests None``
+    means no lifetime cap.  *burst* is the token-bucket ceiling each
+    connection starts full at.
+    """
+
+    token: str
+    user: str
+    max_sessions: int = 8
+    max_requests: Optional[int] = None
+    rate: float = 0.0
+    burst: float = 16.0
+
+
+def generate_token() -> str:
+    """A fresh random token (for CLI serving without a configured one)."""
+    return secrets.token_hex(16)
+
+
+class Authenticator:
+    """Token registry plus live per-credential accounting (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._credentials: Dict[str, Credential] = {}
+        self._connections: Dict[str, int] = {}
+        self._requests: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def register(self, credential: Credential) -> Credential:
+        with self._lock:
+            self._credentials[credential.token] = credential
+        return credential
+
+    def add_token(
+        self,
+        token: str,
+        user: Optional[str] = None,
+        **limits: object,
+    ) -> Credential:
+        """Convenience: register a token with default or keyword limits."""
+        return self.register(
+            Credential(token=token, user=user or f"user-{token[:8]}", **limits)  # type: ignore[arg-type]
+        )
+
+    def authenticate(self, token: Optional[str]) -> Credential:
+        if not token:
+            raise AuthenticationError("no token presented; send an auth op first")
+        with self._lock:
+            credential = self._credentials.get(token)
+        if credential is None:
+            raise AuthenticationError("unknown or revoked token")
+        return credential
+
+    def revoke(self, token: str) -> None:
+        with self._lock:
+            self._credentials.pop(token, None)
+
+    # -- live accounting --------------------------------------------------------
+
+    def acquire_connection(self, credential: Credential) -> None:
+        """Count one more live connection; enforce ``max_sessions``."""
+        with self._lock:
+            held = self._connections.get(credential.token, 0)
+            if held >= credential.max_sessions:
+                raise QuotaExceeded(
+                    f"{credential.user} already holds {held} of "
+                    f"{credential.max_sessions} allowed sessions"
+                )
+            self._connections[credential.token] = held + 1
+
+    def release_connection(self, credential: Credential) -> None:
+        with self._lock:
+            held = self._connections.get(credential.token, 0)
+            if held > 0:
+                self._connections[credential.token] = held - 1
+
+    def charge_request(self, credential: Credential) -> None:
+        """Count one statement against the credential's lifetime quota."""
+        if credential.max_requests is None:
+            return
+        with self._lock:
+            used = self._requests.get(credential.token, 0)
+            if used >= credential.max_requests:
+                raise QuotaExceeded(
+                    f"{credential.user} exhausted the lifetime quota of "
+                    f"{credential.max_requests} statements"
+                )
+            self._requests[credential.token] = used + 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "tokens": len(self._credentials),
+                "connections": dict(self._connections),
+                "requests": dict(self._requests),
+            }

@@ -1,0 +1,107 @@
+"""A blocking client for the MLDS network service.
+
+Speaks the JSON-lines protocol over one TCP connection; every method
+sends a request and waits for its response, re-raising server-side
+failures as the exact :mod:`repro.errors` type
+(:func:`repro.server.protocol.raise_error`).  Used by the test suite,
+the benchmark harness, and ``python -m repro.cli client``-style tooling;
+applications embedding MLDS in-process don't need it.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from repro import errors
+from repro.server import protocol
+
+
+class ServerClient:
+    """One connection to an :class:`~repro.server.service.MLDSServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def call(self, op: str, **params: Any) -> dict:
+        """Send one request and return the ok-response's fields."""
+        self._next_id += 1
+        request = {"op": op, "id": self._next_id}
+        request.update(params)
+        self._file.write(protocol.encode(request))
+        self._file.flush()
+        line = self._file.readline(protocol.MAX_LINE + 2)
+        if not line:
+            raise errors.ServerError("server closed the connection")
+        response = protocol.decode(line)
+        if response.get("id") not in (None, self._next_id):
+            raise errors.ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if not response.get("ok"):
+            protocol.raise_error(response.get("error") or {})
+        return response
+
+    # -- operations -------------------------------------------------------------
+
+    def auth(self, token: str) -> str:
+        """Authenticate; returns the credential's user name."""
+        return str(self.call("auth", token=token)["user"])
+
+    def open(
+        self, language: str, database: str, user: Optional[str] = None
+    ) -> str:
+        """Open a LIL session; returns its id for :meth:`execute`."""
+        params: dict = {"language": language, "database": database}
+        if user is not None:
+            params["user"] = user
+        return str(self.call("open", **params)["session"])
+
+    def execute(self, session: str, statement: str) -> list[dict]:
+        """Run statement text in an open session; returns wire results."""
+        return list(self.call("execute", session=session, statement=statement)["results"])
+
+    def begin(self) -> None:
+        self.call("begin")
+
+    def commit(self) -> int:
+        """Commit the connection's transaction; returns its commit seq."""
+        return int(self.call("commit")["commit_seq"])
+
+    def abort(self) -> None:
+        self.call("abort")
+
+    def metrics(self) -> dict:
+        """The server's observability snapshot (obs registry + server stats)."""
+        response = self.call("metrics")
+        return {key: response[key] for key in ("obs", "server", "locks")}
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def close(self) -> None:
+        """Say goodbye and drop the connection (idempotent)."""
+        try:
+            if not self._sock._closed:  # type: ignore[attr-defined]
+                self.call("close")
+        except (OSError, errors.MLDSError):
+            pass
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

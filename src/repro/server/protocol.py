@@ -1,0 +1,106 @@
+"""The MLDS wire protocol: JSON objects, one per line.
+
+Requests are ``{"op": ..., "id": ..., ...params}``; responses echo the
+``id`` and carry either ``"ok": true`` plus op-specific fields or
+``"ok": false`` plus ``{"error": {"type", "message"}}``.  The ``type``
+is the class name from :mod:`repro.errors`, which lets the client
+re-raise the server's exact exception type (:func:`raise_error`).
+
+Statement results cross the wire through :func:`result_to_wire`, which
+duck-types the four engines' result dataclasses into plain JSON — every
+MLDS value is already an ``int``/``float``/``str``/``None``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any
+
+from repro import errors
+
+#: Longest accepted wire line (requests and responses alike).
+MAX_LINE = 1 << 20
+
+
+def encode(message: dict) -> bytes:
+    """Render one protocol message as a newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> dict:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`~repro.errors.ProtocolError` on anything that is not
+    a single JSON object: the server answers those with an error rather
+    than dying, and the client treats them as a broken server.
+    """
+    if len(line) > MAX_LINE:
+        raise errors.ProtocolError(f"line exceeds {MAX_LINE} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise errors.ProtocolError(f"not a JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise errors.ProtocolError("message must be a JSON object")
+    return message
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict:
+    response: dict = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(request_id: Any, exc: BaseException) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def raise_error(payload: dict) -> None:
+    """Re-raise a response's error payload as the matching exception.
+
+    Unknown types (or payloads from a non-MLDS server) degrade to
+    :class:`~repro.errors.ServerError` so callers can always catch the
+    MLDS hierarchy.
+    """
+    name = str(payload.get("type", ""))
+    message = str(payload.get("message", "server error"))
+    cls = getattr(errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, errors.MLDSError):
+        raise cls(message)
+    raise errors.ServerError(f"{name}: {message}" if name else message)
+
+
+def result_to_wire(result: Any) -> dict:
+    """One engine result (any language) as a JSON-safe dict.
+
+    The four result dataclasses share no base class, so this flattens
+    whichever of their fields exist; ``status`` enums become their
+    values.  Clients get uniform dicts regardless of language.
+    """
+    wire: dict = {}
+    for attr in (
+        "statement",
+        "call",
+        "status",
+        "record_type",
+        "segment",
+        "dbkey",
+        "values",
+        "fields",
+        "columns",
+        "rows",
+        "touched",
+        "message",
+    ):
+        if not hasattr(result, attr):
+            continue
+        value = getattr(result, attr)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        wire[attr] = value
+    return wire

@@ -1,0 +1,72 @@
+"""Token-bucket rate limiting for server connections.
+
+Each authenticated connection gets a bucket sized from its credential:
+*rate* tokens per second refill up to a *burst* ceiling, and every
+statement spends one token.  An empty bucket means
+:class:`~repro.errors.RateLimitExceeded` — the client may retry after
+:meth:`TokenBucket.retry_after` seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A thread-safe token bucket.
+
+    ``rate <= 0`` disables limiting (every acquire succeeds), which is
+    how credentials express "unlimited".  *clock* is injectable so tests
+    can step time deterministically.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = max(float(burst), 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+        self.denied_total = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend *tokens* if available; False (and a denial count) if not."""
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            self.denied_total += 1
+            return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until *tokens* will be available (0 when they are now)."""
+        if self.rate <= 0:
+            return 0.0
+        with self._lock:
+            self._refill()
+            missing = tokens - self._tokens
+            return max(0.0, missing / self.rate)
+
+    @property
+    def available(self) -> float:
+        if self.rate <= 0:
+            return float("inf")
+        with self._lock:
+            self._refill()
+            return self._tokens

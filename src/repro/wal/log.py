@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import IO, Optional, Union
@@ -101,10 +102,24 @@ class _StreamWriter:
 class WalManager:
     """Owns one WAL directory: journaling, transactions, segments.
 
-    The manager is single-writer by construction: journaling happens in
-    the controller's thread *before* a broadcast is handed to the
-    execution engine, so no lock is needed even under
-    :class:`~repro.mbds.engine.ThreadPoolEngine`.
+    Transactions come in two flavors sharing one log:
+
+    * the **legacy single slot** — ``begin()`` with no owner, the
+      original one-caller-at-a-time protocol.  At most one such
+      transaction is open, and ``log_op``/``commit``/``abort`` without
+      an explicit ``txn`` operate on it.
+    * **owned transactions** — ``begin(owner=...)`` tags the begin
+      record with a session owner and returns a txn id the session
+      threads through ``log_op(..., txn=...)`` and
+      ``commit(txn=...)``/``abort(txn=...)``.  Any number may be open
+      at once (one per owner), their ops interleaving freely in the
+      backend streams; the single master ``commit`` record remains each
+      transaction's atomic commit point, so interleaved commits from
+      different sessions stay atomic and recovery never replays an
+      uncommitted session's writes.
+
+    An internal lock serializes appends and counter updates, so many
+    kernel sessions can journal concurrently.
     """
 
     def __init__(
@@ -149,8 +164,14 @@ class WalManager:
             self._write_meta()
 
         self._open_writers()
-        #: Id of the currently open transaction, or None.
+        #: Id of the currently open legacy (unowned) transaction, or None.
         self._txn: Optional[int] = None
+        #: Every open transaction id -> owner (None for the legacy slot).
+        self._open: dict[int, Optional[str]] = {}
+        #: Owner -> its open transaction id (owned transactions only).
+        self._owner_txn: dict[str, int] = {}
+        #: Serializes appends and counters across concurrent sessions.
+        self._mutex = threading.RLock()
 
     # -- metadata / resume -----------------------------------------------------
 
@@ -202,32 +223,78 @@ class WalManager:
 
     @property
     def in_transaction(self) -> bool:
+        """Is the legacy (unowned) transaction slot occupied?"""
         return self._txn is not None
+
+    @property
+    def has_open_transactions(self) -> bool:
+        """Is *any* transaction — legacy or session-owned — still open?"""
+        with self._mutex:
+            return bool(self._open)
 
     @property
     def current_txn(self) -> Optional[int]:
         return self._txn
 
-    def begin(self) -> int:
-        """Open a transaction; journaled ops group under it until commit."""
-        if self._txn is not None:
-            raise WalError(f"transaction {self._txn} is already open (no nesting)")
-        txn = self._next_txn
-        self._next_txn += 1
-        self._master_seq += 1
-        self._master.append({"seq": self._master_seq, "type": "begin", "txn": txn})
-        self._txn = txn
+    def open_owners(self) -> list[str]:
+        """Owners with a transaction currently open (sorted, for errors)."""
+        with self._mutex:
+            return sorted(self._owner_txn)
+
+    def begin(self, owner: Optional[str] = None) -> int:
+        """Open a transaction; journaled ops group under it until commit.
+
+        With no *owner* this is the legacy single-slot protocol: a second
+        unowned ``begin`` raises.  With an *owner* (a kernel session
+        name) any number of transactions may be open concurrently, one
+        per owner; thread the returned txn id through ``log_op`` /
+        ``commit`` / ``abort``.
+        """
+        with self._mutex:
+            if owner is None:
+                if self._txn is not None:
+                    raise WalError(
+                        f"transaction {self._txn} is already open (no nesting)"
+                    )
+            elif owner in self._owner_txn:
+                raise WalError(
+                    f"session {owner!r} already has transaction "
+                    f"{self._owner_txn[owner]} open (no nesting)"
+                )
+            txn = self._next_txn
+            self._next_txn += 1
+            self._master_seq += 1
+            record = {"seq": self._master_seq, "type": "begin", "txn": txn}
+            if owner is not None:
+                record["owner"] = owner
+            self._master.append(record)
+            self._open[txn] = owner
+            if owner is None:
+                self._txn = txn
+            else:
+                self._owner_txn[owner] = txn
+            return txn
+
+    def _resolve(self, txn: Optional[int], verb: str) -> int:
+        """Map an explicit or legacy-implicit txn id to an open txn."""
+        if txn is None:
+            if self._txn is None:
+                raise WalError(f"no open transaction to {verb}")
+            return self._txn
+        if txn not in self._open:
+            raise WalError(f"transaction {txn} is not open (cannot {verb})")
         return txn
 
-    def log_op(self, backend_id: int, request: Request) -> int:
-        """Journal *request* for *backend_id* under the open transaction.
+    def log_op(
+        self, backend_id: int, request: Request, txn: Optional[int] = None
+    ) -> int:
+        """Journal *request* for *backend_id* under a transaction.
 
         Must be called before the backend applies the request — that is
-        the "write-ahead" in write-ahead log.  Returns the op's sequence
-        number in the backend's stream.
+        the "write-ahead" in write-ahead log.  With no *txn* the legacy
+        slot is used.  Returns the op's sequence number in the backend's
+        stream.
         """
-        if self._txn is None:
-            raise WalError("no open transaction to journal under")
         if not is_mutating(request):
             raise WalError("only mutating requests are journaled")
         if not 0 <= backend_id < self.backend_count:
@@ -235,15 +302,17 @@ class WalManager:
         obs = self.obs
         with obs.tracer.span("wal.append") as span:
             start = time.perf_counter() if obs.enabled else 0.0
-            self.injector.fire(CrashPoint.BEFORE_LOG_APPEND)
-            seq = self._backend_seq[backend_id] + 1
-            self._backend_seq[backend_id] = seq
-            self._backends[backend_id].append(
-                {"seq": seq, "txn": self._txn, "op": encode_request(request)}
-            )
-            self.injector.fire(CrashPoint.AFTER_LOG_APPEND)
+            with self._mutex:
+                txn = self._resolve(txn, "journal under")
+                self.injector.fire(CrashPoint.BEFORE_LOG_APPEND)
+                seq = self._backend_seq[backend_id] + 1
+                self._backend_seq[backend_id] = seq
+                self._backends[backend_id].append(
+                    {"seq": seq, "txn": txn, "op": encode_request(request)}
+                )
+                self.injector.fire(CrashPoint.AFTER_LOG_APPEND)
             if span:
-                span.record(backend=backend_id, seq=seq, txn=self._txn)
+                span.record(backend=backend_id, seq=seq, txn=txn)
         if obs.enabled:
             obs.metrics.inc("wal.ops")
             obs.metrics.observe(
@@ -251,48 +320,68 @@ class WalManager:
             )
         return seq
 
-    def commit(self, counts: list[int]) -> None:
+    def commit(
+        self, counts: Optional[list[int]] = None, txn: Optional[int] = None
+    ) -> None:
         """Write the commit record — the transaction's atomic commit point.
 
         *counts* are the per-backend record counts observed after the
-        transaction applied; recovery re-checks them after replay.
+        transaction applied; recovery re-checks them after replay.  They
+        are only meaningful for the legacy single-writer protocol —
+        session-owned commits pass ``None`` (other sessions may be
+        mutating the farm concurrently, so no per-commit count is
+        stable) and recovery skips the checksum for those transactions.
         """
-        if self._txn is None:
-            raise WalError("no open transaction to commit")
-        if len(counts) != self.backend_count:
-            raise WalError("commit counts must cover every backend")
         obs = self.obs
         with obs.tracer.span("wal.commit") as span:
             start = time.perf_counter() if obs.enabled else 0.0
-            self.injector.fire(CrashPoint.BEFORE_COMMIT)
-            self._master_seq += 1
-            self._master.append(
-                {
-                    "seq": self._master_seq,
-                    "type": "commit",
-                    "txn": self._txn,
-                    "counts": list(counts),
-                }
-            )
-            if span:
-                span.record(txn=self._txn)
-            self.last_committed_txn = self._txn
-            self._txn = None
-            self.injector.fire(CrashPoint.AFTER_COMMIT)
+            with self._mutex:
+                txn = self._resolve(txn, "commit")
+                if counts is not None and len(counts) != self.backend_count:
+                    raise WalError("commit counts must cover every backend")
+                self.injector.fire(CrashPoint.BEFORE_COMMIT)
+                self._master_seq += 1
+                record = {"seq": self._master_seq, "type": "commit", "txn": txn}
+                if counts is not None:
+                    record["counts"] = list(counts)
+                owner = self._open[txn]
+                if owner is not None:
+                    record["owner"] = owner
+                self._master.append(record)
+                if span:
+                    span.record(txn=txn)
+                # Watermark semantics: the highest committed id.  Owned
+                # transactions can commit out of id order, and checkpoints
+                # (which require no open transactions) rely on every
+                # id <= watermark being committed-or-aborted.
+                self.last_committed_txn = max(self.last_committed_txn, txn)
+                self._forget(txn, owner)
+                self.injector.fire(CrashPoint.AFTER_COMMIT)
         if obs.enabled:
             obs.metrics.inc("wal.commits")
             obs.metrics.observe(
                 "wal.commit_ms", (time.perf_counter() - start) * 1000.0
             )
 
-    def abort(self) -> None:
-        """Mark the open transaction discarded (recovery will skip its ops)."""
-        if self._txn is None:
-            raise WalError("no open transaction to abort")
-        self._master_seq += 1
-        self._master.append({"seq": self._master_seq, "type": "abort", "txn": self._txn})
-        self._txn = None
+    def abort(self, txn: Optional[int] = None) -> None:
+        """Mark an open transaction discarded (recovery will skip its ops)."""
+        with self._mutex:
+            txn = self._resolve(txn, "abort")
+            self._master_seq += 1
+            record = {"seq": self._master_seq, "type": "abort", "txn": txn}
+            owner = self._open[txn]
+            if owner is not None:
+                record["owner"] = owner
+            self._master.append(record)
+            self._forget(txn, owner)
         self.obs.metrics.inc("wal.aborts")
+
+    def _forget(self, txn: int, owner: Optional[str]) -> None:
+        del self._open[txn]
+        if owner is None:
+            self._txn = None
+        else:
+            del self._owner_txn[owner]
 
     # -- crash points ----------------------------------------------------------
 
@@ -314,25 +403,27 @@ class WalManager:
         transactions at or below the snapshot watermark), so a crash at
         any point inside this method is harmless.
         """
-        if self._txn is not None:
-            raise WalError("cannot truncate the WAL with a transaction open")
-        self.close()
-        old_segment = self.segment
-        self.segment += 1
-        self._write_meta()
-        self._open_writers()
-        for stale in range(old_segment + 1):
-            (self.directory / master_segment_name(stale)).unlink(missing_ok=True)
-            for backend_id in range(self.backend_count):
-                (self.directory / backend_segment_name(backend_id, stale)).unlink(
-                    missing_ok=True
-                )
+        with self._mutex:
+            if self._open:
+                raise WalError("cannot truncate the WAL with a transaction open")
+            self.close()
+            old_segment = self.segment
+            self.segment += 1
+            self._write_meta()
+            self._open_writers()
+            for stale in range(old_segment + 1):
+                (self.directory / master_segment_name(stale)).unlink(missing_ok=True)
+                for backend_id in range(self.backend_count):
+                    (self.directory / backend_segment_name(backend_id, stale)).unlink(
+                        missing_ok=True
+                    )
 
     def close(self) -> None:
         """Close file handles (the manager can keep appending afterwards)."""
-        self._master.close()
-        for writer in self._backends:
-            writer.close()
+        with self._mutex:
+            self._master.close()
+            for writer in self._backends:
+                writer.close()
 
     def __repr__(self) -> str:
         return (

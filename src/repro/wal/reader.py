@@ -50,6 +50,8 @@ class WalTransaction:
     counts: Optional[list[int]] = None
     #: backend id -> ops journaled for it, in sequence order.
     ops: dict[int, list[WalOp]] = field(default_factory=dict)
+    #: Owning session name, or None for legacy single-slot transactions.
+    owner: Optional[str] = None
 
 
 @dataclass
@@ -146,13 +148,23 @@ def read_wal(directory: Union[str, Path], backend_count: Optional[int] = None) -
         max_master_seq = max(max_master_seq, int(record["seq"]))
         kind = record.get("type")
         transaction = transactions.setdefault(txn_id, WalTransaction(txn_id))
+        if record.get("owner") is not None:
+            transaction.owner = str(record["owner"])
         if kind == "begin":
             pass
         elif kind == "commit":
             transaction.status = "committed"
-            transaction.counts = list(record.get("counts") or [])
+            # Session-owned commits carry no counts (concurrent commits
+            # cannot know the farm-wide distribution); keep None so the
+            # recovery checksum knows not to verify.
+            counts = record.get("counts")
+            transaction.counts = None if counts is None else list(counts)
             committed.append(transaction)
-            last_committed = txn_id
+            # Session-owned transactions can commit out of id order; the
+            # watermark is the *highest* committed id (checkpoints only
+            # run with no transactions open, so every id at or below it
+            # is then committed or aborted).
+            last_committed = max(last_committed, txn_id)
         elif kind == "abort":
             transaction.status = "aborted"
         else:

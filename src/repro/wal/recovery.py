@@ -171,8 +171,10 @@ def checkpoint_mlds(mlds: "MLDS", path: Union[str, Path, None] = None) -> Path:
     wal = mlds.kds.wal
     if wal is None:
         raise WalError("checkpointing needs a WAL-enabled MLDS")
-    if wal.in_transaction:
-        raise WalError("cannot checkpoint with a transaction open")
+    if wal.has_open_transactions:
+        open_owners = wal.open_owners()
+        detail = f" (sessions: {', '.join(open_owners)})" if open_owners else ""
+        raise WalError(f"cannot checkpoint with a transaction open{detail}")
 
     wal.fire(CrashPoint.BEFORE_CHECKPOINT)
     target = Path(path) if path is not None else wal.directory / CHECKPOINT_NAME

@@ -1,0 +1,76 @@
+"""Dead worker processes must fail fast, typed, and named — never hang.
+
+Before the fix, a worker dying mid-request left the controller blocked
+forever on the response queue (or failing with an opaque EOF).  Now the
+proxy polls the pipe while watching the process, raises
+:class:`~repro.errors.WorkerCrashed` naming the backend, and the engine
+shuts the whole farm down so no orphaned workers linger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abdl import parse_request
+from repro.errors import ExecutionError, WorkerCrashed
+from repro.mbds import KernelDatabaseSystem
+
+
+@pytest.fixture()
+def kds():
+    kds = KernelDatabaseSystem(backend_count=3, engine="process")
+    for i in range(6):
+        kds.execute(
+            parse_request(f"INSERT (<FILE, f>, <f, f${i}>, <a, {i}>)")
+        )
+    yield kds
+    kds.shutdown()
+
+
+def kill_backend(kds, backend_id):
+    process = kds.controller.backends[backend_id]._process
+    process.kill()
+    process.join(timeout=10)
+
+
+class TestWorkerCrash:
+    def test_broadcast_raises_typed_error_naming_backend(self, kds):
+        kill_backend(kds, 1)
+        with pytest.raises(WorkerCrashed) as exc:
+            kds.execute(parse_request("RETRIEVE (FILE = f) (*)"))
+        assert exc.value.backend_id == 1
+        assert "backend 1" in str(exc.value)
+
+    def test_crash_shuts_down_the_farm(self, kds):
+        kill_backend(kds, 0)
+        with pytest.raises(WorkerCrashed):
+            kds.execute(parse_request("RETRIEVE (FILE = f) (*)"))
+        # Every other worker was stopped by the engine's cleanup.
+        assert all(
+            not backend._process.is_alive()
+            for backend in kds.controller.backends
+        )
+
+    def test_requests_after_shutdown_fail_clearly(self, kds):
+        kill_backend(kds, 2)
+        with pytest.raises(WorkerCrashed):
+            kds.execute(parse_request("RETRIEVE (FILE = f) (*)"))
+        with pytest.raises((ExecutionError, WorkerCrashed)):
+            kds.execute(parse_request("RETRIEVE (FILE = f) (*)"))
+
+    def test_routed_single_backend_request_detects_crash(self, kds):
+        kill_backend(kds, 1)
+        # INSERT dispatches to one placed backend; round-robin will hit
+        # the dead worker within a few placements.
+        with pytest.raises(WorkerCrashed):
+            for i in range(6):
+                kds.execute(
+                    parse_request(f"INSERT (<FILE, f>, <f, x${i}>, <a, {i}>)")
+                )
+
+    def test_shutdown_is_idempotent_after_crash(self, kds):
+        kill_backend(kds, 0)
+        with pytest.raises(WorkerCrashed):
+            kds.execute(parse_request("RETRIEVE (FILE = f) (*)"))
+        kds.shutdown()
+        kds.shutdown()

@@ -1,0 +1,150 @@
+"""The kernel lock manager: modes, compatibility, 2PL bookkeeping."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.mbds.locks import (
+    GLOBAL_RESOURCE,
+    LockManager,
+    LockMode,
+    compatible,
+    lock_items,
+    supremum,
+)
+
+from tests.wal.conftest import delete, insert, update
+from repro.abdl.ast import Modifier
+
+
+class TestCompatibility:
+    def test_intention_modes_are_mutually_compatible(self):
+        for a in (LockMode.IS, LockMode.IX):
+            for b in (LockMode.IS, LockMode.IX):
+                assert compatible(a, b)
+
+    def test_shared_compatible_with_shared_and_is(self):
+        assert compatible(LockMode.S, LockMode.S)
+        assert compatible(LockMode.S, LockMode.IS)
+        assert not compatible(LockMode.S, LockMode.IX)
+
+    def test_exclusive_compatible_with_nothing(self):
+        for mode in LockMode:
+            assert not compatible(LockMode.X, mode)
+            assert not compatible(mode, LockMode.X)
+
+    def test_supremum_upgrades(self):
+        assert supremum(LockMode.IS, LockMode.S) is LockMode.S
+        assert supremum(LockMode.S, LockMode.IS) is LockMode.S
+        assert supremum(LockMode.IX, LockMode.X) is LockMode.X
+        # No SIX mode: the conservative escalation is X.
+        assert supremum(LockMode.S, LockMode.IX) is LockMode.X
+        assert supremum(LockMode.IX, LockMode.S) is LockMode.X
+
+
+class TestLockItems:
+    def test_pinned_insert(self):
+        items = dict(lock_items(insert("f", a=1)))
+        assert items[GLOBAL_RESOURCE] is LockMode.IX
+        assert items["f"] is LockMode.X
+
+    def test_pinned_delete_and_update(self):
+        for request in (
+            delete(("FILE", "=", "f"), ("a", "=", 1)),
+            update(Modifier("a", value=2), ("FILE", "=", "f")),
+        ):
+            items = dict(lock_items(request))
+            assert items[GLOBAL_RESOURCE] is LockMode.IX
+            assert items["f"] is LockMode.X
+
+    def test_unpinned_mutation_locks_globally(self):
+        items = dict(lock_items(delete(("a", "=", 1))))
+        assert items == {GLOBAL_RESOURCE: LockMode.X}
+
+    def test_retrieve_takes_shared_locks(self):
+        from repro.abdl import parse_request
+
+        items = dict(lock_items(parse_request("RETRIEVE (FILE = f) (*)")))
+        assert items[GLOBAL_RESOURCE] is LockMode.IS
+        assert items["f"] is LockMode.S
+
+    def test_global_resource_sorts_first(self):
+        items = lock_items(insert("f", a=1))
+        assert items[0][0] == GLOBAL_RESOURCE
+
+
+class TestLockManager:
+    def test_readers_share(self):
+        locks = LockManager()
+        locks.acquire("r1", [("f", LockMode.S)])
+        locks.acquire("r2", [("f", LockMode.S)])  # must not block
+        assert set(locks.holders("f")) == {"r1", "r2"}
+
+    def test_writer_excludes_reader(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire("w", [("f", LockMode.X)])
+        with pytest.raises(LockTimeout) as exc:
+            locks.acquire("r", [("f", LockMode.S)])
+        assert "w" in str(exc.value) and "f" in str(exc.value)
+
+    def test_reacquire_is_idempotent(self):
+        locks = LockManager()
+        locks.acquire("a", [("f", LockMode.X)])
+        locks.acquire("a", [("f", LockMode.X)])
+        locks.acquire("a", [("f", LockMode.S)])  # subsumed by X
+        assert locks.held_by("a")["f"] is LockMode.X
+
+    def test_upgrade_shared_to_exclusive(self):
+        locks = LockManager()
+        locks.acquire("a", [("f", LockMode.S)])
+        locks.acquire("a", [("f", LockMode.X)])
+        assert locks.held_by("a")["f"] is LockMode.X
+
+    def test_release_wakes_waiter(self):
+        locks = LockManager(timeout=5.0)
+        locks.acquire("w", [("f", LockMode.X)])
+        acquired = threading.Event()
+
+        def waiter():
+            locks.acquire("r", [("f", LockMode.S)])
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert not acquired.wait(0.05)
+        locks.release_all("w")
+        assert acquired.wait(2.0)
+        thread.join()
+
+    def test_release_all_forgets_owner(self):
+        locks = LockManager()
+        locks.acquire("a", [("f", LockMode.X), ("g", LockMode.S)])
+        locks.release_all("a")
+        assert locks.held_by("a") == {}
+        locks.acquire("b", [("f", LockMode.X)])  # free again
+
+    def test_exclusive_release_bumps_epoch(self):
+        locks = LockManager()
+        before = locks.epoch("f")
+        locks.acquire("a", [("f", LockMode.X)])
+        locks.release_all("a")
+        assert locks.epoch("f") == before + 1
+
+    def test_shared_release_keeps_epoch(self):
+        locks = LockManager()
+        before = locks.epoch("f")
+        locks.acquire("a", [("f", LockMode.S)])
+        locks.release_all("a")
+        assert locks.epoch("f") == before
+
+    def test_stats_count_waits_and_timeouts(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire("w", [("f", LockMode.X)])
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", [("f", LockMode.S)])
+        stats = locks.stats()
+        assert stats["timeouts"] == 1
+        assert stats["acquired"] >= 1

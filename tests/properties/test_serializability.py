@@ -1,0 +1,249 @@
+"""Serializability of concurrent kernel sessions, proven by replay.
+
+Strict two-phase locking makes every concurrent history
+conflict-equivalent to the order in which transactions committed — and
+the kernel stamps that order (``commit_seq``) while each committer still
+holds its locks.  So the proof obligation is mechanical: run N threads
+of randomized mixed workloads against one kernel, then replay just the
+committed mutations, in commit order, into a fresh single-threaded twin.
+The two farms must match bit for bit (per backend, because placement is
+deterministic given the serial order).  A WAL variant closes the loop
+through recovery: the log's committed transactions, replayed in master
+log order, rebuild the same farm.
+
+Runs under both the in-process serial engine and the worker-process
+engine — the latter exercises the IPC layer's concurrent dispatch.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.abdl.ast import Modifier
+from repro.errors import LockTimeout, MLDSError
+from repro.mbds import KernelDatabaseSystem
+from repro.abdl import parse_request
+
+from tests.wal.conftest import delete, insert, update
+
+FILES = ["alpha", "beta", "gamma"]
+ENGINES = [("serial", None), ("process", 2)]
+
+
+def image(kds):
+    return [
+        sorted((tuple(r.pairs()), r.text) for r in backend.store.all_records())
+        for backend in kds.controller.backends
+    ]
+
+
+def build_op(kind: str, file_name: str, value: int):
+    """One workload operation; *value* is unique per (session, step)."""
+    if kind == "insert":
+        return insert(file_name, a=value, tag=value % 7)
+    if kind == "update":
+        return update(
+            Modifier("tag", arithmetic="+", operand=1),
+            ("FILE", "=", file_name),
+            ("tag", "<=", 3),
+        )
+    if kind == "delete":
+        return delete(("FILE", "=", file_name), ("tag", "=", 6))
+    return parse_request(f"RETRIEVE (FILE = {file_name}) (*)")
+
+
+def random_ops(seed: int, steps: int):
+    rng = random.Random(seed)
+    ops = []
+    for step in range(steps):
+        kind = rng.choices(
+            ["insert", "update", "delete", "retrieve"],
+            weights=[5, 2, 1, 3],
+        )[0]
+        ops.append((kind, rng.choice(FILES), seed * 10_000 + step))
+    return ops
+
+
+def replay_twin(backend_count: int, committed) -> KernelDatabaseSystem:
+    """A fresh kernel fed the committed mutations in commit order."""
+    twin = KernelDatabaseSystem(backend_count=backend_count)
+    for _, requests in sorted(committed, key=lambda item: item[0]):
+        for request in requests:
+            twin.execute(request)
+    return twin
+
+
+def run_concurrently(kds, workers):
+    """Run thread-per-session workers; return [(commit_seq, [mutations])]."""
+    committed: list = []
+    failures: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(workers))
+
+    def runner(worker):
+        try:
+            barrier.wait(timeout=10)
+            for seq, requests in worker():
+                with lock:
+                    committed.append((seq, requests))
+        except Exception as exc:  # pragma: no cover - failure detail
+            failures.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(w,)) for w in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, failures
+    return committed
+
+
+def autocommit_worker(kds, seed, steps=12):
+    """Single-request transactions: every mutation commits on its own."""
+
+    def work():
+        session = kds.create_session()
+        out = []
+        for kind, file_name, value in random_ops(seed, steps):
+            request = build_op(kind, file_name, value)
+            trace = kds.execute(request, session=session)
+            if trace.commit_seq is not None:
+                out.append((trace.commit_seq, [request]))
+        return out
+
+    return work
+
+
+def transaction_worker(kds, seed, steps=4, per_txn=3):
+    """Multi-request transactions with LockTimeout-abort-retry."""
+
+    def work():
+        session = kds.create_session()
+        session.lock_timeout = 0.2
+        rng = random.Random(seed)
+        out = []
+        for txn_index in range(steps):
+            ops = [
+                op
+                for op in random_ops(seed * 100 + txn_index, per_txn)
+                if op[0] != "retrieve"
+            ] or [("insert", rng.choice(FILES), seed * 100 + txn_index)]
+            requests = [build_op(*op) for op in ops]
+            for attempt in range(60):
+                try:
+                    kds.session_begin(session)
+                    for request in requests:
+                        kds.execute(request, session=session)
+                    seq = kds.session_commit(session)
+                    out.append((seq, requests))
+                    break
+                except LockTimeout:
+                    if session.in_transaction:  # timed out mid-transaction
+                        kds.session_abort(session)
+                    # Jittered backoff: without it, colliding transactions
+                    # retry in lockstep and can livelock indefinitely.
+                    time.sleep(rng.random() * 0.01 * (attempt + 1))
+                except MLDSError:
+                    if session.in_transaction:
+                        kds.session_abort(session)
+                    raise
+            else:  # pragma: no cover - starvation would be a bug
+                raise AssertionError("transaction starved after 60 tries")
+        return out
+
+    return work
+
+
+@pytest.mark.parametrize("engine,workers", ENGINES, ids=[e for e, _ in ENGINES])
+def test_autocommit_sessions_serialize_to_commit_order(engine, workers):
+    kds = KernelDatabaseSystem(backend_count=3, engine=engine, workers=workers)
+    try:
+        committed = run_concurrently(
+            kds, [autocommit_worker(kds, seed) for seed in range(1, 6)]
+        )
+        seqs = [seq for seq, _ in committed]
+        assert len(seqs) == len(set(seqs)), "commit seqs must be unique"
+        twin = replay_twin(3, committed)
+        assert image(kds) == image(twin)
+    finally:
+        kds.shutdown()
+
+
+@pytest.mark.parametrize("engine,workers", ENGINES, ids=[e for e, _ in ENGINES])
+def test_multi_request_transactions_serialize_to_commit_order(engine, workers):
+    kds = KernelDatabaseSystem(backend_count=3, engine=engine, workers=workers)
+    try:
+        committed = run_concurrently(
+            kds, [transaction_worker(kds, seed) for seed in range(1, 6)]
+        )
+        twin = replay_twin(3, committed)
+        assert image(kds) == image(twin)
+    finally:
+        kds.shutdown()
+
+
+def test_wal_recovery_matches_live_concurrent_farm(tmp_path):
+    from repro.core.mlds import MLDS
+    from repro.wal.recovery import recover_mlds
+
+    wal_dir = tmp_path / "wal"
+    mlds = MLDS(backend_count=3, wal=wal_dir)
+    kds = mlds.kds
+    try:
+        run_concurrently(
+            kds,
+            [autocommit_worker(kds, 1), autocommit_worker(kds, 2)]
+            + [transaction_worker(kds, seed) for seed in (3, 4)],
+        )
+        live = image(kds)
+    finally:
+        kds.shutdown()
+
+    recovered = recover_mlds(wal_dir, attach_wal=False)
+    try:
+        assert image(recovered.kds) == live
+    finally:
+        recovered.kds.shutdown()
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seeds=st.lists(st.integers(1, 10_000), min_size=4, max_size=5, unique=True))
+def test_any_seeded_interleaving_serializes(seeds):
+    kds = KernelDatabaseSystem(backend_count=3)
+    try:
+        committed = run_concurrently(
+            kds, [autocommit_worker(kds, seed, steps=8) for seed in seeds]
+        )
+        twin = replay_twin(3, committed)
+        assert image(kds) == image(twin)
+    finally:
+        kds.shutdown()
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seeds=st.lists(st.integers(1, 10_000), min_size=4, max_size=4, unique=True))
+def test_any_seeded_transaction_mix_serializes(seeds):
+    kds = KernelDatabaseSystem(backend_count=3)
+    try:
+        committed = run_concurrently(
+            kds,
+            [transaction_worker(kds, seed, steps=3) for seed in seeds],
+        )
+        twin = replay_twin(3, committed)
+        assert image(kds) == image(twin)
+    finally:
+        kds.shutdown()

@@ -1,0 +1,84 @@
+"""Admission control units: slots, queueing, and shedding."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServerOverloaded
+from repro.server.admission import AdmissionController
+
+
+def test_admits_up_to_inflight_without_queueing():
+    admission = AdmissionController(max_inflight=2, max_queue=0)
+    admission.acquire()
+    admission.acquire()
+    assert admission.stats()["inflight"] == 2
+
+
+def test_sheds_past_inflight_with_empty_queue():
+    admission = AdmissionController(max_inflight=1, max_queue=0)
+    admission.acquire()
+    with pytest.raises(ServerOverloaded, match="retry later"):
+        admission.acquire()
+    assert admission.stats()["shed_total"] == 1
+
+
+def test_queued_request_runs_when_slot_frees():
+    admission = AdmissionController(max_inflight=1, max_queue=1)
+    admission.acquire()
+    admitted = threading.Event()
+
+    def queued():
+        with admission.admit():
+            admitted.set()
+
+    thread = threading.Thread(target=queued)
+    thread.start()
+    assert not admitted.wait(0.05)  # genuinely waiting
+    assert admission.stats()["waiting"] == 1
+    admission.release()
+    assert admitted.wait(2.0)
+    thread.join()
+
+
+def test_sheds_past_the_queue_bound():
+    admission = AdmissionController(max_inflight=1, max_queue=1)
+    admission.acquire()
+    started = threading.Event()
+    release = threading.Event()
+
+    def queued():
+        started.set()
+        with admission.admit():
+            release.wait(5)
+
+    thread = threading.Thread(target=queued)
+    thread.start()
+    started.wait(2)
+    # Poll until the queued thread is registered as waiting.
+    for _ in range(200):
+        if admission.stats()["waiting"] == 1:
+            break
+        threading.Event().wait(0.01)
+    with pytest.raises(ServerOverloaded):
+        admission.acquire()  # queue is full: shed
+    admission.release()
+    release.set()
+    thread.join()
+
+
+def test_admit_context_manager_always_releases():
+    admission = AdmissionController(max_inflight=1, max_queue=0)
+    with pytest.raises(RuntimeError):
+        with admission.admit():
+            raise RuntimeError("boom")
+    admission.acquire()  # slot came back
+
+
+def test_bounds_validated():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=1, max_queue=-1)

@@ -1,0 +1,73 @@
+"""Authenticator units: tokens, session quotas, lifetime request quotas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthenticationError, QuotaExceeded
+from repro.server.auth import Authenticator, Credential, generate_token
+
+
+@pytest.fixture()
+def auth():
+    authenticator = Authenticator()
+    authenticator.register(
+        Credential(token="tok", user="alice", max_sessions=2, max_requests=3)
+    )
+    return authenticator
+
+
+def test_known_token_authenticates(auth):
+    assert auth.authenticate("tok").user == "alice"
+
+
+def test_unknown_token_rejected(auth):
+    with pytest.raises(AuthenticationError):
+        auth.authenticate("nope")
+
+
+def test_missing_token_rejected(auth):
+    with pytest.raises(AuthenticationError):
+        auth.authenticate(None)
+
+
+def test_revoked_token_rejected(auth):
+    auth.revoke("tok")
+    with pytest.raises(AuthenticationError):
+        auth.authenticate("tok")
+
+
+def test_session_quota_enforced(auth):
+    credential = auth.authenticate("tok")
+    auth.acquire_connection(credential)
+    auth.acquire_connection(credential)
+    with pytest.raises(QuotaExceeded, match="2"):
+        auth.acquire_connection(credential)
+    auth.release_connection(credential)
+    auth.acquire_connection(credential)  # freed slot is reusable
+
+
+def test_lifetime_request_quota_enforced(auth):
+    credential = auth.authenticate("tok")
+    for _ in range(3):
+        auth.charge_request(credential)
+    with pytest.raises(QuotaExceeded, match="lifetime"):
+        auth.charge_request(credential)
+
+
+def test_unlimited_requests_by_default():
+    authenticator = Authenticator()
+    credential = authenticator.register(Credential(token="t", user="bob"))
+    for _ in range(1000):
+        authenticator.charge_request(credential)
+
+
+def test_generated_tokens_are_unique():
+    assert generate_token() != generate_token()
+
+
+def test_add_token_convenience():
+    authenticator = Authenticator()
+    credential = authenticator.add_token("abc123", rate=5.0)
+    assert authenticator.authenticate("abc123") is credential
+    assert credential.rate == 5.0

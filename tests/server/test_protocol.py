@@ -1,0 +1,71 @@
+"""Wire protocol units: framing, error mapping, result flattening."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.kms.results import StatementResult, Status
+from repro.server import protocol
+
+
+class TestFraming:
+    def test_round_trip(self):
+        line = protocol.encode({"op": "ping", "id": 7})
+        assert line.endswith(b"\n")
+        assert protocol.decode(line) == {"op": "ping", "id": 7}
+
+    def test_rejects_non_json(self):
+        with pytest.raises(errors.ProtocolError):
+            protocol.decode(b"not json\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(errors.ProtocolError):
+            protocol.decode(b"[1, 2]\n")
+
+    def test_rejects_oversized_line(self):
+        with pytest.raises(errors.ProtocolError):
+            protocol.decode(b"x" * (protocol.MAX_LINE + 1))
+
+
+class TestErrorMapping:
+    def test_error_response_carries_type_and_message(self):
+        response = protocol.error_response(3, errors.LockTimeout("blocked on f"))
+        assert response == {
+            "id": 3,
+            "ok": False,
+            "error": {"type": "LockTimeout", "message": "blocked on f"},
+        }
+
+    def test_raise_error_restores_exact_type(self):
+        with pytest.raises(errors.QuotaExceeded, match="over quota"):
+            protocol.raise_error({"type": "QuotaExceeded", "message": "over quota"})
+
+    def test_unknown_type_degrades_to_server_error(self):
+        with pytest.raises(errors.ServerError):
+            protocol.raise_error({"type": "NoSuchError", "message": "?"})
+
+    def test_non_error_attribute_never_raises_arbitrary_objects(self):
+        # A malicious/buggy server naming a non-exception module attr
+        # must not make the client call it.
+        with pytest.raises(errors.ServerError):
+            protocol.raise_error({"type": "MLDSError.__init__", "message": "?"})
+
+
+class TestResultToWire:
+    def test_codasyl_result_flattens_with_status_value(self):
+        result = StatementResult(
+            statement="GET", status=Status.OK, record_type="ship",
+            dbkey="ship$1", values={"hull": 68},
+        )
+        wire = protocol.result_to_wire(result)
+        assert wire["status"] == "ok"
+        assert wire["values"] == {"hull": 68}
+        assert json.dumps(wire)  # JSON-safe end to end
+
+    def test_only_existing_fields_cross(self):
+        result = StatementResult(statement="FIND")
+        wire = protocol.result_to_wire(result)
+        assert "rows" not in wire and "columns" not in wire

@@ -1,0 +1,57 @@
+"""Token bucket units, on an injectable clock — no real sleeping."""
+
+from __future__ import annotations
+
+from repro.server.ratelimit import TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_burst_then_empty():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    assert bucket.denied_total == 1
+
+
+def test_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+    bucket.try_acquire()
+    bucket.try_acquire()
+    clock.advance(0.5)  # 2/s for half a second -> one token back
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=3, clock=clock)
+    clock.advance(60)
+    assert bucket.available == 3
+
+
+def test_retry_after_names_the_wait():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+    bucket.try_acquire()
+    assert bucket.retry_after() == 0.25
+    clock.advance(0.25)
+    assert bucket.retry_after() == 0.0
+
+
+def test_zero_rate_is_unlimited():
+    bucket = TokenBucket(rate=0.0, burst=1)
+    assert all(bucket.try_acquire() for _ in range(1000))
+    assert bucket.available == float("inf")
