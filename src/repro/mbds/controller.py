@@ -31,7 +31,7 @@ import copy
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.abdl.ast import (
     DeleteRequest,
@@ -58,8 +58,10 @@ from repro.mbds.timing import (
 )
 from repro.obs import ObsSpec, resolve_obs
 from repro.qc import runtime as qc_runtime
-from repro.wal.faults import CrashPoint
+from repro.wal.faults import CrashPoint, InjectedCrash
 from repro.wal.log import WalManager
+
+_T = TypeVar("_T")
 
 _OPERATION_NAMES = {
     RetrieveRequest: "RETRIEVE",
@@ -207,36 +209,72 @@ class BackendController:
         request: Request,
         targets: Sequence[Backend],
         session: Optional[KernelSession] = None,
-    ) -> Optional[Callable[[], None]]:
+    ) -> tuple[Optional[Callable[[], None]], Optional[Callable[[], None]]]:
         """Journal *request* for *targets* ahead of applying it.
 
         Opens a single-request (auto-commit) transaction when no explicit
-        transaction is in progress; the returned thunk (None when no
-        commit is due) writes that transaction's commit record and must
-        be called after the request applied.  Session requests journal
-        under the session's open owned transaction, or an owned
-        auto-commit transaction (committed without counts — concurrent
-        sessions make whole-farm record counts unstable).
+        transaction is in progress and returns ``(commit, abort)``
+        thunks: *commit* (None when no commit is due) writes that
+        transaction's commit record after the request applied; *abort*
+        (None unless this call opened a transaction) writes its abort
+        record if the apply fails, so the auto-commit slot — the
+        session's owner slot or the legacy single slot — is never left
+        occupied by a request that will neither commit nor be retried.
+        Session requests journal under the session's open owned
+        transaction, or an owned auto-commit transaction (committed
+        without counts — concurrent sessions make whole-farm record
+        counts unstable).
         """
         if self.wal is None:
-            return None
+            return None, None
         if session is not None:
             if session.wal_txn is not None:
                 for backend in targets:
                     self.wal.log_op(backend.backend_id, request, txn=session.wal_txn)
-                return None
+                return None, None
             txn = self.wal.begin(owner=session.owner)
             for backend in targets:
                 self.wal.log_op(backend.backend_id, request, txn=txn)
-            return lambda: self.wal.commit(txn=txn)
+            return (
+                lambda: self.wal.commit(txn=txn),
+                lambda: self.wal.abort(txn=txn),
+            )
         auto = not self.wal.in_transaction
         if auto:
             self.wal.begin()
         for backend in targets:
             self.wal.log_op(backend.backend_id, request)
         if auto:
-            return lambda: self.wal.commit(self.distribution())
-        return None
+            return lambda: self.wal.commit(self.distribution()), self.wal.abort
+        return None, None
+
+    def _apply_journaled(
+        self,
+        apply: Callable[[], "_T"],
+        abort: Optional[Callable[[], None]],
+    ) -> "_T":
+        """Run *apply* between the crash points, aborting on real failure.
+
+        An :class:`~repro.wal.faults.InjectedCrash` is the simulated
+        machine dying — a dead machine writes no abort record, and
+        recovery discards the uncommitted transaction from the log — so
+        it propagates untouched.  Any other failure (ExecutionError,
+        WorkerCrashed, ...) aborts the transaction this request opened,
+        freeing its auto-commit slot for the session's next statement.
+        """
+        try:
+            if self.wal is not None:
+                self.wal.fire(CrashPoint.BEFORE_APPLY)
+            result = apply()
+            if self.wal is not None:
+                self.wal.fire(CrashPoint.AFTER_APPLY)
+            return result
+        except InjectedCrash:
+            raise
+        except BaseException:
+            if abort is not None:
+                abort()
+            raise
 
     def _execute_insert(
         self,
@@ -249,12 +287,11 @@ class BackendController:
             index = self.placement.place(request.record, self.backend_count)
         if session is not None and session.in_transaction:
             session.placed.append((request.record.file_name, index))
-        commit = self._journal(request, [self.backends[index]], session)
-        if self.wal is not None:
-            self.wal.fire(CrashPoint.BEFORE_APPLY)
-        backend_result = self.engine.execute_one(self.backends[index], request, label)
-        if self.wal is not None:
-            self.wal.fire(CrashPoint.AFTER_APPLY)
+        commit, abort = self._journal(request, [self.backends[index]], session)
+        backend_result = self._apply_journaled(
+            lambda: self.engine.execute_one(self.backends[index], request, label),
+            abort,
+        )
         if commit is not None:
             commit()
         wall_ms = (time.perf_counter() - start) * 1000.0
@@ -292,14 +329,16 @@ class BackendController:
                 observe = getattr(self.placement, "observe_mutation", None)
                 if observe is not None:
                     observe(request)
-        commit = self._journal(request, targets, session) if mutating else None
-        if mutating and self.wal is not None:
-            self.wal.fire(CrashPoint.BEFORE_APPLY)
-        partials = self.engine.run(targets, request, label) if targets else []
-        if mutating and self.wal is not None:
-            self.wal.fire(CrashPoint.AFTER_APPLY)
-        if commit is not None:
-            commit()
+        if mutating:
+            commit, abort = self._journal(request, targets, session)
+            partials = self._apply_journaled(
+                lambda: self.engine.run(targets, request, label) if targets else [],
+                abort,
+            )
+            if commit is not None:
+                commit()
+        else:
+            partials = self.engine.run(targets, request, label) if targets else []
         merged = (
             _merge(request, partials) if partials else _empty_result(request)
         )

@@ -33,10 +33,15 @@ Discipline
 * **Two-phase** — within a kernel transaction locks are only released
   by :meth:`LockManager.release_all` at commit/abort, which makes every
   concurrent history conflict-equivalent to the commit order (2PL).
-* **Timeouts, not detection** — cross-request cycles (session A locks
-  f1 then wants f2; B locks f2 then wants f1) are broken by a deadline:
-  the waiter raises :class:`~repro.errors.LockTimeout` and is expected
-  to abort, releasing its own locks.
+* **Timeouts, not general detection** — cross-request cycles (session
+  A locks f1 then wants f2; B locks f2 then wants f1) are broken by a
+  deadline: the waiter raises :class:`~repro.errors.LockTimeout` and is
+  expected to abort, releasing its own locks.  The one cycle detected
+  eagerly is the **symmetric upgrade** (two sessions each hold ``S`` on
+  a file and both want ``X`` — the routine read-then-update shape):
+  since neither can release under 2PL until the other does, the second
+  upgrader fails fast with :class:`~repro.errors.LockTimeout` instead
+  of both stalling for the full timeout.
 * **Validation epochs** — releasing an ``X`` file lock bumps a per-file
   epoch counter, mirroring the PR 4 store mutation epochs at the lock
   granule, so readers can validate that a file was untouched while they
@@ -172,10 +177,14 @@ class LockManager:
         self._cv = threading.Condition()
         #: resource -> owner -> mode currently granted
         self._held: Dict[str, Dict[str, LockMode]] = {}
+        #: resource -> owners blocked waiting to *upgrade* a mode they
+        #: already hold there (for symmetric-upgrade deadlock detection)
+        self._upgrade_waiters: Dict[str, set] = {}
         self._epochs: Dict[str, int] = {}
         self.acquired_total = 0
         self.wait_total = 0
         self.timeout_total = 0
+        self.upgrade_deadlock_total = 0
 
     # -- acquisition ---------------------------------------------------------
 
@@ -203,37 +212,71 @@ class LockManager:
     ) -> None:
         with self._cv:
             waited = False
-            while True:
-                holders = self._held.get(resource, {})
-                target = mode
-                held = holders.get(owner)
-                if held is not None:
-                    target = supremum(held, mode)
-                    if target is held:
-                        return  # already strong enough
-                if all(
-                    compatible(target, other_mode)
-                    for other, other_mode in holders.items()
-                    if other != owner
-                ):
-                    self._held.setdefault(resource, {})[owner] = target
-                    self.acquired_total += 1
-                    if waited:
-                        self.wait_total += 1
-                    return
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    self.timeout_total += 1
+            upgrading = False
+            try:
+                while True:
+                    holders = self._held.get(resource, {})
+                    target = mode
+                    held = holders.get(owner)
+                    if held is not None:
+                        target = supremum(held, mode)
+                        if target is held:
+                            return  # already strong enough
                     blockers = sorted(
-                        other for other in holders if other != owner
+                        other
+                        for other, other_mode in holders.items()
+                        if other != owner and not compatible(target, other_mode)
                     )
-                    raise LockTimeout(
-                        f"session {owner!r} timed out waiting for "
-                        f"{target.value} on {self._describe(resource)} "
-                        f"(held by {', '.join(blockers)})"
-                    )
-                waited = True
-                self._cv.wait(remaining)
+                    if not blockers:
+                        self._held.setdefault(resource, {})[owner] = target
+                        self.acquired_total += 1
+                        if waited:
+                            self.wait_total += 1
+                        return
+                    if held is not None:
+                        # Upgrade path: if any blocker is itself parked
+                        # waiting to upgrade this resource, neither of us
+                        # can release under 2PL until the other does —
+                        # a guaranteed deadlock.  Fail fast (the caller
+                        # aborts, releasing our locks and unblocking the
+                        # rival) instead of both stalling to the deadline.
+                        rivals = [
+                            b
+                            for b in blockers
+                            if b in self._upgrade_waiters.get(resource, ())
+                        ]
+                        if rivals:
+                            self.timeout_total += 1
+                            self.upgrade_deadlock_total += 1
+                            raise LockTimeout(
+                                f"session {owner!r} would deadlock upgrading "
+                                f"{held.value} to {target.value} on "
+                                f"{self._describe(resource)}: "
+                                f"{', '.join(map(repr, rivals))} already "
+                                "waiting to upgrade it; abort and retry"
+                            )
+                        if not upgrading:
+                            upgrading = True
+                            self._upgrade_waiters.setdefault(resource, set()).add(
+                                owner
+                            )
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.timeout_total += 1
+                        raise LockTimeout(
+                            f"session {owner!r} timed out waiting for "
+                            f"{target.value} on {self._describe(resource)} "
+                            f"(held by {', '.join(blockers)})"
+                        )
+                    waited = True
+                    self._cv.wait(remaining)
+            finally:
+                if upgrading:
+                    waiters = self._upgrade_waiters.get(resource)
+                    if waiters is not None:
+                        waiters.discard(owner)
+                        if not waiters:
+                            del self._upgrade_waiters[resource]
 
     # -- release -------------------------------------------------------------
 
@@ -285,6 +328,7 @@ class LockManager:
                 "acquired": self.acquired_total,
                 "waited": self.wait_total,
                 "timeouts": self.timeout_total,
+                "upgrade_deadlocks": self.upgrade_deadlock_total,
             }
 
     @staticmethod

@@ -4,7 +4,8 @@ Every connection must present a token before any other operation; the
 token names a :class:`Credential` carrying that user's limits — how
 many simultaneous connections they may hold, how many statements they
 may execute over the credential's lifetime, and the token-bucket rate
-applied per connection.  Violations raise
+shared across all of the credential's connections (so reconnecting
+never refreshes the burst allowance).  Violations raise
 :class:`~repro.errors.AuthenticationError` /
 :class:`~repro.errors.QuotaExceeded` with messages that say which limit
 was hit.
@@ -18,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import AuthenticationError, QuotaExceeded
+from repro.server.ratelimit import TokenBucket
 
 
 @dataclass(frozen=True)
@@ -25,8 +27,9 @@ class Credential:
     """One token's identity and limits.
 
     ``rate <= 0`` means unlimited statement rate; ``max_requests None``
-    means no lifetime cap.  *burst* is the token-bucket ceiling each
-    connection starts full at.
+    means no lifetime cap.  *burst* is the ceiling of the credential's
+    shared token bucket (full only when the credential first
+    authenticates, not on every reconnect).
     """
 
     token: str
@@ -49,6 +52,7 @@ class Authenticator:
         self._credentials: Dict[str, Credential] = {}
         self._connections: Dict[str, int] = {}
         self._requests: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
         self._lock = threading.Lock()
 
     def register(self, credential: Credential) -> Credential:
@@ -79,6 +83,21 @@ class Authenticator:
     def revoke(self, token: str) -> None:
         with self._lock:
             self._credentials.pop(token, None)
+            self._buckets.pop(token, None)
+
+    def bucket_for(self, credential: Credential) -> TokenBucket:
+        """The credential's shared rate-limit bucket (lazily created).
+
+        One bucket per token, shared by every connection authenticated
+        with it — a client cannot mint a fresh burst allowance by
+        dropping the connection and reauthenticating.
+        """
+        with self._lock:
+            bucket = self._buckets.get(credential.token)
+            if bucket is None:
+                bucket = TokenBucket(credential.rate, credential.burst)
+                self._buckets[credential.token] = bucket
+            return bucket
 
     # -- live accounting --------------------------------------------------------
 
@@ -113,9 +132,28 @@ class Authenticator:
             self._requests[credential.token] = used + 1
 
     def stats(self) -> dict:
+        """Live accounting keyed by user name — never by raw token.
+
+        These stats are served on the unauthenticated ``metrics`` op, so
+        token strings must not appear anywhere in them.  Counts for a
+        user holding several tokens sum together; counts surviving a
+        revoked token report under ``<revoked>``.
+        """
         with self._lock:
+            connections: Dict[str, int] = {}
+            requests: Dict[str, int] = {}
+            for token, count in self._connections.items():
+                user = self._user_for(token)
+                connections[user] = connections.get(user, 0) + count
+            for token, count in self._requests.items():
+                user = self._user_for(token)
+                requests[user] = requests.get(user, 0) + count
             return {
                 "tokens": len(self._credentials),
-                "connections": dict(self._connections),
-                "requests": dict(self._requests),
+                "connections": connections,
+                "requests": requests,
             }
+
+    def _user_for(self, token: str) -> str:
+        credential = self._credentials.get(token)
+        return credential.user if credential is not None else "<revoked>"

@@ -239,7 +239,9 @@ class MLDSServer:
         credential = self.authenticator.authenticate(message.get("token"))
         self.authenticator.acquire_connection(credential)
         conn.credential = credential
-        conn.bucket = TokenBucket(credential.rate, credential.burst)
+        # The bucket is shared across every connection holding this
+        # credential: reconnecting must not refresh the burst allowance.
+        conn.bucket = self.authenticator.bucket_for(credential)
         return {"user": credential.user}
 
     async def _op_open(self, conn: _Connection, message: dict) -> dict:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -148,3 +149,34 @@ class TestLockManager:
         stats = locks.stats()
         assert stats["timeouts"] == 1
         assert stats["acquired"] >= 1
+
+    def test_symmetric_upgrade_deadlock_fails_fast(self):
+        # Both sessions read f, then both want to write it: under 2PL
+        # neither can release its S lock, so the second upgrader must
+        # fail immediately rather than stalling for the full timeout.
+        locks = LockManager(timeout=30.0)
+        locks.acquire("a", [("f", LockMode.S)])
+        locks.acquire("b", [("f", LockMode.S)])
+        upgraded = threading.Event()
+
+        def upgrader():
+            locks.acquire("a", [("f", LockMode.X)])
+            upgraded.set()
+
+        thread = threading.Thread(target=upgrader)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while "f" not in locks._upgrade_waiters:  # a is parked upgrading
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        start = time.monotonic()
+        with pytest.raises(LockTimeout, match="upgrad"):
+            locks.acquire("b", [("f", LockMode.X)])
+        assert time.monotonic() - start < 5.0  # not the 30s deadline
+        assert locks.stats()["upgrade_deadlocks"] == 1
+        # The loser aborts (releasing its locks); the survivor upgrades.
+        locks.release_all("b")
+        assert upgraded.wait(5.0)
+        thread.join()
+        assert locks.held_by("a")["f"] is LockMode.X
+        locks.release_all("a")

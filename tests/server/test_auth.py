@@ -66,6 +66,76 @@ def test_generated_tokens_are_unique():
     assert generate_token() != generate_token()
 
 
+class TestStatsNeverExposeTokens:
+    """stats() feeds the unauthenticated metrics op: no raw tokens."""
+
+    def test_stats_keyed_by_user(self, auth):
+        credential = auth.authenticate("tok")
+        auth.acquire_connection(credential)
+        auth.charge_request(credential)
+        stats = auth.stats()
+        assert stats["connections"] == {"alice": 1}
+        assert stats["requests"] == {"alice": 1}
+
+    def test_token_string_absent_from_stats(self):
+        authenticator = Authenticator()
+        secret = "s3cret-credential-value"
+        credential = authenticator.register(Credential(token=secret, user="alice"))
+        authenticator.acquire_connection(credential)
+        authenticator.charge_request(credential)
+        assert secret not in repr(authenticator.stats())
+
+    def test_same_user_tokens_aggregate(self):
+        authenticator = Authenticator()
+        first = authenticator.register(Credential(token="t1", user="alice"))
+        second = authenticator.register(Credential(token="t2", user="alice"))
+        authenticator.acquire_connection(first)
+        authenticator.acquire_connection(second)
+        assert authenticator.stats()["connections"] == {"alice": 2}
+
+    def test_revoked_token_reports_redacted(self):
+        authenticator = Authenticator()
+        secret = "s3cret-credential-value"
+        credential = authenticator.register(Credential(token=secret, user="alice"))
+        authenticator.acquire_connection(credential)
+        authenticator.revoke(secret)
+        stats = authenticator.stats()
+        assert stats["connections"] == {"<revoked>": 1}
+        assert secret not in repr(stats)
+
+
+class TestSharedBuckets:
+    def test_bucket_shared_across_connections(self):
+        authenticator = Authenticator()
+        credential = authenticator.register(
+            Credential(token="t", user="bob", rate=1.0, burst=2.0)
+        )
+        bucket = authenticator.bucket_for(credential)
+        assert authenticator.bucket_for(credential) is bucket
+
+    def test_reconnect_does_not_refresh_burst(self):
+        # rate ~0 so the burst cannot refill during the test
+        authenticator = Authenticator()
+        credential = authenticator.register(
+            Credential(token="t", user="bob", rate=0.0001, burst=1)
+        )
+        assert authenticator.bucket_for(credential).try_acquire()
+        # the "reconnect": a second bucket_for must see the spent bucket
+        assert not authenticator.bucket_for(credential).try_acquire()
+
+    def test_revoke_drops_bucket(self):
+        authenticator = Authenticator()
+        credential = authenticator.register(
+            Credential(token="t", user="bob", rate=0.0001, burst=1)
+        )
+        assert authenticator.bucket_for(credential).try_acquire()
+        authenticator.revoke("t")
+        fresh = authenticator.register(
+            Credential(token="t", user="bob", rate=0.0001, burst=1)
+        )
+        assert authenticator.bucket_for(fresh).try_acquire()
+
+
 def test_add_token_convenience():
     authenticator = Authenticator()
     credential = authenticator.add_token("abc123", rate=5.0)

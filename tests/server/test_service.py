@@ -62,6 +62,9 @@ def served():
     authenticator.register(
         Credential(token="throttled", user="carol", rate=0.0001, burst=1)
     )
+    authenticator.register(
+        Credential(token="reconnect-throttle", user="dave", rate=0.0001, burst=1)
+    )
     server = MLDSServer(
         mlds, authenticator, max_inflight=1, max_queue=0
     )
@@ -242,6 +245,17 @@ class TestQuotasAndLimits:
             with pytest.raises(errors.RateLimitExceeded, match="retry"):
                 client.execute(sql, "SELECT pid FROM pay WHERE pid = 0")
 
+    def test_reconnecting_does_not_refresh_rate_limit_burst(self, served):
+        # The bucket belongs to the credential, not the connection: a
+        # client cannot mint a fresh burst by dropping and re-dialing.
+        with connect(served, token="reconnect-throttle") as client:
+            sql = client.open("sql", "payroll")
+            client.execute(sql, "SELECT pid FROM pay WHERE pid = 0")
+        with connect(served, token="reconnect-throttle") as client:
+            sql = client.open("sql", "payroll")
+            with pytest.raises(errors.RateLimitExceeded):
+                client.execute(sql, "SELECT pid FROM pay WHERE pid = 0")
+
     def test_overload_sheds_with_clear_error(self, served):
         # Fill the single execution slot with a statement blocked on a
         # kernel lock, then watch the next statement get shed (queue 0).
@@ -290,6 +304,18 @@ class TestMetricsEndpoint:
         with ServerClient(served.host, served.port) as client:
             snapshot = client.metrics()
             assert set(snapshot) == {"obs", "server", "locks"}
+
+    def test_metrics_never_leak_tokens(self, served):
+        # The metrics op is open to unauthenticated scrapes, so no raw
+        # credential token may appear anywhere in the snapshot.
+        with connect(served) as client:
+            sql = client.open("sql", "payroll")
+            client.execute(sql, "SELECT pid FROM pay WHERE pid = 0")
+        with ServerClient(served.host, served.port) as scraper:
+            wire = repr(scraper.metrics())
+        for token in ("open-sesame", "narrow", "throttled", "reconnect-throttle"):
+            assert token not in wire
+        assert "alice" in wire  # accounting is still published, by user
 
     def test_metrics_reflect_served_traffic(self, served):
         with connect(served) as client:

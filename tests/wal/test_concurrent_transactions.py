@@ -17,7 +17,7 @@ import pytest
 
 from repro.abdl.ast import Modifier
 from repro.core.mlds import MLDS
-from repro.errors import WalError
+from repro.errors import ExecutionError, WalError
 from repro.wal.faults import CRASH_MATRIX, CrashPoint, FaultInjector, InjectedCrash
 from repro.wal.log import WalManager
 from repro.wal.reader import read_wal
@@ -190,6 +190,105 @@ def test_recovery_never_replays_the_uncommitted_session(tmp_path, point):
     finally:
         recovered.kds.shutdown()
         mlds.kds.shutdown()
+
+
+class TestAutoCommitApplyFailure:
+    """A journaled request whose *apply* fails must abort its WAL txn.
+
+    Without the abort the auto-commit slot (the session's owner slot or
+    the legacy single slot) stays occupied forever: the next mutation
+    raises WalError and checkpointing is wedged.
+    """
+
+    def _failing_apply(self, mlds, exc):
+        def boom(*args, **kwargs):
+            raise exc
+
+        return boom
+
+    def test_failed_session_autocommit_frees_the_owner_slot(self, tmp_path):
+        mlds = MLDS(backend_count=BACKENDS, wal=tmp_path / "wal")
+        seed(mlds.kds)
+        session = mlds.kds.create_session("writer")
+        engine = mlds.kds.controller.engine
+        original = engine.execute_one
+        engine.execute_one = self._failing_apply(
+            mlds, ExecutionError("backend died mid-apply")
+        )
+        try:
+            with pytest.raises(ExecutionError):
+                mlds.kds.execute(insert("f", a=7), session=session)
+        finally:
+            engine.execute_one = original
+        assert not mlds.kds.wal.has_open_transactions
+        # The owner slot is free: the session's next mutation works...
+        mlds.kds.execute(insert("f", a=8), session=session)
+        # ...and checkpointing is not wedged by a phantom transaction.
+        checkpoint_mlds(mlds)
+        mlds.kds.shutdown()
+
+    def test_failed_broadcast_autocommit_frees_the_owner_slot(self, tmp_path):
+        mlds = MLDS(backend_count=BACKENDS, wal=tmp_path / "wal")
+        seed(mlds.kds)
+        session = mlds.kds.create_session("writer")
+        engine = mlds.kds.controller.engine
+        original = engine.run
+        engine.run = self._failing_apply(mlds, ExecutionError("farm died"))
+        try:
+            with pytest.raises(ExecutionError):
+                mlds.kds.execute(
+                    delete(("FILE", "=", "f"), ("a", "=", 1)), session=session
+                )
+        finally:
+            engine.run = original
+        assert not mlds.kds.wal.has_open_transactions
+        mlds.kds.execute(delete(("FILE", "=", "f"), ("a", "=", 1)), session=session)
+        checkpoint_mlds(mlds)
+        mlds.kds.shutdown()
+
+    def test_failed_legacy_autocommit_frees_the_single_slot(self, tmp_path):
+        mlds = MLDS(backend_count=BACKENDS, wal=tmp_path / "wal")
+        seed(mlds.kds)
+        engine = mlds.kds.controller.engine
+        original = engine.execute_one
+        engine.execute_one = self._failing_apply(
+            mlds, ExecutionError("backend died mid-apply")
+        )
+        try:
+            with pytest.raises(ExecutionError):
+                mlds.kds.execute(insert("f", a=7))
+        finally:
+            engine.execute_one = original
+        assert not mlds.kds.wal.in_transaction
+        mlds.kds.execute(insert("f", a=8))  # the slot is free again
+        mlds.kds.shutdown()
+
+    def test_failed_autocommit_is_aborted_on_the_log(self, tmp_path):
+        # Recovery must discard the failed request's ops: the abort is
+        # durable, not only an in-memory slot release.
+        wal_dir = tmp_path / "wal"
+        mlds = MLDS(backend_count=BACKENDS, wal=wal_dir)
+        seed(mlds.kds)
+        pre = farm_image(mlds)
+        session = mlds.kds.create_session("writer")
+        engine = mlds.kds.controller.engine
+        original = engine.execute_one
+        engine.execute_one = self._failing_apply(
+            mlds, ExecutionError("backend died mid-apply")
+        )
+        try:
+            with pytest.raises(ExecutionError):
+                mlds.kds.execute(insert("g", b=MARKER), session=session)
+        finally:
+            engine.execute_one = original
+        mlds.kds.shutdown()
+
+        recovered = recover_mlds(wal_dir, attach_wal=False)
+        try:
+            assert farm_image(recovered) == pre
+            assert_no_marker(recovered)
+        finally:
+            recovered.kds.shutdown()
 
 
 def test_checkpoint_refuses_while_any_session_is_open(tmp_path):
