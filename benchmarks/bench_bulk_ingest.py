@@ -1,0 +1,341 @@
+"""Bulk ingest: the million-record path, gated against the one-at-a-time path.
+
+The streaming ingest pipeline (``repro.ingest``) batches a record stream
+into BULK-INSERT requests: one journal record per backend shard, one
+commit per batch, deferred sort-once index maintenance.  This benchmark
+holds that path to three promises:
+
+* **throughput** — bulk loading must beat one-INSERT-per-transaction by
+  at least ``--min-speedup`` (default 3x) on the same record stream;
+* **flat queries at scale** — an indexed point query after loading
+  ``--scale-records`` (default 1M) records must stay within
+  ``--max-latency-ratio`` (default 1.5x) of the same query at
+  ``--base-records`` (default 100k): ingest volume must not bend query
+  latency;
+* **equivalence** — the post-load farm (stores, routing counters, index
+  report) must be bit-identical to the incremental path under the
+  serial, thread, and process engines.
+
+It also measures the durability ledger with ``sync=True``: fsyncs per
+commit for the one-at-a-time path (every record a transaction) against
+the pipeline's group-commit batches.
+
+Run standalone (writes a JSON report, default ``BENCH_ingest.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_bulk_ingest.py
+
+Exit status is non-zero when any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from itertools import islice
+from pathlib import Path
+
+if __package__ in (None, ""):  # runnable as a plain script, too
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.abdl.ast import InsertRequest, RetrieveRequest, TargetItem
+from repro.abdm.predicate import Conjunction, Predicate, Query
+from repro.core.mlds import MLDS
+from repro.ingest import bulk_load, stream_university_records
+from repro.mbds.placement import HashShardPlacement
+from repro.obs import Observability
+from repro.wal.log import WalManager
+
+#: Every generated file hash-shards on its unique stream ID.
+SHARD_KEYS = {
+    "student": "ID",
+    "faculty": "ID",
+    "support_staff": "ID",
+    "course": "ID",
+    "department": "ID",
+}
+
+ENGINES = [("serial", None), ("threads", 2), ("process", 2)]
+
+
+def farm_fingerprint(mlds: MLDS) -> dict:
+    controller = mlds.kds.controller
+    return {
+        "snapshots": [b.store.snapshot() for b in controller.backends],
+        "distribution": controller.distribution(),
+        "indexes": controller.index_report(),
+    }
+
+
+def wal_deltas(obs: Observability) -> dict[str, float]:
+    registry = obs.metrics.as_dict()
+    return {
+        name: registry.get(f"wal.{name}", {}).get("value", 0.0)
+        for name in ("fsyncs", "commits", "group_commits")
+    }
+
+
+def run_incremental(
+    records: int, backends: int, wal_dir: Path, *, sync: bool = False
+) -> dict:
+    """One INSERT request — one WAL transaction — per record."""
+    obs = Observability()
+    wal = WalManager(wal_dir, backends, sync=sync)
+    mlds = MLDS(backend_count=backends, wal=wal, obs=obs)
+    start = time.perf_counter()
+    for record in stream_university_records(records):
+        mlds.kds.execute(InsertRequest(record))
+    wall_s = time.perf_counter() - start
+    counters = wal_deltas(obs)
+    mlds.kds.shutdown()
+    commits = counters["commits"]
+    return {
+        "mode": "incremental" + ("-sync" if sync else ""),
+        "records": records,
+        "wall_s": wall_s,
+        "records_per_s": records / max(wall_s, 1e-9),
+        "commits": commits,
+        "fsyncs": counters["fsyncs"],
+        "fsyncs_per_commit": counters["fsyncs"] / max(commits, 1.0),
+    }
+
+
+def run_bulk(
+    records: int,
+    backends: int,
+    wal_dir: Path,
+    batch: int,
+    *,
+    sync: bool = False,
+    group_window_ms: float | None = None,
+) -> dict:
+    """The streaming pipeline: shard, journal, apply, index per batch."""
+    obs = Observability()
+    wal = WalManager(wal_dir, backends, sync=sync, group_window_ms=group_window_ms)
+    mlds = MLDS(backend_count=backends, wal=wal, obs=obs)
+    start = time.perf_counter()
+    report = bulk_load(
+        mlds.kds, stream_university_records(records), batch_size=batch
+    )
+    wall_s = time.perf_counter() - start
+    mlds.kds.shutdown()
+    return {
+        "mode": "bulk" + ("-sync" if sync else ""),
+        "records": records,
+        "batch_size": batch,
+        "batches": report.batches,
+        "wall_s": wall_s,
+        "records_per_s": records / max(wall_s, 1e-9),
+        "commits": report.commits,
+        "fsyncs": report.fsyncs,
+        "fsyncs_per_commit": report.fsyncs_per_commit,
+        "group_commits": report.group_commits,
+    }
+
+
+def point_query(record_id: int) -> RetrieveRequest:
+    query = Query(
+        [Conjunction([Predicate("FILE", "=", "student"), Predicate("ID", "=", record_id)])]
+    )
+    return RetrieveRequest(query, (TargetItem("ID"),))
+
+
+def measure_latency(mlds: MLDS, ids: list[int]) -> dict:
+    samples = []
+    for record_id in ids:
+        start = time.perf_counter()
+        trace = mlds.kds.execute(point_query(record_id))
+        samples.append((time.perf_counter() - start) * 1000.0)
+        assert trace.result.count == 1, f"point query missed ID {record_id}"
+    return {
+        "queries": len(samples),
+        "p50_ms": statistics.median(samples),
+        "max_ms": max(samples),
+    }
+
+
+def run_latency_flatness(
+    base: int, scale: int, backends: int, batch: int, queries: int
+) -> dict:
+    """Load to *base*, measure, keep loading to *scale*, measure again."""
+    mlds = MLDS(
+        backend_count=backends, placement=HashShardPlacement(dict(SHARD_KEYS))
+    )
+    mlds.kds.controller.add_index("ID")
+    # Student IDs are the 0..9 residues of each 20-record cycle; sample
+    # inside the base prefix so both measurements run identical queries.
+    ids = [(i * (base // (queries * 20)) * 20) % base for i in range(queries)]
+    stream = stream_university_records(scale)
+    try:
+        bulk_load(mlds.kds, islice(stream, base), batch_size=batch)
+        at_base = measure_latency(mlds, ids)
+        bulk_load(mlds.kds, stream, batch_size=batch)
+        at_scale = measure_latency(mlds, ids)
+    finally:
+        mlds.kds.shutdown()
+    return {
+        "base_records": base,
+        "scale_records": scale,
+        "base_p50_ms": at_base["p50_ms"],
+        "scale_p50_ms": at_scale["p50_ms"],
+        "latency_ratio": at_scale["p50_ms"] / max(at_base["p50_ms"], 1e-9),
+    }
+
+
+def run_equivalence(records: int, backends: int, batch: int) -> list[dict]:
+    """Bulk == incremental post-load state under every engine."""
+    rows = []
+    for engine, workers in ENGINES:
+        fingerprints = {}
+        for mode in ("bulk", "incremental"):
+            mlds = MLDS(backend_count=backends, engine=engine, workers=workers)
+            mlds.kds.controller.add_index("ID")
+            if mode == "bulk":
+                bulk_load(
+                    mlds.kds, stream_university_records(records), batch_size=batch
+                )
+            else:
+                for record in stream_university_records(records):
+                    mlds.kds.execute(InsertRequest(record))
+            fingerprints[mode] = farm_fingerprint(mlds)
+            mlds.kds.shutdown()
+        rows.append(
+            {
+                "engine": engine,
+                "records": records,
+                "identical": fingerprints["bulk"] == fingerprints["incremental"],
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backends", type=int, default=4)
+    parser.add_argument("--records", type=int, default=100_000,
+                        help="record count for the throughput comparison")
+    parser.add_argument("--batch", type=int, default=10_000)
+    parser.add_argument("--base-records", type=int, default=100_000,
+                        help="small scale for the latency-flatness check")
+    parser.add_argument("--scale-records", type=int, default=1_000_000,
+                        help="large scale for the latency-flatness check")
+    parser.add_argument("--queries", type=int, default=40)
+    parser.add_argument("--sync-records", type=int, default=2_000,
+                        help="record count for the fsync-per-commit ledger")
+    parser.add_argument("--equivalence-records", type=int, default=1_500)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required bulk/incremental throughput ratio (0 disables)")
+    parser.add_argument("--max-latency-ratio", type=float, default=1.5,
+                        help="max tolerated query-latency growth at scale (0 disables)")
+    parser.add_argument("--skip-scale", action="store_true",
+                        help="skip the latency-flatness section")
+    parser.add_argument("--out", default="BENCH_ingest.json")
+    args = parser.parse_args(argv)
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-ingest-"))
+    try:
+        rows = [
+            run_incremental(args.records, args.backends, scratch / "incr"),
+            run_bulk(args.records, args.backends, scratch / "bulk", args.batch),
+            run_incremental(
+                args.sync_records, args.backends, scratch / "incr-sync", sync=True
+            ),
+            run_bulk(
+                args.sync_records,
+                args.backends,
+                scratch / "bulk-sync",
+                args.batch,
+                sync=True,
+                group_window_ms=0.0,
+            ),
+        ]
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    speedup = rows[1]["records_per_s"] / max(rows[0]["records_per_s"], 1e-9)
+
+    latency = None
+    if not args.skip_scale:
+        latency = run_latency_flatness(
+            args.base_records,
+            args.scale_records,
+            args.backends,
+            args.batch,
+            args.queries,
+        )
+
+    equivalence = run_equivalence(
+        args.equivalence_records, args.backends, args.batch
+    )
+
+    print("=== Bulk ingest vs one-INSERT-per-transaction ===")
+    header = (
+        f"{'mode':>16}  {'records':>9}  {'wall s':>8}  {'rec/s':>9}  "
+        f"{'commits':>7}  {'fsync/commit':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['mode']:>16}  {row['records']:>9}  {row['wall_s']:>8.3f}  "
+            f"{row['records_per_s']:>9.0f}  {row['commits']:>7.0f}  "
+            f"{row['fsyncs_per_commit']:>12.1f}"
+        )
+    print(f"bulk speedup: {speedup:.2f}x (gate >= {args.min_speedup}x)")
+    if latency is not None:
+        print(
+            f"point query p50: {latency['base_p50_ms']:.3f} ms at "
+            f"{latency['base_records']:,} -> {latency['scale_p50_ms']:.3f} ms at "
+            f"{latency['scale_records']:,} ({latency['latency_ratio']:.2f}x, "
+            f"gate <= {args.max_latency_ratio}x)"
+        )
+    for row in equivalence:
+        print(f"engine {row['engine']}: bulk == incremental: {row['identical']}")
+
+    report = {
+        "benchmark": "bulk_ingest",
+        "backends": args.backends,
+        "speedup": speedup,
+        "rows": rows,
+        "latency": latency,
+        "equivalence": equivalence,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failed = False
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(
+            f"FAIL: bulk speedup {speedup:.2f}x below --min-speedup "
+            f"{args.min_speedup}",
+            file=sys.stderr,
+        )
+        failed = True
+    if (
+        latency is not None
+        and args.max_latency_ratio > 0
+        and latency["latency_ratio"] > args.max_latency_ratio
+    ):
+        print(
+            f"FAIL: query latency grew {latency['latency_ratio']:.2f}x at scale, "
+            f"above --max-latency-ratio {args.max_latency_ratio}",
+            file=sys.stderr,
+        )
+        failed = True
+    for row in equivalence:
+        if not row["identical"]:
+            print(
+                f"FAIL: {row['engine']} engine bulk load differs from the "
+                "incremental farm",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

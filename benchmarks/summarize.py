@@ -1,0 +1,106 @@
+"""Aggregate ``BENCH_*.json`` reports into one markdown summary.
+
+Every benchmark in this directory writes a JSON report shaped roughly as
+``{"benchmark": <name>, <scalar settings...>, "rows": [<dict>...]}``.
+This tool walks a directory tree (default: the current directory), finds
+every ``BENCH_*.json``, and renders each as a markdown section — scalar
+fields as bullets, lists of dicts as tables — suitable for piping into
+``$GITHUB_STEP_SUMMARY``::
+
+    python benchmarks/summarize.py --root artifacts >> "$GITHUB_STEP_SUMMARY"
+
+The tool is read-only and dependency-free; unreadable or non-JSON files
+are reported inline rather than aborting the summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def fmt(value: object) -> str:
+    """Render one table cell / bullet value compactly."""
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    if isinstance(value, (list, dict)):
+        text = json.dumps(value, separators=(",", ":"))
+        if len(text) > 60:  # keep wide nested payloads from drowning the table
+            text = text[:57] + "..."
+        return f"`{text}`"
+    return str(value)
+
+
+def table(rows: list[dict]) -> list[str]:
+    """A markdown table over the union of row keys, in first-seen order."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(fmt(row.get(key, "")) for key in columns) + " |"
+        )
+    return lines
+
+
+def render_report(path: Path) -> list[str]:
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"### {path.name}", "", f"_unreadable: {exc}_", ""]
+    if not isinstance(report, dict):
+        return [f"### {path.name}", "", "_not a report object_", ""]
+
+    title = report.get("benchmark", path.stem)
+    lines = [f"### {title} (`{path.name}`)", ""]
+    scalars = [
+        (key, value)
+        for key, value in report.items()
+        if key != "benchmark" and not isinstance(value, (list, dict))
+    ]
+    if scalars:
+        lines.extend(f"- **{key}**: {fmt(value)}" for key, value in scalars)
+        lines.append("")
+    for key, value in report.items():
+        if isinstance(value, list) and value and all(
+            isinstance(item, dict) for item in value
+        ):
+            lines.append(f"**{key}**")
+            lines.append("")
+            lines.extend(table(value))
+            lines.append("")
+        elif isinstance(value, dict):
+            lines.append(f"**{key}**")
+            lines.append("")
+            lines.extend(table([value]))
+            lines.append("")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="directory tree to scan")
+    parser.add_argument("--title", default="Benchmark summary")
+    args = parser.parse_args(argv)
+
+    reports = sorted(Path(args.root).rglob("BENCH_*.json"))
+    lines = [f"## {args.title}", ""]
+    if not reports:
+        lines.append(f"_no BENCH_*.json reports under {args.root}_")
+    for path in reports:
+        lines.extend(render_report(path))
+    print("\n".join(lines).rstrip())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

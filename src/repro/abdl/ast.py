@@ -80,6 +80,34 @@ class InsertRequest(Request):
 
 
 @dataclass(frozen=True)
+class BulkInsertRequest(Request):
+    """``BULK-INSERT`` — add a batch of records as one journaled unit.
+
+    A first-class request kind rather than N :class:`InsertRequest`\\ s:
+    the WAL journals the whole batch as a single record (one append, one
+    replay), the store applies it with deferred index maintenance, and
+    recovery treats the batch atomically — it is either fully applied or
+    not at all, never torn.  All records in one request are bound for the
+    same backend; the controller routes a loader batch into per-backend
+    ``BulkInsertRequest``\\ s before journaling.
+    """
+
+    records: tuple[Record, ...]
+
+    operation = "BULK-INSERT"
+
+    def __init__(self, records: Sequence[Record]) -> None:
+        object.__setattr__(self, "records", tuple(records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self) -> str:
+        body = ", ".join(record.render() for record in self.records)
+        return f"BULK-INSERT [{body}]"
+
+
+@dataclass(frozen=True)
 class DeleteRequest(Request):
     """``DELETE query`` — remove every record satisfying the query."""
 
@@ -250,6 +278,7 @@ class Transaction:
 
 AnyRequest = Union[
     InsertRequest,
+    BulkInsertRequest,
     DeleteRequest,
     UpdateRequest,
     RetrieveRequest,

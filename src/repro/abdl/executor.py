@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.abdl.aggregates import evaluate_aggregate, group_records
 from repro.abdl.ast import (
+    BulkInsertRequest,
     DeleteRequest,
     InsertRequest,
     Request,
@@ -58,6 +59,8 @@ class Executor:
         """Execute one request and return its result."""
         if isinstance(request, InsertRequest):
             return self._insert(request)
+        if isinstance(request, BulkInsertRequest):
+            return self._bulk_insert(request)
         if isinstance(request, DeleteRequest):
             return self._delete(request)
         if isinstance(request, UpdateRequest):
@@ -77,6 +80,10 @@ class Executor:
     def _insert(self, request: InsertRequest) -> RequestResult:
         self.store.insert(request.record.copy())
         return RequestResult("INSERT", count=1)
+
+    def _bulk_insert(self, request: BulkInsertRequest) -> RequestResult:
+        self.store.bulk_insert([record.copy() for record in request.records])
+        return RequestResult("BULK-INSERT", count=len(request.records))
 
     def _delete(self, request: DeleteRequest) -> RequestResult:
         deleted = self.store.delete(request.query)

@@ -264,6 +264,16 @@ class ClusteredStore(ABStore):
 
     def insert(self, record: Record) -> None:
         super().insert(record)
+        self._cluster_add(record)
+
+    def bulk_insert(self, records) -> int:
+        batch = list(records)
+        count = super().bulk_insert(batch)
+        for record in batch:
+            self._cluster_add(record)
+        return count
+
+    def _cluster_add(self, record: Record) -> None:
         file_name = record.file_name or ""
         key = self.directory.cluster_key(record)
         self._clusters.setdefault(file_name, {}).setdefault(key, []).append(record)

@@ -106,7 +106,15 @@ EMPTY_DIGEST = AttributeIndexDigest()
 class AttributeIndex:
     """One (file, attribute) index: hash buckets plus sorted key arrays."""
 
-    __slots__ = ("buckets", "numeric", "strings", "nulls", "nans", "entries")
+    __slots__ = (
+        "buckets",
+        "numeric",
+        "strings",
+        "nulls",
+        "nans",
+        "entries",
+        "_dirty",
+    )
 
     def __init__(self) -> None:
         #: value -> [(sequence, record), ...] in per-file insertion order.
@@ -116,6 +124,8 @@ class AttributeIndex:
         self.nulls = 0
         self.nans = 0
         self.entries = 0
+        #: True while deferred adds have appended unsorted keys.
+        self._dirty = False
 
     def add(self, value: Value, seq: int, record: "Record") -> None:
         """Index *record* under *value* (seq is its per-file insertion rank)."""
@@ -137,6 +147,42 @@ class AttributeIndex:
         elif is_nan(value):
             self.nans += 1
         self.entries += 1
+
+    def add_deferred(self, value: Value, seq: int, record: "Record") -> None:
+        """Index *record* without maintaining sorted order (bulk load).
+
+        New keys are appended to the sorted arrays unsorted; a single
+        :meth:`finalize` sorts them once per batch.  Bucket contents,
+        bucket creation order, and the null/NaN counters are maintained
+        exactly as :meth:`add` would — and because distinct bucket keys
+        within one order domain are totally ordered (values that compare
+        equal hash to the same bucket), one terminal sort reproduces the
+        bisect-insert arrays bit-identically.
+        """
+        bucket = self.buckets.get(value)
+        if bucket is None:
+            self.buckets[value] = [(seq, record)]
+            domain = order_domain(value)
+            if domain == "num":
+                self.numeric.append(value)
+                self._dirty = True
+            elif domain == "str":
+                self.strings.append(value)
+                self._dirty = True
+        else:
+            bucket.append((seq, record))
+        if value is None:
+            self.nulls += 1
+        elif is_nan(value):
+            self.nans += 1
+        self.entries += 1
+
+    def finalize(self) -> None:
+        """Sort the key arrays after a run of deferred adds (idempotent)."""
+        if self._dirty:
+            self.numeric.sort()  # type: ignore[type-var]
+            self.strings.sort()  # type: ignore[type-var]
+            self._dirty = False
 
     def equal_bucket(self, value: Value) -> Sequence[tuple[int, "Record"]]:
         """The (seq, record) entries whose key equals *value* (may be empty)."""

@@ -55,7 +55,15 @@ class Record:
     @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[str, Value]], text: str = "") -> "Record":
         """Build a record from ``(attribute, value)`` tuples."""
-        return cls((Keyword(a, v) for a, v in pairs), text=text)
+        record = cls.__new__(cls)
+        record._order = []
+        record._index = {}
+        record.text = text
+        for attribute, value in pairs:
+            if attribute not in record._index:
+                record._order.append(attribute)
+            record._index[attribute] = value
+        return record
 
     # -- mapping-style access -------------------------------------------------
 
@@ -114,7 +122,11 @@ class Record:
 
     def copy(self) -> "Record":
         """Return an independent copy of this record."""
-        return Record(self.keywords(), text=self.text)
+        twin = Record.__new__(Record)
+        twin._order = list(self._order)
+        twin._index = dict(self._index)
+        twin.text = self.text
+        return twin
 
     # -- dunder helpers -------------------------------------------------------
 

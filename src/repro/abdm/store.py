@@ -267,6 +267,17 @@ class ABStore:
             if attribute in record:
                 table[attribute].add(record.get(attribute), seq, record)
 
+    def _index_add_deferred(self, file_name: str, record: Record) -> None:
+        """Like :meth:`_index_add` but defers sorted-array maintenance."""
+        table = self._indexes.setdefault(
+            file_name, {attribute: AttributeIndex() for attribute in self._indexed}
+        )
+        seq = self._index_seq.get(file_name, 0)
+        self._index_seq[file_name] = seq + 1
+        for attribute in self._indexed:
+            if attribute in record:
+                table[attribute].add_deferred(record.get(attribute), seq, record)
+
     def index_digest(
         self, file_name: str, attribute: str
     ) -> Optional[AttributeIndexDigest]:
@@ -374,6 +385,38 @@ class ABStore:
             self._index_add(name, record)
         self._bump_epoch(name)
         self.stats.records_touched += 1
+
+    def bulk_insert(self, records: Iterable[Record]) -> int:
+        """Insert a batch with collect-then-sort-once index maintenance.
+
+        Equivalent to inserting each record in order, except that sorted
+        index arrays are finalized once per (file, attribute) pair at the
+        end of the batch instead of bisect-inserted per record, and each
+        touched file's mutation epoch is bumped once.  The batch is
+        validated up front so a bad record leaves the store untouched —
+        a bulk insert is never partially applied.
+        """
+        batch = list(records)
+        for record in batch:
+            if record.file_name is None:
+                raise ExecutionError("record has no FILE keyword; cannot be stored")
+        touched: dict[str, None] = {}
+        for record in batch:
+            name = record.file_name
+            assert name is not None
+            self.file(name).insert(record)
+            if self._indexed:
+                self._index_add_deferred(name, record)
+            touched[name] = None
+        for name in touched:
+            if self._indexed:
+                table = self._indexes.get(name)
+                if table is not None:
+                    for index in table.values():
+                        index.finalize()
+            self._bump_epoch(name)
+        self.stats.records_touched += len(batch)
+        return len(batch)
 
     def _candidate_files(self, query: Query) -> Iterable[ABFile]:
         pinned = query.file_names()

@@ -46,6 +46,8 @@ dot-commands:
   .exec <path>               run a statement file through the open session
   .save <path>               snapshot the whole system to a JSON file
   .load <path>               replace the system with a snapshot
+  .ingest <n> [batch]        bulk-load n scaled University records (batched
+                             BULK-INSERT journaling + deferred index builds)
   .checkpoint                checkpoint the WAL (snapshot + truncate the log)
   .recover <wal-dir>         replace the system with one recovered from a WAL
   .stats                     dump the metrics registry (counters/gauges/histograms)
@@ -163,6 +165,24 @@ class MLDSShell:
             self.mlds = load_mlds(args[0], obs=self.mlds.obs)
             self.session = None
             return f"loaded {args[0]} ({len(self.mlds.database_names())} databases)"
+        if command == ".ingest":
+            if not args or len(args) > 2:
+                return "usage: .ingest <records> [batch-size]"
+            from repro.ingest import bulk_load, stream_university_records
+
+            try:
+                count = int(args[0])
+                batch = int(args[1]) if len(args) == 2 else 10_000
+            except ValueError:
+                return "usage: .ingest <records> [batch-size]"
+            if count < 1 or batch < 1:
+                return "usage: .ingest <records> [batch-size]"
+            report = bulk_load(
+                self.mlds.kds,
+                stream_university_records(count),
+                batch_size=batch,
+            )
+            return _ingest_summary("ingested", report, self.mlds.kds)
         if command == ".checkpoint":
             if args:
                 return "usage: .checkpoint"
@@ -338,6 +358,17 @@ class MLDSShell:
                 stdout.write(output + "\n")
 
 
+def _ingest_summary(verb: str, report, kds) -> str:
+    """One-line load report; WAL figures only when metrics observed them."""
+    line = (
+        f"{verb} {report.records} records in {report.batches} "
+        f"batch(es): {report.records_per_second:,.0f} records/s"
+    )
+    if kds.controller.wal is not None and kds.obs.enabled:
+        line += f", {report.commits} commit(s), {report.fsyncs} fsync(s)"
+    return line
+
+
 def _render_codasyl_result(result: StatementResult) -> str:
     lines = [f"{result.status.value}"]
     if result.dbkey:
@@ -421,6 +452,31 @@ def build_parser() -> "argparse.ArgumentParser":
         "--no-wal",
         action="store_true",
         help="ignore --wal-dir and run without journaling (volatile session)",
+    )
+    parser.add_argument(
+        "--group-window-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="enable WAL group commit: concurrent committers arriving within "
+        "MS milliseconds share one commit flush+fsync (0 groups only what "
+        "arrives while a flush is running; requires --wal-dir)",
+    )
+    parser.add_argument(
+        "--bulk-load",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bulk-load N scaled University records through the streaming "
+        "ingest pipeline before the shell starts (batched BULK-INSERT "
+        "journaling, deferred index builds)",
+    )
+    parser.add_argument(
+        "--bulk-batch",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="records per ingest batch for --bulk-load and .ingest (default 10000)",
     )
     parser.add_argument(
         "--recover",
@@ -545,6 +601,15 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
         except ValueError as exc:
             parser.error(str(exc))
     wal_dir = None if args.no_wal else args.wal_dir
+    wal_arg = wal_dir
+    if wal_dir is not None and args.group_window_ms is not None:
+        from pathlib import Path as _Path
+
+        from repro.wal.log import WalManager
+
+        wal_arg = WalManager(
+            _Path(wal_dir), args.backends, group_window_ms=args.group_window_ms
+        )
     placement = None
     if args.placement == "least-loaded":
         from repro.mbds.placement import LeastLoadedPlacement
@@ -580,7 +645,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
                 workers=args.workers,
                 pruning=args.prune,
                 placement=placement,
-                wal=wal_dir,
+                wal=wal_arg,
                 obs=obs,
             )
     except ValueError as exc:
@@ -595,6 +660,17 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
 
         load_university(mlds)
         print("loaded the University demo database")
+    if args.bulk_load:
+        if args.bulk_load < 1 or args.bulk_batch < 1:
+            parser.error("--bulk-load and --bulk-batch must be positive")
+        from repro.ingest import bulk_load, stream_university_records
+
+        report = bulk_load(
+            mlds.kds,
+            stream_university_records(args.bulk_load),
+            batch_size=args.bulk_batch,
+        )
+        print(_ingest_summary("bulk-loaded", report, mlds.kds))
     if args.serve:
         import asyncio
 

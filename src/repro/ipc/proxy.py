@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.obs.trace import Span
 
 #: Mutating request operation names (mirrors the WAL's journaled set).
-_MUTATING_OPS = ("INSERT", "DELETE", "UPDATE")
+_MUTATING_OPS = ("INSERT", "BULK-INSERT", "DELETE", "UPDATE")
 
 
 def _spawn_context() -> multiprocessing.context.BaseContext:
@@ -87,6 +87,16 @@ class ProcessStore:
         self._backend._call(
             {"cmd": "store_insert", "record": codec.encode_record(record)}
         )
+
+    def bulk_insert(self, records: Sequence["Record"]) -> int:
+        self._backend._summary_cache = None
+        reply = self._backend._call(
+            {
+                "cmd": "store_bulk_insert",
+                "records": [codec.encode_record(r) for r in records],
+            }
+        )
+        return reply["count"]
 
     def count(self, file_name: Optional[str] = None) -> int:
         reply = self._backend._call({"cmd": "store_count", "file": file_name})

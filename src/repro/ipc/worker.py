@@ -203,6 +203,11 @@ class _Worker:
         if cmd == "store_insert":
             backend.store.insert(codec.decode_record(message["record"]))
             return {"ok": True}
+        if cmd == "store_bulk_insert":
+            count = backend.store.bulk_insert(
+                [codec.decode_record(r) for r in message["records"]]
+            )
+            return {"count": count}
         if cmd == "store_count":
             return {"count": backend.store.count(message.get("file"))}
         if cmd == "store_snapshot":

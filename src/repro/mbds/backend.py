@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.abdl.ast import (
+    BulkInsertRequest,
     DeleteRequest,
     InsertRequest,
     Request,
@@ -54,7 +55,7 @@ StoreFactory = Callable[[], ABStore]
 
 #: Request types that can change what a backend's slice contains (and so
 #: invalidate its cached content summary).
-_MUTATING_REQUESTS = (InsertRequest, DeleteRequest, UpdateRequest)
+_MUTATING_REQUESTS = (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
 
 
 @dataclass
@@ -213,6 +214,11 @@ class Backend:
         if isinstance(request, InsertRequest):
             name = request.record.file_name
             self._summaries.invalidate([name] if name else None)
+        elif isinstance(request, BulkInsertRequest):
+            # One invalidation per touched file for the whole batch, not
+            # one per record — the per-batch summary discipline.
+            names = {record.file_name for record in request.records}
+            self._summaries.invalidate(None if None in names else sorted(names))  # type: ignore[arg-type]
         else:
             query = getattr(request, "query", None)
             self._summaries.invalidate(
@@ -232,6 +238,11 @@ class Backend:
             self._invalidate_for(request)
         if isinstance(request, InsertRequest):
             elapsed = self.timing.backend_insert_ms()
+        elif isinstance(request, BulkInsertRequest):
+            # Simulated cost stays per-record — the bulk path saves real
+            # journaling/fsync work, not modeled disk work — so simulated
+            # totals remain engine- and path-independent.
+            elapsed = self.timing.backend_insert_ms() * len(request.records)
         else:
             selected = result.count
             elapsed = self.timing.backend_scan_ms(examined, selected)

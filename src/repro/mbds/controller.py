@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.abdl.ast import (
+    BulkInsertRequest,
     DeleteRequest,
     InsertRequest,
     Request,
@@ -69,11 +70,12 @@ _OPERATION_NAMES = {
     DeleteRequest: "DELETE",
     UpdateRequest: "UPDATE",
     InsertRequest: "INSERT",
+    BulkInsertRequest: "BULK-INSERT",
 }
 
 
 #: Request types that mutate backend stores (and so must be journaled).
-_MUTATING_REQUESTS = (InsertRequest, DeleteRequest, UpdateRequest)
+_MUTATING_REQUESTS = (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
 
 
 @dataclass
@@ -198,6 +200,8 @@ class BackendController:
         """
         if isinstance(request, InsertRequest):
             return self._execute_insert(request, label or PHASE_INSERT, session)
+        if isinstance(request, BulkInsertRequest):
+            return self._execute_bulk_insert(request, label or PHASE_INSERT, session)
         return self._execute_broadcast(request, label or PHASE_BROADCAST, session)
 
     def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
@@ -308,6 +312,109 @@ class BackendController:
             per_backend_ms=[backend_result.elapsed_ms],
             wall_ms=wall_ms,
             per_backend_wall_ms=[backend_result.wall_ms],
+            phases=[phase],
+        )
+
+    def _journal_bulk(
+        self,
+        shards: Sequence[BulkInsertRequest],
+        targets: Sequence[Backend],
+        session: Optional[KernelSession] = None,
+    ) -> tuple[Optional[Callable[[], None]], Optional[Callable[[], None]]]:
+        """Journal one per-backend bulk shard per target, as :meth:`_journal`.
+
+        Each target backend receives exactly the records routed to it as a
+        single BULK-INSERT log record — one journal line per backend per
+        batch, instead of one per record.  The transaction cases (open
+        session transaction / owned auto-commit / legacy slot) mirror
+        :meth:`_journal` exactly.
+        """
+        if self.wal is None:
+            return None, None
+        if session is not None:
+            if session.wal_txn is not None:
+                for backend, shard in zip(targets, shards):
+                    self.wal.log_bulk(backend.backend_id, shard, txn=session.wal_txn)
+                return None, None
+            txn = self.wal.begin(owner=session.owner)
+            for backend, shard in zip(targets, shards):
+                self.wal.log_bulk(backend.backend_id, shard, txn=txn)
+            return (
+                lambda: self.wal.commit(txn=txn),
+                lambda: self.wal.abort(txn=txn),
+            )
+        auto = not self.wal.in_transaction
+        if auto:
+            self.wal.begin()
+        for backend, shard in zip(targets, shards):
+            self.wal.log_bulk(backend.backend_id, shard)
+        if auto:
+            return lambda: self.wal.commit(self.distribution()), self.wal.abort
+        return None, None
+
+    def _execute_bulk_insert(
+        self,
+        request: BulkInsertRequest,
+        label: str,
+        session: Optional[KernelSession] = None,
+    ) -> ExecutionTrace:
+        """Route a record batch, journal one shard per backend, apply once.
+
+        The batch is partitioned by the placement policy (each record goes
+        where a one-at-a-time INSERT would have put it), journaled as one
+        BULK-INSERT record per target backend, and applied with a single
+        store call per backend.  Simulated time charges
+        ``backend_insert_ms() * shard_size`` on each backend — the same
+        total the incremental path would — so bulk loading changes wall
+        clock and fsync counts, never simulated response accounting.
+        """
+        start = time.perf_counter()
+        if not request.records:
+            return ExecutionTrace(request, _empty_result(request), ResponseTime())
+        groups: dict[int, list[Record]] = {}
+        with self.obs.tracer.span("bulk.route") as span:
+            with self.placement_lock:
+                for record in request.records:
+                    index = self.placement.place(record, self.backend_count)
+                    groups.setdefault(index, []).append(record)
+            if span:
+                span.record(records=len(request.records), shards=len(groups))
+        if session is not None and session.in_transaction:
+            for index, records in groups.items():
+                for record in records:
+                    session.placed.append((record.file_name, index))
+        indices = sorted(groups)
+        targets = [self.backends[i] for i in indices]
+        shards = [BulkInsertRequest(groups[i]) for i in indices]
+        commit, abort = self._journal_bulk(shards, targets, session)
+        # The apply span covers store mutation AND the deferred index
+        # finalize (sort-once), which runs inside each backend's store.
+        with self.obs.tracer.span("bulk.apply"):
+            partials = self._apply_journaled(
+                lambda: self.engine.run_distinct(targets, shards, label),
+                abort,
+            )
+        if commit is not None:
+            commit()
+        merged = _merge(request, partials)
+        per_backend_ms = [0.0] * self.backend_count
+        per_backend_wall_ms = [0.0] * self.backend_count
+        for partial in partials:
+            per_backend_ms[partial.backend_id] = partial.elapsed_ms
+            per_backend_wall_ms[partial.backend_id] = partial.wall_ms
+        slowest = max((p.elapsed_ms for p in partials), default=0.0)
+        response = ResponseTime()
+        response.add(slowest, self.timing.controller_ms(0))
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        self._account(label, partials)
+        phase = BroadcastPhase(label, per_backend_ms, per_backend_wall_ms)
+        return ExecutionTrace(
+            request,
+            merged,
+            response,
+            per_backend_ms=per_backend_ms,
+            wall_ms=wall_ms,
+            per_backend_wall_ms=per_backend_wall_ms,
             phases=[phase],
         )
 

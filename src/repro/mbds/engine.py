@@ -119,6 +119,23 @@ class ExecutionEngine:
         """
         raise NotImplementedError
 
+    def run_distinct(
+        self,
+        backends: Sequence["Backend"],
+        requests: Sequence["Request"],
+        label: str = PHASE_BROADCAST,
+    ) -> list["BackendResult"]:
+        """Execute ``requests[i]`` on ``backends[i]``; results in order.
+
+        The distinct-request sibling of :meth:`run`, used by bulk ingest:
+        each target backend applies its *own* batch, concurrently under
+        the pooled engines.  The default runs them serially.
+        """
+        return [
+            self.execute_one(backend, request, label)
+            for backend, request in zip(backends, requests)
+        ]
+
     def execute_one(
         self,
         backend: "Backend",
@@ -200,6 +217,22 @@ class ThreadPoolEngine(ExecutionEngine):
         futures = [
             pool.submit(self.execute_one, backend, request, label, parent)
             for backend in backends
+        ]
+        return [future.result() for future in futures]
+
+    def run_distinct(
+        self,
+        backends: Sequence["Backend"],
+        requests: Sequence["Request"],
+        label: str = PHASE_BROADCAST,
+    ) -> list["BackendResult"]:
+        if len(backends) <= 1:
+            return super().run_distinct(backends, requests, label)
+        parent = self.obs.tracer.current
+        pool = self._ensure_pool(len(backends))
+        futures = [
+            pool.submit(self.execute_one, backend, request, label, parent)
+            for backend, request in zip(backends, requests)
         ]
         return [future.result() for future in futures]
 
@@ -290,8 +323,27 @@ class ProcessPoolEngine(ExecutionEngine):
         request: "Request",
         label: str = PHASE_BROADCAST,
     ) -> list["BackendResult"]:
+        return self._dispatch(backends, [request] * len(backends), label)
+
+    def run_distinct(
+        self,
+        backends: Sequence["Backend"],
+        requests: Sequence["Request"],
+        label: str = PHASE_BROADCAST,
+    ) -> list["BackendResult"]:
+        return self._dispatch(backends, list(requests), label)
+
+    def _dispatch(
+        self,
+        backends: Sequence["Backend"],
+        requests: Sequence["Request"],
+        label: str,
+    ) -> list["BackendResult"]:
         if len(backends) <= 1:
-            return [self.execute_one(backend, request, label) for backend in backends]
+            return [
+                self.execute_one(backend, request, label)
+                for backend, request in zip(backends, requests)
+            ]
         tracer = self.obs.tracer
         parent = tracer.current if tracer.enabled else None
         limit = self.workers or len(backends)
@@ -300,8 +352,9 @@ class ProcessPoolEngine(ExecutionEngine):
             try:
                 for start in range(0, len(backends), limit):
                     chunk = backends[start : start + limit]
+                    chunk_requests = requests[start : start + limit]
                     spans: list[Optional["Span"]] = []
-                    for backend in chunk:
+                    for backend, request in zip(chunk, chunk_requests):
                         spans.append(
                             tracer.open(f"backend[{backend.backend_id}].{label}", parent)
                             if tracer.enabled

@@ -22,6 +22,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro.abdl.ast import (
     ALL_ATTRIBUTES,
+    BulkInsertRequest,
     DeleteRequest,
     InsertRequest,
     Request,
@@ -314,6 +315,9 @@ class KernelDatabaseSystem:
         if isinstance(request, InsertRequest):
             name = request.record.file_name
             files = [name] if name is not None else None
+        elif isinstance(request, BulkInsertRequest):
+            names = {record.file_name for record in request.records}
+            files = sorted(names) if None not in names else None  # type: ignore[type-var]
         else:
             pinned = affected_files(request.query)  # type: ignore[attr-defined]
             files = sorted(pinned) if pinned is not None else None
@@ -338,7 +342,9 @@ class KernelDatabaseSystem:
         transaction, locks accumulate until commit/abort (2PL).
         """
         release_after = not session.in_transaction
-        mutating = isinstance(request, (InsertRequest, DeleteRequest, UpdateRequest))
+        mutating = isinstance(
+            request, (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
+        )
         try:
             self.locks.acquire(
                 session.owner, lock_items(request), session.lock_timeout
@@ -514,7 +520,9 @@ class KernelDatabaseSystem:
         boundary), unless the caller already opened one explicitly.
         """
         mutating = any(
-            isinstance(request, (InsertRequest, DeleteRequest, UpdateRequest))
+            isinstance(
+                request, (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
+            )
             for request in transaction
         )
         if mutating and self.wal is not None and not self.in_transaction:
@@ -639,6 +647,23 @@ class KernelDatabaseSystem:
         )
 
     # -- convenience -------------------------------------------------------------
+
+    def bulk_insert(
+        self,
+        records: Sequence[Record],
+        session: Optional[KernelSession] = None,
+    ) -> ExecutionTrace:
+        """Insert a record batch as one journaled BULK-INSERT request.
+
+        The batch journals as one WAL record per target backend and
+        applies with one store call per backend, while simulated time,
+        placement, and the resulting store state are identical to
+        inserting the records one request at a time.  With a *session*,
+        the batch runs under kernel concurrency control exactly like any
+        other mutating request (file locks, undo capture, commit-order
+        stamping).
+        """
+        return self.execute(BulkInsertRequest(records), session=session)
 
     def retrieve_records(self, request: RetrieveRequest) -> list[Record]:
         """Execute a retrieval and return the projected records."""

@@ -56,6 +56,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.abdl.ast import (
+    BulkInsertRequest,
     DeleteRequest,
     InsertRequest,
     Request,
@@ -138,6 +139,13 @@ def lock_items(request: Request) -> List[LockItem]:
         if file_name is None:
             return [(GLOBAL_RESOURCE, _M.X)]
         return [(GLOBAL_RESOURCE, _M.IX), (file_name, _M.X)]
+    if isinstance(request, BulkInsertRequest):
+        files = {record.file_name for record in request.records}
+        if None in files:
+            return [(GLOBAL_RESOURCE, _M.X)]
+        return [(GLOBAL_RESOURCE, _M.IX)] + [
+            (f, _M.X) for f in sorted(files)  # type: ignore[type-var]
+        ]
     if isinstance(request, (DeleteRequest, UpdateRequest)):
         files = affected_files(request.query)
         if files is None:

@@ -68,6 +68,10 @@ class RoundRobinPlacement:
         if request.operation == "INSERT":
             file_name = request.record.file_name or ""
             self._counters[file_name] = self._counters.get(file_name, 0) + 1
+        elif request.operation == "BULK-INSERT":
+            for record in request.records:
+                file_name = record.file_name or ""
+                self._counters[file_name] = self._counters.get(file_name, 0) + 1
 
     def observe_abort(self, file_name: Optional[str], backend_id: int) -> None:
         # A session transaction's INSERT was rolled back: rewind the
@@ -113,6 +117,9 @@ class LeastLoadedPlacement:
         if request.operation == "INSERT":
             self._pad(backend_count)
             self._loads[backend_id] += 1
+        elif request.operation == "BULK-INSERT":
+            self._pad(backend_count)
+            self._loads[backend_id] += len(request.records)
 
     def observe_abort(self, file_name: Optional[str], backend_id: int) -> None:
         if backend_id < len(self._loads) and self._loads[backend_id] > 0:

@@ -198,9 +198,18 @@ def load_mlds(
     if len(snapshot["backends"]) != len(backends):
         raise MLDSError("snapshot backend count does not match")
     for backend, rows in zip(backends, snapshot["backends"]):
-        for row in rows:
-            pairs = [(attribute, value) for attribute, value in row["pairs"]]
-            backend.store.insert(Record.from_pairs(pairs, text=row.get("text", "")))
+        if not rows:
+            continue
+        # One bulk call per backend: indexes and clustering build
+        # collect-then-sort-once instead of per-record, with the exact
+        # store state the per-record path produced (see ABStore.bulk_insert).
+        backend.store.bulk_insert(
+            Record.from_pairs(
+                [(attribute, value) for attribute, value in row["pairs"]],
+                text=row.get("text", ""),
+            )
+            for row in rows
+        )
     placement_state = snapshot.get("placement")
     restored = mlds.kds.controller.placement
     kind = placement_state.get("kind") if placement_state else None

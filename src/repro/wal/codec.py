@@ -3,9 +3,11 @@
 The WAL stores each journaled operation as a JSON object rather than as
 rendered ABDL text: the textual form is lossy (``InsertRequest.render``
 drops the record's textual portion, and re-lexing strings would have to
-round-trip quoting).  The codec below is exact for the three mutating
-request kinds — INSERT, DELETE, UPDATE — over the kernel value domain
-(``int`` / ``float`` / ``str`` / null), all of which are JSON-native.
+round-trip quoting).  The codec below is exact for the four mutating
+request kinds — INSERT, BULK-INSERT, DELETE, UPDATE — over the kernel
+value domain (``int`` / ``float`` / ``str`` / null), all of which are
+JSON-native.  A BULK-INSERT journals N records as one entry: one append,
+one replay, atomically torn-or-whole like any other single WAL line.
 
 Retrievals are never journaled; asking the codec to encode one is a
 programming error and raises :class:`~repro.errors.WalError`.
@@ -14,6 +16,7 @@ programming error and raises :class:`~repro.errors.WalError`.
 from __future__ import annotations
 
 from repro.abdl.ast import (
+    BulkInsertRequest,
     DeleteRequest,
     InsertRequest,
     Modifier,
@@ -25,7 +28,7 @@ from repro.abdm.record import Record
 from repro.errors import WalError
 
 #: Request types the WAL journals (everything else is read-only).
-MUTATING_REQUESTS = (InsertRequest, DeleteRequest, UpdateRequest)
+MUTATING_REQUESTS = (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
 
 
 def is_mutating(request: Request) -> bool:
@@ -63,6 +66,17 @@ def encode_request(request: Request) -> dict:
                 "text": request.record.text,
             },
         }
+    if isinstance(request, BulkInsertRequest):
+        return {
+            "op": "BULK-INSERT",
+            "records": [
+                {
+                    "pairs": [[a, v] for a, v in record.pairs()],
+                    "text": record.text,
+                }
+                for record in request.records
+            ],
+        }
     if isinstance(request, DeleteRequest):
         return {"op": "DELETE", "query": encode_query(request.query)}
     if isinstance(request, UpdateRequest):
@@ -89,6 +103,16 @@ def decode_request(payload: dict) -> Request:
         record = payload["record"]
         pairs = [(attribute, value) for attribute, value in record["pairs"]]
         return InsertRequest(Record.from_pairs(pairs, text=record.get("text", "")))
+    if operation == "BULK-INSERT":
+        return BulkInsertRequest(
+            [
+                Record.from_pairs(
+                    [(attribute, value) for attribute, value in record["pairs"]],
+                    text=record.get("text", ""),
+                )
+                for record in payload["records"]
+            ]
+        )
     if operation == "DELETE":
         return DeleteRequest(decode_query(payload["query"]))
     if operation == "UPDATE":

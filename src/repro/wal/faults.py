@@ -39,6 +39,15 @@ class CrashPoint(enum.Enum):
     BEFORE_COMMIT = "before-commit"
     #: After the commit record is durable (the transaction is committed).
     AFTER_COMMIT = "after-commit"
+    #: Immediately before a bulk (batched-insert) record is appended.
+    BEFORE_BULK_APPEND = "before-bulk-append"
+    #: Immediately after a bulk record is appended (journaled, not applied).
+    AFTER_BULK_APPEND = "after-bulk-append"
+    #: Inside group commit, after commit records are staged, before the
+    #: leader flushes them (none of the group's commits reached disk).
+    BEFORE_GROUP_FSYNC = "before-group-fsync"
+    #: After the group's shared flush+fsync (every staged commit durable).
+    AFTER_GROUP_FSYNC = "after-group-fsync"
     #: At checkpoint start, before the snapshot is written.
     BEFORE_CHECKPOINT = "before-checkpoint"
     #: After the snapshot is durable, before the old log segments are dropped.

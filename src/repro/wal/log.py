@@ -9,8 +9,9 @@ Layout of a WAL directory (one per MLDS instance)::
     backend-001-000000.jsonl    ...
     checkpoint.mlds.json        last snapshot (written by checkpoint_mlds)
 
-Every mutating kernel request (INSERT / DELETE / UPDATE) is journaled to
-the log of each backend that will apply it **before** it is applied,
+Every mutating kernel request (INSERT / BULK-INSERT / DELETE / UPDATE)
+is journaled to the log of each backend that will apply it **before** it
+is applied,
 tagged with the surrounding transaction id and a per-backend monotonic
 sequence number.  Transaction boundaries live in the master log: the
 controller is MBDS's single master, so one ``commit`` record there is the
@@ -43,7 +44,7 @@ import time
 from pathlib import Path
 from typing import IO, Optional, Union
 
-from repro.abdl.ast import Request
+from repro.abdl.ast import BulkInsertRequest, Request
 from repro.errors import WalError
 from repro.obs import NULL_OBS
 from repro.wal.codec import encode_request, is_mutating
@@ -74,17 +75,23 @@ class _StreamWriter:
         self.obs = NULL_OBS
         self._handle: Optional[IO[str]] = None
 
-    def append(self, record: dict) -> None:
+    def append(self, record: dict, sync: Optional[bool] = None) -> None:
         if self._handle is None:
             self._handle = self.path.open("a", encoding="utf-8")
         self._handle.write(json.dumps(record, ensure_ascii=False) + "\n")
         self._handle.flush()
-        if self.sync:
+        if self.sync if sync is None else (sync and self.sync):
+            self._fsync()
+
+    def sync_now(self) -> None:
+        """One explicit fsync — lets a group of appends share a single sync."""
+        if self.sync and self._handle is not None:
             self._fsync()
 
     def _fsync(self) -> None:
-        assert self._handle is not None  # only called from append()
+        assert self._handle is not None  # only called with an open handle
         obs = self.obs
+        obs.metrics.inc("wal.fsyncs")
         if not obs.enabled:
             os.fsync(self._handle.fileno())
             return
@@ -97,6 +104,55 @@ class _StreamWriter:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+class _GroupBatch:
+    """One group-commit batch: commit records staged by concurrent
+    committers, written and fsynced together by the batch's leader."""
+
+    __slots__ = ("entries", "done", "error")
+
+    def __init__(self) -> None:
+        #: (commit record sans seq, txn id, owner) per staged committer.
+        self.entries: list[tuple[dict, int, Optional[str]]] = []
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+class _GroupCommitCoordinator:
+    """Batches concurrent committers into one shared flush+fsync.
+
+    The first committer to stage into an open batch becomes its *leader*:
+    it sleeps the tunable window (letting concurrent committers pile in),
+    seals the batch, and writes every staged commit record — assigning
+    master sequence numbers at write time, so they stay monotonic against
+    begin/abort records appended in between — with a single fsync at the
+    end.  Followers block on the batch's event; a leader failure poisons
+    the batch so every waiting committer re-raises instead of hanging on
+    a commit that never became durable.
+    """
+
+    def __init__(self, window_ms: float) -> None:
+        self.window = max(float(window_ms), 0.0) / 1000.0
+        self._lock = threading.Lock()
+        self._batch: Optional[_GroupBatch] = None
+
+    def join(self, entry: tuple[dict, int, Optional[str]]) -> tuple[_GroupBatch, bool]:
+        """Stage *entry* into the open batch; returns (batch, is_leader)."""
+        with self._lock:
+            batch = self._batch
+            leader = batch is None
+            if batch is None:
+                batch = _GroupBatch()
+                self._batch = batch
+            batch.entries.append(entry)
+            return batch, leader
+
+    def seal(self, batch: _GroupBatch) -> None:
+        """Close *batch* to new joiners (the leader is about to write)."""
+        with self._lock:
+            if self._batch is batch:
+                self._batch = None
 
 
 class WalManager:
@@ -128,6 +184,7 @@ class WalManager:
         backend_count: int,
         injector: Optional[FaultInjector] = None,
         sync: bool = False,
+        group_window_ms: Optional[float] = None,
     ) -> None:
         if backend_count < 1:
             raise WalError("a WAL needs at least one backend")
@@ -136,6 +193,14 @@ class WalManager:
         self.backend_count = backend_count
         self.injector = injector or FaultInjector()
         self.sync = sync
+        #: Group-commit coordinator, or None for the classic one-commit-
+        #: one-fsync path.  ``group_window_ms=0`` enables grouping with no
+        #: window wait (batching only what arrives while a flush runs).
+        self._group: Optional[_GroupCommitCoordinator] = (
+            _GroupCommitCoordinator(group_window_ms)
+            if group_window_ms is not None
+            else None
+        )
         #: Observability bundle; rebound by the controller that owns this
         #: WAL so journaling spans/metrics join the system-wide trace.
         self.obs = NULL_OBS
@@ -320,6 +385,48 @@ class WalManager:
             )
         return seq
 
+    def log_bulk(
+        self, backend_id: int, request: BulkInsertRequest, txn: Optional[int] = None
+    ) -> int:
+        """Journal a batch of inserts for *backend_id* as ONE WAL record.
+
+        The whole batch is a single JSON line in the backend's stream —
+        one append instead of N — and therefore atomically torn-or-whole
+        on crash: recovery either replays all of the batch's records or
+        none of them.  Fires the bulk-specific crash points so the crash
+        matrix can kill the machine around exactly this append.
+        """
+        if not is_mutating(request):
+            raise WalError("only mutating requests are journaled")
+        if not 0 <= backend_id < self.backend_count:
+            raise WalError(f"no backend {backend_id} in this WAL")
+        obs = self.obs
+        with obs.tracer.span("wal.bulk_append") as span:
+            start = time.perf_counter() if obs.enabled else 0.0
+            with self._mutex:
+                txn = self._resolve(txn, "journal under")
+                self.injector.fire(CrashPoint.BEFORE_BULK_APPEND)
+                seq = self._backend_seq[backend_id] + 1
+                self._backend_seq[backend_id] = seq
+                self._backends[backend_id].append(
+                    {"seq": seq, "txn": txn, "op": encode_request(request)}
+                )
+                self.injector.fire(CrashPoint.AFTER_BULK_APPEND)
+            if span:
+                span.record(
+                    backend=backend_id,
+                    seq=seq,
+                    txn=txn,
+                    records=len(request.records),
+                )
+        if obs.enabled:
+            obs.metrics.inc("wal.bulk_ops")
+            obs.metrics.inc("wal.bulk_records", len(request.records))
+            obs.metrics.observe(
+                "wal.append_ms", (time.perf_counter() - start) * 1000.0
+            )
+        return seq
+
     def commit(
         self, counts: Optional[list[int]] = None, txn: Optional[int] = None
     ) -> None:
@@ -333,6 +440,7 @@ class WalManager:
         stable) and recovery skips the checksum for those transactions.
         """
         obs = self.obs
+        staged: Optional[tuple[dict, int, Optional[str]]] = None
         with obs.tracer.span("wal.commit") as span:
             start = time.perf_counter() if obs.enabled else 0.0
             with self._mutex:
@@ -340,28 +448,77 @@ class WalManager:
                 if counts is not None and len(counts) != self.backend_count:
                     raise WalError("commit counts must cover every backend")
                 self.injector.fire(CrashPoint.BEFORE_COMMIT)
-                self._master_seq += 1
-                record = {"seq": self._master_seq, "type": "commit", "txn": txn}
+                record: dict = {"type": "commit", "txn": txn}
                 if counts is not None:
                     record["counts"] = list(counts)
                 owner = self._open[txn]
                 if owner is not None:
                     record["owner"] = owner
-                self._master.append(record)
+                if self._group is None:
+                    self._master_seq += 1
+                    self._master.append({"seq": self._master_seq, **record})
+                    if span:
+                        span.record(txn=txn)
+                    # Watermark semantics: the highest committed id.  Owned
+                    # transactions can commit out of id order, and checkpoints
+                    # (which require no open transactions) rely on every
+                    # id <= watermark being committed-or-aborted.
+                    self.last_committed_txn = max(self.last_committed_txn, txn)
+                    self._forget(txn, owner)
+                    self.injector.fire(CrashPoint.AFTER_COMMIT)
+                else:
+                    staged = (record, txn, owner)
+            if staged is not None:
+                # Group commit: stage outside the mutex (waiting with it
+                # held would deadlock every other session) and block until
+                # the batch leader makes this commit durable.
+                batch, leader = self._group.join(staged)
+                if leader:
+                    if self._group.window:
+                        time.sleep(self._group.window)
+                    self._group.seal(batch)
+                    self._flush_group(batch)
+                batch.done.wait()
+                if batch.error is not None:
+                    raise batch.error
                 if span:
-                    span.record(txn=txn)
-                # Watermark semantics: the highest committed id.  Owned
-                # transactions can commit out of id order, and checkpoints
-                # (which require no open transactions) rely on every
-                # id <= watermark being committed-or-aborted.
-                self.last_committed_txn = max(self.last_committed_txn, txn)
-                self._forget(txn, owner)
-                self.injector.fire(CrashPoint.AFTER_COMMIT)
+                    span.record(txn=txn, group_size=len(batch.entries))
         if obs.enabled:
             obs.metrics.inc("wal.commits")
             obs.metrics.observe(
                 "wal.commit_ms", (time.perf_counter() - start) * 1000.0
             )
+
+    def _flush_group(self, batch: _GroupBatch) -> None:
+        """Leader-side group flush: write every staged commit, sync once.
+
+        Master sequence numbers are assigned here, at write time, so they
+        stay monotonic against begin/abort records appended between stage
+        and flush.  Any failure — including an injected crash — poisons
+        the batch so every waiting follower re-raises it: after a crash
+        the machine is dead for leader and followers alike.
+        """
+        try:
+            with self._mutex:
+                self.injector.fire(CrashPoint.BEFORE_GROUP_FSYNC)
+                for record, _txn, _owner in batch.entries:
+                    self._master_seq += 1
+                    self._master.append(
+                        {"seq": self._master_seq, **record}, sync=False
+                    )
+                self._master.sync_now()
+                self.injector.fire(CrashPoint.AFTER_GROUP_FSYNC)
+                for _record, txn, owner in batch.entries:
+                    self.last_committed_txn = max(self.last_committed_txn, txn)
+                    self._forget(txn, owner)
+                    self.injector.fire(CrashPoint.AFTER_COMMIT)
+            self.obs.metrics.inc("wal.group_commits")
+            self.obs.metrics.observe("wal.group_size", float(len(batch.entries)))
+        except BaseException as exc:
+            batch.error = exc
+            raise
+        finally:
+            batch.done.set()
 
     def abort(self, txn: Optional[int] = None) -> None:
         """Mark an open transaction discarded (recovery will skip its ops)."""

@@ -7,7 +7,13 @@ requests and canonical farm images with minimal ceremony.
 
 from __future__ import annotations
 
-from repro.abdl.ast import DeleteRequest, InsertRequest, Modifier, UpdateRequest
+from repro.abdl.ast import (
+    BulkInsertRequest,
+    DeleteRequest,
+    InsertRequest,
+    Modifier,
+    UpdateRequest,
+)
 from repro.abdm.predicate import Conjunction, Predicate, Query
 from repro.abdm.record import Record
 
@@ -21,6 +27,13 @@ def insert(file_name: str, text: str = "", **attrs) -> InsertRequest:
     """An INSERT of a record in *file_name* with keyword *attrs*."""
     pairs = [("FILE", file_name), *attrs.items()]
     return InsertRequest(Record.from_pairs(pairs, text=text))
+
+
+def bulk(file_name: str, values, attr: str = "a") -> BulkInsertRequest:
+    """A BULK-INSERT of one record per value in *values* (all ``attr=value``)."""
+    return BulkInsertRequest(
+        [Record.from_pairs([("FILE", file_name), (attr, v)]) for v in values]
+    )
 
 
 def delete(*predicates: tuple) -> DeleteRequest:

@@ -23,7 +23,7 @@ from repro.wal.log import WalManager
 from repro.wal.reader import read_wal
 from repro.wal.recovery import checkpoint_mlds, recover_mlds
 
-from tests.wal.conftest import delete, farm_image, insert, update
+from tests.wal.conftest import bulk, delete, farm_image, insert, update
 
 BACKENDS = 3
 
@@ -105,9 +105,13 @@ class TestOwnedTransactionLog:
 EXPECTED = {
     CrashPoint.BEFORE_LOG_APPEND: "pre",
     CrashPoint.AFTER_LOG_APPEND: "pre",
+    CrashPoint.BEFORE_BULK_APPEND: "pre",
+    CrashPoint.AFTER_BULK_APPEND: "pre",
     CrashPoint.BEFORE_APPLY: "pre",
     CrashPoint.AFTER_APPLY: "pre",
     CrashPoint.BEFORE_COMMIT: "pre",
+    CrashPoint.BEFORE_GROUP_FSYNC: "pre",
+    CrashPoint.AFTER_GROUP_FSYNC: "post",
     CrashPoint.AFTER_COMMIT: "post",
     CrashPoint.BEFORE_CHECKPOINT: "post",
     CrashPoint.AFTER_CHECKPOINT_SNAPSHOT: "post",
@@ -132,6 +136,7 @@ def writer_transaction(kds, session):
     with kds.session_transaction(session):
         kds.execute(insert("f", a=100), session=session)
         kds.execute(insert("f", a=101), session=session)
+        kds.execute(bulk("f", [200, 201, 202]), session=session)
         kds.execute(
             update(
                 Modifier("a", arithmetic="+", operand=1000),
@@ -163,7 +168,9 @@ def assert_no_marker(mlds):
 @pytest.mark.parametrize("point", CRASH_MATRIX, ids=lambda p: p.name)
 def test_recovery_never_replays_the_uncommitted_session(tmp_path, point):
     injector = FaultInjector()
-    wal = WalManager(tmp_path / "wal", BACKENDS, injector=injector)
+    # group_window_ms=0: commits go through the group-commit coordinator
+    # so the GROUP_FSYNC crash points fire (batching stays opportunistic).
+    wal = WalManager(tmp_path / "wal", BACKENDS, injector=injector, group_window_ms=0.0)
     mlds = MLDS(backend_count=BACKENDS, wal=wal)
     seed(mlds.kds)
 

@@ -19,7 +19,7 @@ from repro.wal.faults import CRASH_MATRIX, CrashPoint, FaultInjector, InjectedCr
 from repro.wal.log import WalManager
 from repro.wal.recovery import checkpoint_mlds, recover_mlds
 
-from tests.wal.conftest import delete, farm_image, insert, update
+from tests.wal.conftest import bulk, delete, farm_image, insert, update
 
 BACKENDS = 3
 
@@ -30,9 +30,13 @@ BACKENDS = 3
 EXPECTED = {
     CrashPoint.BEFORE_LOG_APPEND: "pre",
     CrashPoint.AFTER_LOG_APPEND: "pre",
+    CrashPoint.BEFORE_BULK_APPEND: "pre",
+    CrashPoint.AFTER_BULK_APPEND: "pre",
     CrashPoint.BEFORE_APPLY: "pre",
     CrashPoint.AFTER_APPLY: "pre",
     CrashPoint.BEFORE_COMMIT: "pre",
+    CrashPoint.BEFORE_GROUP_FSYNC: "pre",
+    CrashPoint.AFTER_GROUP_FSYNC: "post",
     CrashPoint.AFTER_COMMIT: "post",
     CrashPoint.BEFORE_CHECKPOINT: "post",
     CrashPoint.AFTER_CHECKPOINT_SNAPSHOT: "post",
@@ -54,10 +58,11 @@ def seed(kds):
 
 
 def crash_transaction(kds):
-    """Two routed inserts, a broadcast update, a broadcast delete."""
+    """Two routed inserts, a bulk insert, a broadcast update and delete."""
     with kds.transaction():
         kds.execute(insert("f", a=100))
         kds.execute(insert("f", a=101))
+        kds.execute(bulk("f", [200, 201, 202, 203]))
         kds.execute(update(Modifier("a", arithmetic="+", operand=1000), ("a", ">=", 4)))
         kds.execute(delete(("a", "=", 0)))
 
@@ -77,7 +82,10 @@ def crash_and_recover(tmp_path, point, engine, workers):
     """Run the scenario for one (point, engine) cell; return the images."""
     wal_dir = tmp_path / f"wal-{engine}"
     injector = FaultInjector()
-    wal = WalManager(wal_dir, BACKENDS, injector=injector)
+    # group_window_ms=0 routes every commit through the group-commit
+    # coordinator (batching only concurrent arrivals), so the
+    # BEFORE/AFTER_GROUP_FSYNC points fire even for this single committer.
+    wal = WalManager(wal_dir, BACKENDS, injector=injector, group_window_ms=0.0)
     mlds = MLDS(backend_count=BACKENDS, engine=engine, workers=workers, wal=wal)
     seed(mlds.kds)
 
