@@ -62,10 +62,27 @@ def render_report(path: Path) -> list[str]:
 
     title = report.get("benchmark", path.stem)
     lines = [f"### {title} (`{path.name}`)", ""]
+    # Unenforced gates render loudly: either an explicit skipped_reason,
+    # or any `*_gate_enforced: false` flag the report carries.
+    skips = []
+    if report.get("skipped_reason"):
+        skips.append(str(report["skipped_reason"]))
+    skips.extend(
+        f"`{key}` is false"
+        for key, value in report.items()
+        if key.endswith("_gate_enforced")
+        and value is False
+        and not report.get("skipped_reason")
+    )
+    for reason in skips:
+        lines.append(f"> ⏭ **SKIP** — {reason}")
+    if skips:
+        lines.append("")
     scalars = [
         (key, value)
         for key, value in report.items()
-        if key != "benchmark" and not isinstance(value, (list, dict))
+        if key not in ("benchmark", "skipped_reason")
+        and not isinstance(value, (list, dict))
     ]
     if scalars:
         lines.extend(f"- **{key}**: {fmt(value)}" for key, value in scalars)

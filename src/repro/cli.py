@@ -426,6 +426,16 @@ def build_parser() -> "argparse.ArgumentParser":
         help="pool size for --engine threads/process (default: one per backend)",
     )
     parser.add_argument(
+        "--ipc-codec",
+        choices=("binary", "tagged", "json"),
+        default="binary",
+        help="wire codec for --engine process worker pipes: 'binary' frames "
+        "C-speed marshal bodies (default), 'tagged' is the compact "
+        "pure-Python encoding with per-connection string interning, "
+        "'json' keeps the readable fallback (results are bit-identical "
+        "under all three)",
+    )
+    parser.add_argument(
         "--placement",
         choices=("round-robin", "least-loaded", "hash-shard"),
         default="round-robin",
@@ -477,6 +487,15 @@ def build_parser() -> "argparse.ArgumentParser":
         default=10_000,
         metavar="N",
         help="records per ingest batch for --bulk-load and .ingest (default 10000)",
+    )
+    parser.add_argument(
+        "--bulk-prefetch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="generate up to N ingest batches ahead of submission on a "
+        "producer thread, overlapping record generation with the "
+        "kernel's route/journal/apply work (default 0: inline)",
     )
     parser.add_argument(
         "--recover",
@@ -624,6 +643,13 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
         from repro.obs import Observability
 
         obs = Observability(tracing=args.trace, slow_ms=args.slow_ms)
+    engine_arg = args.engine
+    if args.engine == "process":
+        # Built here (not via the string spec) so --ipc-codec reaches the
+        # worker pipes; instances pass through make_engine unchanged.
+        from repro.mbds.engine import ProcessPoolEngine
+
+        engine_arg = ProcessPoolEngine(args.workers, ipc_codec=args.ipc_codec)
     try:
         if args.recover:
             if wal_dir is None:
@@ -632,7 +658,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
 
             mlds = recover_mlds(
                 wal_dir,
-                engine=args.engine,
+                engine=engine_arg,
                 workers=args.workers,
                 pruning=args.prune,
                 placement=placement,
@@ -641,7 +667,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
         else:
             mlds = MLDS(
                 backend_count=args.backends,
-                engine=args.engine,
+                engine=engine_arg,
                 workers=args.workers,
                 pruning=args.prune,
                 placement=placement,
@@ -663,12 +689,15 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
     if args.bulk_load:
         if args.bulk_load < 1 or args.bulk_batch < 1:
             parser.error("--bulk-load and --bulk-batch must be positive")
+        if args.bulk_prefetch < 0:
+            parser.error("--bulk-prefetch cannot be negative")
         from repro.ingest import bulk_load, stream_university_records
 
         report = bulk_load(
             mlds.kds,
             stream_university_records(args.bulk_load),
             batch_size=args.bulk_batch,
+            prefetch_batches=args.bulk_prefetch,
         )
         print(_ingest_summary("bulk-loaded", report, mlds.kds))
     if args.serve:

@@ -9,12 +9,18 @@ does the same for the handful of direct store accesses the upper layers
 make (``add_index``, ``all_records``, ``drop_file``, snapshot-style
 inspection), so ``backend.store.…`` keeps working too.
 
-Two details carry the engine contract:
+Three details carry the engine contract:
 
 * **Split-phase execution** — :meth:`ProcessBackend.start_execute` only
   sends; :meth:`ProcessBackend.finish_execute` receives.  The engine
   sends one request to every target worker before collecting any reply,
   which is what turns N CPU-bound scans into N concurrent processes.
+* **Request coalescing** — commands that need no immediate answer
+  (WAL replay during recovery) are buffered controller-side and shipped
+  as one batch frame, either when the buffer reaches
+  :data:`PIPELINE_LIMIT` or just before the next reply-requiring
+  command.  A million-op replay costs thousands of frames instead of a
+  round trip per op.
 * **Summary caching** — pruning consults summaries on every broadcast,
   so the proxy caches the last decoded summary and drops it whenever a
   mutating request (or replay, restore, direct store edit) goes through,
@@ -23,18 +29,21 @@ Two details carry the engine contract:
 
 Workers are daemonic: an abandoned controller (the crash-matrix tests
 kill systems mid-transaction without shutdown) cannot leak processes
-past interpreter exit.
+past interpreter exit.  A dead worker can also be *replaced*:
+:meth:`ProcessBackend.respawn` spawns a fresh process (fresh store,
+fresh transport, fresh interning state) for the same backend id, which
+is how the kernel heals a crashed farm from checkpoint + WAL state.
 """
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
 
 from repro import errors
 from repro.errors import ExecutionError, WorkerCrashed
 from repro.ipc import codec
+from repro.ipc.transport import DEFAULT_CODEC, PipeTransport, validate_codec
 from repro.ipc.worker import config_state, worker_main
 from repro.obs import NULL_OBS, ObsSpec, resolve_obs
 
@@ -49,6 +58,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 #: Mutating request operation names (mirrors the WAL's journaled set).
 _MUTATING_OPS = ("INSERT", "BULK-INSERT", "DELETE", "UPDATE")
+
+#: Deferred commands buffered per worker before a batch frame is forced.
+PIPELINE_LIMIT = 128
 
 
 def _spawn_context() -> multiprocessing.context.BaseContext:
@@ -122,33 +134,63 @@ class ProcessBackend:
         timing: "TimingModel",
         store_factory: Optional["StoreFactory"] = None,
         latency_scale: float = 0.0,
+        ipc_codec: str = DEFAULT_CODEC,
     ) -> None:
         self.backend_id = backend_id
         self.timing = timing
         self.latency_scale = latency_scale
+        self.ipc_codec = validate_codec(ipc_codec)
         self._engine = engine
         self._stopped = False
         self._summary_cache: Optional["BackendSummary"] = None
+        # Retained for respawn: a replacement worker must rebuild the
+        # same schema (store factory) under the same timing model.
+        self._store_factory = store_factory
         self._directory = self._template_directory(store_factory)
+        #: Deferred commands awaiting the next batch frame (see _defer).
+        self._pending: list[dict[str, Any]] = []
+        self._spawn()
+        self.store = ProcessStore(self)
+
+    def _spawn(self) -> None:
         context = _spawn_context()
-        self._requests: Any = context.SimpleQueue()
-        self._responses: Any = context.SimpleQueue()
+        parent_end, child_end = context.Pipe(duplex=True)
+        self._transport = PipeTransport(parent_end, self.ipc_codec)
         self._process = context.Process(
             target=worker_main,
             args=(
-                backend_id,
-                codec.encode_timing(timing),
-                store_factory,
-                latency_scale,
+                self.backend_id,
+                codec.encode_timing(self.timing),
+                self._store_factory,
+                self.latency_scale,
                 config_state(),
-                self._requests,
-                self._responses,
+                child_end,
+                self.ipc_codec,
             ),
             daemon=True,
-            name=f"mbds-backend-{backend_id}",
+            name=f"mbds-backend-{self.backend_id}",
         )
         self._process.start()
-        self.store = ProcessStore(self)
+        # The worker holds its end now; closing the parent's copy lets a
+        # worker death surface as EOF on this side instead of a hang.
+        child_end.close()
+
+    def respawn(self) -> None:
+        """Replace the worker with a fresh process (empty store).
+
+        Used by farm healing: the caller is responsible for rebuilding
+        store contents from durable state (checkpoint + WAL) afterwards.
+        Any worker still alive is stopped first, so respawning a full
+        farm leaves no orphaned processes.
+        """
+        if self._process.is_alive():
+            self.stop()
+        else:
+            self._close_transport()
+        self._pending = []
+        self._summary_cache = None
+        self._stopped = False
+        self._spawn()
 
     @staticmethod
     def _template_directory(store_factory: Optional["StoreFactory"]) -> Any:
@@ -168,7 +210,7 @@ class ProcessBackend:
     def obs(self) -> Any:
         return self._engine.obs if self._engine is not None else NULL_OBS
 
-    def _send(self, message: dict[str, Any]) -> None:
+    def _check_alive(self) -> None:
         if not self._process.is_alive():
             if self._stopped:
                 raise ExecutionError(
@@ -176,39 +218,96 @@ class ProcessBackend:
                     "running (engine already shut down?)"
                 )
             raise WorkerCrashed(self.backend_id, self._process.exitcode)
-        self._requests.put(json.dumps(message))
+
+    def _send(self, message: dict[str, Any]) -> None:
+        self._flush()
+        self._check_alive()
+        try:
+            self._transport.send(message)
+        except (BrokenPipeError, OSError):
+            raise WorkerCrashed(self.backend_id, self._process.exitcode) from None
+
+    def _defer(self, message: dict[str, Any]) -> None:
+        """Buffer a command whose reply nobody needs *yet*.
+
+        Deferred commands ship as one batch frame — when the buffer hits
+        :data:`PIPELINE_LIMIT`, or right before the next immediate
+        command (so ordering is preserved).  Only commands that cannot
+        fail in ways the caller must see synchronously belong here;
+        today that is WAL ``replay``, whose errors surface at the next
+        flush and abort recovery exactly as the per-op round trip did.
+        """
+        lock = getattr(self._engine, "_io_lock", None)
+        if lock is None:
+            self._pending.append(message)
+            if len(self._pending) >= PIPELINE_LIMIT:
+                self._flush()
+            return
+        with lock:
+            self._pending.append(message)
+            if len(self._pending) >= PIPELINE_LIMIT:
+                self._flush()
+
+    def _flush(self) -> None:
+        """Ship and settle any deferred commands (callers hold the lock)."""
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self._check_alive()
+        try:
+            self._transport.send_batch(batch)
+        except (BrokenPipeError, OSError):
+            raise WorkerCrashed(self.backend_id, self._process.exitcode) from None
+        self._await_reply()
+        try:
+            replies = self._transport.recv_batch()
+        except (EOFError, OSError):
+            raise WorkerCrashed(self.backend_id, self._process.exitcode) from None
+        # Account for every reply before raising: the frame is already
+        # fully consumed, so the protocol stays in sync even on error.
+        failure: Optional[Exception] = None
+        for reply in replies:
+            error = reply.get("error")
+            if error is not None and failure is None:
+                failure = self._remote_error(error)
+        if failure is not None:
+            raise failure
 
     def _receive(self) -> dict[str, Any]:
         self._await_reply()
-        reply = json.loads(self._responses.get())
+        try:
+            reply = self._transport.recv()
+        except (EOFError, OSError):
+            raise WorkerCrashed(self.backend_id, self._process.exitcode) from None
         error = reply.get("error")
         if error is not None:
-            exc_type = getattr(errors, error["type"], None)
-            if isinstance(exc_type, type) and issubclass(exc_type, Exception):
-                raise exc_type(error["message"])
-            raise ExecutionError(f"{error['type']}: {error['message']}")
+            raise self._remote_error(error)
         return reply
 
-    def _await_reply(self) -> None:
-        """Block until a reply is queued — or the worker is found dead.
+    @staticmethod
+    def _remote_error(error: dict[str, Any]) -> Exception:
+        exc_type = getattr(errors, error["type"], None)
+        if isinstance(exc_type, type) and issubclass(exc_type, Exception):
+            return exc_type(error["message"])
+        return ExecutionError(f"{error['type']}: {error['message']}")
 
-        ``SimpleQueue.get`` would wait forever on a worker that died
-        mid-request; polling the underlying pipe lets us notice the
-        death and raise a typed :class:`WorkerCrashed` naming the
-        backend instead of hanging the whole farm.
+    def _await_reply(self) -> None:
+        """Block until a reply frame is readable — or the worker is dead.
+
+        A blocking ``recv`` would wait forever on a worker that died
+        mid-request; polling the pipe lets us notice the death and raise
+        a typed :class:`WorkerCrashed` naming the backend instead of
+        hanging the whole farm.
         """
-        reader = getattr(self._responses, "_reader", None)
-        if reader is None:  # pragma: no cover - exotic queue implementation
-            return
-        while not reader.poll(0.05):
+        while not self._transport.poll(0.05):
             if not self._process.is_alive():
-                if reader.poll(0.0):  # the reply raced the exit; take it
+                if self._transport.poll(0.0):  # reply raced the exit
                     return
                 raise WorkerCrashed(self.backend_id, self._process.exitcode)
 
     def _call(self, message: dict[str, Any]) -> dict[str, Any]:
         # Serialize against in-flight split-phase dispatches: another
-        # session's engine.run must not find our reply on the queue.
+        # session's engine.run must not find our reply on the pipe.
         lock = getattr(self._engine, "_io_lock", None)
         if lock is None:
             self._send(message)
@@ -255,8 +354,11 @@ class ProcessBackend:
     # -- durability support ----------------------------------------------------
 
     def replay(self, request: "Request") -> None:
+        # Recovery replays whole WALs op by op; nobody reads the acks
+        # until the next real command, so coalesce them into batch
+        # frames instead of paying a round trip per op.
         self._summary_cache = None
-        self._call(
+        self._defer(
             {"cmd": "replay", "request": codec.encode_any_request(request)}
         )
 
@@ -349,18 +451,24 @@ class ProcessBackend:
     def stop(self) -> None:
         """Stop the worker process (idempotent, tolerates a dead worker)."""
         self._stopped = True
+        self._pending = []  # acks nobody will read; the store is going away
         if self._process.is_alive():
             try:
-                self._requests.put(json.dumps({"cmd": "stop"}))
+                self._transport.send({"cmd": "stop"})
                 self._await_reply()
-                self._responses.get()
+                self._transport.recv()
             except WorkerCrashed:  # died before acknowledging; that's fine
                 pass
             except (OSError, EOFError, BrokenPipeError):  # pragma: no cover
                 pass
             self._process.join(timeout=5.0)
-        self._requests.close()
-        self._responses.close()
+        self._close_transport()
+
+    def _close_transport(self) -> None:
+        try:
+            self._transport.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
     def __repr__(self) -> str:
         state = "alive" if self._process.is_alive() else "stopped"

@@ -10,12 +10,18 @@ runs the *identical* per-backend code path the serial and thread-pool
 engines run, so simulated times, scan statistics, and cache behavior are
 bit-for-bit the code the controller would have executed in-process.
 
-Every message in both directions is a single JSON string (see
-:mod:`repro.ipc.codec`).  Mutation epochs live here, in the worker, next
-to the store they guard; checkpoint/recovery reconciliation is then
-automatic — a recovered farm spawns fresh workers whose stores rebuild
-from replayed ops, so epochs and result caches restart coherent with the
-recovered contents instead of needing cross-process repair.
+Every message in both directions is one frame on the worker's duplex
+pipe (see :mod:`repro.ipc.transport`): a JSON-shaped command dict,
+encoded by the connection's codec — compact binary frames by default,
+``--ipc-codec json`` as the cross-checking fallback.  A *batch* frame
+carries a list of coalesced commands and is answered by one frame with
+the reply list in command order; errors inside a batch are captured
+per command, so one failing replay doesn't poison its batch-mates.
+Mutation epochs live here, in the worker, next to the store they guard;
+checkpoint/recovery reconciliation is then automatic — a recovered farm
+spawns fresh workers whose stores rebuild from replayed ops, so epochs
+and result caches restart coherent with the recovered contents instead
+of needing cross-process repair.
 
 Errors are shipped back as ``{"error": {"type", "message"}}`` and
 re-raised by the proxy, mapped onto the matching
@@ -24,10 +30,10 @@ re-raised by the proxy, mapped onto the matching
 
 from __future__ import annotations
 
-import json
 from typing import Any, Callable, Mapping, Optional
 
 from repro.ipc import codec
+from repro.ipc.transport import PipeTransport
 from repro.obs import NULL_OBS, Observability
 from repro.qc import runtime as qc_runtime
 
@@ -215,29 +221,52 @@ class _Worker:
         raise ValueError(f"unknown worker command {cmd!r}")
 
 
+def _failure(exc: Exception) -> dict[str, Any]:
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
 def worker_main(
     backend_id: int,
     timing_state: Mapping[str, Any],
     store_factory: Optional[Callable[[], Any]],
     latency_scale: float,
     config: Mapping[str, Any],
-    requests: Any,
-    responses: Any,
+    connection: Any,
+    ipc_codec: str,
 ) -> None:
-    """Serve one backend until a ``stop`` command (or queue EOF) arrives."""
+    """Serve one backend until a ``stop`` command (or pipe EOF) arrives."""
     apply_config_state(config)
+    transport = PipeTransport(connection, ipc_codec)
     worker = _Worker(backend_id, timing_state, store_factory, latency_scale)
     while True:
         try:
-            raw = requests.get()
+            is_batch, message = transport.recv_any()
         except (EOFError, OSError):  # pragma: no cover - parent died
             return
-        message = json.loads(raw)
+        if is_batch:
+            # One coalesced frame: handle every command, reply in order.
+            # Failures are captured per command — the proxy decides which
+            # (if any) to raise once the whole batch is accounted for.
+            replies: list[dict[str, Any]] = []
+            stop = False
+            for command in message:
+                if command["cmd"] == "stop":
+                    replies.append({"ok": True})
+                    stop = True
+                    break
+                try:
+                    replies.append(worker.handle(command))
+                except Exception as exc:  # ship the failure; keep serving
+                    replies.append(_failure(exc))
+            transport.send_batch(replies)
+            if stop:
+                return
+            continue
         if message["cmd"] == "stop":
-            responses.put(json.dumps({"ok": True}))
+            transport.send({"ok": True})
             return
         try:
             reply = worker.handle(message)
         except Exception as exc:  # ship the failure; keep serving
-            reply = {"error": {"type": type(exc).__name__, "message": str(exc)}}
-        responses.put(json.dumps(reply))
+            reply = _failure(exc)
+        transport.send(reply)

@@ -147,6 +147,10 @@ class BackendController:
         #: Write-ahead log; when set, every mutating request is journaled
         #: to the executing backends' logs before it is applied.
         self.wal = wal
+        #: Indexed attributes added at runtime (see :meth:`add_index`) —
+        #: schema state a healed farm must rebuild, since the WAL only
+        #: journals data mutations.
+        self.indexed_attributes: list[str] = []
         if wal is not None and self.obs.enabled:
             wal.bind_obs(self.obs)
         # The engine owns backend construction: in-process engines build
@@ -280,6 +284,32 @@ class BackendController:
                 abort()
             raise
 
+    def _commit_journaled(
+        self,
+        commit: Optional[Callable[[], None]],
+        abort: Optional[Callable[[], None]],
+    ) -> None:
+        """Commit a journaled request, aborting if the commit itself fails.
+
+        The auto-commit record captures the farm's record-count checksum,
+        and computing it talks to every backend — so a worker dying at
+        just the wrong moment surfaces *here*, after the apply succeeded.
+        Without the abort the transaction would be stranded open, which
+        blocks farm healing (see :meth:`KernelDatabaseSystem.heal_workers`)
+        and checkpointing alike.  :class:`~repro.wal.faults.InjectedCrash`
+        still propagates untouched: a dead machine writes no abort record.
+        """
+        if commit is None:
+            return
+        try:
+            commit()
+        except InjectedCrash:
+            raise
+        except BaseException:
+            if abort is not None:
+                abort()
+            raise
+
     def _execute_insert(
         self,
         request: InsertRequest,
@@ -296,8 +326,7 @@ class BackendController:
             lambda: self.engine.execute_one(self.backends[index], request, label),
             abort,
         )
-        if commit is not None:
-            commit()
+        self._commit_journaled(commit, abort)
         wall_ms = (time.perf_counter() - start) * 1000.0
         self._account(label, [backend_result])
         response = ResponseTime()
@@ -394,8 +423,7 @@ class BackendController:
                 lambda: self.engine.run_distinct(targets, shards, label),
                 abort,
             )
-        if commit is not None:
-            commit()
+        self._commit_journaled(commit, abort)
         merged = _merge(request, partials)
         per_backend_ms = [0.0] * self.backend_count
         per_backend_wall_ms = [0.0] * self.backend_count
@@ -442,8 +470,7 @@ class BackendController:
                 lambda: self.engine.run(targets, request, label) if targets else [],
                 abort,
             )
-            if commit is not None:
-                commit()
+            self._commit_journaled(commit, abort)
         else:
             partials = self.engine.run(targets, request, label) if targets else []
         merged = (
@@ -563,10 +590,15 @@ class BackendController:
         Indexing changes the simulated cost of future retrievals (fewer
         records examined), so each store bumps its epoch and any cached
         results priced under the unindexed accounting are invalidated.
+        The attribute set is remembered: indexes are schema the WAL does
+        not journal, so farm healing re-adds them after a respawn.
         """
         for backend in self.backends:
             for attribute in attributes:
                 backend.store.add_index(attribute)
+        for attribute in attributes:
+            if attribute not in self.indexed_attributes:
+                self.indexed_attributes.append(attribute)
 
     def index_report(self) -> dict[str, object]:
         """Per-backend index state and hit counters (the ``.indexes``

@@ -276,17 +276,32 @@ class ProcessPoolEngine(ExecutionEngine):
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, ipc_codec: Optional[str] = None
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("ProcessPoolEngine needs at least one worker")
+        from repro.ipc.transport import DEFAULT_CODEC, validate_codec
+
         self.workers = workers
+        self.ipc_codec = validate_codec(ipc_codec or DEFAULT_CODEC)
         self._backends: list["ProcessBackend"] = []
         # Split-phase dispatch (send-all, then collect-all) assumes the
-        # reply arriving on a worker's queue answers *our* send; with
+        # reply arriving on a worker's pipe answers *our* send; with
         # many kernel sessions two callers could interleave sends and
         # collect each other's replies.  One engine-wide lock keeps each
         # dispatch's send/collect cycle atomic.
         self._io_lock = threading.RLock()
+        #: The first unhealed crash.  While set, every dispatch fails
+        #: fast with a fresh :class:`WorkerCrashed` — survivors may hold
+        #: undrained replies, so no traffic is safe until the farm is
+        #: respawned (:meth:`respawn_workers`) or shut down.
+        self._crashed: Optional[WorkerCrashed] = None
+        #: When False (the default) a crash immediately stops the whole
+        #: farm, the historical behavior.  A supervisor that can *heal*
+        #: the farm from durable state (the KDS, when a WAL is attached)
+        #: sets this True to keep survivors alive for respawning.
+        self.defer_crash_shutdown = False
 
     def create_backends(
         self,
@@ -298,10 +313,64 @@ class ProcessPoolEngine(ExecutionEngine):
         from repro.ipc.proxy import ProcessBackend
 
         self._backends = [
-            ProcessBackend(self, backend_id, timing, store_factory, latency_scale)
+            ProcessBackend(
+                self, backend_id, timing, store_factory, latency_scale,
+                ipc_codec=self.ipc_codec,
+            )
             for backend_id in range(count)
         ]
         return list(self._backends)  # type: ignore[return-value]
+
+    @property
+    def can_respawn(self) -> bool:
+        """True while the farm exists (even crashed) and can be rebuilt."""
+        return bool(self._backends)
+
+    @property
+    def crashed(self) -> Optional[WorkerCrashed]:
+        """The latched crash awaiting heal/shutdown, if any."""
+        return self._crashed
+
+    @property
+    def needs_heal(self) -> bool:
+        """True when a crash was latched *or* any worker is simply dead.
+
+        The latch only catches crashes surfaced through engine dispatch;
+        a :class:`~repro.errors.WorkerCrashed` raised by a direct proxy
+        call (summary probes, ``distribution()`` during an auto-commit)
+        bypasses it, so the farm's actual liveness is checked too.
+        """
+        if self._crashed is not None:
+            return True
+        return any(
+            not backend._process.is_alive() for backend in self._backends
+        )
+
+    def respawn_workers(self) -> None:
+        """Respawn *every* worker with a fresh process and empty store.
+
+        All workers are replaced, not just dead ones: a survivor may
+        have applied operations from a transaction that never became
+        durable, so the only sound baseline is an empty farm rebuilt
+        from checkpoint + WAL by the caller.  Clears the crash latch.
+        """
+        with self._io_lock:
+            for backend in self._backends:
+                backend.respawn()
+            self._crashed = None
+
+    def _note_crash(self, exc: WorkerCrashed) -> None:
+        if self._crashed is None:
+            self._crashed = exc
+        if not self.defer_crash_shutdown:
+            # A dead worker can never answer again: without a supervisor
+            # to heal the farm, stop the survivors instead of leaving
+            # them (and their pipes) to hang the next dispatch.
+            self.shutdown()
+
+    def _check_crashed(self) -> None:
+        if self._crashed is not None:
+            raise WorkerCrashed(self._crashed.backend_id, self._crashed.exitcode)
 
     def execute_one(
         self,
@@ -311,10 +380,11 @@ class ProcessPoolEngine(ExecutionEngine):
         parent: Optional["Span"] = None,
     ) -> "BackendResult":
         with self._io_lock:
+            self._check_crashed()
             try:
                 return super().execute_one(backend, request, label, parent)
-            except WorkerCrashed:
-                self.shutdown()
+            except WorkerCrashed as exc:
+                self._note_crash(exc)
                 raise
 
     def run(
@@ -349,6 +419,7 @@ class ProcessPoolEngine(ExecutionEngine):
         limit = self.workers or len(backends)
         results: list["BackendResult"] = []
         with self._io_lock:
+            self._check_crashed()
             try:
                 for start in range(0, len(backends), limit):
                     chunk = backends[start : start + limit]
@@ -380,12 +451,8 @@ class ProcessPoolEngine(ExecutionEngine):
                         results.append(result)
                     if error is not None:
                         raise error
-            except WorkerCrashed:
-                # A dead worker can never answer again: the farm is
-                # unusable, so stop the surviving workers instead of
-                # leaving them (and their queues) to hang the next
-                # dispatch.
-                self.shutdown()
+            except WorkerCrashed as exc:
+                self._note_crash(exc)
                 raise
         return results
 
@@ -396,7 +463,10 @@ class ProcessPoolEngine(ExecutionEngine):
             self._backends = []
 
     def __repr__(self) -> str:
-        return f"ProcessPoolEngine(workers={self.workers})"
+        return (
+            f"ProcessPoolEngine(workers={self.workers}, "
+            f"ipc_codec={self.ipc_codec!r})"
+        )
 
 
 #: What callers may pass wherever an engine is accepted: an instance, a
@@ -413,11 +483,15 @@ _ENGINE_NAMES = {
 }
 
 
-def make_engine(spec: EngineSpec = None, workers: Optional[int] = None) -> ExecutionEngine:
+def make_engine(
+    spec: EngineSpec = None,
+    workers: Optional[int] = None,
+    ipc_codec: Optional[str] = None,
+) -> ExecutionEngine:
     """Resolve an engine spec (instance, name, or None) to an engine.
 
-    *workers* only applies when a pooled engine is built here; an
-    explicit engine instance is returned unchanged.
+    *workers* and *ipc_codec* only apply when a pooled engine is built
+    here; an explicit engine instance is returned unchanged.
     """
     if isinstance(spec, ExecutionEngine):
         return spec
@@ -428,7 +502,7 @@ def make_engine(spec: EngineSpec = None, workers: Optional[int] = None) -> Execu
         if cls is ThreadPoolEngine:
             return ThreadPoolEngine(workers)
         if cls is ProcessPoolEngine:
-            return ProcessPoolEngine(workers)
+            return ProcessPoolEngine(workers, ipc_codec=ipc_codec)
         if cls is not None:
             return cls()
     raise ValueError(

@@ -34,7 +34,7 @@ from repro.abdl.ast import (
 from repro.abdl.aggregates import digest_plan, merge_digests
 from repro.abdl.executor import RequestResult, merge_common, project
 from repro.abdm.record import Record
-from repro.errors import ExecutionError, WalError
+from repro.errors import ExecutionError, WalError, WorkerCrashed
 from repro.mbds.controller import (
     BackendController,
     ControllerImage,
@@ -124,6 +124,14 @@ class KernelDatabaseSystem:
         #: conflict-equivalent to the concurrent one (2PL).
         self._commit_seq = 0
         self._session_counter = 0
+        # Supervise a respawnable engine: crashes latch instead of
+        # immediately stopping the farm, so execute() can heal from
+        # checkpoint + WAL when no transaction is open.  Ineligible
+        # crashes (no WAL, mid-transaction) still shut the farm down —
+        # see _handle_worker_crash.
+        engine_obj = self.controller.engine
+        if hasattr(engine_obj, "defer_crash_shutdown"):
+            engine_obj.defer_crash_shutdown = True
 
     @property
     def wal(self) -> Optional[WalManager]:
@@ -435,7 +443,32 @@ class KernelDatabaseSystem:
         WAL transactions, and commit-order stamping.  Without one, the
         legacy single-caller path is byte-identical to what it always
         was.
+
+        If a worker process dies mid-request under the process engine,
+        the kernel *heals* when it safely can — no transaction open
+        anywhere, a WAL attached — by respawning the whole farm from
+        checkpoint + WAL (see :meth:`heal_workers`) and retrying the
+        request once.  Mid-transaction crashes keep their typed
+        :class:`~repro.errors.WorkerCrashed` and stop the farm, exactly
+        as before: a half-applied transaction is only recoverable by
+        full recovery.
         """
+        try:
+            return self._execute_inner(request, session)
+        except WorkerCrashed:
+            if not self._try_heal(session):
+                self.controller.engine.shutdown()
+                raise
+            try:
+                return self._execute_inner(request, session)
+            except WorkerCrashed:
+                # Crashed again straight after a heal: stop retrying.
+                self.controller.engine.shutdown()
+                raise
+
+    def _execute_inner(
+        self, request: Request, session: Optional[KernelSession] = None
+    ) -> ExecutionTrace:
         if session is not None:
             return self._execute_session(request, session)
         with self.obs.tracer.span("kds.execute") as span:
@@ -675,6 +708,82 @@ class KernelDatabaseSystem:
     def reset_clock(self) -> None:
         self.clock = ResponseTime()
         self.requests_executed = 0
+
+    # -- farm healing ------------------------------------------------------------
+
+    def _try_heal(self, session: Optional[KernelSession]) -> bool:
+        """Heal a crashed worker farm if it is safe; False otherwise.
+
+        Safe means: durable state exists (a WAL is attached), and no
+        transaction is open anywhere — not the legacy slot, not the
+        calling session, not any concurrent session's WAL transaction.
+        A mid-transaction crash cannot be healed in place, because the
+        surviving workers may already hold applies from the doomed
+        transaction; only the typed error and full recovery are sound.
+        """
+        engine = self.controller.engine
+        if getattr(engine, "respawn_workers", None) is None:
+            return False
+        if not getattr(engine, "can_respawn", False):
+            return False
+        if self.wal is None or self.in_transaction:
+            return False
+        if session is not None and session.in_transaction:
+            return False
+        if self.wal.has_open_transactions:
+            return False
+        io_lock = getattr(engine, "_io_lock", None)
+        lock_ctx = io_lock if io_lock is not None else threading.RLock()
+        with lock_ctx:
+            # Another session may have healed the farm while we waited
+            # for the lock; needs_heal goes False once the farm is whole.
+            if getattr(engine, "needs_heal", True):
+                self.heal_workers()
+        return True
+
+    def heal_workers(self) -> int:
+        """Respawn the process-engine farm from durable state.
+
+        Every worker is replaced (fresh process, empty store) — not just
+        the dead one, because a survivor may have applied operations
+        from a transaction that aborted when the crash surfaced, and
+        redoing such a request against its live state would double-apply
+        non-idempotent mutations.  The empty farm is then rebuilt to
+        exactly the durable baseline: checkpoint snapshot, committed WAL
+        tail, runtime-added indexes.  Returns the number of WAL
+        transactions replayed.
+        """
+        from repro.wal.log import CHECKPOINT_NAME
+        from repro.wal.reader import read_wal
+        from repro.wal.recovery import replay_committed, restore_backend_state
+
+        engine = self.controller.engine
+        respawn = getattr(engine, "respawn_workers", None)
+        if respawn is None or not getattr(engine, "can_respawn", False):
+            raise WalError(
+                "farm healing needs a process engine with live workers"
+            )
+        if self.wal is None:
+            raise WalError("farm healing needs an attached WAL")
+        if self.in_transaction or self.wal.has_open_transactions:
+            raise WalError("cannot heal the farm with a transaction open")
+        io_lock = getattr(engine, "_io_lock", None)
+        lock_ctx = io_lock if io_lock is not None else threading.RLock()
+        with lock_ctx:
+            with self.obs.tracer.span("kds.heal") as span:
+                respawn()
+                checkpoint = self.wal.directory / CHECKPOINT_NAME
+                watermark = restore_backend_state(self.controller, checkpoint)
+                view = read_wal(self.wal.directory, self.controller.backend_count)
+                replayed = replay_committed(self.controller, view, watermark)
+                if self.controller.indexed_attributes:
+                    self.controller.add_index(*self.controller.indexed_attributes)
+                if span:
+                    span.record(replayed=replayed, watermark=watermark)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.inc("kds.worker_heals")
+        return replayed
 
     def shutdown(self) -> None:
         """Release engine resources (worker threads) and WAL file handles."""

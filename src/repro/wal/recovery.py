@@ -101,6 +101,71 @@ def snapshot_watermark(snapshot_path: Union[str, Path]) -> int:
     return int(wal_meta.get("last_txn", 0))
 
 
+def restore_backend_state(
+    controller: "BackendController", snapshot_path: Union[str, Path, None]
+) -> int:
+    """Reload backend stores + placement state from a checkpoint snapshot.
+
+    The farm-healing half of :func:`repro.persistence.load_mlds`: the
+    caller has just respawned every worker (empty stores), and this
+    restores exactly the durable baseline — per-backend record dumps and
+    the placement policy's snapshot state — so :func:`replay_committed`
+    can redo the WAL tail on top.  Schema-level state (catalog, language
+    mappings, store factory) lives outside the farm and needs no repair.
+
+    Returns the snapshot's transaction watermark; 0 when *snapshot_path*
+    is None or missing (heal-from-empty: the whole log replays).
+    """
+    from repro.abdm.record import Record
+    from repro.mbds.placement import (
+        HashShardPlacement,
+        LeastLoadedPlacement,
+        RoundRobinPlacement,
+    )
+
+    snapshot: dict = {}
+    if snapshot_path is not None and Path(snapshot_path).exists():
+        snapshot = json.loads(Path(snapshot_path).read_text())
+    rows_per_backend = snapshot.get("backends") or []
+    if rows_per_backend:
+        if len(rows_per_backend) != controller.backend_count:
+            raise WalError(
+                f"checkpoint snapshot has {len(rows_per_backend)} backends "
+                f"but the farm has {controller.backend_count}"
+            )
+        for backend, rows in zip(controller.backends, rows_per_backend):
+            if not rows:
+                continue
+            backend.store.bulk_insert(
+                Record.from_pairs(
+                    [(attribute, value) for attribute, value in row["pairs"]],
+                    text=row.get("text", ""),
+                )
+                for row in rows
+            )
+    # Reset live placement state to the durable baseline: the crashed
+    # run's in-memory counters/taints may include routing from work that
+    # never committed.  replay_committed's observe_replay hook then
+    # re-applies the committed tail's routing effects.
+    with controller.placement_lock:
+        placement = controller.placement
+        state = snapshot.get("placement") or {}
+        kind = state.get("kind")
+        if isinstance(placement, RoundRobinPlacement):
+            placement._counters.clear()
+            if kind == "round_robin":
+                placement._counters.update(state.get("counters", {}))
+        elif isinstance(placement, HashShardPlacement):
+            placement._tainted.clear()
+            if kind == "hash_shard":
+                placement.key_attributes.update(state.get("key_attributes", {}))
+                placement._tainted.update(state.get("tainted", ()))
+        if isinstance(placement, LeastLoadedPlacement):
+            placement.rebalance(controller.distribution())
+    wal_meta = snapshot.get("wal") or {}
+    return int(wal_meta.get("last_txn", 0))
+
+
 def recover_mlds(
     wal_dir: Union[str, Path],
     snapshot: Union[str, Path, None] = None,

@@ -1,0 +1,187 @@
+"""The tagged value encoding and the frame header, edge by edge."""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import pytest
+
+from repro.ipc.frames import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    CODEC_TAGGED,
+    FLAG_BATCH,
+    HEADER,
+    INTERN_MAX_LEN,
+    MAGIC,
+    FrameError,
+    ValueDecoder,
+    ValueEncoder,
+    pack_frame,
+    unpack_frame,
+)
+
+
+def roundtrip(value):
+    return ValueDecoder().decode(ValueEncoder().encode(value))
+
+
+def float_bits(value: float) -> bytes:
+    return struct.pack("!d", value)
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            127,
+            -128,
+            2**31,
+            2**62,
+            -(2**63),
+            2**70,
+            -(10**30),
+            0.0,
+            1.5,
+            -273.15,
+            "",
+            "plain",
+            "é — ünïcode ✓",
+            "x" * 500,
+        ],
+    )
+    def test_roundtrip_exact(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_nan_payload_bit_exact(self):
+        nan = struct.unpack("!d", bytes.fromhex("7ff8000000001234"))[0]
+        result = roundtrip(nan)
+        assert math.isnan(result)
+        assert float_bits(result) == bytes.fromhex("7ff8000000001234")
+
+    def test_negative_zero_keeps_its_sign(self):
+        assert float_bits(roundtrip(-0.0)) == float_bits(-0.0)
+
+    def test_infinities(self):
+        assert roundtrip(float("inf")) == float("inf")
+        assert roundtrip(float("-inf")) == float("-inf")
+
+    def test_bool_is_not_int_on_the_wire(self):
+        assert roundtrip([True, 1, False, 0]) == [True, 1, False, 0]
+        assert [type(v) for v in roundtrip([True, 1])] == [bool, int]
+
+
+class TestContainers:
+    def test_nested_structures(self):
+        value = {
+            "records": [
+                {"pairs": [["FILE", "f"], ["a", i]], "text": ""}
+                for i in range(5)
+            ],
+            "spans": {"name": "kds.execute", "children": [{"name": "leaf"}]},
+            "empty_list": [],
+            "empty_dict": {},
+        }
+        assert roundtrip(value) == value
+
+    def test_tuples_become_lists_like_json(self):
+        value = {"pair": ("a", 1), "nested": [(1, 2), (3,)]}
+        assert roundtrip(value) == json.loads(json.dumps(value))
+
+    def test_non_string_dict_keys_refused(self):
+        with pytest.raises(FrameError):
+            ValueEncoder().encode({1: "a"})
+
+    def test_unencodable_type_refused(self):
+        with pytest.raises(FrameError):
+            ValueEncoder().encode({"bad": object()})
+
+    def test_deep_nesting(self):
+        value: list = []
+        leaf = value
+        for _ in range(60):
+            inner: list = []
+            leaf.append(inner)
+            leaf = inner
+        assert roundtrip(value) == value
+
+
+class TestInterning:
+    def test_dict_keys_intern_on_first_sight(self):
+        encoder = ValueEncoder()
+        first = encoder.encode({"elapsed_ms": 1})
+        second = encoder.encode({"elapsed_ms": 2})
+        assert len(second) < len(first)
+        assert encoder.interned_count >= 1
+
+    def test_values_intern_on_second_sight(self):
+        encoder = ValueEncoder()
+        encoder.encode(["student"])
+        before = encoder.interned_count
+        encoder.encode(["student"])  # second sighting defines it
+        third = encoder.encode(["student"])  # now a 5-byte ref
+        assert encoder.interned_count == before + 1
+        assert len(third) < len(ValueEncoder().encode(["student"]))
+
+    def test_decoder_mirrors_across_messages(self):
+        encoder, decoder = ValueEncoder(), ValueDecoder()
+        for i in range(4):
+            message = {"cmd": "execute", "label": "broadcast", "seq": i}
+            assert decoder.decode(encoder.encode(message)) == message
+
+    def test_long_strings_never_intern(self):
+        encoder = ValueEncoder()
+        big = "v" * (INTERN_MAX_LEN + 1)
+        for _ in range(3):
+            encoder.encode([big])
+        assert encoder.interned_count == 0
+
+    def test_fresh_decoder_cannot_read_refs(self):
+        encoder = ValueEncoder()
+        encoder.encode({"key": 1})
+        ref_message = encoder.encode({"key": 2})
+        with pytest.raises(FrameError):
+            ValueDecoder().decode(ref_message)
+
+
+class TestFrameHeader:
+    def test_roundtrip(self):
+        frame = pack_frame(CODEC_TAGGED, FLAG_BATCH, b"payload")
+        assert unpack_frame(frame) == (CODEC_TAGGED, FLAG_BATCH, b"payload")
+
+    def test_codec_ids_are_distinct(self):
+        assert len({CODEC_JSON, CODEC_BINARY, CODEC_TAGGED}) == 3
+
+    def test_bad_magic_refused(self):
+        frame = bytearray(pack_frame(CODEC_BINARY, 0, b"x"))
+        frame[0] ^= 0xFF
+        with pytest.raises(FrameError):
+            unpack_frame(bytes(frame))
+
+    def test_truncated_frame_refused(self):
+        frame = pack_frame(CODEC_BINARY, 0, b"full payload")
+        with pytest.raises(FrameError):
+            unpack_frame(frame[:-3])
+
+    def test_short_header_refused(self):
+        with pytest.raises(FrameError):
+            unpack_frame(bytes([MAGIC, 0]))
+
+    def test_length_field_is_checked(self):
+        header = HEADER.pack(MAGIC, CODEC_BINARY, 0, 99)
+        with pytest.raises(FrameError):
+            unpack_frame(header + b"short")
+
+    def test_trailing_bytes_refused_by_decoder(self):
+        payload = ValueEncoder().encode(1)
+        with pytest.raises(FrameError):
+            ValueDecoder().decode(payload + b"\x00")

@@ -1,0 +1,188 @@
+"""Hypothesis: the framed codecs against the JSON oracle.
+
+The worker protocol's correctness contract is *JSON parity*: for any
+JSON-shaped value, decoding what the binary or tagged codec encoded must
+yield exactly the object ``json.loads(json.dumps(v))`` would — with the
+one deliberate improvement that floats survive bit-for-bit (NaN
+payloads, ``-0.0``) where JSON's decimal detour may wobble.  Comparison
+is therefore bit-aware: floats compare by IEEE-754 image, everything
+else by equality *and* type (``True != 1`` on this wire).
+
+Covers the edges the issue names: NaN, -0.0, huge ints, empty records,
+deeply nested span trees — plus a stateful pass proving the tagged
+codec's interning tables stay mirrored across a message sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ipc.frames import ValueDecoder, ValueEncoder
+from repro.ipc.transport import PipeTransport
+
+
+class _Loopback:
+    """A Connection stand-in: bytes out one side, straight in the other."""
+
+    def __init__(self) -> None:
+        self._frames: list[bytes] = []
+
+    def send_bytes(self, frame: bytes) -> None:
+        self._frames.append(frame)
+
+    def recv_bytes(self) -> bytes:
+        return self._frames.pop(0)
+
+
+SPECIAL_FLOATS = [
+    float("nan"),
+    struct.unpack("!d", bytes.fromhex("7ff8000000001234"))[0],  # NaN payload
+    -0.0,
+    0.0,
+    float("inf"),
+    float("-inf"),
+    5e-324,  # smallest subnormal
+]
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: exercises the BIGINT path
+    st.floats(allow_nan=True, allow_infinity=True),  # bit-aware compare
+    st.sampled_from(SPECIAL_FLOATS),
+    st.text(max_size=40),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=12), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+#: Span-tree shaped values: the deepest structures the wire carries.
+span_trees = st.recursive(
+    st.fixed_dictionaries(
+        {"name": st.text(max_size=10), "elapsed_ms": st.floats(allow_nan=False)}
+    ),
+    lambda children: st.fixed_dictionaries(
+        {
+            "name": st.text(max_size=10),
+            "children": st.lists(children, max_size=3),
+        }
+    ),
+    max_leaves=20,
+)
+
+
+def bit_equal(left, right) -> bool:
+    """Equality where floats compare by bits and bools are not ints."""
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, float):
+        return struct.pack("!d", left) == struct.pack("!d", right)
+    if isinstance(left, list):
+        return len(left) == len(right) and all(
+            bit_equal(a, b) for a, b in zip(left, right)
+        )
+    if isinstance(left, dict):
+        return left.keys() == right.keys() and all(
+            bit_equal(value, right[key]) for key, value in left.items()
+        )
+    return left == right
+
+
+def json_oracle(value):
+    """What the pre-framing JSON transport would deliver."""
+    return json.loads(json.dumps(value))
+
+
+def transport_roundtrip(value, codec: str):
+    wire = _Loopback()
+    PipeTransport(wire, codec).send(value)
+    return PipeTransport(wire, codec).recv()
+
+
+def assert_matches_oracle(value, decoded):
+    """decoded == the JSON oracle, except floats may be *more* faithful."""
+    oracle = json_oracle(value)
+
+    def check(original, ours, theirs):
+        if isinstance(original, float):
+            # The binary codecs must be bit-exact to the ORIGINAL; JSON
+            # merely has to be close (and loses NaN payloads entirely).
+            assert struct.pack("!d", ours) == struct.pack("!d", original)
+            if not math.isnan(original):
+                assert ours == theirs or math.isinf(original)
+            return
+        assert type(ours) is type(theirs)
+        if isinstance(original, list):
+            assert len(ours) == len(theirs) == len(original)
+            for triple in zip(original, ours, theirs):
+                check(*triple)
+        elif isinstance(original, dict):
+            assert list(ours) == list(theirs) == list(original)
+            for key in original:
+                check(original[key], ours[key], theirs[key])
+        else:
+            assert ours == theirs == original
+
+    check(value, decoded, oracle)
+
+
+class TestTaggedCodecVsJson:
+    @given(value=values)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_matches_oracle(self, value):
+        decoded = ValueDecoder().decode(ValueEncoder().encode(value))
+        assert_matches_oracle(value, decoded)
+
+    @given(trees=st.lists(span_trees, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_span_trees(self, trees):
+        decoded = ValueDecoder().decode(ValueEncoder().encode(trees))
+        assert_matches_oracle(trees, decoded)
+
+    @given(messages=st.lists(values, min_size=2, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_interning_tables_stay_mirrored(self, messages):
+        """One encoder/decoder pair across a whole message sequence."""
+        encoder, decoder = ValueEncoder(), ValueDecoder()
+        for message in messages:
+            decoded = decoder.decode(encoder.encode(message))
+            assert bit_equal(
+                decoded, ValueDecoder().decode(ValueEncoder().encode(message))
+            )
+            assert_matches_oracle(message, decoded)
+
+
+class TestBinaryCodecVsJson:
+    @given(value=values)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_matches_oracle(self, value):
+        assert_matches_oracle(value, transport_roundtrip(value, "binary"))
+
+    @given(trees=st.lists(span_trees, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_span_trees(self, trees):
+        assert_matches_oracle(trees, transport_roundtrip(trees, "binary"))
+
+
+class TestCodecsAgreeWithEachOther:
+    @given(value=values)
+    @settings(max_examples=150, deadline=None)
+    def test_all_three_codecs_decode_identically(self, value):
+        binary = transport_roundtrip(value, "binary")
+        tagged = transport_roundtrip(value, "tagged")
+        assert bit_equal(binary, tagged)
+
+    def test_empty_records(self):
+        for value in [{}, [], {"records": []}, [{}], {"": ""}]:
+            assert transport_roundtrip(value, "binary") == value
+            assert transport_roundtrip(value, "tagged") == value
