@@ -23,6 +23,13 @@ Run standalone (writes ``BENCH_server.json``)::
 Exit status is non-zero when concurrent read-only throughput at the
 highest session count fails ``--min-scaling`` (default 1.5) over one
 session.
+
+``--mix READ_FRACTION`` appends a mixed read/write phase: the *same*
+deterministic op plan :mod:`benchmarks.workloads` hands to
+``bench_mixed_workload.py`` is rendered to SQL and driven through the
+network service — every session against one shared table, writes as
+BEGIN/INSERT/COMMIT transactions — so the kernel-level and
+server-level benchmarks measure the same op mix by construction.
 """
 
 from __future__ import annotations
@@ -37,6 +44,9 @@ from pathlib import Path
 
 if __package__ in (None, ""):  # runnable as a plain script, too
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from workloads import mixed_op_plan, mixed_sql
+else:
+    from benchmarks.workloads import mixed_op_plan, mixed_sql
 
 from repro.core.mlds import MLDS
 from repro.mbds.placement import HashShardPlacement
@@ -118,6 +128,64 @@ def bench_sessions(host, port, tables, sessions, requests) -> dict:
     }
 
 
+def mixed_client_run(host, port, table, ops, session_index, errors_out):
+    """Drive one session's slice of the shared mixed plan over the wire."""
+    try:
+        with ServerClient(host, port) as client:
+            client.auth(TOKEN)
+            session = client.open("sql", "bench")
+            for op_index, op in enumerate(ops):
+                # Seed rows occupy ids [0, rows); write ids are unique
+                # per (session, op) so the primary key never collides.
+                row_id = 100_000 + session_index * 10_000 + op_index
+                sql = mixed_sql(op, row_id, table)
+                if op[0] == "read":
+                    client.execute(session, sql)
+                    continue
+                client.begin()
+                try:
+                    client.execute(session, sql)
+                except Exception:
+                    client.abort()
+                    raise
+                client.commit()
+    except Exception as exc:  # pragma: no cover - failure detail
+        errors_out.append(exc)
+
+
+def bench_mixed(host, port, table, sessions, requests, read_fraction) -> dict:
+    """One timed pass of the shared mixed plan against *table*."""
+    plan = mixed_op_plan(sessions, requests, read_fraction)
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=mixed_client_run,
+            args=(host, port, table, plan[i], i, errors),
+        )
+        for i in range(sessions)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    total = sum(len(ops) for ops in plan)
+    reads = sum(1 for ops in plan for op in ops if op[0] == "read")
+    return {
+        "sessions": sessions,
+        "requests_per_session": requests,
+        "read_fraction": read_fraction,
+        "reads": reads,
+        "writes": total - reads,
+        "total_statements": total,
+        "wall_s": round(wall_s, 4),
+        "throughput_stmt_s": round(total / wall_s, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--backends", type=int, default=4)
@@ -133,6 +201,14 @@ def main(argv=None) -> int:
         "--session-counts", default="1,2,4", help="comma-separated session counts"
     )
     parser.add_argument("--min-scaling", type=float, default=1.5)
+    parser.add_argument(
+        "--mix",
+        type=float,
+        default=None,
+        metavar="READ_FRACTION",
+        help="also run the shared mixed read/write plan at this read "
+        "fraction (all sessions on one table, writes transactional)",
+    )
     parser.add_argument("--out", default="BENCH_server.json")
     args = parser.parse_args(argv)
 
@@ -153,6 +229,22 @@ def main(argv=None) -> int:
                 f"sessions={row['sessions']:>2}  wall={row['wall_s']:.2f}s  "
                 f"throughput={row['throughput_stmt_s']:.1f} stmt/s"
             )
+        mixed = None
+        if args.mix is not None:
+            mixed = bench_mixed(
+                handle.host,
+                handle.port,
+                tables[0],
+                session_counts[-1],
+                args.requests,
+                args.mix,
+            )
+            print(
+                f"mixed ({int(args.mix * 100)}% reads, "
+                f"{mixed['sessions']} sessions): "
+                f"{mixed['total_statements']} stmts in {mixed['wall_s']:.2f}s  "
+                f"throughput={mixed['throughput_stmt_s']:.1f} stmt/s"
+            )
     finally:
         handle.stop()
         mlds.kds.shutdown()
@@ -167,6 +259,7 @@ def main(argv=None) -> int:
         "rows_per_table": args.rows,
         "tables": tables,
         "results": rows,
+        "mixed": mixed,
         "scaling_vs_single_session": round(scaling, 3),
         "min_scaling": args.min_scaling,
         "passed": scaling >= args.min_scaling,

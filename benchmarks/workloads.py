@@ -5,10 +5,17 @@
 under the same data; only the latency knobs and the engines differ.  One
 builder keeps the two from drifting apart — and keeps their simulated
 times directly comparable.
+
+The *mixed* read/write plan at the bottom is shared the same way:
+``bench_mixed_workload.py`` renders it to ABDL against the kernel and
+``bench_server.py --mix`` renders the identical plan to SQL over the
+network service, so the two benchmarks measure the same op mix by
+construction.
 """
 
 from __future__ import annotations
 
+import random
 import sys
 import time
 from pathlib import Path
@@ -73,3 +80,57 @@ def run_workload(kds: KernelDatabaseSystem, requests: int) -> dict:
         "fingerprints": fingerprints,
         "simulated": kds.clock.as_dict(),
     }
+
+
+# -- the shared mixed read/write plan -------------------------------------------
+
+#: Distinct selection keys in the mixed plan (small on purpose: every
+#: read scans real rows and every key collides across sessions).
+MIXED_KEYSPACE = 13
+
+
+def mixed_op_plan(
+    sessions: int,
+    requests: int,
+    read_fraction: float,
+    seed: int = 7,
+) -> list[list[tuple[str, int]]]:
+    """A deterministic mixed workload: one op list per session.
+
+    Each op is ``("read", key)`` or ``("write", key)`` with *key* drawn
+    from :data:`MIXED_KEYSPACE`.  The plan depends only on the
+    arguments, so two benchmarks built from the same parameters execute
+    the same ops in the same per-session order — only the rendering
+    (ABDL vs SQL) and the transport differ.
+    """
+    rng = random.Random(seed)
+    return [
+        [
+            (
+                "read" if rng.random() < read_fraction else "write",
+                rng.randrange(MIXED_KEYSPACE),
+            )
+            for _ in range(requests)
+        ]
+        for _ in range(sessions)
+    ]
+
+
+def mixed_abdl(op: tuple[str, int], session_index: int, op_index: int, file_name: str):
+    """Render one mixed-plan op as a parsed ABDL request."""
+    kind, key = op
+    if kind == "read":
+        return parse_request(f"RETRIEVE ((FILE = {file_name}) AND (x = {key})) (*)")
+    return parse_request(
+        f"INSERT (<FILE, {file_name}>, "
+        f"<data, s{session_index}w{op_index}>, <x, {key}>)"
+    )
+
+
+def mixed_sql(op: tuple[str, int], row_id: int, table: str) -> str:
+    """Render one mixed-plan op as a SQL statement (*row_id* must be
+    unique across the run: the benchmark tables carry a primary key)."""
+    kind, key = op
+    if kind == "read":
+        return f"SELECT id FROM {table} WHERE x = {key}"
+    return f"INSERT INTO {table} VALUES ({row_id}, {key})"

@@ -10,7 +10,7 @@ UPDATE).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.abdl.aggregates import evaluate_aggregate, group_records
 from repro.abdl.ast import (
@@ -55,8 +55,15 @@ class Executor:
 
     # -- public API -------------------------------------------------------
 
-    def execute(self, request: Request) -> RequestResult:
-        """Execute one request and return its result."""
+    def execute(
+        self, request: Request, snapshot: Optional[int] = None
+    ) -> RequestResult:
+        """Execute one request and return its result.
+
+        *snapshot* (a commit seq) makes retrievals read the committed
+        state as of that seq via the store's version chains; it is
+        ignored for mutations, which always act on the live state.
+        """
         if isinstance(request, InsertRequest):
             return self._insert(request)
         if isinstance(request, BulkInsertRequest):
@@ -66,9 +73,9 @@ class Executor:
         if isinstance(request, UpdateRequest):
             return self._update(request)
         if isinstance(request, RetrieveRequest):
-            return self._retrieve(request)
+            return self._retrieve(request, snapshot)
         if isinstance(request, RetrieveCommonRequest):
-            return self._retrieve_common(request)
+            return self._retrieve_common(request, snapshot)
         raise ExecutionError(f"unknown request type {type(request).__name__}")
 
     def execute_transaction(self, transaction: Transaction) -> list[RequestResult]:
@@ -93,8 +100,13 @@ class Executor:
         updated = self.store.update(request.query, request.modifier.apply)
         return RequestResult("UPDATE", count=updated)
 
-    def _retrieve(self, request: RetrieveRequest) -> RequestResult:
-        matching = self.store.find(request.query)
+    def _retrieve(
+        self, request: RetrieveRequest, snapshot: Optional[int] = None
+    ) -> RequestResult:
+        if snapshot is None:
+            matching = self.store.find(request.query)
+        else:
+            matching = self.store.find_at(request.query, snapshot)
         projected = project(matching, request)
         return RequestResult(
             "RETRIEVE",
@@ -103,9 +115,15 @@ class Executor:
             count=len(matching),
         )
 
-    def _retrieve_common(self, request: RetrieveCommonRequest) -> RequestResult:
-        left = self.store.find(request.left_query)
-        right = self.store.find(request.right_query)
+    def _retrieve_common(
+        self, request: RetrieveCommonRequest, snapshot: Optional[int] = None
+    ) -> RequestResult:
+        if snapshot is None:
+            left = self.store.find(request.left_query)
+            right = self.store.find(request.right_query)
+        else:
+            left = self.store.find_at(request.left_query, snapshot)
+            right = self.store.find_at(request.right_query, snapshot)
         merged = merge_common(left, right, request)
         plain = RetrieveRequest(request.left_query, request.target)
         projected = project(merged, plain)

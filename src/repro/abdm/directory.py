@@ -284,7 +284,20 @@ class ClusteredStore(ABStore):
         query: Query,
     ) -> list[Record]:
         """Union of records in clusters compatible with any clause."""
-        clusters = self._clusters.get(file_name, {})
+        return self._scan_clusters(self._clusters.get(file_name, {}), query)
+
+    def _scan_clusters(
+        self,
+        clusters: dict[tuple[int, ...], list[Record]],
+        query: Query,
+    ) -> list[Record]:
+        """Descriptor search over an explicit cluster map.
+
+        Shared by live reads (the store's cluster map) and snapshot
+        reads (a cluster map regrouped from a version-chain pre-image),
+        so both surface candidates in the same clause-by-clause,
+        first-appearance cluster order.
+        """
         selected: list[Record] = []
         seen_keys: set[tuple[int, ...]] = set()
         for clause in query:
@@ -309,6 +322,43 @@ class ClusteredStore(ABStore):
         matches = self.matcher(query)
         for file_name in sorted(pinned):
             for record in self._candidate_clusters(file_name, query):
+                self.stats.records_examined += 1
+                if matches(record):
+                    found.append(record)
+        self.stats.records_touched += len(found)
+        return found
+
+    def find_at(self, query: Query, snapshot: int) -> list[Record]:
+        """Snapshot RETRIEVE with directory pruning preserved.
+
+        Superseded files regroup their pre-image records into a cluster
+        map (first-appearance key order — identical to both the
+        incremental build order and :meth:`_rebuild_clusters`) and run
+        the same descriptor search the live path uses, so candidate
+        order matches a store replayed to *snapshot* exactly.
+        """
+        pinned = query.file_names()
+        if not pinned:
+            return super().find_at(query, snapshot)
+        if not self._versions and not self._trimmed_below:
+            return self.find(query)
+        names = sorted(pinned)
+        states = {name: self._version_state(name, snapshot) for name in names}
+        if all(state is None for state in states.values()):
+            return self.find(query)
+        found: list[Record] = []
+        matches = self.matcher(query)
+        for file_name in names:
+            records = states[file_name]
+            if records is None:
+                candidates = self._candidate_clusters(file_name, query)
+            else:
+                regrouped: dict[tuple[int, ...], list[Record]] = {}
+                for record in records:
+                    key = self.directory.cluster_key(record)
+                    regrouped.setdefault(key, []).append(record)
+                candidates = self._scan_clusters(regrouped, query)
+            for record in candidates:
                 self.stats.records_examined += 1
                 if matches(record):
                     found.append(record)

@@ -42,7 +42,7 @@ from repro.abdm.plan import (
 from repro.abdm.predicate import Query
 from repro.abdm.record import Record
 from repro.abdm.values import Value
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, SnapshotTooOld
 from repro.obs import NULL_OBS, ObsSpec, resolve_obs
 from repro.qc.compile import compile_query
 from repro.qc.lru import MISSING
@@ -83,6 +83,41 @@ class ScanStats:
             self.range_hits,
             self.fallback_scans,
         )
+
+
+class _Version:
+    """One link of a file's version chain: a superseded record list.
+
+    *records* is the file's full record list as it stood immediately
+    before the mutation that superseded it.  The list is **shallow**
+    (record objects are shared with older versions and, for unmodified
+    records, with the live file) — safe because capture-mode mutations
+    never modify a :class:`~repro.abdm.record.Record` in place (UPDATE
+    goes copy-on-write, see :meth:`ABStore.update`).
+
+    *superseded_at* is the commit seq of the transaction that replaced
+    this state, or None while that transaction is still pending (not yet
+    committed).  A snapshot at seq ``W`` is served by the first chain
+    entry with ``superseded_at > W`` (a pending entry counts as +inf:
+    the pre-image of an uncommitted write *is* the committed state).
+    """
+
+    __slots__ = ("superseded_at", "records")
+
+    def __init__(self, superseded_at: Optional[int], records: list[Record]) -> None:
+        self.superseded_at = superseded_at
+        self.records = records
+
+    def __repr__(self) -> str:
+        state = "pending" if self.superseded_at is None else f"<{self.superseded_at}"
+        return f"_Version({state}, {len(self.records)} records)"
+
+
+#: Default cap on sealed version-chain entries retained per file.  The
+#: GC watermark (oldest active snapshot) is the soft bound; this is the
+#: hard bound that keeps write-heavy workloads from growing chains
+#: without limit when a reader parks on an old snapshot.
+DEFAULT_VERSION_RETAIN = 16
 
 
 class ABFile:
@@ -142,6 +177,20 @@ class ABStore:
         # the same discipline the broadcast-pruning summaries use.
         self._file_epochs: dict[str, int] = {}
         self._store_epoch = 0
+        # MVCC version chains (snapshot reads).  While _capture is True
+        # (the backend sets it around every mutating request), the first
+        # mutation of a file in a commit cycle appends a *pending* chain
+        # entry holding the file's pre-image; seal_versions() stamps it
+        # with the commit seq once the transaction is durable.  Replay,
+        # recovery, persistence, and direct store use leave _capture
+        # False and pay nothing.
+        self._capture = False
+        self.version_retain = DEFAULT_VERSION_RETAIN
+        #: file name -> oldest-first chain of superseded record lists
+        self._versions: dict[str, list[_Version]] = {}
+        #: file name -> lowest snapshot seq still reconstructable; reads
+        #: below it raise SnapshotTooOld (their version was trimmed).
+        self._trimmed_below: dict[str, int] = {}
 
     def bind_obs(self, obs: ObsSpec) -> None:
         """Attach an observability bundle (compile-cache metrics + span)."""
@@ -191,6 +240,195 @@ class ABStore:
             )
         return (self._store_epoch, tuple(sorted(self._file_epochs.items())))
 
+    # -- version chains (MVCC snapshot reads) ---------------------------------
+
+    def _ensure_pending(self, name: str) -> None:
+        """Capture *name*'s pre-image before the first mutation of a cycle.
+
+        No-op unless capture mode is on (i.e. the mutation came through a
+        backend request).  The pre-image is a shallow copy of the live
+        record list; at most one pending entry exists per file at a time
+        (writers on one file serialize under X locks).
+        """
+        if not self._capture:
+            return
+        chain = self._versions.setdefault(name, [])
+        if chain and chain[-1].superseded_at is None:
+            return
+        abfile = self._files.get(name)
+        chain.append(_Version(None, list(abfile.records()) if abfile else []))
+
+    def seal_versions(
+        self, files: Optional[Iterable[str]], seq: int, watermark: int
+    ) -> None:
+        """Stamp pending version entries with commit *seq*, then GC.
+
+        *files* is the committed transaction's write set (None = every
+        file with a pending entry — the wildcard/global-X case).  Called
+        after the commit record is durable but before the kernel
+        publishes *seq* as stable, so no reader can open a snapshot at
+        *seq* before every store can serve it.  *watermark* is the
+        oldest snapshot seq any active reader still holds; sealed
+        entries below it are unreachable and dropped.
+        """
+        names = list(files) if files is not None else list(self._versions)
+        for name in names:
+            chain = self._versions.get(name)
+            if chain and chain[-1].superseded_at is None:
+                chain[-1].superseded_at = seq
+        self.trim_versions(watermark)
+
+    def discard_pending(self, files: Optional[Iterable[str]] = None) -> None:
+        """Drop pending (uncommitted) version entries for *files* / all.
+
+        Used when a mutation fails before its commit seq is assigned
+        (auto-commit apply error) — the pre-image it parked describes a
+        state change that never happened.
+        """
+        names = list(files) if files is not None else list(self._versions)
+        for name in names:
+            chain = self._versions.get(name)
+            if chain and chain[-1].superseded_at is None:
+                chain.pop()
+                if not chain:
+                    del self._versions[name]
+
+    def trim_versions(self, watermark: int) -> None:
+        """GC sealed chain entries no snapshot at/after *watermark* needs.
+
+        An entry sealed at seq ``s`` serves only snapshots ``W < s``, so
+        every entry with ``s <= watermark`` is dead.  Beyond that, the
+        hard ``version_retain`` cap drops the oldest sealed entries and
+        records the trim horizon in ``_trimmed_below`` — reads under the
+        horizon raise :class:`~repro.errors.SnapshotTooOld` instead of
+        silently serving a newer state.
+        """
+        for name in list(self._versions):
+            chain = self._versions[name]
+            cut = 0
+            horizon = 0
+            for entry in chain:
+                if entry.superseded_at is None or entry.superseded_at > watermark:
+                    break
+                cut += 1
+                horizon = entry.superseded_at
+            sealed = sum(1 for e in chain if e.superseded_at is not None)
+            while sealed - cut > self.version_retain:
+                extra = chain[cut]
+                if extra.superseded_at is None:  # pragma: no cover - pending is last
+                    break
+                horizon = extra.superseded_at
+                cut += 1
+            if cut:
+                del chain[:cut]
+                if horizon > self._trimmed_below.get(name, 0):
+                    self._trimmed_below[name] = horizon
+            if not chain:
+                del self._versions[name]
+
+    def _version_state(self, name: str, snapshot: int) -> Optional[list[Record]]:
+        """The record list of *name* at *snapshot*, or None if live serves.
+
+        Raises :class:`SnapshotTooOld` when the version that would serve
+        *snapshot* has been trimmed from the chain.
+        """
+        trimmed = self._trimmed_below.get(name)
+        if trimmed is not None and snapshot < trimmed:
+            raise SnapshotTooOld(
+                f"snapshot {snapshot} of file {name!r} was garbage-collected "
+                f"(oldest reconstructable seq is {trimmed}); retry at a "
+                "fresher snapshot"
+            )
+        chain = self._versions.get(name)
+        if chain:
+            for entry in chain:
+                sup = entry.superseded_at
+                if sup is None or sup > snapshot:
+                    return entry.records
+        return None
+
+    def records_at(self, name: str, snapshot: int) -> list[Record]:
+        """*name*'s committed records as of commit seq *snapshot*."""
+        state = self._version_state(name, snapshot)
+        if state is not None:
+            return state
+        abfile = self._files.get(name)
+        return abfile.records() if abfile else []
+
+    def snapshot_live(self, pinned: Iterable[str], snapshot: int) -> bool:
+        """True when the live state of every queried file is valid at
+        *snapshot* — the condition under which a snapshot read may take
+        the normal (planned, result-cached) execution path."""
+        if not self._versions and not self._trimmed_below:
+            return True
+        names = sorted(set(pinned)) or sorted(self._files)
+        try:
+            return all(self._version_state(n, snapshot) is None for n in names)
+        except SnapshotTooOld:
+            return False
+
+    def _snapshot_file_names(self, query: Query) -> list[str]:
+        pinned = query.file_names()
+        if pinned:
+            return sorted(pinned)
+        return sorted(self._files)
+
+    def find_at(self, query: Query, snapshot: int) -> list[Record]:
+        """RETRIEVE evaluation against the committed state at *snapshot*.
+
+        Files whose live state is already valid at *snapshot* take the
+        ordinary (index-planned) path; files superseded past it scan the
+        reconstructed pre-image.  Record content and order are identical
+        to running :meth:`find` against a store replayed to *snapshot*.
+        """
+        if not self._versions and not self._trimmed_below:
+            return self.find(query)
+        names = self._snapshot_file_names(query)
+        states = {name: self._version_state(name, snapshot) for name in names}
+        if all(state is None for state in states.values()):
+            return self.find(query)
+        found: list[Record] = []
+        matches = self.matcher(query)
+        for name in names:
+            records = states[name]
+            if records is None:
+                abfile = self._files.get(name)
+                records = abfile.records() if abfile else []
+            for record in records:
+                self.stats.records_examined += 1
+                if matches(record):
+                    found.append(record)
+        self.stats.records_touched += len(found)
+        return found
+
+    def restore_file(self, name: str, records: Iterable[Record]) -> None:
+        """Replace *name*'s live records (transaction abort).
+
+        Discards the aborted transaction's pending version entry but
+        preserves the committed chain and trim horizon — concurrent
+        snapshot readers must still be able to reconstruct states older
+        than the one being restored.
+        """
+        self.discard_pending([name])
+        chain = self._versions.pop(name, None)
+        trimmed = self._trimmed_below.pop(name, None)
+        capture = self._capture
+        self._capture = False
+        try:
+            self.drop_file(name)
+            for record in records:
+                self.insert(record)
+        finally:
+            self._capture = capture
+        if chain:
+            self._versions[name] = chain
+        if trimmed is not None:
+            self._trimmed_below[name] = trimmed
+
+    def version_depths(self) -> dict[str, int]:
+        """Chain length per file (tests and the ``.versions`` diagnostics)."""
+        return {name: len(chain) for name, chain in sorted(self._versions.items())}
+
     # -- file management ------------------------------------------------------
 
     def file(self, name: str) -> ABFile:
@@ -212,6 +450,8 @@ class ABStore:
             self._bump_epoch(name)
         self._indexes.pop(name, None)
         self._index_seq.pop(name, None)
+        self._versions.pop(name, None)
+        self._trimmed_below.pop(name, None)
 
     def clear(self) -> None:
         self._files.clear()
@@ -219,6 +459,8 @@ class ABStore:
         self._index_seq.clear()
         self._file_epochs.clear()
         self._store_epoch += 1
+        self._versions.clear()
+        self._trimmed_below.clear()
         self.stats = ScanStats()
 
     # -- index management -----------------------------------------------------
@@ -380,6 +622,7 @@ class ABStore:
         name = record.file_name
         if name is None:
             raise ExecutionError("record has no FILE keyword; cannot be stored")
+        self._ensure_pending(name)
         self.file(name).insert(record)
         if self._indexed:
             self._index_add(name, record)
@@ -404,6 +647,7 @@ class ABStore:
         for record in batch:
             name = record.file_name
             assert name is not None
+            self._ensure_pending(name)
             self.file(name).insert(record)
             if self._indexed:
                 self._index_add_deferred(name, record)
@@ -459,6 +703,7 @@ class ABStore:
                     else:
                         kept.append(record)
                 if removed:
+                    self._ensure_pending(abfile.name)
                     records[:] = kept
             else:
                 victims = []
@@ -468,6 +713,7 @@ class ABStore:
                         victims.append(record)
                 removed = len(victims)
                 if removed:
+                    self._ensure_pending(abfile.name)
                     victim_ids = {id(record) for record in victims}
                     records[:] = [r for r in records if id(r) not in victim_ids]
             if removed:
@@ -483,17 +729,27 @@ class ABStore:
         query: Query,
         modify: Callable[[Record], None],
     ) -> int:
-        """Apply *modify* in place to every record satisfying *query*."""
+        """Apply *modify* in place to every record satisfying *query*.
+
+        Under version capture the update goes copy-on-write instead: the
+        chain's shallow pre-images share record objects with the live
+        list, so matched records are cloned, modified, and swapped into
+        the live list at their position, leaving the shared originals
+        untouched for snapshot readers.
+        """
         updated = 0
         matches = self.matcher(query)
         for abfile in self._candidate_files(query):
             candidates, _ = self._served_candidates(abfile.name, query)
             touched = 0
-            for record in abfile if candidates is None else candidates:
-                self.stats.records_examined += 1
-                if matches(record):
-                    modify(record)
-                    touched += 1
+            if self._capture:
+                touched = self._update_cow(abfile, candidates, matches, modify)
+            else:
+                for record in abfile if candidates is None else candidates:
+                    self.stats.records_examined += 1
+                    if matches(record):
+                        modify(record)
+                        touched += 1
             if touched:
                 self._bump_epoch(abfile.name)
                 if self._indexed:
@@ -502,6 +758,46 @@ class ABStore:
             updated += touched
         self.stats.records_touched += updated
         return updated
+
+    def _update_cow(
+        self,
+        abfile: ABFile,
+        candidates: Optional[list[Record]],
+        matches: Callable[[Record], bool],
+        modify: Callable[[Record], None],
+    ) -> int:
+        """Copy-on-write update of one file (version capture active).
+
+        The pre-image is captured lazily at the first match, while the
+        live list is still pristine; every match is then replaced by a
+        modified clone at its original position, so record order (and
+        the index rebuild that follows) is identical to the in-place
+        path.
+        """
+        live = abfile.records()
+        touched = 0
+        if candidates is None:
+            for index, record in enumerate(live):
+                self.stats.records_examined += 1
+                if matches(record):
+                    if not touched:
+                        self._ensure_pending(abfile.name)
+                    clone = record.copy()
+                    modify(clone)
+                    live[index] = clone
+                    touched += 1
+        else:
+            positions = {id(record): i for i, record in enumerate(live)}
+            for record in candidates:
+                self.stats.records_examined += 1
+                if matches(record):
+                    if not touched:
+                        self._ensure_pending(abfile.name)
+                    clone = record.copy()
+                    modify(clone)
+                    live[positions[id(record)]] = clone
+                    touched += 1
+        return touched
 
     # -- introspection ----------------------------------------------------------
 

@@ -446,6 +446,13 @@ def build_parser() -> "argparse.ArgumentParser":
         "broadcasting",
     )
     parser.add_argument(
+        "--no-snapshot-reads",
+        action="store_true",
+        help="disable MVCC snapshot reads: session RETRIEVEs take S locks "
+        "under strict 2PL (and block on writers) instead of reading the "
+        "newest stable commit seq lock-free from the version chains",
+    )
+    parser.add_argument(
         "--prune",
         action="store_true",
         help="skip backends whose file/descriptor summaries cannot match a "
@@ -673,6 +680,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - wiring
                 placement=placement,
                 wal=wal_arg,
                 obs=obs,
+                snapshot_reads=not args.no_snapshot_reads,
             )
     except ValueError as exc:
         parser.error(str(exc))

@@ -71,6 +71,8 @@ class MLDS:
         wal: Union[None, str, Path, WalManager] = None,
         obs: ObsSpec = None,
         lock_timeout: float = 10.0,
+        snapshot_reads: bool = True,
+        version_retain: Optional[int] = None,
     ) -> None:
         """*store_factory* optionally replaces each backend's plain scan
         store, e.g. with a directory-clustered
@@ -93,7 +95,12 @@ class MLDS:
         :mod:`repro.wal`).  *obs* attaches an
         :class:`~repro.obs.Observability` bundle — request tracing,
         metrics, and the slow log — shared by every layer beneath this
-        facade; the default is the no-op null bundle."""
+        facade; the default is the no-op null bundle.
+        *snapshot_reads* toggles the kernel's lock-free MVCC read path
+        for session-tagged retrievals (on by default; see
+        :class:`~repro.mbds.kds.KernelDatabaseSystem`), and
+        *version_retain* caps the per-file version-chain depth kept for
+        those snapshot reads."""
         if wal is not None and not isinstance(wal, WalManager):
             wal = WalManager(Path(wal), backend_count)
         self.kds = KernelDatabaseSystem(
@@ -108,6 +115,8 @@ class MLDS:
             wal=wal,
             obs=obs,
             lock_timeout=lock_timeout,
+            snapshot_reads=snapshot_reads,
+            version_retain=version_retain,
         )
         self._functional: dict[str, FunctionalSchema] = {}
         self._network: dict[str, NetworkSchema] = {}

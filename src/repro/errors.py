@@ -105,6 +105,28 @@ class LockTimeout(ConcurrencyError):
     """
 
 
+class DeadlockDetected(LockTimeout):
+    """The waits-for graph found a cycle and this session was the victim.
+
+    Unlike a plain :class:`LockTimeout` (which fires only after the full
+    deadline), deadlock detection runs a cycle check the moment a waiter
+    blocks, picks the youngest transaction in the cycle, and aborts it
+    immediately.  Subclassing :class:`LockTimeout` keeps every existing
+    abort-and-retry loop working unchanged.
+    """
+
+
+class SnapshotTooOld(ConcurrencyError):
+    """A snapshot read outlived the version chain that could serve it.
+
+    Version chains are bounded: entries below the oldest active
+    snapshot's watermark are garbage-collected, and a hard retain cap
+    trims further under write churn.  A reader whose snapshot sequence
+    predates the trimmed horizon cannot be reconstructed; the kernel
+    retries at a fresher snapshot and falls back to a locking read.
+    """
+
+
 class WorkerCrashed(ExecutionError):
     """A backend's worker process died mid-request.
 

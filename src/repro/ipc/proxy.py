@@ -318,17 +318,20 @@ class ProcessBackend:
 
     # -- execution (the Backend.execute contract) ------------------------------
 
-    def start_execute(self, request: "Request") -> None:
+    def start_execute(
+        self, request: "Request", snapshot: Optional[int] = None
+    ) -> None:
         """Ship *request* to the worker without waiting for the reply."""
         if request.operation in _MUTATING_OPS:
             self._summary_cache = None
-        self._send(
-            {
-                "cmd": "execute",
-                "request": codec.encode_any_request(request),
-                "trace": self.obs.tracer.enabled,
-            }
-        )
+        message: dict[str, Any] = {
+            "cmd": "execute",
+            "request": codec.encode_any_request(request),
+            "trace": self.obs.tracer.enabled,
+        }
+        if snapshot is not None:
+            message["snapshot"] = snapshot
+        self._send(message)
 
     def finish_execute(self, span: Optional["Span"] = None) -> "BackendResult":
         """Collect the reply for the last :meth:`start_execute`.
@@ -347,8 +350,10 @@ class ProcessBackend:
             metrics.inc(name, delta)
         return codec.decode_backend_result(reply["result"])
 
-    def execute(self, request: "Request") -> "BackendResult":
-        self.start_execute(request)
+    def execute(
+        self, request: "Request", snapshot: Optional[int] = None
+    ) -> "BackendResult":
+        self.start_execute(request, snapshot)
         return self.finish_execute()
 
     # -- durability support ----------------------------------------------------
@@ -386,6 +391,32 @@ class ProcessBackend:
             }
         )
 
+    # -- version chains (MVCC snapshot reads) ----------------------------------
+
+    def seal_versions(
+        self, files: Optional[list], seq: int, watermark: int
+    ) -> None:
+        # A commit-path call whose reply nobody needs: coalesce it like
+        # replay.  Ordering is safe because _send flushes the pending
+        # batch before any later command on this worker, so a snapshot
+        # read opened at this seq always observes the seal first.
+        self._defer(
+            {
+                "cmd": "seal_versions",
+                "files": list(files) if files is not None else None,
+                "seq": seq,
+                "watermark": watermark,
+            }
+        )
+
+    def discard_pending(self, files: Optional[list] = None) -> None:
+        self._defer(
+            {
+                "cmd": "discard_pending",
+                "files": list(files) if files is not None else None,
+            }
+        )
+
     # -- content summary (broadcast pruning) -----------------------------------
 
     def summary(self) -> "BackendSummary":
@@ -410,13 +441,17 @@ class ProcessBackend:
         return reply["elapsed_ms"], reply["wall_ms"]
 
     def aggregate_probe(
-        self, file_name: str, attributes: Sequence[str]
+        self,
+        file_name: str,
+        attributes: Sequence[str],
+        snapshot: Optional[int] = None,
     ) -> Optional[tuple[dict[str, "AttributeIndexDigest"], int]]:
         reply = self._call(
             {
                 "cmd": "aggregate_probe",
                 "file": file_name,
                 "attributes": list(attributes),
+                "snapshot": snapshot,
             }
         )
         probe = reply["probe"]

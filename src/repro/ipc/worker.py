@@ -95,6 +95,7 @@ class _Worker:
 
     def execute(self, message: Mapping[str, Any]) -> dict[str, Any]:
         request = codec.decode_any_request(message["request"])
+        snapshot = message.get("snapshot")
         tracer = self.obs.tracer
         # Counters incremented inside the backend (qc.compile.*,
         # qc.result.*, ...) land in the worker-local registry; ship the
@@ -102,7 +103,7 @@ class _Worker:
         # as it would with in-process backends.
         before = self._counter_values()
         if not (message.get("trace") and tracer.enabled):
-            result = self.backend.execute(request)
+            result = self.backend.execute(request, snapshot)
             spans: list[dict[str, Any]] = []
         else:
             # Collect the spans the backend opens (qc.compile, access-path
@@ -110,7 +111,7 @@ class _Worker:
             # grafts them beneath its own backend[i].<phase> span, exactly
             # where the in-process engines would have nested them.
             with tracer.span("ipc.worker"):
-                result = self.backend.execute(request)
+                result = self.backend.execute(request, snapshot)
             root = tracer.last_trace
             spans = (
                 [codec.encode_span(child) for child in root.children]
@@ -156,6 +157,14 @@ class _Worker:
                 [codec.decode_record(r) for r in message["records"]],
             )
             return {"ok": True}
+        if cmd == "seal_versions":
+            backend.seal_versions(
+                message["files"], message["seq"], message["watermark"]
+            )
+            return {"ok": True}
+        if cmd == "discard_pending":
+            backend.discard_pending(message["files"])
+            return {"ok": True}
         if cmd == "summary":
             return {"summary": codec.encode_summary(backend.summary())}
         if cmd == "rebuild_counts":
@@ -167,7 +176,9 @@ class _Worker:
             elapsed, wall = backend.charge_access()
             return {"elapsed_ms": elapsed, "wall_ms": wall}
         if cmd == "aggregate_probe":
-            probe = backend.aggregate_probe(message["file"], message["attributes"])
+            probe = backend.aggregate_probe(
+                message["file"], message["attributes"], message.get("snapshot")
+            )
             if probe is None:
                 return {"probe": None}
             digests, count = probe

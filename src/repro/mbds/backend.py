@@ -167,7 +167,7 @@ class Backend:
             "result": self._result_cache.snapshot(),
         }
 
-    def execute(self, request: Request) -> BackendResult:
+    def execute(self, request: Request, snapshot: Optional[int] = None) -> BackendResult:
         """Execute *request* on this backend's slice, charging scan time.
 
         Plain RETRIEVEs are served from the epoch-guarded result cache
@@ -176,6 +176,12 @@ class Backend:
         emulated disk stall — so cumulative stats, the timing model, and
         the wall-clock scaling benchmark see bit-identical figures
         whether or not the cache fired.
+
+        With *snapshot* set the read executes against the committed
+        state at that commit seq (MVCC).  The result cache still serves
+        — but only when every queried file's live state is valid at the
+        snapshot (``snapshot_live``); a file superseded past the
+        snapshot forces the uncached reconstruction path.
         """
         with self._lock:
             use_cache = (
@@ -183,15 +189,19 @@ class Backend:
                 and qc_runtime.config.result_cache_enabled
                 and self._result_cache.enabled
             )
+            if use_cache and snapshot is not None:
+                use_cache = self.store.snapshot_live(
+                    request.query.file_names(), snapshot
+                )
             if not use_cache:
-                return self._execute_locked(request)
+                return self._execute_locked(request, snapshot)
             key = request.render()
             signature = self.store.epoch_signature(request.query.file_names())
             entry = self._result_cache.get(key)
             if entry is not MISSING and entry.signature == signature:
                 return self._replay_cached(entry)
             touched_before = self.store.stats.records_touched
-            backend_result = self._execute_locked(request)
+            backend_result = self._execute_locked(request, snapshot)
             touched = self.store.stats.records_touched - touched_before
             self._result_cache.put(
                 key,
@@ -225,10 +235,22 @@ class Backend:
                 affected_files(query) if query is not None else None
             )
 
-    def _execute_locked(self, request: Request) -> BackendResult:
+    def _execute_locked(
+        self, request: Request, snapshot: Optional[int] = None
+    ) -> BackendResult:
         start = time.perf_counter()
         before = self.store.stats.copy()
-        result = self.executor.execute(request)
+        mutating = isinstance(request, _MUTATING_REQUESTS)
+        if mutating:
+            # Version capture: the store parks a pre-image of each file
+            # this request touches, sealed with the commit seq once the
+            # transaction is durable (or discarded on failure/abort).
+            self.store._capture = True
+        try:
+            result = self.executor.execute(request, snapshot=snapshot)
+        finally:
+            if mutating:
+                self.store._capture = False
         stats = self.store.stats
         examined = stats.records_examined - before.records_examined
         index_hits = stats.index_hits - before.index_hits
@@ -349,13 +371,33 @@ class Backend:
             return [record.copy() for record in self.store.file(file_name).records()]
 
     def restore_file(self, file_name: str, records: list) -> None:
-        """Roll one file back to a captured pre-image (session abort)."""
+        """Roll one file back to a captured pre-image (session abort).
+
+        Goes through :meth:`ABStore.restore_file` so the aborted
+        transaction's pending version entry is discarded while the
+        committed version chain (which concurrent snapshot readers may
+        still be reconstructing from) survives the rebuild.
+        """
         with self._lock:
-            self.store.drop_file(file_name)
-            for record in records:
-                self.store.insert(record.copy())
+            self.store.restore_file(
+                file_name, [record.copy() for record in records]
+            )
             self._summary = None
             self._summaries.invalidate([file_name])
+
+    # -- version chains (MVCC snapshot reads) ------------------------------------
+
+    def seal_versions(
+        self, files: Optional[list], seq: int, watermark: int
+    ) -> None:
+        """Stamp this slice's pending version entries with commit *seq*."""
+        with self._lock:
+            self.store.seal_versions(files, seq, watermark)
+
+    def discard_pending(self, files: Optional[list] = None) -> None:
+        """Drop pending version entries after a failed/aborted mutation."""
+        with self._lock:
+            self.store.discard_pending(files)
 
     # -- content summary (broadcast pruning) ------------------------------------
 
@@ -398,7 +440,10 @@ class Backend:
             return elapsed, wall_ms
 
     def aggregate_probe(
-        self, file_name: str, attributes: Sequence[str]
+        self,
+        file_name: str,
+        attributes: Sequence[str],
+        snapshot: Optional[int] = None,
     ) -> Optional[tuple[dict[str, AttributeIndexDigest], int]]:
         """Index digests + record count for the aggregate fast path.
 
@@ -407,8 +452,15 @@ class Backend:
         indexing) and the whole request must take the raw-scan path.
         The probe itself reads only index metadata — no records — which
         is why the fast path charges a single disk access per backend.
+        A snapshot read can only use the digests when the file's live
+        state is valid at the snapshot; otherwise it falls back to the
+        raw scan, which reconstructs.
         """
         with self._lock:
+            if snapshot is not None and not self.store.snapshot_live(
+                [file_name], snapshot
+            ):
+                return None
             digests: dict[str, AttributeIndexDigest] = {}
             for attribute in attributes:
                 digest = self.store.index_digest(file_name, attribute)

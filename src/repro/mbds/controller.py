@@ -112,6 +112,10 @@ class ExecutionTrace:
     #: those get their order from session_commit).  Serial replay of
     #: mutations in commit_seq order reproduces the farm bit-identically.
     commit_seq: Optional[int] = None
+    #: The commit seq a lock-free snapshot read pinned (None when the
+    #: request ran on the ordinary locking path).  A retrieval with a
+    #: snapshot_seq acquired no locks at all.
+    snapshot_seq: Optional[int] = None
 
 
 class BackendController:
@@ -188,6 +192,7 @@ class BackendController:
         request: Request,
         label: Optional[str] = None,
         session: Optional[KernelSession] = None,
+        snapshot: Optional[int] = None,
     ) -> ExecutionTrace:
         """Execute one request: route inserts, broadcast everything else.
 
@@ -201,12 +206,19 @@ class BackendController:
         auto-commit transaction owned by the session) instead of the
         legacy single transaction slot.  The KDS is responsible for
         having acquired the request's locks before calling in.
+
+        *snapshot* (a commit seq) makes a RETRIEVE / RETRIEVE-COMMON
+        read the committed state at that seq via the stores' version
+        chains — the KDS's lock-free snapshot-read path.  Mutations
+        ignore it.
         """
         if isinstance(request, InsertRequest):
             return self._execute_insert(request, label or PHASE_INSERT, session)
         if isinstance(request, BulkInsertRequest):
             return self._execute_bulk_insert(request, label or PHASE_INSERT, session)
-        return self._execute_broadcast(request, label or PHASE_BROADCAST, session)
+        return self._execute_broadcast(
+            request, label or PHASE_BROADCAST, session, snapshot
+        )
 
     def execute_transaction(self, transaction: Transaction) -> list[ExecutionTrace]:
         """Execute requests sequentially, as ABDL transactions require."""
@@ -451,6 +463,7 @@ class BackendController:
         request: Request,
         label: str,
         session: Optional[KernelSession] = None,
+        snapshot: Optional[int] = None,
     ) -> ExecutionTrace:
         start = time.perf_counter()
         mutating = isinstance(request, _MUTATING_REQUESTS)
@@ -472,7 +485,11 @@ class BackendController:
             )
             self._commit_journaled(commit, abort)
         else:
-            partials = self.engine.run(targets, request, label) if targets else []
+            partials = (
+                self.engine.run(targets, request, label, snapshot)
+                if targets
+                else []
+            )
         merged = (
             _merge(request, partials) if partials else _empty_result(request)
         )

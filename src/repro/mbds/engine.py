@@ -111,11 +111,14 @@ class ExecutionEngine:
         backends: Sequence["Backend"],
         request: "Request",
         label: str = PHASE_BROADCAST,
+        snapshot: Optional[int] = None,
     ) -> list["BackendResult"]:
         """Execute *request* on every backend; results in backend order.
 
         *label* is the broadcast's phase label; traced runs name each
-        per-backend span ``backend[<id>].<label>``.
+        per-backend span ``backend[<id>].<label>``.  *snapshot* (a
+        commit seq) makes retrievals read the committed state as of that
+        seq — threaded through to every backend, in-process or worker.
         """
         raise NotImplementedError
 
@@ -142,6 +145,7 @@ class ExecutionEngine:
         request: "Request",
         label: str,
         parent: Optional["Span"] = None,
+        snapshot: Optional[int] = None,
     ) -> "BackendResult":
         """Execute on one backend, inside a per-backend span when tracing.
 
@@ -151,14 +155,14 @@ class ExecutionEngine:
         """
         tracer = self.obs.tracer
         if not tracer.enabled:
-            return backend.execute(request)
+            return backend.execute(request, snapshot)
         span = tracer.open(f"backend[{backend.backend_id}].{label}", parent)
         try:
             # Activate on the executing thread so spans opened inside the
             # backend (qc.compile) nest under this one identically for
             # serial and pooled execution.
             with tracer.activate(span):
-                result = backend.execute(request)
+                result = backend.execute(request, snapshot)
         finally:
             span.finish()
         _record_result(span, result)
@@ -181,8 +185,12 @@ class SerialEngine(ExecutionEngine):
         backends: Sequence["Backend"],
         request: "Request",
         label: str = PHASE_BROADCAST,
+        snapshot: Optional[int] = None,
     ) -> list["BackendResult"]:
-        return [self.execute_one(backend, request, label) for backend in backends]
+        return [
+            self.execute_one(backend, request, label, snapshot=snapshot)
+            for backend in backends
+        ]
 
 
 class ThreadPoolEngine(ExecutionEngine):
@@ -207,15 +215,19 @@ class ThreadPoolEngine(ExecutionEngine):
         backends: Sequence["Backend"],
         request: "Request",
         label: str = PHASE_BROADCAST,
+        snapshot: Optional[int] = None,
     ) -> list["BackendResult"]:
         if len(backends) <= 1:
-            return [self.execute_one(backend, request, label) for backend in backends]
+            return [
+                self.execute_one(backend, request, label, snapshot=snapshot)
+                for backend in backends
+            ]
         # Capture the parent span here, in the controller's thread: the
         # tracer's thread-local context does not follow into the pool.
         parent = self.obs.tracer.current
         pool = self._ensure_pool(len(backends))
         futures = [
-            pool.submit(self.execute_one, backend, request, label, parent)
+            pool.submit(self.execute_one, backend, request, label, parent, snapshot)
             for backend in backends
         ]
         return [future.result() for future in futures]
@@ -378,11 +390,12 @@ class ProcessPoolEngine(ExecutionEngine):
         request: "Request",
         label: str,
         parent: Optional["Span"] = None,
+        snapshot: Optional[int] = None,
     ) -> "BackendResult":
         with self._io_lock:
             self._check_crashed()
             try:
-                return super().execute_one(backend, request, label, parent)
+                return super().execute_one(backend, request, label, parent, snapshot)
             except WorkerCrashed as exc:
                 self._note_crash(exc)
                 raise
@@ -392,8 +405,9 @@ class ProcessPoolEngine(ExecutionEngine):
         backends: Sequence["Backend"],
         request: "Request",
         label: str = PHASE_BROADCAST,
+        snapshot: Optional[int] = None,
     ) -> list["BackendResult"]:
-        return self._dispatch(backends, [request] * len(backends), label)
+        return self._dispatch(backends, [request] * len(backends), label, snapshot)
 
     def run_distinct(
         self,
@@ -408,10 +422,11 @@ class ProcessPoolEngine(ExecutionEngine):
         backends: Sequence["Backend"],
         requests: Sequence["Request"],
         label: str,
+        snapshot: Optional[int] = None,
     ) -> list["BackendResult"]:
         if len(backends) <= 1:
             return [
-                self.execute_one(backend, request, label)
+                self.execute_one(backend, request, label, snapshot=snapshot)
                 for backend, request in zip(backends, requests)
             ]
         tracer = self.obs.tracer
@@ -431,7 +446,7 @@ class ProcessPoolEngine(ExecutionEngine):
                             if tracer.enabled
                             else None
                         )
-                        backend.start_execute(request)  # type: ignore[attr-defined]
+                        backend.start_execute(request, snapshot)  # type: ignore[attr-defined]
                     # Collect every reply even if one raises — leaving
                     # replies in a queue would desynchronize that
                     # worker's protocol.

@@ -34,7 +34,7 @@ from repro.abdl.ast import (
 from repro.abdl.aggregates import digest_plan, merge_digests
 from repro.abdl.executor import RequestResult, merge_common, project
 from repro.abdm.record import Record
-from repro.errors import ExecutionError, WalError, WorkerCrashed
+from repro.errors import ExecutionError, SnapshotTooOld, WalError, WorkerCrashed
 from repro.mbds.controller import (
     BackendController,
     ControllerImage,
@@ -55,8 +55,15 @@ from repro.mbds.timing import (
 )
 from repro.obs import ObsSpec
 from repro.qc import runtime as qc_runtime
-from repro.wal.faults import InjectedCrash
+from repro.wal.faults import CrashPoint, InjectedCrash
 from repro.wal.log import WalManager
+
+#: The request types that mutate store state (everything else is a read).
+_MUTATING_REQUESTS = (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
+
+#: How many times a lock-free read retries at a fresher snapshot after
+#: GC trimmed its pinned one away, before falling back to a locking read.
+_SNAPSHOT_RETRIES = 3
 
 
 @dataclass
@@ -84,6 +91,8 @@ class KernelDatabaseSystem:
         wal: Optional[WalManager] = None,
         obs: ObsSpec = None,
         lock_timeout: float = 10.0,
+        snapshot_reads: bool = True,
+        version_retain: Optional[int] = None,
     ) -> None:
         """*engine* picks the wall-clock dispatch strategy ('serial' or
         'threads', or an :class:`~repro.mbds.engine.ExecutionEngine`);
@@ -94,7 +103,12 @@ class KernelDatabaseSystem:
         before applying and grouped into transactions (see
         :meth:`transaction`).  *obs* attaches an
         :class:`~repro.obs.Observability` bundle (tracing + metrics +
-        slow log); the default is the no-op null bundle."""
+        slow log); the default is the no-op null bundle.
+        *snapshot_reads* enables the lock-free MVCC read path for
+        session-tagged RETRIEVEs (see :meth:`_execute_session`);
+        *version_retain* caps the per-file version-chain depth on
+        in-process stores (process-engine workers keep the library
+        default; their chains still garbage-collect by watermark)."""
         self.controller = BackendController(
             backend_count,
             timing,
@@ -123,7 +137,27 @@ class KernelDatabaseSystem:
         #: committed work in commit_seq order is a serial history
         #: conflict-equivalent to the concurrent one (2PL).
         self._commit_seq = 0
+        #: Highest commit seq sealed into the version chains with every
+        #: predecessor sealed too — the newest snapshot a lock-free read
+        #: may open.  Published only over contiguous seqs so concurrent
+        #: out-of-order commits never expose a gap.
+        self._stable_seq = 0
+        self._sealed: set[int] = set()
+        #: Open snapshot registry: token -> pinned commit seq.  The GC
+        #: watermark is the oldest pinned seq (stable when none is open),
+        #: so a chain entry is only trimmed once no in-flight or future
+        #: snapshot can need it.
+        self._active_snapshots: dict[int, int] = {}
+        self._snapshot_token = 0
+        #: Lock-free RETRIEVE path toggle (see :meth:`_execute_session`).
+        self.snapshot_reads = snapshot_reads
+        if version_retain is not None:
+            for backend in self.controller.backends:
+                store = getattr(backend, "store", None)
+                if hasattr(store, "version_retain"):
+                    store.version_retain = version_retain
         self._session_counter = 0
+        self.locks.bind_metrics(self.obs.metrics)
         # Supervise a respawnable engine: crashes latch instead of
         # immediately stopping the farm, so execute() can heal from
         # checkpoint + WAL when no transaction is open.  Ineligible
@@ -239,16 +273,23 @@ class KernelDatabaseSystem:
     def session_commit(self, session: KernelSession) -> int:
         """Commit *session*'s transaction; returns its global commit seq.
 
-        The commit record is written and the commit order stamped while
-        the session still holds every lock it acquired (strict two-phase
-        locking), which is what makes the concurrent history
-        conflict-equivalent to commit_seq order.
+        The commit record is written, the commit order stamped, and the
+        version chains sealed at the new seq while the session still
+        holds every lock it acquired (strict two-phase locking), which
+        is what makes the concurrent history conflict-equivalent to
+        commit_seq order — and what makes the sealed pre-images the
+        committed state every snapshot below the seq must see.
         """
         if not session.in_transaction:
             raise WalError(f"session {session.owner!r} has no transaction to commit")
         if self.wal is not None:
             self.wal.commit(txn=session.wal_txn)
+            self.wal.fire(CrashPoint.BEFORE_VERSION_SEAL)
         seq = self._next_commit_seq()
+        self._seal_backends(self._session_seal_files(session), seq)
+        if self.wal is not None:
+            self.wal.fire(CrashPoint.AFTER_VERSION_SEAL)
+        self._mark_stable(seq)
         session.end_transaction()
         session.commits += 1
         self.locks.release_all(session.owner)
@@ -346,13 +387,33 @@ class KernelDatabaseSystem:
 
         Outside a transaction, locks span just this request and a
         mutation auto-commits under a session-owned WAL transaction,
-        stamped with its commit seq before the locks drop.  Inside a
-        transaction, locks accumulate until commit/abort (2PL).
+        stamped with its commit seq and sealed into the version chains
+        before the locks drop.  Inside a transaction, locks accumulate
+        until commit/abort (2PL).
+
+        RETRIEVE / RETRIEVE-COMMON from a session that has not yet
+        written in its transaction take the lock-free snapshot path
+        instead (when ``snapshot_reads`` is on): the read pins the
+        newest stable commit seq and reconstructs that committed state
+        from the stores' version chains, acquiring no S locks at all —
+        readers never block writers and writers never block readers.  A
+        session that has mutated must read its own uncommitted writes,
+        which no snapshot contains, so it falls back to locking reads.
         """
+        mutating = isinstance(request, _MUTATING_REQUESTS)
+        if (
+            self.snapshot_reads
+            and not mutating
+            and isinstance(request, (RetrieveRequest, RetrieveCommonRequest))
+            and not session.undo
+            and not session.wildcard_backends
+        ):
+            trace = self._execute_snapshot_read(request, session)
+            if trace is not None:
+                self._account_session(trace, session)
+                return trace
+            # GC kept trimming the pinned snapshot away: locking read.
         release_after = not session.in_transaction
-        mutating = isinstance(
-            request, (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
-        )
         try:
             self.locks.acquire(
                 session.owner, lock_items(request), session.lock_timeout
@@ -360,12 +421,26 @@ class KernelDatabaseSystem:
             if mutating and session.in_transaction:
                 self._capture_undo(session, request)
             with self.obs.tracer.span("kds.execute") as span:
-                if isinstance(request, RetrieveRequest) and request.has_aggregates:
-                    trace = self._execute_aggregate(request)
-                elif isinstance(request, RetrieveCommonRequest):
-                    trace = self._execute_common(request)
-                else:
-                    trace = self.controller.execute(request, session=session)
+                try:
+                    if isinstance(request, RetrieveRequest) and request.has_aggregates:
+                        trace = self._execute_aggregate(request)
+                    elif isinstance(request, RetrieveCommonRequest):
+                        trace = self._execute_common(request)
+                    else:
+                        trace = self.controller.execute(request, session=session)
+                except InjectedCrash:
+                    raise
+                except BaseException:
+                    if mutating and release_after:
+                        # The auto-commit mutation failed (and the WAL
+                        # already aborted it); drop the pending version
+                        # entries it may have opened so a later commit
+                        # cannot seal a pre-image that isn't its own.
+                        # In-transaction failures keep their pendings:
+                        # the captured pre-image is still the committed
+                        # state, and commit/abort settles them.
+                        self._discard_pending(self._request_files(request))
+                    raise
                 if span:
                     span.record(
                         simulated_ms=trace.response.total_ms,
@@ -374,22 +449,165 @@ class KernelDatabaseSystem:
                         session=session.owner,
                     )
             if mutating and release_after:
-                trace.commit_seq = self._next_commit_seq()
-            with self._state_lock:
-                self.clock = self.clock + trace.response
-                self.requests_executed += 1
-            session.requests_executed += 1
-            metrics = self.obs.metrics
-            if metrics.enabled:
-                metrics.inc("kds.requests")
-                metrics.inc(f"kds.requests.{trace.result.operation.lower()}")
-                metrics.observe("kds.request.simulated_ms", trace.response.total_ms)
-                metrics.observe("kds.request.wall_ms", trace.wall_ms)
-                metrics.set_gauge("kds.requests_executed", self.requests_executed)
+                if self.wal is not None:
+                    self.wal.fire(CrashPoint.BEFORE_VERSION_SEAL)
+                seq = self._next_commit_seq()
+                self._seal_backends(self._request_files(request), seq)
+                if self.wal is not None:
+                    self.wal.fire(CrashPoint.AFTER_VERSION_SEAL)
+                self._mark_stable(seq)
+                trace.commit_seq = seq
+            self._account_session(trace, session)
             return trace
         finally:
             if release_after:
                 self.locks.release_all(session.owner)
+
+    def _account_session(self, trace: ExecutionTrace, session: KernelSession) -> None:
+        """Fold one finished request into the shared kernel accounting."""
+        with self._state_lock:
+            self.clock = self.clock + trace.response
+            self.requests_executed += 1
+        session.requests_executed += 1
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.inc("kds.requests")
+            metrics.inc(f"kds.requests.{trace.result.operation.lower()}")
+            metrics.observe("kds.request.simulated_ms", trace.response.total_ms)
+            metrics.observe("kds.request.wall_ms", trace.wall_ms)
+            metrics.set_gauge("kds.requests_executed", self.requests_executed)
+
+    # -- MVCC snapshots ----------------------------------------------------------
+    #
+    # Every commit unit — a session commit, a session auto-commit, or a
+    # legacy single-caller mutation — seals the pending version-chain
+    # entries it opened with its commit seq (repro.abdm.store keeps the
+    # chains), then publishes the seq as *stable* once every earlier seq
+    # is sealed too.  A lock-free read pins the stable seq; the stores
+    # reconstruct that committed state from their chains.  The pin holds
+    # the GC watermark down so the entries the read needs cannot be
+    # trimmed out from under it (and a retain-cap trim that gets there
+    # anyway surfaces as SnapshotTooOld, answered by retrying fresher).
+
+    @property
+    def stable_seq(self) -> int:
+        """The newest commit seq a snapshot read may open."""
+        with self._state_lock:
+            return self._stable_seq
+
+    def _mark_stable(self, seq: int) -> None:
+        """Publish *seq* once the commit-seq sequence below it is whole."""
+        with self._state_lock:
+            self._sealed.add(seq)
+            while self._stable_seq + 1 in self._sealed:
+                self._sealed.discard(self._stable_seq + 1)
+                self._stable_seq += 1
+
+    def _open_snapshot(self) -> tuple:
+        """Pin the stable seq; returns ``(token, seq)`` for later close."""
+        with self._state_lock:
+            self._snapshot_token += 1
+            token = self._snapshot_token
+            seq = self._stable_seq
+            self._active_snapshots[token] = seq
+        return token, seq
+
+    def _close_snapshot(self, token: int) -> None:
+        with self._state_lock:
+            self._active_snapshots.pop(token, None)
+
+    def _gc_watermark(self) -> int:
+        """Oldest pinned snapshot seq (stable when no read is in flight)."""
+        with self._state_lock:
+            if self._active_snapshots:
+                return min(self._active_snapshots.values())
+            return self._stable_seq
+
+    def _seal_backends(self, files: Optional[list], seq: int) -> None:
+        """Seal pending chain entries at *seq* on every backend (then GC)."""
+        watermark = self._gc_watermark()
+        for backend in self.controller.backends:
+            backend.seal_versions(files, seq, watermark)
+
+    def _discard_pending(self, files: Optional[list]) -> None:
+        for backend in self.controller.backends:
+            backend.discard_pending(files)
+
+    @staticmethod
+    def _request_files(request: Request) -> Optional[list]:
+        """The files a mutating request can touch (None = unpinned: any).
+
+        The same granule :meth:`_capture_undo` captures; an unpinned
+        mutation holds the global exclusive lock, so sealing every
+        pending entry (None) cannot steal another session's.
+        """
+        if isinstance(request, InsertRequest):
+            name = request.record.file_name
+            return [name] if name is not None else None
+        if isinstance(request, BulkInsertRequest):
+            names = {record.file_name for record in request.records}
+            return sorted(names) if None not in names else None  # type: ignore[type-var]
+        pinned = affected_files(request.query)  # type: ignore[attr-defined]
+        return sorted(pinned) if pinned is not None else None
+
+    @staticmethod
+    def _session_seal_files(session: KernelSession) -> Optional[list]:
+        """The files a committing session's transaction may have mutated.
+
+        Derived from the undo captures — every mutated file was captured
+        first, at the same file granule.  A wildcard capture means the
+        session held the global exclusive lock, so every pending entry
+        anywhere is its own: seal all (None).
+        """
+        if session.wildcard_backends:
+            return None
+        return sorted({name for _, name in session.undo})
+
+    def _execute_snapshot_read(
+        self, request: Request, session: KernelSession
+    ) -> Optional[ExecutionTrace]:
+        """Run one retrieval lock-free at the newest stable snapshot.
+
+        Retries at a fresher snapshot when GC trimmed the pinned one
+        away mid-read; returns None after :data:`_SNAPSHOT_RETRIES`
+        consecutive failures so the caller falls back to a locking
+        read (which cannot starve: it holds S locks).
+        """
+        metrics = self.obs.metrics
+        for _ in range(_SNAPSHOT_RETRIES):
+            token, seq = self._open_snapshot()
+            try:
+                with self.obs.tracer.span("kds.execute") as span:
+                    if isinstance(request, RetrieveRequest) and request.has_aggregates:
+                        trace = self._execute_aggregate(request, snapshot=seq)
+                    elif isinstance(request, RetrieveCommonRequest):
+                        trace = self._execute_common(request, snapshot=seq)
+                    else:
+                        trace = self.controller.execute(
+                            request, session=session, snapshot=seq
+                        )
+                    if span:
+                        span.record(
+                            simulated_ms=trace.response.total_ms,
+                            op=trace.result.operation,
+                            records=trace.result.count,
+                            session=session.owner,
+                            snapshot=seq,
+                        )
+            except SnapshotTooOld:
+                if metrics.enabled:
+                    metrics.inc("kds.snapshot_retries")
+                continue
+            finally:
+                self._close_snapshot(token)
+            trace.snapshot_seq = seq
+            if metrics.enabled:
+                metrics.inc("kds.snapshot_reads")
+                metrics.set_gauge("kds.stable_seq", seq)
+            return trace
+        if metrics.enabled:
+            metrics.inc("kds.snapshot_fallbacks")
+        return None
 
     # -- catalog ---------------------------------------------------------------
 
@@ -487,6 +705,19 @@ class KernelDatabaseSystem:
                     op=trace.result.operation,
                     records=trace.result.count,
                 )
+        if isinstance(request, _MUTATING_REQUESTS):
+            # Legacy callers have no commit protocol of their own: each
+            # mutation is its own commit unit, so it seals the version
+            # chains under its own seq — snapshot reads from concurrent
+            # sessions then see exactly the committed prefix.
+            if self.wal is not None:
+                self.wal.fire(CrashPoint.BEFORE_VERSION_SEAL)
+            seq = self._next_commit_seq()
+            self._seal_backends(self._request_files(request), seq)
+            if self.wal is not None:
+                self.wal.fire(CrashPoint.AFTER_VERSION_SEAL)
+            self._mark_stable(seq)
+            trace.commit_seq = seq
         with self._state_lock:
             self.clock = self.clock + trace.response
             self.requests_executed += 1
@@ -499,12 +730,18 @@ class KernelDatabaseSystem:
             metrics.set_gauge("kds.requests_executed", self.requests_executed)
         return trace
 
-    def _execute_common(self, request: RetrieveCommonRequest) -> ExecutionTrace:
+    def _execute_common(
+        self, request: RetrieveCommonRequest, snapshot: Optional[int] = None
+    ) -> ExecutionTrace:
         left = self.controller.execute(
-            RetrieveRequest(request.left_query), label=PHASE_COMMON_LEFT
+            RetrieveRequest(request.left_query),
+            label=PHASE_COMMON_LEFT,
+            snapshot=snapshot,
         )
         right = self.controller.execute(
-            RetrieveRequest(request.right_query), label=PHASE_COMMON_RIGHT
+            RetrieveRequest(request.right_query),
+            label=PHASE_COMMON_RIGHT,
+            snapshot=snapshot,
         )
         merged = merge_common(
             left.result.raw_records, right.result.raw_records, request
@@ -553,10 +790,7 @@ class KernelDatabaseSystem:
         boundary), unless the caller already opened one explicitly.
         """
         mutating = any(
-            isinstance(
-                request, (InsertRequest, BulkInsertRequest, DeleteRequest, UpdateRequest)
-            )
-            for request in transaction
+            isinstance(request, _MUTATING_REQUESTS) for request in transaction
         )
         if mutating and self.wal is not None and not self.in_transaction:
             with self.transaction():
@@ -564,7 +798,7 @@ class KernelDatabaseSystem:
         return [self.execute(request) for request in transaction]
 
     def _aggregate_from_digests(
-        self, request: RetrieveRequest
+        self, request: RetrieveRequest, snapshot: Optional[int] = None
     ) -> Optional[ExecutionTrace]:
         """Answer a MIN/MAX/COUNT request from index digests, or None.
 
@@ -589,7 +823,11 @@ class KernelDatabaseSystem:
         start = time.perf_counter()
         probes = []
         for backend in self.controller.backends:
-            probe = backend.aggregate_probe(file_name, attributes)
+            # With a snapshot pinned, the digest fast path only answers
+            # when the backend's chains show the file live-valid at that
+            # seq (digests describe the live store); otherwise fall back
+            # to the scan path, which reconstructs the snapshot.
+            probe = backend.aggregate_probe(file_name, attributes, snapshot)
             if probe is None:
                 return None
             probes.append(probe)
@@ -649,12 +887,14 @@ class KernelDatabaseSystem:
             ],
         )
 
-    def _execute_aggregate(self, request: RetrieveRequest) -> ExecutionTrace:
-        fast = self._aggregate_from_digests(request)
+    def _execute_aggregate(
+        self, request: RetrieveRequest, snapshot: Optional[int] = None
+    ) -> ExecutionTrace:
+        fast = self._aggregate_from_digests(request, snapshot)
         if fast is not None:
             return fast
         raw = RetrieveRequest(request.query, (ALL_ATTRIBUTES,))
-        trace = self.controller.execute(raw)
+        trace = self.controller.execute(raw, snapshot=snapshot)
         projected = project(trace.result.raw_records, request)
         merged = RequestResult(
             "RETRIEVE",

@@ -33,15 +33,30 @@ Discipline
 * **Two-phase** — within a kernel transaction locks are only released
   by :meth:`LockManager.release_all` at commit/abort, which makes every
   concurrent history conflict-equivalent to the commit order (2PL).
-* **Timeouts, not general detection** — cross-request cycles (session
-  A locks f1 then wants f2; B locks f2 then wants f1) are broken by a
-  deadline: the waiter raises :class:`~repro.errors.LockTimeout` and is
-  expected to abort, releasing its own locks.  The one cycle detected
-  eagerly is the **symmetric upgrade** (two sessions each hold ``S`` on
-  a file and both want ``X`` — the routine read-then-update shape):
-  since neither can release under 2PL until the other does, the second
-  upgrader fails fast with :class:`~repro.errors.LockTimeout` instead
-  of both stalling for the full timeout.
+* **Fair queueing** — a fresh request must be compatible with every
+  *earlier queued waiter* as well as with the current holders, so a
+  continuous stream of S readers cannot starve a parked X writer (the
+  classic reader-preference pathology).  Upgrades jump the queue: the
+  upgrader already holds the resource, so no queued stranger could be
+  granted before it releases anyway.
+* **Waits-for deadlock detection** — every blocked waiter records the
+  owners blocking it in a waits-for graph and runs a cycle check on the
+  spot.  When a cycle is found the *youngest* transaction in it (the
+  one that started locking most recently, hence has the least work to
+  redo) is chosen as the victim: it wakes immediately and raises
+  :class:`~repro.errors.DeadlockDetected` (a
+  :class:`~repro.errors.LockTimeout` subclass, so every existing
+  abort-and-retry loop handles it unchanged) instead of stalling to
+  the deadline.  The timeout remains as a backstop for stalls that are
+  not cycles (a wedged owner).  The **symmetric upgrade** (two sessions
+  each hold ``S`` on a file and both want ``X`` — the routine
+  read-then-update shape) is still special-cased first: it is
+  detectable before either party blocks, so the second upgrader fails
+  fast without ever parking.
+* **Wait attribution** — per-mode wait-time histograms
+  (``lock.wait_ms{S}``, ``lock.wait_ms{X}``, ...) record how long
+  grants stalled, so benchmarks can attribute mixed-workload latency
+  to reader/writer interference instead of guessing from counters.
 * **Validation epochs** — releasing an ``X`` file lock bumps a per-file
   epoch counter, mirroring the PR 4 store mutation epochs at the lock
   granule, so readers can validate that a file was untouched while they
@@ -64,8 +79,9 @@ from repro.abdl.ast import (
     RetrieveRequest,
     UpdateRequest,
 )
-from repro.errors import LockTimeout
+from repro.errors import DeadlockDetected, LockTimeout
 from repro.mbds.summary import affected_files
+from repro.obs.metrics import NULL_METRICS, Histogram
 
 #: Reserved resource name for the whole store.  AB file names come from
 #: schema identifiers and can never contain a NUL byte.
@@ -188,11 +204,47 @@ class LockManager:
         #: resource -> owners blocked waiting to *upgrade* a mode they
         #: already hold there (for symmetric-upgrade deadlock detection)
         self._upgrade_waiters: Dict[str, set] = {}
+        #: blocked owner -> (resource, wanted mode, queue ticket) while
+        #: parked in _acquire_one.  The waits-for edges are *derived* from
+        #: this plus the live holder/queue state at detection time — a
+        #: stored edge set would go stale the moment a blocker released,
+        #: and a stale edge closes phantom cycles.
+        self._waiting: Dict[str, Tuple[str, LockMode, Optional[int]]] = {}
+        #: owners picked as deadlock victims; they abort on next wake.
+        self._victims: set = set()
+        #: owner -> monotone stamp at its first acquisition since the
+        #: last release_all.  Victim selection aborts the *youngest*
+        #: (largest stamp) member of a cycle — least work to redo, and a
+        #: retrying aborter re-stamps younger so it cannot starve elders.
+        self._birth: Dict[str, int] = {}
+        self._birth_counter = 0
+        #: resource -> [(ticket, owner, wanted mode)] in arrival order.
+        #: A *fresh* request must be compatible with every earlier queued
+        #: waiter as well as with the holders, so a stream of S readers
+        #: cannot starve a parked X writer indefinitely.  Upgrades jump
+        #: the queue: the upgrader already holds the resource, so queued
+        #: strangers cannot be granted before it releases anyway.
+        self._queue: Dict[str, List[Tuple[int, str, LockMode]]] = {}
+        self._ticket = 0
+        #: wanted-mode value -> wait-time histogram (milliseconds)
+        self._wait_hist: Dict[str, Histogram] = {}
+        self._metrics = NULL_METRICS
         self._epochs: Dict[str, int] = {}
         self.acquired_total = 0
         self.wait_total = 0
         self.timeout_total = 0
         self.upgrade_deadlock_total = 0
+        self.deadlock_total = 0
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror wait histograms / deadlock counts into a registry.
+
+        The manager always keeps its own per-mode histograms (so
+        :meth:`wait_histograms` works without observability); binding a
+        :class:`~repro.obs.metrics.MetricsRegistry` additionally exports
+        them as ``lock.wait_ms{MODE}`` plus a ``lock.deadlocks`` counter.
+        """
+        self._metrics = metrics
 
     # -- acquisition ---------------------------------------------------------
 
@@ -219,8 +271,13 @@ class LockManager:
         self, owner: str, resource: str, mode: LockMode, deadline: float
     ) -> None:
         with self._cv:
+            if owner not in self._birth:
+                self._birth_counter += 1
+                self._birth[owner] = self._birth_counter
             waited = False
+            wait_start = 0.0
             upgrading = False
+            ticket: Optional[int] = None
             try:
                 while True:
                     holders = self._held.get(resource, {})
@@ -235,12 +292,30 @@ class LockManager:
                         for other, other_mode in holders.items()
                         if other != owner and not compatible(target, other_mode)
                     )
-                    if not blockers:
+                    ahead: List[str] = []
+                    if held is None:
+                        # Fair queueing: yield to incompatible waiters that
+                        # parked before us (all of them while unqueued).
+                        for other_ticket, other, other_mode in self._queue.get(
+                            resource, ()
+                        ):
+                            if ticket is not None and other_ticket >= ticket:
+                                break
+                            if other != owner and not compatible(target, other_mode):
+                                ahead.append(other)
+                    if not blockers and not ahead:
                         self._held.setdefault(resource, {})[owner] = target
                         self.acquired_total += 1
+                        self._victims.discard(owner)
                         if waited:
                             self.wait_total += 1
+                            self._observe_wait(target, wait_start)
                         return
+                    blockers = sorted(set(blockers) | set(ahead))
+                    if owner in self._victims:
+                        self._raise_deadlock(
+                            owner, target, resource, blockers, waited, wait_start
+                        )
                     if held is not None:
                         # Upgrade path: if any blocker is itself parked
                         # waiting to upgrade this resource, neither of us
@@ -271,20 +346,134 @@ class LockManager:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         self.timeout_total += 1
+                        if waited:
+                            self._observe_wait(target, wait_start)
                         raise LockTimeout(
                             f"session {owner!r} timed out waiting for "
                             f"{target.value} on {self._describe(resource)} "
                             f"(held by {', '.join(blockers)})"
                         )
-                    waited = True
+                    if not waited:
+                        waited = True
+                        wait_start = time.monotonic()
+                    if ticket is None and held is None:
+                        self._ticket += 1
+                        ticket = self._ticket
+                        self._queue.setdefault(resource, []).append(
+                            (ticket, owner, target)
+                        )
+                    self._waiting[owner] = (resource, target, ticket)
+                    victim = self._deadlock_victim(owner)
+                    if victim == owner:
+                        self._raise_deadlock(
+                            owner, target, resource, blockers, waited, wait_start
+                        )
+                    elif victim is not None:
+                        self._victims.add(victim)
+                        self._cv.notify_all()
                     self._cv.wait(remaining)
             finally:
+                self._waiting.pop(owner, None)
+                if ticket is not None:
+                    queue = self._queue.get(resource)
+                    if queue is not None:
+                        entry = ticket
+                        queue[:] = [q for q in queue if q[0] != entry]
+                        if not queue:
+                            del self._queue[resource]
+                    # Leaving the queue (granted or aborted) may unbar a
+                    # younger waiter that was only yielding to us.
+                    self._cv.notify_all()
                 if upgrading:
                     waiters = self._upgrade_waiters.get(resource)
                     if waiters is not None:
                         waiters.discard(owner)
                         if not waiters:
                             del self._upgrade_waiters[resource]
+
+    def _edges(self, node: str) -> set:
+        """Who *node* is waiting on right now (derived, never stale).
+
+        Incompatible current holders of the resource it is parked on,
+        plus — for a fresh request — incompatible waiters queued ahead
+        of it.  Owners that are not waiting have no edges.
+        """
+        info = self._waiting.get(node)
+        if info is None:
+            return set()
+        resource, target, ticket = info
+        holders = self._held.get(resource, {})
+        edges = {
+            other
+            for other, other_mode in holders.items()
+            if other != node and not compatible(target, other_mode)
+        }
+        if node not in holders:  # fresh request: also yields to the queue
+            for other_ticket, other, other_mode in self._queue.get(resource, ()):
+                if ticket is not None and other_ticket >= ticket:
+                    break
+                if other != node and not compatible(target, other_mode):
+                    edges.add(other)
+        return edges
+
+    def _deadlock_victim(self, start: str) -> Optional[str]:
+        """The victim of a waits-for cycle through *start*, if any.
+
+        Called under ``_cv`` right after *start* records what it waits
+        on.  Follows waits-for edges depth-first looking for a path back
+        to *start*; owners that are not currently waiting have no edges
+        and terminate the search.  Returns the youngest cycle member
+        (the largest birth stamp) or None when the graph is acyclic.
+        """
+        seen: set = set()
+
+        def probe(node: str, path: List[str]) -> Optional[List[str]]:
+            for nxt in sorted(self._edges(node)):
+                if nxt == start:
+                    return path
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                cycle = probe(nxt, path + [nxt])
+                if cycle is not None:
+                    return cycle
+            return None
+
+        cycle = probe(start, [start])
+        if cycle is None:
+            return None
+        return max(cycle, key=lambda node: self._birth.get(node, 0))
+
+    def _raise_deadlock(
+        self,
+        owner: str,
+        target: LockMode,
+        resource: str,
+        blockers: List[str],
+        waited: bool,
+        wait_start: float,
+    ) -> None:
+        """Abort *owner* as the chosen deadlock victim (under ``_cv``)."""
+        self._victims.discard(owner)
+        self.deadlock_total += 1
+        self._metrics.inc("lock.deadlocks")
+        if waited:
+            self._observe_wait(target, wait_start)
+        raise DeadlockDetected(
+            f"session {owner!r} chosen as deadlock victim waiting for "
+            f"{target.value} on {self._describe(resource)} "
+            f"(held by {', '.join(blockers)}); abort and retry"
+        )
+
+    def _observe_wait(self, mode: LockMode, wait_start: float) -> None:
+        """Record a finished wait into the per-mode histograms."""
+        elapsed_ms = (time.monotonic() - wait_start) * 1000.0
+        name = f"lock.wait_ms{{{mode.value}}}"
+        hist = self._wait_hist.get(mode.value)
+        if hist is None:
+            hist = self._wait_hist[mode.value] = Histogram(name)
+        hist.observe(elapsed_ms)
+        self._metrics.observe(name, elapsed_ms)
 
     # -- release -------------------------------------------------------------
 
@@ -302,6 +491,9 @@ class LockManager:
                     self._epochs[resource] = self._epochs.get(resource, 0) + 1
                 if not holders:
                     del self._held[resource]
+            self._birth.pop(owner, None)
+            self._waiting.pop(owner, None)
+            self._victims.discard(owner)
             if released:
                 self._cv.notify_all()
 
@@ -337,6 +529,21 @@ class LockManager:
                 "waited": self.wait_total,
                 "timeouts": self.timeout_total,
                 "upgrade_deadlocks": self.upgrade_deadlock_total,
+                "deadlocks": self.deadlock_total,
+            }
+
+    def wait_histograms(self) -> Dict[str, dict]:
+        """Per-mode wait-time distributions (``lock.wait_ms{mode}``).
+
+        JSON-ready: mode value -> the histogram's :meth:`as_dict`
+        (count, sum, mean, p50/p99, buckets).  Modes that never waited
+        are absent — the mixed-workload benchmark asserts exactly that
+        for ``S`` under snapshot reads.
+        """
+        with self._cv:
+            return {
+                mode: hist.as_dict()
+                for mode, hist in sorted(self._wait_hist.items())
             }
 
     @staticmethod

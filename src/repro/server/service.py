@@ -309,10 +309,14 @@ class MLDSServer:
     async def _op_metrics(self, conn: _Connection, message: dict) -> dict:
         # The observability plane: open to unauthenticated scrapes, like
         # a conventional /metrics endpoint.
+        locks = self.mlds.kds.locks
         return {
             "obs": self.mlds.obs.as_dict(),
             "server": self.stats(),
-            "locks": self.mlds.kds.locks.stats(),
+            # stats() carries the counters (timeouts, deadlocks, ...);
+            # wait_ms adds the per-mode lock-wait histograms so a scrape
+            # can see *which* lock modes contend, not just how often.
+            "locks": {**locks.stats(), "wait_ms": locks.wait_histograms()},
         }
 
     async def _op_ping(self, conn: _Connection, message: dict) -> dict:

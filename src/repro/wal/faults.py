@@ -48,6 +48,13 @@ class CrashPoint(enum.Enum):
     BEFORE_GROUP_FSYNC = "before-group-fsync"
     #: After the group's shared flush+fsync (every staged commit durable).
     AFTER_GROUP_FSYNC = "after-group-fsync"
+    #: After the commit record is durable, before the kernel seals the
+    #: stores' version chains at the new commit seq (MVCC bookkeeping
+    #: pending, transaction already committed).
+    BEFORE_VERSION_SEAL = "before-version-seal"
+    #: After the version chains are sealed and trimmed (GC ran), before
+    #: the commit seq is published as the stable snapshot watermark.
+    AFTER_VERSION_SEAL = "after-version-seal"
     #: At checkpoint start, before the snapshot is written.
     BEFORE_CHECKPOINT = "before-checkpoint"
     #: After the snapshot is durable, before the old log segments are dropped.

@@ -259,6 +259,9 @@ class TestQuotasAndLimits:
     def test_overload_sheds_with_clear_error(self, served):
         # Fill the single execution slot with a statement blocked on a
         # kernel lock, then watch the next statement get shed (queue 0).
+        # Snapshot reads mean a SELECT no longer parks on the writer's
+        # lock, so the slot-filler is a conflicting INSERT — writers
+        # still serialize per file under strict 2PL.
         blocker = connect(served)
         blocked = connect(served)
         shed = connect(served)
@@ -273,7 +276,7 @@ class TestQuotasAndLimits:
             def run_blocked():
                 result.append(
                     blocked.execute(
-                        blocked_sql, "SELECT pid FROM pay WHERE pid = 77"
+                        blocked_sql, "INSERT INTO pay VALUES (78, 8.0)"
                     )
                 )
 
@@ -290,9 +293,11 @@ class TestQuotasAndLimits:
             with pytest.raises(errors.ServerOverloaded, match="retry"):
                 shed.execute(shed_sql, "SELECT pid FROM pay WHERE pid = 0")
 
-            blocker.commit()  # release the lock; the blocked reader finishes
+            blocker.commit()  # release the lock; the blocked writer finishes
             thread.join(timeout=15)
-            assert result and result[0][0]["rows"] == [{"pid": 77}]
+            assert result
+            rows = shed.execute(shed_sql, "SELECT pid FROM pay WHERE pid = 78")
+            assert rows[0]["rows"] == [{"pid": 78}]
         finally:
             blocker.close()
             blocked.close()

@@ -113,6 +113,11 @@ EXPECTED = {
     CrashPoint.BEFORE_GROUP_FSYNC: "pre",
     CrashPoint.AFTER_GROUP_FSYNC: "post",
     CrashPoint.AFTER_COMMIT: "post",
+    # session_commit seals the version chains only after the commit
+    # record is durable: dying mid-seal (or mid-GC, just after) loses
+    # only in-memory MVCC bookkeeping, never the committed transaction.
+    CrashPoint.BEFORE_VERSION_SEAL: "post",
+    CrashPoint.AFTER_VERSION_SEAL: "post",
     CrashPoint.BEFORE_CHECKPOINT: "post",
     CrashPoint.AFTER_CHECKPOINT_SNAPSHOT: "post",
     CrashPoint.AFTER_CHECKPOINT: "post",
